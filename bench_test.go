@@ -1,0 +1,252 @@
+// Benchmarks regenerating every paper table/figure (experiments E1..E9 of
+// DESIGN.md) plus microbenchmarks on the engine's hot paths. Each ExxYyy
+// benchmark runs the corresponding experiment end to end; custom metrics
+// surface the headline quantity of that experiment so `go test -bench=.`
+// output doubles as a results summary.
+package repro_test
+
+import (
+	"math/rand"
+	"strconv"
+	"testing"
+
+	"repro"
+	"repro/internal/experiments"
+	"repro/internal/mc"
+	"repro/internal/multiset"
+	"repro/internal/rstp"
+	"repro/internal/tmc"
+	"repro/internal/wire"
+)
+
+func benchCfg() experiments.Config { return experiments.Config{Seed: 1, Quick: true} }
+
+// runExperiment drives one experiment generator b.N times.
+func runExperiment(b *testing.B, gen experiments.Generator) experiments.Table {
+	b.Helper()
+	var table experiments.Table
+	for i := 0; i < b.N; i++ {
+		var err error
+		table, err = gen(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	return table
+}
+
+// metric extracts a float column from the first row of a table.
+func metric(b *testing.B, t experiments.Table, col string) float64 {
+	b.Helper()
+	for i, h := range t.Header {
+		if h == col {
+			v, err := strconv.ParseFloat(t.Rows[0][i], 64)
+			if err != nil {
+				b.Fatalf("parse %s: %v", col, err)
+			}
+			return v
+		}
+	}
+	b.Fatalf("no column %q", col)
+	return 0
+}
+
+func BenchmarkE1AlphaEffort(b *testing.B) {
+	t := runExperiment(b, experiments.E1AlphaEffort)
+	b.ReportMetric(metric(b, t, "measured"), "ticks/msg")
+}
+
+func BenchmarkE2PassiveLowerBound(b *testing.B) {
+	t := runExperiment(b, experiments.E2PassiveLowerBound)
+	b.ReportMetric(metric(b, t, "lower"), "lb-ticks/msg")
+}
+
+func BenchmarkE3ActiveLowerBound(b *testing.B) {
+	t := runExperiment(b, experiments.E3ActiveLowerBound)
+	b.ReportMetric(metric(b, t, "lower"), "lb-ticks/msg")
+}
+
+func BenchmarkE4BetaEffort(b *testing.B) {
+	t := runExperiment(b, experiments.E4BetaEffort)
+	b.ReportMetric(metric(b, t, "measured(worst)"), "ticks/msg")
+	b.ReportMetric(metric(b, t, "meas/lower"), "tightness")
+}
+
+func BenchmarkE5GammaEffort(b *testing.B) {
+	t := runExperiment(b, experiments.E5GammaEffort)
+	b.ReportMetric(metric(b, t, "measured(worst)"), "ticks/msg")
+	b.ReportMetric(metric(b, t, "meas/lower"), "tightness")
+}
+
+func BenchmarkE6IntervalAdversary(b *testing.B) {
+	t := runExperiment(b, experiments.E6IntervalAdversary)
+	b.ReportMetric(metric(b, t, "observed/floor"), "rounds-vs-floor")
+}
+
+func BenchmarkE7ProfileCounting(b *testing.B) {
+	runExperiment(b, experiments.E7ProfileCounting)
+}
+
+func BenchmarkE8Crossover(b *testing.B) {
+	runExperiment(b, experiments.E8Crossover)
+}
+
+func BenchmarkE9Baseline(b *testing.B) {
+	t := runExperiment(b, experiments.E9Baseline)
+	b.ReportMetric(metric(b, t, "ticks/message"), "ab-lossless")
+}
+
+func BenchmarkE10WindowSweep(b *testing.B) {
+	t := runExperiment(b, experiments.E10WindowSweep)
+	b.ReportMetric(metric(b, t, "measured"), "ticks/msg-slack-max")
+}
+
+func BenchmarkE11AsymmetricClocks(b *testing.B) {
+	t := runExperiment(b, experiments.E11AsymmetricClocks)
+	b.ReportMetric(metric(b, t, "γ/β"), "gamma-vs-beta")
+}
+
+func BenchmarkE12BurstAblation(b *testing.B) {
+	runExperiment(b, experiments.E12BurstAblation)
+}
+
+func BenchmarkE13AckQueueing(b *testing.B) {
+	t := runExperiment(b, experiments.E13AckQueueing)
+	b.ReportMetric(metric(b, t, "measured"), "ticks/msg")
+}
+
+func BenchmarkE14OrderedDecoder(b *testing.B) {
+	runExperiment(b, experiments.E14OrderedDecoder)
+}
+
+func BenchmarkE15DelaySweep(b *testing.B) {
+	t := runExperiment(b, experiments.E15DelaySweep)
+	b.ReportMetric(metric(b, t, "α/β"), "alpha-over-beta-d8")
+}
+
+func BenchmarkE16Verification(b *testing.B) {
+	t := runExperiment(b, experiments.E16Verification)
+	b.ReportMetric(metric(b, t, "states"), "states-row0")
+}
+
+// Microbenchmarks: protocol throughput on the engine's hot path.
+
+func benchSolutionRun(b *testing.B, mk func(rstp.Params) (repro.Solution, error), p rstp.Params) {
+	b.Helper()
+	s, err := mk(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	x := repro.RandomBits(64*s.BlockBits, rng.Uint64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		run, err := s.Run(x, repro.RunOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if run.WriteCount != len(x) {
+			b.Fatal("incomplete run")
+		}
+	}
+	b.ReportMetric(float64(len(x)), "bits/op")
+}
+
+func BenchmarkRunAlpha(b *testing.B) {
+	benchSolutionRun(b, repro.Alpha, rstp.Params{C1: 2, C2: 3, D: 12})
+}
+
+func BenchmarkRunBetaK4(b *testing.B) {
+	benchSolutionRun(b, func(p rstp.Params) (repro.Solution, error) { return repro.Beta(p, 4) },
+		rstp.Params{C1: 2, C2: 3, D: 12})
+}
+
+func BenchmarkRunBetaK64(b *testing.B) {
+	benchSolutionRun(b, func(p rstp.Params) (repro.Solution, error) { return repro.Beta(p, 64) },
+		rstp.Params{C1: 2, C2: 3, D: 12})
+}
+
+func BenchmarkRunGammaK4(b *testing.B) {
+	benchSolutionRun(b, func(p rstp.Params) (repro.Solution, error) { return repro.Gamma(p, 4) },
+		rstp.Params{C1: 2, C2: 3, D: 12})
+}
+
+func BenchmarkModelCheckGammaUntimed(b *testing.B) {
+	p := rstp.Params{C1: 1, C2: 1, D: 4}
+	x, err := wire.ParseBits("10011100")
+	if err != nil {
+		b.Fatal(err)
+	}
+	var states int
+	for i := 0; i < b.N; i++ {
+		tr, err := rstp.NewGammaTransmitter(p, 2, x)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rc, err := rstp.NewGammaReceiver(p, 2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := mc.Check(mc.System{
+			X: x, T: tr, R: rc,
+			ForkT:   func(n mc.Node) (mc.Node, error) { return n.(*rstp.GammaTransmitter).Fork() },
+			ForkR:   func(n mc.Node) (mc.Node, error) { return n.(*rstp.GammaReceiver).Fork() },
+			Written: func(n mc.Node) []wire.Bit { return n.(*rstp.GammaReceiver).WrittenBits() },
+		})
+		if err != nil || res.Violation != nil {
+			b.Fatalf("check failed: %v %v", err, res.Violation)
+		}
+		states = res.States
+	}
+	b.ReportMetric(float64(states), "states")
+}
+
+func BenchmarkModelCheckBetaTimed(b *testing.B) {
+	p := rstp.Params{C1: 1, C2: 1, D: 3}
+	x, err := wire.ParseBits("1001")
+	if err != nil {
+		b.Fatal(err)
+	}
+	var states int
+	for i := 0; i < b.N; i++ {
+		tr, err := rstp.NewBetaTransmitter(p, 2, x)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rc, err := rstp.NewBetaReceiver(p, 2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := tmc.Check(tmc.System{
+			X: x, T: tr, R: rc,
+			ForkT:   func(n tmc.Node) (tmc.Node, error) { return n.(*rstp.BetaTransmitter).Fork() },
+			ForkR:   func(n tmc.Node) (tmc.Node, error) { return n.(*rstp.BetaReceiver).Fork() },
+			Written: func(n tmc.Node) []wire.Bit { return n.(*rstp.BetaReceiver).WrittenBits() },
+			C1:      p.C1, C2: p.C2, D1: 0, D2: p.D,
+		})
+		if err != nil || res.Violation != nil {
+			b.Fatalf("check failed: %v %v", err, res.Violation)
+		}
+		states = res.States
+	}
+	b.ReportMetric(float64(states), "states")
+}
+
+func BenchmarkCodecRoundTrip(b *testing.B) {
+	codec, err := multiset.NewCodec(16, 24)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	block := wire.RandomBits(codec.BlockBits(), rng.Uint64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m, err := codec.Encode(block)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := codec.Decode(m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

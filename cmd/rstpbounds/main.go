@@ -1,0 +1,58 @@
+// Command rstpbounds prints the paper's effort bounds (Theorems 5.3 and
+// 5.6, Lemma 6.1, Section 6.2) for a chosen parameter point across a sweep
+// of packet-alphabet sizes.
+//
+// Usage:
+//
+//	rstpbounds -c1 2 -c2 3 -d 12 -kmax 64
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/multiset"
+	"repro/internal/rstp"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "rstpbounds:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("rstpbounds", flag.ContinueOnError)
+	var (
+		c1   = fs.Int64("c1", 2, "minimum inter-step time c1 (ticks)")
+		c2   = fs.Int64("c2", 3, "maximum inter-step time c2 (ticks)")
+		d    = fs.Int64("d", 12, "channel delay bound d (ticks)")
+		kmax = fs.Int("kmax", 64, "largest packet alphabet size (sweep doubles from 2)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	p := rstp.Params{C1: *c1, C2: *c2, D: *d}
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "RSTP effort bounds for %s, ⌈d/c1⌉ = %d\n", p, p.CeilSteps1())
+	fmt.Fprintf(out, "eff(A^α) = %.2f ticks/message\n\n", rstp.AlphaEffort(p))
+	fmt.Fprintf(out, "%4s  %12s  %12s  %12s  %12s  %12s  %12s\n",
+		"k", "log2μ_k(δ1)", "passive LB", "A^β(k) UB", "log2μ_k(δ2)", "active LB", "A^γ(k) UB")
+	for k := 2; k <= *kmax; k *= 2 {
+		fmt.Fprintf(out, "%4d  %12.2f  %12.3f  %12.3f  %12.2f  %12.3f  %12.3f\n",
+			k,
+			multiset.Log2Mu(k, p.Delta1()),
+			rstp.PassiveLowerBound(p, k),
+			rstp.BetaUpperBound(p, k),
+			multiset.Log2Mu(k, p.Delta2()),
+			rstp.ActiveLowerBound(p, k),
+			rstp.GammaUpperBound(p, k),
+		)
+	}
+	return nil
+}

@@ -1,0 +1,50 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunDefault(t *testing.T) {
+	var sb strings.Builder
+	if err := run(nil, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"eff(A^α) = 18.00", "passive LB", "active LB", "64"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestRunCustomParams(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-c1", "1", "-c2", "1", "-d", "8", "-kmax", "4"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "eff(A^α) = 8.00") {
+		t.Errorf("output missing alpha effort: %s", out)
+	}
+	if strings.Contains(out, "\n  64 ") {
+		t.Error("kmax=4 should not include k=64")
+	}
+}
+
+func TestRunInvalidParams(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-c1", "0"}, &sb); err == nil {
+		t.Fatal("c1=0 should fail validation")
+	}
+	if err := run([]string{"-d", "1"}, &sb); err == nil {
+		t.Fatal("d <= c2 should fail validation")
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-zzz"}, &sb); err == nil {
+		t.Fatal("bad flag should fail")
+	}
+}

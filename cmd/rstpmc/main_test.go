@@ -1,0 +1,75 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTimedBetaSafe(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-mode", "timed", "-proto", "beta", "-k", "2", "-c1", "1", "-c2", "1", "-d", "3"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "safe:") {
+		t.Errorf("expected safe verdict:\n%s", out)
+	}
+	if !strings.Contains(out, "completion reachable true") {
+		t.Errorf("expected completion reachability:\n%s", out)
+	}
+}
+
+func TestTimedAlphaSafe(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-mode", "timed", "-proto", "alpha", "-c1", "1", "-c2", "2", "-d", "3", "-input", "10"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "safe:") {
+		t.Errorf("expected safe verdict:\n%s", sb.String())
+	}
+}
+
+func TestUntimedGammaSafe(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-mode", "untimed", "-proto", "gamma", "-k", "2", "-c1", "1", "-c2", "2", "-d", "5", "-input", "101"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "safe:") {
+		t.Errorf("expected safe verdict:\n%s", sb.String())
+	}
+}
+
+func TestUntimedGammaDupCounterexample(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-mode", "untimed", "-proto", "gamma", "-k", "2", "-c1", "1", "-c2", "2", "-d", "5", "-input", "101", "-dup"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "VIOLATION") {
+		t.Errorf("expected a duplication counterexample:\n%s", sb.String())
+	}
+}
+
+func TestModeProtoValidation(t *testing.T) {
+	cases := [][]string{
+		{"-mode", "untimed", "-proto", "beta"},
+		{"-mode", "timed", "-proto", "gamma"},
+		{"-mode", "nope"},
+		{"-c1", "0"},
+		{"-input", "10x"},
+		{"-zzz"},
+	}
+	for _, args := range cases {
+		var sb strings.Builder
+		if err := run(args, &sb); err == nil {
+			t.Errorf("args %v should fail", args)
+		}
+	}
+}
+
+func TestStateCapTrips(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{"-mode", "timed", "-proto", "beta", "-maxstates", "3"}, &sb)
+	if err == nil || !strings.Contains(err.Error(), "exceeds") {
+		t.Errorf("tiny cap should trip: %v", err)
+	}
+}

@@ -1,0 +1,105 @@
+package repro_test
+
+import (
+	"fmt"
+
+	"repro"
+)
+
+// Example transmits a short sequence with the r-passive burst protocol
+// A^β(4) over the worst-case legal channel and verifies it.
+func Example() {
+	p := repro.Params{C1: 2, C2: 3, D: 12}
+	s, err := repro.Beta(p, 4)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	x, _ := repro.ParseBits("101100111000")
+	run, err := s.Run(x, repro.RunOptions{})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println(repro.BitsToString(run.Writes()))
+	fmt.Println("good:", len(s.Verify(run, x)) == 0)
+	// Output:
+	// 101100111000
+	// good: true
+}
+
+// ExampleAlphaEffort prints the simple protocol's closed-form effort.
+func ExampleAlphaEffort() {
+	p := repro.Params{C1: 2, C2: 3, D: 12}
+	fmt.Printf("%.0f ticks/message\n", repro.AlphaEffort(p))
+	// Output: 18 ticks/message
+}
+
+// ExamplePassiveLowerBound shows Theorem 5.3's floor falling with k.
+func ExamplePassiveLowerBound() {
+	p := repro.Params{C1: 2, C2: 3, D: 12}
+	for _, k := range []int{2, 16} {
+		fmt.Printf("k=%-2d lower=%.3f upper=%.3f\n",
+			k, repro.PassiveLowerBound(p, k), repro.BetaUpperBound(p, k))
+	}
+	// Output:
+	// k=2  lower=3.786 upper=18.000
+	// k=16 lower=1.112 upper=2.400
+}
+
+// ExampleFrameMessages sends byte payloads over the bit protocol using
+// the framing layer, tolerating block padding.
+func ExampleFrameMessages() {
+	p := repro.Params{C1: 2, C2: 3, D: 12}
+	s, _ := repro.Beta(p, 4)
+
+	bits, _ := repro.FrameMessages([][]byte{[]byte("hi"), []byte("rstp")})
+	x, _ := repro.PadToBlock(bits, s.BlockBits)
+
+	run, _ := s.Run(x, repro.RunOptions{})
+	msgs, _ := repro.UnframeMessages(run.Writes())
+	for _, m := range msgs {
+		fmt.Printf("%s\n", m)
+	}
+	// Output:
+	// hi
+	// rstp
+}
+
+// ExampleGenBeta shows the Section 7 delivery-window extension: a
+// deterministic-delay link needs no inter-burst wait at all.
+func ExampleGenBeta() {
+	p := repro.GenParams{TC1: 2, TC2: 3, RC1: 2, RC2: 3, D1: 12, D2: 12}
+	s, err := repro.GenBeta(p, 4)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println("slack:", p.Slack(), "wait steps:", p.WaitSteps())
+	x, _ := repro.ParseBits("110010")
+	x, _ = repro.PadToBlock(x, s.BlockBits)
+	run, err := s.Run(x, repro.GenRunOptions{})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println("delivered:", repro.BitsToString(run.Writes()) == repro.BitsToString(x))
+	// Output:
+	// slack: 0 wait steps: 0
+	// delivered: true
+}
+
+// ExampleSolution_MeasureEffort measures worst-case effort against the
+// analytic ceiling.
+func ExampleSolution_MeasureEffort() {
+	p := repro.Params{C1: 1, C2: 1, D: 8}
+	s, _ := repro.Beta(p, 8)
+	x := make([]repro.Bit, 100*s.BlockBits)
+	eff, err := s.MeasureEffort(x, repro.RunOptions{})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println("within bound:", eff.PerMessage <= repro.BetaUpperBound(p, 8))
+	// Output: within bound: true
+}

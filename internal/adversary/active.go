@@ -1,0 +1,160 @@
+package adversary
+
+import (
+	"fmt"
+
+	"repro/internal/chanmodel"
+	"repro/internal/ioa"
+	"repro/internal/multiset"
+	"repro/internal/sim"
+	"repro/internal/timed"
+	"repro/internal/wire"
+)
+
+// Section 5.2: the active case. Unlike the r-passive case, an active
+// transmitter's actions depend on the receiver's packets, so the paper
+// fixes, for every input X, ONE canonical timed execution η(X): both
+// processes step every c2, and the channel batches each interval
+// t_i = [i(d-ε), (i+1)(d-ε)) to the start of t̂_{i+1} (Figure 2 — our
+// chanmodel.IntervalBatch with ε = 1 tick). The active profile P^t(X) is
+// the per-interval multiset of data packets the transmitter sends in
+// η(X); Lemma 5.4: distinct inputs must give distinct profiles, and
+// counting them yields Theorem 5.6.
+
+// ActiveProfile is P^t(X) for the canonical execution η(X).
+type ActiveProfile struct {
+	// K is the packet alphabet size.
+	K int
+	// Intervals hold the multiset of data symbols sent during each t_i,
+	// trailing empty intervals trimmed.
+	Intervals []multiset.Multiset
+}
+
+// Rounds returns ℓ(X): intervals up to the last send.
+func (p ActiveProfile) Rounds() int { return len(p.Intervals) }
+
+// Key returns a canonical comparable key.
+func (p ActiveProfile) Key() string {
+	out := ""
+	for i, w := range p.Intervals {
+		if i > 0 {
+			out += "|"
+		}
+		out += w.Key()
+	}
+	return out
+}
+
+// PairFactory builds a fresh transmitter/receiver pair for an input — an
+// active solution's composition.
+type PairFactory func(x []wire.Bit) (t, r ioa.Automaton, err error)
+
+// ExtractActiveProfile runs the canonical execution η(X) — both processes
+// stepping every c2, deliveries batched per Figure 2 — and groups the
+// transmitter's data sends by interval.
+func ExtractActiveProfile(factory PairFactory, x []wire.Bit, k int, c2, d int64, writes int) (ActiveProfile, error) {
+	if k < 1 {
+		return ActiveProfile{}, fmt.Errorf("adversary: k must be >= 1, got %d", k)
+	}
+	if d < 2 {
+		return ActiveProfile{}, fmt.Errorf("adversary: interval construction needs d >= 2, got %d", d)
+	}
+	tr, rc, err := factory(x)
+	if err != nil {
+		return ActiveProfile{}, err
+	}
+	batch := chanmodel.IntervalBatch{D: d}
+	run, err := sim.Simulate(sim.Config{
+		C1: c2, C2: c2, D: d,
+		Transmitter: sim.Process{Auto: tr, Policy: sim.FixedGap{C: c2}},
+		Receiver:    sim.Process{Auto: rc, Policy: sim.FixedGap{C: c2}},
+		Delay:       batch,
+		Stop:        sim.StopAfterWrites(writes),
+		MaxTicks:    10_000_000,
+	})
+	if err != nil {
+		return ActiveProfile{}, fmt.Errorf("adversary: canonical execution: %w", err)
+	}
+	period := batch.Period()
+	var intervals []multiset.Multiset
+	for _, e := range run.Trace {
+		send, ok := e.Action.(wire.Send)
+		if !ok || send.Dir != wire.TtoR || send.P.Kind != wire.Data {
+			continue
+		}
+		idx := int(e.Time / period)
+		for len(intervals) <= idx {
+			intervals = append(intervals, multiset.New(k))
+		}
+		if err := intervals[idx].Add(send.P.Symbol); err != nil {
+			return ActiveProfile{}, fmt.Errorf("adversary: interval %d: %w", idx, err)
+		}
+	}
+	for len(intervals) > 0 && intervals[len(intervals)-1].Size() == 0 {
+		intervals = intervals[:len(intervals)-1]
+	}
+	return ActiveProfile{K: k, Intervals: intervals}, nil
+}
+
+// ActiveCollision reports two distinct inputs with identical active
+// profiles — impossible for a correct active solution (Lemma 5.4).
+type ActiveCollision struct {
+	X1, X2  []wire.Bit
+	Profile ActiveProfile
+}
+
+// FindActiveCollision enumerates all 2^n inputs of length n and returns
+// the first active-profile collision, plus the number of distinct
+// profiles — the quantity Theorem 5.6's counting argument bounds by
+// ζ_k(δ2)^ℓ.
+func FindActiveCollision(factory PairFactory, k int, c2, d int64, n int) (col *ActiveCollision, distinct int, err error) {
+	if n > 20 {
+		return nil, 0, fmt.Errorf("adversary: enumeration of 2^%d inputs is unreasonable", n)
+	}
+	seen := make(map[string][]wire.Bit, 1<<uint(n))
+	for v := 0; v < 1<<uint(n); v++ {
+		x := make([]wire.Bit, n)
+		for i := range x {
+			x[i] = wire.Bit((v >> uint(n-1-i)) & 1)
+		}
+		prof, err := ExtractActiveProfile(factory, x, k, c2, d, n)
+		if err != nil {
+			return nil, 0, fmt.Errorf("adversary: profile of %s: %w", wire.BitsToString(x), err)
+		}
+		key := prof.Key()
+		if other, dup := seen[key]; dup {
+			if col == nil {
+				col = &ActiveCollision{X1: other, X2: x, Profile: prof}
+			}
+			continue
+		}
+		seen[key] = x
+	}
+	return col, len(seen), nil
+}
+
+// VerifyCanonicalExecutionIsGood checks that the η(X) construction really
+// is a good timed execution for the given parameters — the premise of
+// Lemma 5.4 (the adversary must stay within the model).
+func VerifyCanonicalExecutionIsGood(factory PairFactory, x []wire.Bit, c1, c2, d int64) []timed.Violation {
+	tr, rc, err := factory(x)
+	if err != nil {
+		return []timed.Violation{{Index: -1, Rule: "setup", Msg: err.Error()}}
+	}
+	run, err := sim.Simulate(sim.Config{
+		C1: c1, C2: c2, D: d,
+		Transmitter: sim.Process{Auto: tr, Policy: sim.FixedGap{C: c2}},
+		Receiver:    sim.Process{Auto: rc, Policy: sim.FixedGap{C: c2}},
+		Delay:       chanmodel.IntervalBatch{D: d},
+		Stop:        sim.StopAfterWrites(len(x)),
+		MaxTicks:    10_000_000,
+	})
+	if err != nil {
+		return []timed.Violation{{Index: -1, Rule: "run", Msg: err.Error()}}
+	}
+	return timed.Good(run.Trace, timed.GoodConfig{
+		C1: c1, C2: c2, D: d,
+		Transmitter: "t", Receiver: "r",
+		X: x, RequireComplete: true,
+	})
+}

@@ -1,0 +1,96 @@
+package adversary
+
+import (
+	"testing"
+
+	"repro/internal/ioa"
+	"repro/internal/rstp"
+	"repro/internal/wire"
+)
+
+func gammaFactory(t *testing.T, p rstp.Params, k int) PairFactory {
+	t.Helper()
+	return func(x []wire.Bit) (ioa.Automaton, ioa.Automaton, error) {
+		tr, err := rstp.NewGammaTransmitter(p, k, x)
+		if err != nil {
+			return nil, nil, err
+		}
+		rc, err := rstp.NewGammaReceiver(p, k)
+		if err != nil {
+			return nil, nil, err
+		}
+		return tr, rc, nil
+	}
+}
+
+// TestActiveProfileShape: in η(X), A^γ's sends group into intervals whose
+// union is exactly the encoded blocks.
+func TestActiveProfileShape(t *testing.T) {
+	p := rstp.Params{C1: 1, C2: 1, D: 3} // δ2 = 3, L = 2
+	k := 2
+	bits := rstp.GammaBlockBits(p, k)
+	x := make([]wire.Bit, 2*bits) // two bursts of 3 packets
+	x[0] = wire.One
+	prof, err := ExtractActiveProfile(gammaFactory(t, p, k), x, k, p.C2, p.D, len(x))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prof.Rounds() == 0 {
+		t.Fatal("no intervals")
+	}
+	total := 0
+	for _, w := range prof.Intervals {
+		total += w.Size()
+	}
+	if total != 2*p.Delta2() {
+		t.Fatalf("profile carries %d packets, want %d", total, 2*p.Delta2())
+	}
+}
+
+// TestGammaActiveProfilesDistinct is Lemma 5.4's contrapositive on the
+// real protocol: distinct inputs yield distinct canonical profiles.
+func TestGammaActiveProfilesDistinct(t *testing.T) {
+	p := rstp.Params{C1: 1, C2: 1, D: 3}
+	k := 2
+	n := 2 * rstp.GammaBlockBits(p, k) // 4 bits -> 16 inputs
+	col, distinct, err := FindActiveCollision(gammaFactory(t, p, k), k, p.C2, p.D, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if col != nil {
+		t.Fatalf("active profile collision: %s vs %s (profile %s)",
+			wire.BitsToString(col.X1), wire.BitsToString(col.X2), col.Profile.Key())
+	}
+	if distinct != 1<<uint(n) {
+		t.Errorf("distinct = %d, want %d", distinct, 1<<uint(n))
+	}
+}
+
+// TestCanonicalExecutionIsGood: the Figure 2 construction is a legal
+// timed execution of the composition — the premise of Lemma 5.4.
+func TestCanonicalExecutionIsGood(t *testing.T) {
+	p := rstp.Params{C1: 1, C2: 1, D: 3}
+	k := 2
+	bits := rstp.GammaBlockBits(p, k)
+	x := make([]wire.Bit, 3*bits)
+	for i := range x {
+		x[i] = wire.Bit(i % 2)
+	}
+	if v := VerifyCanonicalExecutionIsGood(gammaFactory(t, p, k), x, p.C1, p.C2, p.D); len(v) != 0 {
+		t.Fatalf("η(X) not good: %v", v[0])
+	}
+}
+
+func TestActiveProfileValidation(t *testing.T) {
+	p := rstp.Params{C1: 1, C2: 1, D: 3}
+	f := gammaFactory(t, p, 2)
+	if _, err := ExtractActiveProfile(f, nil, 0, 1, 3, 0); err == nil {
+		t.Error("k = 0 should fail")
+	}
+	if _, err := ExtractActiveProfile(f, nil, 2, 1, 1, 0); err == nil {
+		t.Error("d < 2 should fail")
+	}
+	if _, _, err := FindActiveCollision(f, 2, 1, 3, 25); err == nil {
+		t.Error("n = 25 should be rejected")
+	}
+}

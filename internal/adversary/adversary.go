@@ -1,0 +1,270 @@
+// Package adversary implements the lower-bound machinery of Section 5:
+// transmitter action profiles P^t(X), the equivalence relation ≈, the
+// indistinguishability construction of Lemma 5.1, and the counting
+// argument behind Lemma 5.2 / Theorem 5.3.
+//
+// The idea: in the "fast" executions where both processes step every c1
+// ticks, any packets the transmitter sends within one window of δ1
+// consecutive steps can be delivered in an arbitrary order before the next
+// window begins. The receiver therefore learns only the *multiset* of
+// packets per window. If two inputs X1 ≠ X2 induce the same per-window
+// multisets (X1 ≈ X2), the adversary delivers both identically and the
+// (deterministic) receiver writes the same output for both — so one of the
+// two runs is wrong. Correct protocols must hence give distinct profiles
+// to distinct inputs, and counting profiles yields the effort bound.
+package adversary
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/ioa"
+	"repro/internal/multiset"
+	"repro/internal/wire"
+)
+
+// Profile is P^t(X): the per-window multisets of packets an r-passive
+// transmitter sends when scheduled every c1 ticks, windows being δ1
+// consecutive steps.
+type Profile struct {
+	// K is the packet alphabet size.
+	K int
+	// Windows hold the multiset of data symbols sent in each δ1-step
+	// window, trailing empty windows trimmed.
+	Windows []multiset.Multiset
+	// Steps is the number of steps the transmitter took before going
+	// quiescent.
+	Steps int
+}
+
+// Rounds returns ℓ(X): the number of windows up to the last send.
+func (p Profile) Rounds() int { return len(p.Windows) }
+
+// Key returns a canonical comparable key.
+func (p Profile) Key() string {
+	parts := make([]string, len(p.Windows))
+	for i, w := range p.Windows {
+		parts[i] = w.Key()
+	}
+	return strings.Join(parts, "|")
+}
+
+// Equal reports X1 ≈ X2's defining condition on the profiles: equal round
+// counts and equal window multisets.
+func (p Profile) Equal(q Profile) bool {
+	if p.K != q.K || len(p.Windows) != len(q.Windows) {
+		return false
+	}
+	for i := range p.Windows {
+		if !p.Windows[i].Equal(q.Windows[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// ExtractProfile runs an r-passive transmitter standalone (it has no
+// inputs, so its action sequence f_t(X) is a function of the input alone)
+// and groups its data sends into windows of `window` steps. It stops when
+// the transmitter goes quiescent or after maxSteps steps.
+func ExtractProfile(t ioa.Automaton, k, window, maxSteps int) (Profile, error) {
+	if window < 1 {
+		return Profile{}, fmt.Errorf("adversary: window must be >= 1, got %d", window)
+	}
+	if k < 1 {
+		return Profile{}, fmt.Errorf("adversary: k must be >= 1, got %d", k)
+	}
+	var (
+		windows []multiset.Multiset
+		cur     = multiset.New(k)
+		steps   int
+	)
+	flush := func() {
+		windows = append(windows, cur.Clone())
+		cur.Clear()
+	}
+	for steps = 0; steps < maxSteps; steps++ {
+		act, ok := t.NextLocal()
+		if !ok {
+			break
+		}
+		if err := t.Apply(act); err != nil {
+			return Profile{}, fmt.Errorf("adversary: profile step %d: %w", steps, err)
+		}
+		if s, isSend := act.(wire.Send); isSend {
+			if s.Dir != wire.TtoR {
+				return Profile{}, fmt.Errorf("adversary: transmitter of an r-passive solution sent %v", s)
+			}
+			if s.P.Kind == wire.Data {
+				if err := cur.Add(s.P.Symbol); err != nil {
+					return Profile{}, fmt.Errorf("adversary: profile step %d: %w", steps, err)
+				}
+			}
+		}
+		if (steps+1)%window == 0 {
+			flush()
+		}
+	}
+	if cur.Size() > 0 || steps%window != 0 {
+		flush()
+	}
+	// Trim trailing empty windows: only windows up to the last send carry
+	// information (the paper truncates at last-send).
+	for len(windows) > 0 && windows[len(windows)-1].Size() == 0 {
+		windows = windows[:len(windows)-1]
+	}
+	return Profile{K: k, Windows: windows, Steps: steps}, nil
+}
+
+// TransmitterFactory builds a fresh r-passive transmitter for an input.
+type TransmitterFactory func(x []wire.Bit) (ioa.Automaton, error)
+
+// Collision is a pair of distinct inputs with equal profiles — a witness
+// that the protocol cannot be a correct RSTP solution (Lemma 5.1).
+type Collision struct {
+	// X1, X2 are the colliding inputs.
+	X1, X2 []wire.Bit
+	// Profile is their common profile.
+	Profile Profile
+}
+
+// FindCollision enumerates all 2^n inputs of length n and returns the
+// first profile collision if one exists. distinct reports the number of
+// distinct profiles over the whole enumeration (the quantity the Lemma 5.2
+// counting argument bounds by ζ_k(δ1)^ℓ).
+func FindCollision(factory TransmitterFactory, k, window, n, maxSteps int) (col *Collision, distinct int, err error) {
+	if n > 24 {
+		return nil, 0, fmt.Errorf("adversary: enumeration of 2^%d inputs is unreasonable", n)
+	}
+	seen := make(map[string][]wire.Bit, 1<<uint(n))
+	for v := 0; v < 1<<uint(n); v++ {
+		x := make([]wire.Bit, n)
+		for i := range x {
+			x[i] = wire.Bit((v >> uint(n-1-i)) & 1)
+		}
+		t, err := factory(x)
+		if err != nil {
+			return nil, 0, fmt.Errorf("adversary: build transmitter for %s: %w", wire.BitsToString(x), err)
+		}
+		prof, err := ExtractProfile(t, k, window, maxSteps)
+		if err != nil {
+			return nil, 0, err
+		}
+		key := prof.Key()
+		if other, dup := seen[key]; dup {
+			if col == nil {
+				col = &Collision{X1: other, X2: x, Profile: prof}
+			}
+			continue
+		}
+		seen[key] = x
+	}
+	return col, len(seen), nil
+}
+
+// CanonicalDelivery returns, per window, the sorted symbol sequence the
+// Lemma 5.1 adversary delivers at the window boundary. Two inputs with
+// equal profiles produce identical canonical deliveries — that is the
+// whole construction.
+func CanonicalDelivery(p Profile) [][]wire.Symbol {
+	out := make([][]wire.Symbol, len(p.Windows))
+	for i, w := range p.Windows {
+		out[i] = w.ToSeq() // ascending linearisation: canonical
+	}
+	return out
+}
+
+// RunReceiverOnDelivery realises the receiver side of the fast execution:
+// the receiver takes `window` local steps per window (both processes step
+// every c1), then the adversary injects the window's packets in canonical
+// order at the boundary. After the last window the receiver runs drain
+// steps to flush pending writes. It returns the receiver's output Y.
+func RunReceiverOnDelivery(r ioa.Automaton, delivery [][]wire.Symbol, window, drain int) ([]wire.Bit, error) {
+	var writes []wire.Bit
+	step := func() error {
+		act, ok := r.NextLocal()
+		if !ok {
+			return nil // receivers normally idle; quiescence is fine too
+		}
+		if err := r.Apply(act); err != nil {
+			return err
+		}
+		if w, isWrite := act.(wire.Write); isWrite {
+			writes = append(writes, w.M)
+		}
+		return nil
+	}
+	for _, packets := range delivery {
+		for i := 0; i < window; i++ {
+			if err := step(); err != nil {
+				return writes, fmt.Errorf("adversary: receiver step: %w", err)
+			}
+		}
+		for _, s := range packets {
+			in := wire.Recv{Dir: wire.TtoR, P: wire.DataPacket(s)}
+			if err := r.Apply(in); err != nil {
+				return writes, fmt.Errorf("adversary: inject %v: %w", in, err)
+			}
+		}
+	}
+	for i := 0; i < drain; i++ {
+		if err := step(); err != nil {
+			return writes, fmt.Errorf("adversary: receiver drain: %w", err)
+		}
+	}
+	return writes, nil
+}
+
+// ReceiverFactory builds a fresh receiver.
+type ReceiverFactory func() (ioa.Automaton, error)
+
+// IndistinguishableOutcome is the result of executing Lemma 5.1's
+// construction on a profile collision.
+type IndistinguishableOutcome struct {
+	// Y1, Y2 are the receiver outputs in the two constructed executions.
+	Y1, Y2 []wire.Bit
+	// Identical reports Y1 == Y2 (they must be: the receiver saw the same
+	// timed inputs).
+	Identical bool
+	// Broken reports that at least one run failed Y = X — the protocol is
+	// not a solution.
+	Broken bool
+}
+
+// DemonstrateIndistinguishability executes the Lemma 5.1 adversary against
+// a profile collision: it builds the two fast executions with identical
+// deliveries and compares the receiver's outputs against the two inputs.
+func DemonstrateIndistinguishability(col Collision, newReceiver ReceiverFactory, window int) (IndistinguishableOutcome, error) {
+	delivery := CanonicalDelivery(col.Profile)
+	total := 0
+	for _, d := range delivery {
+		total += len(d)
+	}
+	drain := total + window + 8
+	run := func() ([]wire.Bit, error) {
+		r, err := newReceiver()
+		if err != nil {
+			return nil, err
+		}
+		return RunReceiverOnDelivery(r, delivery, window, drain)
+	}
+	y1, err := run()
+	if err != nil {
+		return IndistinguishableOutcome{}, err
+	}
+	y2, err := run()
+	if err != nil {
+		return IndistinguishableOutcome{}, err
+	}
+	out := IndistinguishableOutcome{
+		Y1:        y1,
+		Y2:        y2,
+		Identical: wire.BitsToString(y1) == wire.BitsToString(y2),
+	}
+	// The receiver is deterministic and saw identical inputs, so Y1 = Y2;
+	// since X1 != X2, at least one run violated Y = X.
+	wrong1 := wire.BitsToString(y1) != wire.BitsToString(col.X1)
+	wrong2 := wire.BitsToString(y2) != wire.BitsToString(col.X2)
+	out.Broken = wrong1 || wrong2
+	return out, nil
+}

@@ -1,0 +1,225 @@
+package adversary
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/ioa"
+	"repro/internal/rstp"
+	"repro/internal/wire"
+)
+
+func TestExtractProfileAlpha(t *testing.T) {
+	p := rstp.Params{C1: 2, C2: 3, D: 8} // δ1 = 4, rounds of ⌈8/2⌉ = 4 steps
+	x, err := wire.ParseBits("1011")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := rstp.NewAlphaTransmitter(p, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof, err := ExtractProfile(tr, 2, p.Delta1(), 10_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A^α sends one bit per 4-step round, so each window holds exactly one
+	// symbol: the bit itself.
+	if prof.Rounds() != len(x) {
+		t.Fatalf("rounds = %d, want %d", prof.Rounds(), len(x))
+	}
+	for i, w := range prof.Windows {
+		if w.Size() != 1 || w.Mult(wire.Symbol(x[i])) != 1 {
+			t.Errorf("window %d = %v, want {%v}", i, w, x[i])
+		}
+	}
+}
+
+func TestExtractProfileArgs(t *testing.T) {
+	tr, err := NewNaiveTransmitter([]wire.Bit{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ExtractProfile(tr, 2, 0, 100); err == nil {
+		t.Error("window 0 should fail")
+	}
+	if _, err := ExtractProfile(tr, 0, 2, 100); err == nil {
+		t.Error("k 0 should fail")
+	}
+}
+
+// TestProfileKeyEqualAgree: Key equality iff Equal.
+func TestProfileKeyEqualAgree(t *testing.T) {
+	mk := func(bits string) Profile {
+		x, err := wire.ParseBits(bits)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr, err := NewNaiveTransmitter(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prof, err := ExtractProfile(tr, 2, 3, 1000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return prof
+	}
+	a := mk("001011")
+	b := mk("100110") // same per-3-window one-counts: {1,2}
+	c := mk("111000")
+	if !a.Equal(b) || a.Key() != b.Key() {
+		t.Errorf("profiles of 001|011 and 100|110 should collide: %q vs %q", a.Key(), b.Key())
+	}
+	if a.Equal(c) || a.Key() == c.Key() {
+		t.Errorf("profiles of 001011 and 111000 should differ")
+	}
+}
+
+// TestNaiveCollisionExists: the strawman protocol has profile collisions
+// (Lemma 5.1 applies with teeth).
+func TestNaiveCollisionExists(t *testing.T) {
+	factory := func(x []wire.Bit) (ioa.Automaton, error) { return NewNaiveTransmitter(x) }
+	col, distinct, err := FindCollision(factory, 2, 4, 4, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if col == nil {
+		t.Fatalf("no collision among 2^4 inputs (%d distinct profiles) — expected plenty", distinct)
+	}
+	// Only 5 possible one-counts for a 4-bit window: distinct <= 5.
+	if distinct > 5 {
+		t.Errorf("distinct = %d, want <= 5", distinct)
+	}
+	if wire.BitsToString(col.X1) == wire.BitsToString(col.X2) {
+		t.Error("collision returned identical inputs")
+	}
+}
+
+// TestAlphaProfilesDistinct: the correct A^α assigns distinct profiles to
+// distinct inputs (contrapositive of Lemma 5.1).
+func TestAlphaProfilesDistinct(t *testing.T) {
+	p := rstp.Params{C1: 2, C2: 3, D: 8}
+	factory := func(x []wire.Bit) (ioa.Automaton, error) { return rstp.NewAlphaTransmitter(p, x) }
+	col, distinct, err := FindCollision(factory, 2, p.Delta1(), 8, 100_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if col != nil {
+		t.Fatalf("alpha profile collision: %s vs %s", wire.BitsToString(col.X1), wire.BitsToString(col.X2))
+	}
+	if distinct != 256 {
+		t.Errorf("distinct = %d, want 256", distinct)
+	}
+}
+
+// TestBetaProfilesDistinct: same for A^β(k), over whole blocks.
+func TestBetaProfilesDistinct(t *testing.T) {
+	p := rstp.Params{C1: 1, C2: 1, D: 5} // δ1 = 5, k = 2 -> L = ⌊log2 6⌋ = 2
+	k := 2
+	bits := rstp.BetaBlockBits(p, k)
+	n := 3 * bits // three blocks
+	factory := func(x []wire.Bit) (ioa.Automaton, error) { return rstp.NewBetaTransmitter(p, k, x) }
+	col, distinct, err := FindCollision(factory, k, p.Delta1(), n, 100_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if col != nil {
+		t.Fatalf("beta profile collision: %s vs %s", wire.BitsToString(col.X1), wire.BitsToString(col.X2))
+	}
+	if distinct != 1<<uint(n) {
+		t.Errorf("distinct = %d, want %d", distinct, 1<<uint(n))
+	}
+}
+
+// TestIndistinguishabilityDefeatsNaive executes the Lemma 5.1 construction
+// end to end: identical deliveries, identical outputs, protocol broken.
+func TestIndistinguishabilityDefeatsNaive(t *testing.T) {
+	window := 4
+	factory := func(x []wire.Bit) (ioa.Automaton, error) { return NewNaiveTransmitter(x) }
+	col, _, err := FindCollision(factory, 2, window, 4, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if col == nil {
+		t.Fatal("expected a collision")
+	}
+	out, err := DemonstrateIndistinguishability(*col, func() (ioa.Automaton, error) { return NewNaiveReceiver() }, window)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Identical {
+		t.Fatalf("receiver outputs differ on identical deliveries: %s vs %s",
+			wire.BitsToString(out.Y1), wire.BitsToString(out.Y2))
+	}
+	if !out.Broken {
+		t.Fatal("expected at least one run to violate Y = X")
+	}
+}
+
+// TestCanonicalDeliveryOrderIndependent: two different send orders with the
+// same multisets produce identical canonical deliveries.
+func TestCanonicalDeliveryOrderIndependent(t *testing.T) {
+	mk := func(bits string) Profile {
+		x, _ := wire.ParseBits(bits)
+		tr, err := NewNaiveTransmitter(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prof, err := ExtractProfile(tr, 2, 4, 1000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return prof
+	}
+	d1 := CanonicalDelivery(mk("0011"))
+	d2 := CanonicalDelivery(mk("1100"))
+	if len(d1) != 1 || len(d2) != 1 {
+		t.Fatalf("windows: %d, %d", len(d1), len(d2))
+	}
+	if len(d1[0]) != 4 {
+		t.Fatalf("delivery size %d", len(d1[0]))
+	}
+	for i := range d1[0] {
+		if d1[0][i] != d2[0][i] {
+			t.Fatalf("canonical deliveries differ at %d: %v vs %v", i, d1[0], d2[0])
+		}
+	}
+}
+
+// TestCountingBound verifies Lemma 5.2's inequality on our protocols: the
+// observed round count ℓ(X) is at least n / log2 ζ_k(δ1).
+func TestCountingBound(t *testing.T) {
+	p := rstp.Params{C1: 1, C2: 1, D: 5}
+	k := 2
+	bits := rstp.BetaBlockBits(p, k)
+	n := 4 * bits
+	x := make([]wire.Bit, n)
+	for i := range x {
+		x[i] = wire.Bit(i % 2)
+	}
+	tr, err := rstp.NewBetaTransmitter(p, k, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof, err := ExtractProfile(tr, k, p.Delta1(), 100_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bound := rstp.MinRoundsPassive(p, k, n)
+	if float64(prof.Rounds()) < bound {
+		t.Fatalf("ℓ(X) = %d below the counting bound %.2f", prof.Rounds(), bound)
+	}
+	// And it should be within a modest constant of the bound for A^β.
+	if float64(prof.Rounds()) > 8*math.Max(bound, 1) {
+		t.Errorf("ℓ(X) = %d far above the counting bound %.2f — profile extraction suspect", prof.Rounds(), bound)
+	}
+}
+
+// TestFindCollisionGuards exercises the argument guards.
+func TestFindCollisionGuards(t *testing.T) {
+	factory := func(x []wire.Bit) (ioa.Automaton, error) { return NewNaiveTransmitter(x) }
+	if _, _, err := FindCollision(factory, 2, 4, 30, 100); err == nil {
+		t.Error("n = 30 should be rejected")
+	}
+}

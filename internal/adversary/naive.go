@@ -1,0 +1,148 @@
+package adversary
+
+import (
+	"fmt"
+
+	"repro/internal/ioa"
+	"repro/internal/wire"
+)
+
+// NaiveTransmitter is the strawman protocol Lemma 5.1's adversary defeats:
+// it streams the input bits directly, one per step, with no inter-send
+// wait and no encoding. Within any δ1-step window it therefore reveals
+// only *how many ones* it sent — e.g. inputs 0001... and 1000... have
+// identical profiles — so no receiver can tell permutations of a window
+// apart, and the protocol is provably not a solution to RSTP.
+type NaiveTransmitter struct {
+	m *ioa.Machine
+
+	x []wire.Bit
+	i int
+}
+
+var _ ioa.Deterministic = (*NaiveTransmitter)(nil)
+
+// NewNaiveTransmitter builds the strawman transmitter for input x.
+func NewNaiveTransmitter(x []wire.Bit) (*NaiveTransmitter, error) {
+	for idx, b := range x {
+		if !b.Valid() {
+			return nil, fmt.Errorf("adversary: naive transmitter: invalid bit at %d", idx)
+		}
+	}
+	t := &NaiveTransmitter{x: append([]wire.Bit(nil), x...)}
+	m, err := ioa.NewMachine("t", t.classify, nil, []ioa.Command{
+		{
+			Name:  "send",
+			Class: ioa.ClassOutput,
+			Pre:   func() bool { return t.i < len(t.x) },
+			Act: func() ioa.Action {
+				return wire.Send{Dir: wire.TtoR, P: wire.DataPacket(wire.Symbol(t.x[t.i]))}
+			},
+			Eff: func() { t.i++ },
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	t.m = m
+	return t, nil
+}
+
+func (t *NaiveTransmitter) classify(a ioa.Action) ioa.Class {
+	if s, ok := a.(wire.Send); ok && s.Dir == wire.TtoR && s.P.Kind == wire.Data {
+		return ioa.ClassOutput
+	}
+	return ioa.ClassNone
+}
+
+// Name returns "t".
+func (t *NaiveTransmitter) Name() string { return t.m.Name() }
+
+// Classify places an action in the signature.
+func (t *NaiveTransmitter) Classify(a ioa.Action) ioa.Class { return t.m.Classify(a) }
+
+// NextLocal returns the unique enabled local action.
+func (t *NaiveTransmitter) NextLocal() (ioa.Action, bool) { return t.m.NextLocal() }
+
+// Apply performs a transition.
+func (t *NaiveTransmitter) Apply(a ioa.Action) error { return t.m.Apply(a) }
+
+// DeterministicIOA marks the automaton deterministic.
+func (t *NaiveTransmitter) DeterministicIOA() bool { return true }
+
+// NaiveReceiver writes arriving symbols directly, in arrival order — the
+// best a receiver can do for the naive transmitter.
+type NaiveReceiver struct {
+	m *ioa.Machine
+
+	y []wire.Bit
+	k int
+}
+
+var _ ioa.Deterministic = (*NaiveReceiver)(nil)
+
+// NewNaiveReceiver builds the strawman receiver.
+func NewNaiveReceiver() (*NaiveReceiver, error) {
+	r := &NaiveReceiver{}
+	m, err := ioa.NewMachine("r", r.classify, r.onInput, []ioa.Command{
+		{
+			Name:  "write",
+			Class: ioa.ClassOutput,
+			Pre:   func() bool { return r.k < len(r.y) },
+			Act:   func() ioa.Action { return wire.Write{M: r.y[r.k]} },
+			Eff:   func() { r.k++ },
+		},
+		{
+			Name:  "idle_r",
+			Class: ioa.ClassInternal,
+			Pre:   func() bool { return true },
+			Act:   func() ioa.Action { return wire.Internal{Name: "idle_r"} },
+			Eff:   func() {},
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	r.m = m
+	return r, nil
+}
+
+func (r *NaiveReceiver) classify(a ioa.Action) ioa.Class {
+	switch act := a.(type) {
+	case wire.Recv:
+		if act.Dir == wire.TtoR && act.P.Kind == wire.Data {
+			return ioa.ClassInput
+		}
+	case wire.Write:
+		return ioa.ClassOutput
+	case wire.Internal:
+		if act.Name == "idle_r" {
+			return ioa.ClassInternal
+		}
+	}
+	return ioa.ClassNone
+}
+
+func (r *NaiveReceiver) onInput(a ioa.Action) error {
+	recv, ok := a.(wire.Recv)
+	if !ok {
+		return fmt.Errorf("adversary: naive receiver: unexpected input %v: %w", a, ioa.ErrNotInSignature)
+	}
+	r.y = append(r.y, wire.Bit(recv.P.Symbol))
+	return nil
+}
+
+// Name returns "r".
+func (r *NaiveReceiver) Name() string { return r.m.Name() }
+
+// Classify places an action in the signature.
+func (r *NaiveReceiver) Classify(a ioa.Action) ioa.Class { return r.m.Classify(a) }
+
+// NextLocal returns the unique enabled local action.
+func (r *NaiveReceiver) NextLocal() (ioa.Action, bool) { return r.m.NextLocal() }
+
+// Apply performs a transition.
+func (r *NaiveReceiver) Apply(a ioa.Action) error { return r.m.Apply(a) }
+
+// DeterministicIOA marks the automaton deterministic.
+func (r *NaiveReceiver) DeterministicIOA() bool { return true }

@@ -1,0 +1,70 @@
+// Package advsearch empirically searches the space of legal adversaries —
+// step schedules within [c1, c2] and per-packet delays within [0, d] —
+// for the one maximising a solution's measured effort. It complements the
+// analytic worst case two ways: it validates that no sampled legal
+// behaviour beats the closed-form bound, and it shows the deterministic
+// slowest-schedule/max-delay adversary actually attains the maximum.
+package advsearch
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/chanmodel"
+	"repro/internal/rstp"
+	"repro/internal/sim"
+	"repro/internal/wire"
+)
+
+// Result is the outcome of an adversary search.
+type Result struct {
+	// Best is the worst (largest) effort found.
+	Best rstp.Effort
+	// Trials is the number of adversaries evaluated (including the
+	// deterministic worst-case candidate).
+	Trials int
+	// DeterministicWorst is the effort of the slowest-schedule/max-delay
+	// adversary, for comparison.
+	DeterministicWorst float64
+}
+
+// WorstEffort evaluates the deterministic worst-case adversary plus
+// `trials` random legal adversaries against the solution on input x, and
+// returns the maximum effort observed.
+func WorstEffort(s rstp.Solution, x []wire.Bit, trials int, seed int64) (Result, error) {
+	if len(x) == 0 {
+		return Result{}, fmt.Errorf("advsearch: empty input")
+	}
+	var res Result
+
+	det, err := s.MeasureEffort(x, rstp.RunOptions{}) // slow + max delay
+	if err != nil {
+		return Result{}, fmt.Errorf("advsearch: deterministic worst case: %w", err)
+	}
+	res.Best = det
+	res.DeterministicWorst = det.PerMessage
+	res.Trials = 1
+
+	p := s.Params
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < trials; i++ {
+		// Each trial draws independent schedules for the two processes
+		// and an independent delay per packet.
+		tRng := rand.New(rand.NewSource(rng.Int63()))
+		rRng := rand.New(rand.NewSource(rng.Int63()))
+		dRng := rand.New(rand.NewSource(rng.Int63()))
+		eff, err := s.MeasureEffort(x, rstp.RunOptions{
+			TPolicy: sim.RandomGap{C1: p.C1, C2: p.C2, Int63n: tRng.Int63n},
+			RPolicy: sim.RandomGap{C1: p.C1, C2: p.C2, Int63n: rRng.Int63n},
+			Delay:   &chanmodel.UniformRandom{D: p.D, Rand: dRng},
+		})
+		if err != nil {
+			return res, fmt.Errorf("advsearch: trial %d: %w", i, err)
+		}
+		res.Trials++
+		if eff.PerMessage > res.Best.PerMessage {
+			res.Best = eff
+		}
+	}
+	return res, nil
+}

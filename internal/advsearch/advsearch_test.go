@@ -1,0 +1,95 @@
+package advsearch
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/rstp"
+	"repro/internal/wire"
+)
+
+func input(t *testing.T, s rstp.Solution, blocks int) []wire.Bit {
+	t.Helper()
+	rng := rand.New(rand.NewSource(42))
+	return wire.RandomBits(blocks*s.BlockBits, rng.Uint64)
+}
+
+// TestAlphaDeterministicWorstIsWorst: over many random legal adversaries,
+// nothing beats the slowest-schedule/max-delay candidate, whose effort is
+// the analytic ⌈d/c1⌉·c2 (up to truncation).
+func TestAlphaDeterministicWorstIsWorst(t *testing.T) {
+	p := rstp.Params{C1: 2, C2: 3, D: 12}
+	s, err := rstp.Alpha(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := input(t, s, 60)
+	res, err := WorstEffort(s, x, 40, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Trials != 41 {
+		t.Errorf("trials = %d, want 41", res.Trials)
+	}
+	if res.Best.PerMessage > res.DeterministicWorst+1e-9 {
+		t.Errorf("a random adversary (%.3f) beat the deterministic worst case (%.3f)",
+			res.Best.PerMessage, res.DeterministicWorst)
+	}
+	analytic := rstp.AlphaEffort(p)
+	if res.Best.PerMessage > analytic+1e-9 {
+		t.Errorf("search found %.3f above the analytic worst case %.3f", res.Best.PerMessage, analytic)
+	}
+	if res.DeterministicWorst < analytic*0.95 {
+		t.Errorf("deterministic worst %.3f far below analytic %.3f", res.DeterministicWorst, analytic)
+	}
+}
+
+// TestBetaSearchRespectsUpperBound across alphabets.
+func TestBetaSearchRespectsUpperBound(t *testing.T) {
+	p := rstp.Params{C1: 2, C2: 3, D: 12}
+	for _, k := range []int{2, 8} {
+		s, err := rstp.Beta(p, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		x := input(t, s, 30)
+		res, err := WorstEffort(s, x, 25, 11)
+		if err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		if ub := rstp.BetaUpperBound(p, k); res.Best.PerMessage > ub+1e-9 {
+			t.Errorf("k=%d: search found %.3f above the Lemma 6.1 bound %.3f", k, res.Best.PerMessage, ub)
+		}
+		if res.Best.PerMessage > res.DeterministicWorst+1e-9 {
+			t.Errorf("k=%d: random adversary beat the deterministic worst case", k)
+		}
+	}
+}
+
+// TestGammaSearchRespectsUpperBound: same for the active protocol.
+func TestGammaSearchRespectsUpperBound(t *testing.T) {
+	p := rstp.Params{C1: 2, C2: 3, D: 12}
+	s, err := rstp.Gamma(p, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := input(t, s, 30)
+	res, err := WorstEffort(s, x, 25, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ub := rstp.GammaUpperBound(p, 4); res.Best.PerMessage > ub+1e-9 {
+		t.Errorf("search found %.3f above the Section 6.2 bound %.3f", res.Best.PerMessage, ub)
+	}
+}
+
+func TestWorstEffortValidation(t *testing.T) {
+	p := rstp.Params{C1: 1, C2: 1, D: 2}
+	s, err := rstp.Alpha(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := WorstEffort(s, nil, 1, 1); err == nil {
+		t.Error("empty input should fail")
+	}
+}

@@ -1,0 +1,145 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/chanmodel"
+	"repro/internal/rstp"
+	"repro/internal/rstpx"
+	"repro/internal/sim"
+	"repro/internal/wire"
+)
+
+// E13AckQueueing probes a fine point of the Section 6.2 analysis: the
+// paper's (3d+c2)/L ceiling implicitly assumes acknowledgements flow
+// without queueing at the receiver. Under constant-delay channels
+// arrivals are spaced by the send gaps and acks never queue; the Figure 2
+// interval-batch adversary instead bunches a whole burst's arrivals at
+// one tick, forcing up to δ2 receiver steps of ack serialisation per
+// burst. The conservative ceiling (δ2·c2 + 2d + δ2·rc2)/L from
+// internal/rstpx covers it.
+func E13AckQueueing(cfg Config) (Table, error) {
+	t := Table{
+		ID:     "E13",
+		Title:  "A^γ(k) under arrival bunching: ack queueing vs the 3d+c2 bound",
+		Source: "Section 6.2 analysis fine point (see EXPERIMENTS.md E5 note)",
+		Header: []string{"k", "channel", "measured", "paper UB (3d+c2)/L", "conservative UB"},
+	}
+	p := rstp.Params{C1: 2, C2: 3, D: 12}
+	gp := rstpx.Base(p.C1, p.C2, p.D)
+	rng := rand.New(rand.NewSource(cfg.Seed + 13))
+	for _, k := range []int{2, 4, 16} {
+		s, err := rstp.Gamma(p, k)
+		if err != nil {
+			return Table{}, err
+		}
+		x := wire.RandomBits(cfg.blocks()*s.BlockBits, rng.Uint64)
+		for _, delay := range []chanmodel.DelayPolicy{
+			chanmodel.MaxDelay{D: p.D},
+			chanmodel.IntervalBatch{D: p.D},
+		} {
+			eff, err := s.MeasureEffort(x, rstp.RunOptions{
+				TPolicy: sim.FixedGap{C: p.C2},
+				RPolicy: sim.FixedGap{C: p.C2},
+				Delay:   delay,
+			})
+			if err != nil {
+				return Table{}, fmt.Errorf("k=%d %s: %w", k, delay.Name(), err)
+			}
+			t.Rows = append(t.Rows, []string{
+				d(k), delay.Name(),
+				f3(eff.PerMessage),
+				f3(rstp.GammaUpperBound(p, k)),
+				f3(rstpx.GenGammaUpperBound(gp, k)),
+			})
+		}
+	}
+	t.Notes = append(t.Notes,
+		"c1=2 c2=3 d=12 (δ2=4); at these parameters the ack serialisation overlaps the batch's d of saved delivery time, so batching does not degrade measured effort and the paper bound still holds",
+		"the conservative (δ2·c2 + 2d + δ2·rc2)/L ceiling covers the regimes where it would not (large δ2·c2 relative to d)",
+	)
+	return t, nil
+}
+
+// E14OrderedDecoder ablates the multiset design choice: a sequence
+// (base-k) code carries strictly more bits per burst — log2(k^δ1) vs
+// log2 μ_k(δ1) — but its correctness needs in-burst order, which no legal
+// Δ(C) channel promises. The reverse-burst adversary corrupts it while
+// the multiset protocol (same burst cadence, same channel) is untouched.
+func E14OrderedDecoder(cfg Config) (Table, error) {
+	t := Table{
+		ID:     "E14",
+		Title:  "ablation: multiset vs sequence decoding under reordering",
+		Source: "Section 3/6.1 design choice (why tomulti, not base-k)",
+		Header: []string{"decoder", "bits/burst", "channel", "Y=X?", "effort"},
+	}
+	p := rstpx.Base(2, 3, 12)
+	k, burst := 4, p.GenDelta1()
+	rng := rand.New(rand.NewSource(cfg.Seed + 14))
+	blocks := cfg.blocks() / 2
+	if blocks < 4 {
+		blocks = 4
+	}
+
+	fifo := chanmodel.FixedDelay{Delay: p.D2}
+	reverse := chanmodel.ReverseBurst{D: p.D2, Burst: burst, StepGap: p.TC1}
+
+	// Multiset decoder (the paper's protocol), both channels.
+	ms, err := rstpx.NewGenBetaBurst(p, k, burst)
+	if err != nil {
+		return Table{}, err
+	}
+	for _, delay := range []chanmodel.DelayPolicy{fifo, reverse} {
+		x := wire.RandomBits(blocks*ms.BlockBits, rng.Uint64)
+		run, err := ms.Run(x, rstpx.GenRunOptions{
+			TPolicy: sim.FixedGap{C: p.TC1},
+			RPolicy: sim.FixedGap{C: p.RC1},
+			Delay:   delay,
+		})
+		if err != nil {
+			return Table{}, err
+		}
+		last, _ := run.LastSendTime()
+		t.Rows = append(t.Rows, []string{
+			"multiset (A^β)", d(ms.BlockBits), delay.Name(),
+			yesNo(wire.BitsToString(run.Writes()) == wire.BitsToString(x)),
+			f3(float64(last) / float64(len(x))),
+		})
+	}
+
+	// Ordered decoder, both channels.
+	obits := rstpx.OrderedBlockBits(k, burst)
+	for _, delay := range []chanmodel.DelayPolicy{fifo, reverse} {
+		x := wire.RandomBits(blocks*obits, rng.Uint64)
+		tr, err := rstpx.NewOrderedBetaTransmitter(p, k, burst, x)
+		if err != nil {
+			return Table{}, err
+		}
+		rc, err := rstpx.NewOrderedBetaReceiver(p, k, burst)
+		if err != nil {
+			return Table{}, err
+		}
+		run, simErr := sim.Simulate(sim.Config{
+			C1: p.TC1, C2: p.TC2, D: p.D2,
+			Transmitter: sim.Process{Auto: tr, Policy: sim.FixedGap{C: p.TC1}},
+			Receiver:    sim.Process{Auto: rc, Policy: sim.FixedGap{C: p.RC1}},
+			Delay:       delay,
+			Stop:        sim.StopAfterWrites(len(x)),
+			MaxTicks:    50_000_000,
+		})
+		correct := simErr == nil && wire.BitsToString(run.Writes()) == wire.BitsToString(x) && !rc.DetectedCorruption()
+		effort := "n/a"
+		if last, ok := run.LastSendTime(); ok && correct {
+			effort = f3(float64(last) / float64(len(x)))
+		}
+		t.Rows = append(t.Rows, []string{
+			"sequence (base-k)", d(obits), delay.Name(), yesNo(correct), effort,
+		})
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("k=%d burst=%d: the sequence code carries %.2fx the bits — and loses them to the first legal reordering", k, burst, rstpx.OrderedGain(k, burst)),
+		"the multiset code is exactly the order-invariant information; Lemma 5.1 says you cannot keep more",
+	)
+	return t, nil
+}

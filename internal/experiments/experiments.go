@@ -1,0 +1,212 @@
+// Package experiments regenerates the paper's results — every theorem
+// bound, protocol figure and discussion claim — as printable tables. Each
+// experiment Exx corresponds to one row of the experiment index in
+// DESIGN.md; EXPERIMENTS.md records the measured outcomes.
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Table is one regenerated result: a titled grid of rows.
+type Table struct {
+	// ID is the experiment identifier, e.g. "E4".
+	ID string
+	// Title describes the experiment.
+	Title string
+	// Source names the paper artifact reproduced, e.g. "Figure 3 / Lemma 6.1".
+	Source string
+	// Header holds the column names.
+	Header []string
+	// Rows holds the data, one slice per row, len matching Header.
+	Rows [][]string
+	// Notes are free-form observations appended below the table.
+	Notes []string
+}
+
+// Render writes the table as aligned text.
+func (t Table) Render(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "%s — %s\n(source: %s)\n", t.ID, t.Title, t.Source); err != nil {
+		return err
+	}
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) string {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+		}
+		return strings.TrimRight(strings.Join(parts, "  "), " ")
+	}
+	if _, err := fmt.Fprintln(w, line(t.Header)); err != nil {
+		return err
+	}
+	total := len(widths) - 1
+	for _, wd := range widths {
+		total += wd + 1
+	}
+	if _, err := fmt.Fprintln(w, strings.Repeat("-", total)); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if _, err := fmt.Fprintln(w, line(row)); err != nil {
+			return err
+		}
+	}
+	for _, n := range t.Notes {
+		if _, err := fmt.Fprintf(w, "note: %s\n", n); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+// RenderCSV writes the table as RFC 4180 CSV (one header row; notes and
+// metadata omitted), for downstream plotting.
+func (t Table) RenderCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Header); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// Config tunes experiment workloads.
+type Config struct {
+	// Seed drives all randomness, for reproducible tables.
+	Seed int64
+	// Quick shrinks workloads (used by tests); full runs measure longer
+	// inputs for tighter asymptotics.
+	Quick bool
+}
+
+// blocks returns the number of blocks to transmit per measurement.
+func (c Config) blocks() int {
+	if c.Quick {
+		return 20
+	}
+	return 200
+}
+
+// Generator produces one experiment table.
+type Generator func(Config) (Table, error)
+
+// Registry maps experiment IDs to their generators.
+func Registry() map[string]Generator {
+	return map[string]Generator{
+		"e1":  E1AlphaEffort,
+		"e2":  E2PassiveLowerBound,
+		"e3":  E3ActiveLowerBound,
+		"e4":  E4BetaEffort,
+		"e5":  E5GammaEffort,
+		"e6":  E6IntervalAdversary,
+		"e7":  E7ProfileCounting,
+		"e8":  E8Crossover,
+		"e9":  E9Baseline,
+		"e10": E10WindowSweep,
+		"e11": E11AsymmetricClocks,
+		"e12": E12BurstAblation,
+		"e13": E13AckQueueing,
+		"e14": E14OrderedDecoder,
+		"e15": E15DelaySweep,
+		"e16": E16Verification,
+	}
+}
+
+// IDs returns the experiment identifiers in numeric order (e1, e2, ...).
+func IDs() []string {
+	reg := Registry()
+	ids := make([]string, 0, len(reg))
+	for id := range reg {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool {
+		ni, _ := strconv.Atoi(strings.TrimPrefix(ids[i], "e"))
+		nj, _ := strconv.Atoi(strings.TrimPrefix(ids[j], "e"))
+		return ni < nj
+	})
+	return ids
+}
+
+// All runs every experiment in ID order.
+func All(cfg Config) ([]Table, error) {
+	var out []Table
+	reg := Registry()
+	for _, id := range IDs() {
+		t, err := reg[id](cfg)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s: %w", id, err)
+		}
+		out = append(out, t)
+	}
+	return out, nil
+}
+
+// AllParallel runs every experiment concurrently (they are independent
+// and seeded deterministically) and returns the tables in ID order.
+// workers <= 0 uses one goroutine per experiment.
+func AllParallel(cfg Config, workers int) ([]Table, error) {
+	ids := IDs()
+	reg := Registry()
+	if workers <= 0 || workers > len(ids) {
+		workers = len(ids)
+	}
+	var (
+		out  = make([]Table, len(ids))
+		errs = make([]error, len(ids))
+		jobs = make(chan int)
+		wg   sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				t, err := reg[ids[i]](cfg)
+				if err != nil {
+					errs[i] = fmt.Errorf("experiments: %s: %w", ids[i], err)
+					continue
+				}
+				out[i] = t
+			}
+		}()
+	}
+	for i := range ids {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+func f2(v float64) string { return fmt.Sprintf("%.2f", v) }
+func f3(v float64) string { return fmt.Sprintf("%.3f", v) }
+func d(v int) string      { return fmt.Sprintf("%d", v) }
+func d64(v int64) string  { return fmt.Sprintf("%d", v) }

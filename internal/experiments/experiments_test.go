@@ -1,0 +1,457 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func quickCfg() Config { return Config{Seed: 1, Quick: true} }
+
+// TestAllExperimentsRun drives every generator end to end in quick mode
+// and sanity-checks table shapes.
+func TestAllExperimentsRun(t *testing.T) {
+	tables, err := All(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != len(IDs()) {
+		t.Fatalf("got %d tables, want %d", len(tables), len(IDs()))
+	}
+	for _, tb := range tables {
+		if tb.ID == "" || tb.Title == "" || tb.Source == "" {
+			t.Errorf("table %q missing metadata", tb.ID)
+		}
+		if len(tb.Rows) == 0 {
+			t.Errorf("table %s has no rows", tb.ID)
+		}
+		for i, row := range tb.Rows {
+			if len(row) != len(tb.Header) {
+				t.Errorf("table %s row %d has %d cells, header has %d", tb.ID, i, len(row), len(tb.Header))
+			}
+		}
+		var sb strings.Builder
+		if err := tb.Render(&sb); err != nil {
+			t.Errorf("render %s: %v", tb.ID, err)
+		}
+		if !strings.Contains(sb.String(), tb.ID) {
+			t.Errorf("rendered table missing ID %s", tb.ID)
+		}
+	}
+}
+
+// TestAllParallelMatchesSequential: the concurrent runner produces the
+// same tables (generators are deterministically seeded and independent).
+func TestAllParallelMatchesSequential(t *testing.T) {
+	seq, err := All(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := AllParallel(quickCfg(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(par) != len(seq) {
+		t.Fatalf("parallel %d tables, sequential %d", len(par), len(seq))
+	}
+	for i := range seq {
+		if par[i].ID != seq[i].ID {
+			t.Fatalf("order mismatch at %d: %s vs %s", i, par[i].ID, seq[i].ID)
+		}
+		if len(par[i].Rows) != len(seq[i].Rows) {
+			t.Fatalf("%s: row counts differ", par[i].ID)
+		}
+		for r := range seq[i].Rows {
+			for c := range seq[i].Rows[r] {
+				if par[i].Rows[r][c] != seq[i].Rows[r][c] {
+					t.Fatalf("%s row %d col %d: %q vs %q",
+						par[i].ID, r, c, par[i].Rows[r][c], seq[i].Rows[r][c])
+				}
+			}
+		}
+	}
+}
+
+func TestRenderCSV(t *testing.T) {
+	tb := Table{
+		ID: "EX", Title: "x", Source: "y",
+		Header: []string{"a", "b"},
+		Rows:   [][]string{{"1", "2"}, {"3", "4,5"}},
+	}
+	var sb strings.Builder
+	if err := tb.RenderCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := "a,b\n1,2\n3,\"4,5\"\n"
+	if sb.String() != want {
+		t.Errorf("csv = %q, want %q", sb.String(), want)
+	}
+}
+
+func cell(t *testing.T, tb Table, row int, col string) string {
+	t.Helper()
+	for i, h := range tb.Header {
+		if h == col {
+			return tb.Rows[row][i]
+		}
+	}
+	t.Fatalf("table %s has no column %q (header %v)", tb.ID, col, tb.Header)
+	return ""
+}
+
+func cellF(t *testing.T, tb Table, row int, col string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(cell(t, tb, row, col), 64)
+	if err != nil {
+		t.Fatalf("table %s row %d col %s: %v", tb.ID, row, col, err)
+	}
+	return v
+}
+
+// TestE1ShapeWorstCaseMatchesAnalytic: the first row of each param group is
+// the worst case; its ratio must be ~1.
+func TestE1ShapeWorstCaseMatchesAnalytic(t *testing.T) {
+	tb, err := E1AlphaEffort(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < len(tb.Rows); i += 3 {
+		ratio := cellF(t, tb, i, "meas/analytic")
+		if ratio < 0.9 || ratio > 1.0001 {
+			t.Errorf("row %d worst-case ratio %.3f not ~1", i, ratio)
+		}
+	}
+	// Non-worst schedules never exceed the analytic bound.
+	for i := range tb.Rows {
+		if r := cellF(t, tb, i, "meas/analytic"); r > 1.0001 {
+			t.Errorf("row %d exceeds analytic worst case: %.3f", i, r)
+		}
+	}
+}
+
+// TestE2E3BoundsDecreaseInK: within each parameter group the lower bound
+// decreases as k grows.
+func TestE2E3BoundsDecreaseInK(t *testing.T) {
+	for _, gen := range []Generator{E2PassiveLowerBound, E3ActiveLowerBound} {
+		tb, err := gen(quickCfg())
+		if err != nil {
+			t.Fatal(err)
+		}
+		group := len(boundKs)
+		for g := 0; g+group <= len(tb.Rows); g += group {
+			for i := 1; i < group; i++ {
+				prev := cellF(t, tb, g+i-1, "lower")
+				cur := cellF(t, tb, g+i, "lower")
+				if cur > prev {
+					t.Errorf("%s rows %d->%d: bound increased %.3f -> %.3f", tb.ID, g+i-1, g+i, prev, cur)
+				}
+			}
+		}
+	}
+}
+
+// TestE4E5MeasuredWithinBounds: measured effort between lower and upper.
+func TestE4E5MeasuredWithinBounds(t *testing.T) {
+	tb4, err := E4BetaEffort(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range tb4.Rows {
+		m := cellF(t, tb4, i, "measured(worst)")
+		if ub := cellF(t, tb4, i, "upper"); m > ub+0.001 {
+			t.Errorf("E4 row %d: measured %.3f > upper %.3f", i, m, ub)
+		}
+		// Truncation (last send before the final wait) allows measured to
+		// dip slightly below the asymptotic lower bound; 15% covers quick
+		// mode's short inputs.
+		if lb := cellF(t, tb4, i, "lower"); m < 0.85*lb {
+			t.Errorf("E4 row %d: measured %.3f far below lower %.3f", i, m, lb)
+		}
+	}
+	tb5, err := E5GammaEffort(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range tb5.Rows {
+		m := cellF(t, tb5, i, "measured(worst)")
+		if ub := cellF(t, tb5, i, "upper"); m > ub+0.001 {
+			t.Errorf("E5 row %d: measured %.3f > upper %.3f", i, m, ub)
+		}
+	}
+}
+
+// TestE4SeedRobust: the bound relations hold for every seed, not just the
+// default — the shapes are claims about the protocol, not about one
+// random workload.
+func TestE4SeedRobust(t *testing.T) {
+	for _, seed := range []int64{2, 17, 9999} {
+		tb, err := E4BetaEffort(Config{Seed: seed, Quick: true})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		for i := range tb.Rows {
+			m := cellF(t, tb, i, "measured(worst)")
+			if ub := cellF(t, tb, i, "upper"); m > ub+0.001 {
+				t.Errorf("seed %d row %d: measured %.3f > upper %.3f", seed, i, m, ub)
+			}
+		}
+	}
+}
+
+// TestE6AllGood: everything verifies under the Figure 2 adversary.
+func TestE6AllGood(t *testing.T) {
+	tb, err := E6IntervalAdversary(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range tb.Rows {
+		if cell(t, tb, i, "good?") != "yes" || cell(t, tb, i, "Y=X?") != "yes" {
+			t.Errorf("row %d not good: %v", i, tb.Rows[i])
+		}
+		if r := cellF(t, tb, i, "observed/floor"); r < 1.0 {
+			t.Errorf("row %d: observed rounds below the counting floor (ratio %.2f)", i, r)
+		}
+	}
+}
+
+// TestE7Outcomes: correct protocols collision-free, naive broken.
+func TestE7Outcomes(t *testing.T) {
+	tb, err := E7ProfileCounting(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	byProto := map[string]int{}
+	for i := range tb.Rows {
+		byProto[tb.Rows[i][0]] = i
+	}
+	for _, proto := range []string{"A^α", "A^β(2)"} {
+		i, ok := byProto[proto]
+		if !ok {
+			t.Fatalf("missing row for %s", proto)
+		}
+		if cell(t, tb, i, "collision") != "no" {
+			t.Errorf("%s should have no collision", proto)
+		}
+	}
+	i, ok := byProto["naive-stream"]
+	if !ok {
+		t.Fatal("missing naive-stream row")
+	}
+	if cell(t, tb, i, "collision") != "yes" {
+		t.Error("naive-stream should collide")
+	}
+	if !strings.Contains(cell(t, tb, i, "adversary outcome"), "broken=true") {
+		t.Errorf("adversary outcome should report broken=true: %s", cell(t, tb, i, "adversary outcome"))
+	}
+}
+
+// TestE8CrossoverShape: beta wins at c2/c1 = 1, gamma wins at the top end.
+func TestE8CrossoverShape(t *testing.T) {
+	tb, err := E8Crossover(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := cell(t, tb, 0, "winner")
+	last := cell(t, tb, len(tb.Rows)-1, "winner")
+	if first != "beta" {
+		t.Errorf("at c2/c1=1 beta should win, got %s", first)
+	}
+	if last != "gamma" {
+		t.Errorf("at the largest ratio gamma should win, got %s", last)
+	}
+}
+
+// TestE9Shape: baseline cost grows with loss; fault-injection rows say
+// gamma survives, beta does not.
+func TestE9Shape(t *testing.T) {
+	tb, err := E9Baseline(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) < 7 {
+		t.Fatalf("unexpected row count %d", len(tb.Rows))
+	}
+	lossless := cellF(t, tb, 0, "ticks/message")
+	heavy := cellF(t, tb, 3, "ticks/message")
+	if heavy <= lossless {
+		t.Errorf("cost at heavy loss (%.2f) should exceed lossless (%.2f)", heavy, lossless)
+	}
+	var gammaRow, betaRow []string
+	for _, row := range tb.Rows {
+		if strings.Contains(row[1], "illegal") {
+			if strings.HasPrefix(row[0], "A^γ") {
+				gammaRow = row
+			} else {
+				betaRow = row
+			}
+		}
+	}
+	if gammaRow == nil || betaRow == nil {
+		t.Fatal("missing fault-injection rows")
+	}
+	if gammaRow[3] != "yes" {
+		t.Error("gamma should survive the illegal channel")
+	}
+	if betaRow[3] != "no" {
+		t.Error("beta should fail on the illegal channel")
+	}
+}
+
+func TestRegistryConsistent(t *testing.T) {
+	ids := IDs()
+	if len(ids) != 16 {
+		t.Fatalf("expected 16 experiments, got %d", len(ids))
+	}
+	// Numeric order: e1 .. e12.
+	for i, id := range ids {
+		if want := "e" + strconv.Itoa(i+1); id != want {
+			t.Errorf("ids[%d] = %s, want %s", i, id, want)
+		}
+	}
+	reg := Registry()
+	for _, id := range ids {
+		if reg[id] == nil {
+			t.Errorf("nil generator for %s", id)
+		}
+	}
+}
+
+// TestE10WindowSweepShape: both measured effort and the generalised lower
+// bound weakly decrease as the slack shrinks.
+func TestE10WindowSweepShape(t *testing.T) {
+	tb, err := E10WindowSweep(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(tb.Rows); i++ {
+		if cur, prev := cellF(t, tb, i, "measured"), cellF(t, tb, i-1, "measured"); cur > prev+1e-9 {
+			t.Errorf("row %d: measured rose %.3f -> %.3f", i, prev, cur)
+		}
+		if cur, prev := cellF(t, tb, i, "gen lower"), cellF(t, tb, i-1, "gen lower"); cur > prev+1e-9 {
+			t.Errorf("row %d: lower bound rose %.3f -> %.3f", i, prev, cur)
+		}
+	}
+	last := len(tb.Rows) - 1
+	if w := cellF(t, tb, last, "wait"); w != 0 {
+		t.Errorf("deterministic-delay row should have wait 0, got %v", w)
+	}
+}
+
+// TestE11AsymmetricShape: beta stays flat, gamma grows.
+func TestE11AsymmetricShape(t *testing.T) {
+	tb, err := E11AsymmetricClocks(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	betaFirst := cellF(t, tb, 0, "A^β effort")
+	betaLast := cellF(t, tb, len(tb.Rows)-1, "A^β effort")
+	if betaLast > betaFirst*1.05 {
+		t.Errorf("beta effort moved with receiver speed: %.3f -> %.3f", betaFirst, betaLast)
+	}
+	gammaFirst := cellF(t, tb, 0, "A^γ effort")
+	gammaLast := cellF(t, tb, len(tb.Rows)-1, "A^γ effort")
+	if gammaLast < 2*gammaFirst {
+		t.Errorf("gamma effort should degrade with a slow receiver: %.3f -> %.3f", gammaFirst, gammaLast)
+	}
+}
+
+// TestE13AckQueueingShape: every measurement below the conservative
+// ceiling; batching never beats the paper bound by more than the queue
+// allowance.
+func TestE13AckQueueingShape(t *testing.T) {
+	tb, err := E13AckQueueing(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range tb.Rows {
+		meas := cellF(t, tb, i, "measured")
+		cons := cellF(t, tb, i, "conservative UB")
+		if meas > cons+1e-9 {
+			t.Errorf("row %d: measured %.3f exceeds conservative ceiling %.3f", i, meas, cons)
+		}
+		if strings.Contains(tb.Rows[i][1], "max-delay") {
+			if paper := cellF(t, tb, i, "paper UB (3d+c2)/L"); meas > paper+1e-9 {
+				t.Errorf("row %d: spaced arrivals should respect the paper bound (%.3f > %.3f)", i, meas, paper)
+			}
+		}
+	}
+}
+
+// TestE14OrderedDecoderShape: multiset decoder correct on both channels;
+// sequence decoder correct in order, broken under reversal.
+func TestE14OrderedDecoderShape(t *testing.T) {
+	tb, err := E14OrderedDecoder(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 4 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	wantCorrect := []string{"yes", "yes", "yes", "no"}
+	for i, want := range wantCorrect {
+		if got := cell(t, tb, i, "Y=X?"); got != want {
+			t.Errorf("row %d (%s/%s): correct = %s, want %s", i, tb.Rows[i][0], tb.Rows[i][2], got, want)
+		}
+	}
+}
+
+// TestE15DelaySweepShape: alpha's effort grows linearly with d while
+// beta's lags behind — the α/β ratio must strictly grow down the sweep.
+func TestE15DelaySweepShape(t *testing.T) {
+	tb, err := E15DelaySweep(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var prev float64
+	for i := range tb.Rows {
+		meas := cellF(t, tb, i, "A^β measured")
+		if ub := cellF(t, tb, i, "A^β upper"); meas > ub+0.001 {
+			t.Errorf("row %d: measured %.3f above bound %.3f", i, meas, ub)
+		}
+		ratio := cellF(t, tb, i, "α/β")
+		if i > 0 && ratio <= prev {
+			t.Errorf("row %d: α/β ratio did not grow (%.2f -> %.2f)", i, prev, ratio)
+		}
+		prev = ratio
+	}
+}
+
+// TestE16VerificationAllSafe: every tabulated exhaustive check is safe and
+// every timed row proves liveness (a tick count, not a failure note).
+func TestE16VerificationAllSafe(t *testing.T) {
+	tb, err := E16Verification(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(tb.Rows))
+	}
+	for i := range tb.Rows {
+		if cell(t, tb, i, "safe?") != "yes" {
+			t.Errorf("row %d not safe: %v", i, tb.Rows[i])
+		}
+		wc := cell(t, tb, i, "worst completion")
+		if strings.HasPrefix(cell(t, tb, i, "method"), "timed") && !strings.Contains(wc, "ticks") {
+			t.Errorf("row %d: timed check without a completion bound: %q", i, wc)
+		}
+	}
+}
+
+// TestE12BurstAblationShape: burst 1 is clearly worse than the paper's δ1
+// choice, and δ1's relative column is 1.00.
+func TestE12BurstAblationShape(t *testing.T) {
+	tb, err := E12BurstAblation(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	byBurst := map[string]int{}
+	for i := range tb.Rows {
+		byBurst[tb.Rows[i][0]] = i
+	}
+	if r := cellF(t, tb, byBurst["6"], "vs δ1 burst"); r != 1.00 {
+		t.Errorf("δ1 row relative = %.2f, want 1.00", r)
+	}
+	if r := cellF(t, tb, byBurst["1"], "vs δ1 burst"); r < 1.5 {
+		t.Errorf("burst 1 should be markedly worse, got %.2f", r)
+	}
+}

@@ -1,0 +1,140 @@
+// Package frame is the application layer above RSTP: it turns byte
+// payloads into a self-delimiting bit stream and back, so applications
+// never worry about the protocols' block alignment (the paper assumes
+// |X| ≡ 0 mod the block size; framing plus zero padding realises that
+// assumption for arbitrary payloads).
+//
+// Wire format, bit-level: each message is a 16-bit big-endian length
+// header L >= 1 (bytes), followed by 8L payload bits. A zero length
+// header terminates the stream, so trailing zero padding — whatever
+// PadToBlock appended — parses as end-of-stream. Empty messages are
+// therefore not representable; the encoder rejects them.
+package frame
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/wire"
+)
+
+// MaxMessageBytes is the largest payload one frame can carry.
+const MaxMessageBytes = 1<<16 - 1
+
+// ErrEmptyMessage is returned when encoding a zero-length payload.
+var ErrEmptyMessage = errors.New("frame: empty messages are not representable (length 0 terminates the stream)")
+
+// ErrTooLong is returned when a payload exceeds MaxMessageBytes.
+var ErrTooLong = errors.New("frame: payload exceeds 65535 bytes")
+
+// AppendMessage appends one framed payload to dst and returns it.
+func AppendMessage(dst []wire.Bit, payload []byte) ([]wire.Bit, error) {
+	if len(payload) == 0 {
+		return dst, ErrEmptyMessage
+	}
+	if len(payload) > MaxMessageBytes {
+		return dst, ErrTooLong
+	}
+	l := uint16(len(payload))
+	for i := 15; i >= 0; i-- {
+		dst = append(dst, wire.Bit((l>>uint(i))&1))
+	}
+	for _, b := range payload {
+		for i := 7; i >= 0; i-- {
+			dst = append(dst, wire.Bit((b>>uint(i))&1))
+		}
+	}
+	return dst, nil
+}
+
+// EncodeStream frames a sequence of payloads into one bit stream.
+func EncodeStream(payloads [][]byte) ([]wire.Bit, error) {
+	var out []wire.Bit
+	for i, p := range payloads {
+		var err error
+		out, err = AppendMessage(out, p)
+		if err != nil {
+			return nil, fmt.Errorf("frame: message %d: %w", i, err)
+		}
+	}
+	return out, nil
+}
+
+// Decoder incrementally parses a framed bit stream, tolerating trailing
+// zero padding. It accepts bits in any increments — e.g. as the receiver
+// writes them — and yields messages as they complete.
+type Decoder struct {
+	buf  []wire.Bit
+	done bool
+}
+
+// Push appends received bits to the decoder.
+func (d *Decoder) Push(bits ...wire.Bit) {
+	d.buf = append(d.buf, bits...)
+}
+
+// Next returns the next complete message, or ok == false when no complete
+// message is buffered (yet, or ever again once the stream terminator was
+// seen).
+func (d *Decoder) Next() (payload []byte, ok bool, err error) {
+	if d.done || len(d.buf) < 16 {
+		return nil, false, nil
+	}
+	var l int
+	for i := 0; i < 16; i++ {
+		if !d.buf[i].Valid() {
+			return nil, false, fmt.Errorf("frame: invalid bit %d in length header", d.buf[i])
+		}
+		l = l<<1 | int(d.buf[i])
+	}
+	if l == 0 {
+		// Stream terminator (or padding): nothing more will arrive.
+		d.done = true
+		return nil, false, nil
+	}
+	need := 16 + 8*l
+	if len(d.buf) < need {
+		return nil, false, nil
+	}
+	payload = make([]byte, l)
+	for i := 0; i < l; i++ {
+		var b byte
+		for j := 0; j < 8; j++ {
+			bit := d.buf[16+i*8+j]
+			if !bit.Valid() {
+				return nil, false, fmt.Errorf("frame: invalid bit %d in payload", bit)
+			}
+			b = b<<1 | byte(bit)
+		}
+		payload[i] = b
+	}
+	d.buf = d.buf[need:]
+	return payload, true, nil
+}
+
+// Drain returns every complete message currently buffered.
+func (d *Decoder) Drain() ([][]byte, error) {
+	var out [][]byte
+	for {
+		msg, ok, err := d.Next()
+		if err != nil {
+			return out, err
+		}
+		if !ok {
+			return out, nil
+		}
+		out = append(out, msg)
+	}
+}
+
+// Terminated reports whether the decoder has seen the end-of-stream
+// marker (a zero length header, e.g. block padding).
+func (d *Decoder) Terminated() bool { return d.done }
+
+// DecodeStream parses a complete framed stream, ignoring trailing
+// padding.
+func DecodeStream(bits []wire.Bit) ([][]byte, error) {
+	var d Decoder
+	d.Push(bits...)
+	return d.Drain()
+}

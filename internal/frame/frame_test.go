@@ -1,0 +1,182 @@
+package frame
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rstp"
+	"repro/internal/wire"
+)
+
+func TestEncodeDecodeStream(t *testing.T) {
+	payloads := [][]byte{
+		[]byte("hello"),
+		{0x00},
+		{0xFF, 0x00, 0xAA},
+		bytes.Repeat([]byte{0x42}, 300),
+	}
+	bits, err := EncodeStream(payloads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeStream(bits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(payloads) {
+		t.Fatalf("decoded %d messages, want %d", len(back), len(payloads))
+	}
+	for i := range payloads {
+		if !bytes.Equal(back[i], payloads[i]) {
+			t.Errorf("message %d = %x, want %x", i, back[i], payloads[i])
+		}
+	}
+}
+
+func TestPaddingTolerance(t *testing.T) {
+	bits, err := EncodeStream([][]byte{[]byte("ok")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Simulate RSTP block padding of various widths.
+	for _, blockBits := range []int{1, 5, 6, 26, 64} {
+		padded, _ := rstp.PadToBlock(bits, blockBits)
+		back, err := DecodeStream(padded)
+		if err != nil {
+			t.Fatalf("block %d: %v", blockBits, err)
+		}
+		if len(back) != 1 || string(back[0]) != "ok" {
+			t.Fatalf("block %d: decoded %q", blockBits, back)
+		}
+	}
+}
+
+func TestEncodeErrors(t *testing.T) {
+	if _, err := AppendMessage(nil, nil); !errors.Is(err, ErrEmptyMessage) {
+		t.Errorf("empty payload: %v", err)
+	}
+	if _, err := AppendMessage(nil, make([]byte, MaxMessageBytes+1)); !errors.Is(err, ErrTooLong) {
+		t.Errorf("oversize payload: %v", err)
+	}
+	if _, err := EncodeStream([][]byte{[]byte("x"), nil}); err == nil {
+		t.Error("stream with empty message should fail")
+	}
+}
+
+func TestDecoderIncremental(t *testing.T) {
+	bits, err := EncodeStream([][]byte{[]byte("ab"), []byte("c")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var d Decoder
+	var got [][]byte
+	for _, b := range bits { // one bit at a time
+		d.Push(b)
+		for {
+			msg, ok, err := d.Next()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !ok {
+				break
+			}
+			got = append(got, msg)
+		}
+	}
+	if len(got) != 2 || string(got[0]) != "ab" || string(got[1]) != "c" {
+		t.Fatalf("incremental decode = %q", got)
+	}
+	if d.Terminated() {
+		t.Error("no terminator seen yet")
+	}
+	d.Push(make([]wire.Bit, 16)...) // zero header = padding/terminator
+	if _, ok, _ := d.Next(); ok {
+		t.Error("terminator should not produce a message")
+	}
+	if !d.Terminated() {
+		t.Error("terminator should mark the stream done")
+	}
+}
+
+func TestDecoderRejectsInvalidBits(t *testing.T) {
+	var d Decoder
+	d.Push(make([]wire.Bit, 15)...)
+	d.Push(wire.Bit(7)) // invalid bit inside the header
+	if _, _, err := d.Next(); err == nil {
+		t.Error("invalid header bit should fail")
+	}
+	var d2 Decoder
+	bits, _ := EncodeStream([][]byte{{0xFF}})
+	bits[20] = wire.Bit(9) // corrupt a payload bit
+	d2.Push(bits...)
+	if _, _, err := d2.Next(); err == nil {
+		t.Error("invalid payload bit should fail")
+	}
+}
+
+// Property: random payload sequences round-trip, with and without padding.
+func TestRoundTripQuick(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	f := func() bool {
+		n := 1 + rng.Intn(5)
+		payloads := make([][]byte, n)
+		for i := range payloads {
+			p := make([]byte, 1+rng.Intn(40))
+			rng.Read(p)
+			payloads[i] = p
+		}
+		bits, err := EncodeStream(payloads)
+		if err != nil {
+			return false
+		}
+		padded, _ := rstp.PadToBlock(bits, 1+rng.Intn(30))
+		back, err := DecodeStream(padded)
+		if err != nil || len(back) != n {
+			return false
+		}
+		for i := range payloads {
+			if !bytes.Equal(back[i], payloads[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestFramingOverRSTP is the full-stack integration: bytes -> frames ->
+// A^β transmission under the worst-case channel -> frames -> bytes.
+func TestFramingOverRSTP(t *testing.T) {
+	p := rstp.Params{C1: 2, C2: 3, D: 12}
+	s, err := rstp.Beta(p, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payloads := [][]byte{[]byte("real-time"), []byte("sequence"), []byte("transmission")}
+	bits, err := EncodeStream(payloads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, _ := rstp.PadToBlock(bits, s.BlockBits)
+	run, err := s.Run(x, rstp.RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeStream(run.Writes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(payloads) {
+		t.Fatalf("got %d messages, want %d", len(back), len(payloads))
+	}
+	for i := range payloads {
+		if !bytes.Equal(back[i], payloads[i]) {
+			t.Errorf("message %d = %q, want %q", i, back[i], payloads[i])
+		}
+	}
+}

@@ -1,0 +1,187 @@
+package ioa
+
+import (
+	"fmt"
+)
+
+// Composition is the parallel composition A1 ∘ A2 ∘ ... of Section 2.1.
+//
+// The composition's outputs (internals) are the unions of the components'
+// outputs (internals); its inputs are the components' inputs that are not
+// some component's outputs. An action fires jointly in every component
+// whose signature contains it.
+//
+// Composability — mutual actions are input/output of distinct components,
+// or inputs of both; internal actions are private — cannot be checked up
+// front because signatures are predicates, so it is enforced dynamically:
+// Apply reports an error when two components both claim an action as
+// output, or when one component's internal action appears in another's
+// signature.
+type Composition struct {
+	name  string
+	comps []Automaton
+}
+
+var _ Automaton = (*Composition)(nil)
+
+// Compose builds the composition of the given automata. Component names
+// must be distinct.
+func Compose(name string, comps ...Automaton) (*Composition, error) {
+	if len(comps) == 0 {
+		return nil, fmt.Errorf("ioa: composition %q needs at least one component", name)
+	}
+	seen := make(map[string]bool, len(comps))
+	for _, c := range comps {
+		if seen[c.Name()] {
+			return nil, fmt.Errorf("ioa: composition %q has duplicate component %q", name, c.Name())
+		}
+		seen[c.Name()] = true
+	}
+	return &Composition{name: name, comps: comps}, nil
+}
+
+// Name returns the composition's name.
+func (c *Composition) Name() string { return c.name }
+
+// Components returns the component automata in composition order.
+func (c *Composition) Components() []Automaton {
+	out := make([]Automaton, len(c.comps))
+	copy(out, c.comps)
+	return out
+}
+
+// Component returns the component with the given name, if present.
+func (c *Composition) Component(name string) (Automaton, bool) {
+	for _, a := range c.comps {
+		if a.Name() == name {
+			return a, true
+		}
+	}
+	return nil, false
+}
+
+// Classify places an action in the composition's signature.
+func (c *Composition) Classify(a Action) Class {
+	cls := ClassNone
+	for _, comp := range c.comps {
+		switch comp.Classify(a) {
+		case ClassOutput:
+			return ClassOutput
+		case ClassInternal:
+			cls = ClassInternal
+		case ClassInput:
+			if cls == ClassNone {
+				cls = ClassInput
+			}
+		}
+	}
+	return cls
+}
+
+// Candidate is one enabled local action of one component.
+type Candidate struct {
+	// Comp is the index of the controlling component.
+	Comp int
+	// Actor is the controlling component's name.
+	Actor string
+	// Action is the enabled local action.
+	Action Action
+}
+
+// Candidates returns the enabled local actions of all components, in
+// component order. The composition of deterministic automata is generally
+// nondeterministic; a Scheduler resolves the choice.
+func (c *Composition) Candidates() []Candidate {
+	var cands []Candidate
+	for i, comp := range c.comps {
+		if act, ok := comp.NextLocal(); ok {
+			cands = append(cands, Candidate{Comp: i, Actor: comp.Name(), Action: act})
+		}
+	}
+	return cands
+}
+
+// NextLocal returns the first component's enabled local action. Schedulers
+// that need fairness should use Candidates instead.
+func (c *Composition) NextLocal() (Action, bool) {
+	cands := c.Candidates()
+	if len(cands) == 0 {
+		return nil, false
+	}
+	return cands[0].Action, true
+}
+
+// Quiescent reports whether no component has an enabled local action; a
+// finite execution ending in a quiescent state is fair (Section 2.1,
+// condition 1).
+func (c *Composition) Quiescent() bool { return len(c.Candidates()) == 0 }
+
+// Apply fires the action jointly in every component whose signature
+// contains it, enforcing composability dynamically.
+func (c *Composition) Apply(a Action) error {
+	owner := -1
+	internalOwner := -1
+	touches := 0
+	for i, comp := range c.comps {
+		switch comp.Classify(a) {
+		case ClassOutput:
+			if owner >= 0 {
+				return fmt.Errorf("ioa: composition %q: action %v is an output of both %q and %q (not composable)",
+					c.name, a, c.comps[owner].Name(), comp.Name())
+			}
+			owner = i
+			touches++
+		case ClassInternal:
+			if internalOwner >= 0 {
+				return fmt.Errorf("ioa: composition %q: action %v is internal to both %q and %q (not composable)",
+					c.name, a, c.comps[internalOwner].Name(), comp.Name())
+			}
+			internalOwner = i
+			touches++
+		case ClassInput:
+			touches++
+		}
+	}
+	if touches == 0 {
+		return fmt.Errorf("ioa: composition %q: %v: %w", c.name, a, ErrNotInSignature)
+	}
+	if internalOwner >= 0 {
+		if touches > 1 {
+			return fmt.Errorf("ioa: composition %q: internal action %v of %q appears in another component's signature (not composable)",
+				c.name, a, c.comps[internalOwner].Name())
+		}
+		return c.comps[internalOwner].Apply(a)
+	}
+	// Fire in the owner first (checks enabledness), then in every
+	// component that takes the action as input.
+	if owner >= 0 {
+		if err := c.comps[owner].Apply(a); err != nil {
+			return err
+		}
+	}
+	for i, comp := range c.comps {
+		if i == owner {
+			continue
+		}
+		if comp.Classify(a) == ClassInput {
+			if err := comp.Apply(a); err != nil {
+				return fmt.Errorf("ioa: composition %q: input %v rejected by %q (not input-enabled): %w",
+					c.name, a, comp.Name(), err)
+			}
+		}
+	}
+	return nil
+}
+
+// Owner returns the index and name of the component controlling action a
+// (its output or internal owner), or -1 and "" when a is an input of the
+// whole composition.
+func (c *Composition) Owner(a Action) (int, string) {
+	for i, comp := range c.comps {
+		cls := comp.Classify(a)
+		if cls == ClassOutput || cls == ClassInternal {
+			return i, comp.Name()
+		}
+	}
+	return -1, ""
+}

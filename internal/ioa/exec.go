@@ -1,0 +1,137 @@
+package ioa
+
+import (
+	"fmt"
+)
+
+// Scheduler resolves the nondeterministic choice among enabled local
+// actions of a composition's components.
+type Scheduler interface {
+	// Name identifies the scheduler in experiment reports.
+	Name() string
+	// Pick returns the index into cands of the action to fire. cands is
+	// never empty.
+	Pick(cands []Candidate) int
+}
+
+// RoundRobin cycles through components, skipping components with nothing
+// enabled. With each automaton's local actions in a single fairness class —
+// as in all of the paper's protocols — round-robin scheduling yields fair
+// executions: every continuously-enabled class fires infinitely often.
+type RoundRobin struct {
+	next int
+}
+
+var _ Scheduler = (*RoundRobin)(nil)
+
+// Name returns "round-robin".
+func (r *RoundRobin) Name() string { return "round-robin" }
+
+// Pick chooses the candidate whose component index follows the last pick.
+func (r *RoundRobin) Pick(cands []Candidate) int {
+	best := 0
+	bestKey := -1
+	for i, c := range cands {
+		key := c.Comp - r.next
+		if key < 0 {
+			key += 1 << 20 // wrap far past any real component count
+		}
+		if bestKey == -1 || key < bestKey {
+			bestKey = key
+			best = i
+		}
+	}
+	r.next = cands[best].Comp + 1
+	return best
+}
+
+// FirstEnabled always fires the lowest-indexed component's action. It is
+// unfair in general and exists to demonstrate fairness violations in tests.
+type FirstEnabled struct{}
+
+var _ Scheduler = FirstEnabled{}
+
+// Name returns "first-enabled".
+func (FirstEnabled) Name() string { return "first-enabled" }
+
+// Pick returns 0.
+func (FirstEnabled) Pick(cands []Candidate) int { return 0 }
+
+// Randomized picks uniformly using the supplied source.
+type Randomized struct {
+	// Intn returns a uniform integer in [0, n); typically rand.Intn.
+	Intn func(n int) int
+}
+
+var _ Scheduler = Randomized{}
+
+// Name returns "randomized".
+func (Randomized) Name() string { return "randomized" }
+
+// Pick chooses a uniformly random candidate.
+func (r Randomized) Pick(cands []Candidate) int { return r.Intn(len(cands)) }
+
+// Executor drives untimed executions of a composition under a scheduler,
+// recording the execution. It is the engine behind the untimed fairness
+// semantics of Section 2.1; the timed semantics of Section 2.2 live in
+// internal/sim.
+type Executor struct {
+	comp  *Composition
+	sched Scheduler
+	trace Execution
+}
+
+// NewExecutor builds an executor over the composition.
+func NewExecutor(comp *Composition, sched Scheduler) *Executor {
+	return &Executor{comp: comp, sched: sched}
+}
+
+// Trace returns the execution recorded so far.
+func (e *Executor) Trace() *Execution { return &e.trace }
+
+// Step fires one locally controlled action chosen by the scheduler. It
+// reports ok == false when the composition is quiescent.
+func (e *Executor) Step() (Event, bool, error) {
+	cands := e.comp.Candidates()
+	if len(cands) == 0 {
+		return Event{}, false, nil
+	}
+	pick := e.sched.Pick(cands)
+	if pick < 0 || pick >= len(cands) {
+		return Event{}, false, fmt.Errorf("ioa: scheduler %q picked %d of %d candidates", e.sched.Name(), pick, len(cands))
+	}
+	chosen := cands[pick]
+	if err := e.comp.Apply(chosen.Action); err != nil {
+		return Event{}, false, fmt.Errorf("ioa: executor: apply %v: %w", chosen.Action, err)
+	}
+	e.trace.Append(chosen.Actor, chosen.Action)
+	return e.trace.Events[len(e.trace.Events)-1], true, nil
+}
+
+// Inject imposes an environment input action on the composition and
+// records it, attributed to the environment.
+func (e *Executor) Inject(a Action) error {
+	if cls := e.comp.Classify(a); cls != ClassInput {
+		return fmt.Errorf("ioa: executor: %v is %v of the composition, not an input", a, cls)
+	}
+	if err := e.comp.Apply(a); err != nil {
+		return err
+	}
+	e.trace.Append("env", a)
+	return nil
+}
+
+// Run fires local actions until the composition is quiescent or until
+// maxSteps actions have fired; it reports whether the run ended quiescent.
+func (e *Executor) Run(maxSteps int) (quiescent bool, err error) {
+	for i := 0; i < maxSteps; i++ {
+		_, ok, err := e.Step()
+		if err != nil {
+			return false, err
+		}
+		if !ok {
+			return true, nil
+		}
+	}
+	return e.comp.Quiescent(), nil
+}

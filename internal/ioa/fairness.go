@@ -1,0 +1,89 @@
+package ioa
+
+import (
+	"fmt"
+)
+
+// Fairness (Section 2.1): an execution is fair when it is finite and ends
+// quiescent, or when every class of locally controlled actions either
+// fires infinitely often or is disabled infinitely often. All of the
+// paper's automata put their local actions in a single class, so fairness
+// degenerates to per-component non-starvation.
+//
+// Finite traces cannot witness "infinitely often", so the executable
+// check is windowed: a component whose local action stays enabled for
+// more than `window` consecutive scheduler picks without firing is
+// starved, and the execution cannot be extended fairly by a scheduler
+// that keeps behaving this way.
+
+// StarvationError reports a fairness violation observed by a
+// FairExecutor.
+type StarvationError struct {
+	// Actor is the starved component.
+	Actor string
+	// Window is the number of consecutive picks it was enabled but idle.
+	Window int
+}
+
+// Error renders the violation.
+func (e *StarvationError) Error() string {
+	return fmt.Sprintf("ioa: component %q starved for %d consecutive picks while enabled", e.Actor, e.Window)
+}
+
+// FairExecutor wraps an Executor with windowed starvation detection.
+type FairExecutor struct {
+	ex     *Executor
+	window int
+	idle   map[string]int
+}
+
+// NewFairExecutor builds an executor that fails any step leaving a
+// component enabled-but-unfired for more than window consecutive picks.
+func NewFairExecutor(comp *Composition, sched Scheduler, window int) *FairExecutor {
+	return &FairExecutor{
+		ex:     NewExecutor(comp, sched),
+		window: window,
+		idle:   make(map[string]int),
+	}
+}
+
+// Trace returns the recorded execution.
+func (f *FairExecutor) Trace() *Execution { return f.ex.Trace() }
+
+// Step fires one action and updates the starvation accounting.
+func (f *FairExecutor) Step() (Event, bool, error) {
+	cands := f.ex.comp.Candidates()
+	ev, ok, err := f.ex.Step()
+	if err != nil || !ok {
+		return ev, ok, err
+	}
+	for _, c := range cands {
+		if c.Actor == ev.Actor {
+			f.idle[c.Actor] = 0
+			continue
+		}
+		f.idle[c.Actor]++
+		if f.idle[c.Actor] > f.window {
+			return ev, ok, &StarvationError{Actor: c.Actor, Window: f.idle[c.Actor]}
+		}
+	}
+	return ev, ok, nil
+}
+
+// Run drives steps until quiescence, maxSteps, or a starvation error.
+func (f *FairExecutor) Run(maxSteps int) (quiescent bool, err error) {
+	for i := 0; i < maxSteps; i++ {
+		_, ok, err := f.Step()
+		if err != nil {
+			return false, err
+		}
+		if !ok {
+			return true, nil
+		}
+	}
+	return f.ex.comp.Quiescent(), nil
+}
+
+// QuiescentlyFair reports the Section 2.1 condition for finite fair
+// executions: the composition has no enabled local action.
+func QuiescentlyFair(comp *Composition) bool { return comp.Quiescent() }

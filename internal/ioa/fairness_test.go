@@ -1,0 +1,85 @@
+package ioa
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestFairExecutorRoundRobinIsFair(t *testing.T) {
+	// Two always-enabled components: round robin never starves either.
+	// They share the emit output vocabulary, which would be non-composable;
+	// give each a sink-free composition by distinct N ranges instead.
+	a := newCounter(t, "a", 1000)
+	var got []int
+	s := newSink(t, "s", &got)
+	comp, err := Compose("sys", a, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := NewFairExecutor(comp, &RoundRobin{}, 4)
+	if _, err := f.Run(200); err != nil {
+		t.Fatalf("round robin starved: %v", err)
+	}
+	if f.Trace().Len() == 0 {
+		t.Fatal("nothing ran")
+	}
+}
+
+func TestFairExecutorDetectsStarvation(t *testing.T) {
+	// Two always-enabled components with disjoint action vocabularies;
+	// FirstEnabled always picks the first, starving the second.
+	left := newCounter(t, "left", 1000) // emits emit(N)
+	type tick2 struct{ foreign }
+	right, err := NewMachine("right",
+		func(a Action) Class {
+			if _, ok := a.(tick2); ok {
+				return ClassInternal
+			}
+			return ClassNone
+		},
+		nil,
+		[]Command{{
+			Name:  "tock2",
+			Class: ClassInternal,
+			Pre:   func() bool { return true },
+			Act:   func() Action { return tick2{} },
+			Eff:   func() {},
+		}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	comp2, err := Compose("sys2", left, right)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := NewFairExecutor(comp2, FirstEnabled{}, 5)
+	_, err = f.Run(100)
+	var starve *StarvationError
+	if !errors.As(err, &starve) {
+		t.Fatalf("expected starvation, got %v", err)
+	}
+	if starve.Actor != "right" {
+		t.Errorf("starved actor = %q, want right", starve.Actor)
+	}
+	if starve.Error() == "" {
+		t.Error("error must render")
+	}
+}
+
+func TestQuiescentlyFair(t *testing.T) {
+	c := newCounter(t, "c", 1)
+	comp, err := Compose("sys", c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if QuiescentlyFair(comp) {
+		t.Error("fresh counter is not quiescent")
+	}
+	ex := NewExecutor(comp, &RoundRobin{})
+	if _, err := ex.Run(10); err != nil {
+		t.Fatal(err)
+	}
+	if !QuiescentlyFair(comp) {
+		t.Error("drained counter should be quiescent")
+	}
+}

@@ -1,0 +1,172 @@
+// Package ioa implements the (untimed) Input/Output automata model of
+// Lynch and Tuttle as summarised in Section 2.1 of the paper.
+//
+// An I/O automaton is described by three mutually disjoint action sets
+// (inputs, outputs, internals), a state set with start states, an
+// input-enabled transition relation, and a fairness partition over the
+// local (output + internal) actions.
+//
+// This package models *executable* automata: an Automaton value is a
+// mutable state machine. Deterministic automata — the ones the paper's
+// lower bounds quantify over — expose exactly one enabled local action per
+// state via NextLocal. Composition (Compose) implements the product
+// construction of Section 2.1: an output of one component that is an input
+// of others fires jointly in all of them.
+package ioa
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Action labels a transition. Occurrences of actions in executions are
+// events.
+type Action interface {
+	// Kind names the action family, e.g. "send", "recv", "write", "wait_t".
+	Kind() string
+	// String renders the action with its parameters.
+	String() string
+}
+
+// Class classifies an action relative to a particular automaton.
+type Class int
+
+const (
+	// ClassNone marks actions outside the automaton's signature.
+	ClassNone Class = iota
+	// ClassInput marks input actions (imposed by the environment).
+	ClassInput
+	// ClassOutput marks output actions (controlled by the automaton,
+	// visible to the environment).
+	ClassOutput
+	// ClassInternal marks internal actions (controlled, invisible).
+	ClassInternal
+)
+
+// String renders the class.
+func (c Class) String() string {
+	switch c {
+	case ClassNone:
+		return "none"
+	case ClassInput:
+		return "input"
+	case ClassOutput:
+		return "output"
+	case ClassInternal:
+		return "internal"
+	default:
+		return fmt.Sprintf("class(%d)", int(c))
+	}
+}
+
+// Local reports whether the class is locally controlled (output or
+// internal) — the actions the paper writes loc(A).
+func (c Class) Local() bool { return c == ClassOutput || c == ClassInternal }
+
+// Automaton is an executable I/O automaton.
+//
+// Automaton values are mutable: Apply advances the state. The zero point of
+// an automaton's life is its start state; construct a fresh value to rerun
+// it. Implementations must be input-enabled: Apply must accept any action
+// the automaton classifies as ClassInput, in every state.
+type Automaton interface {
+	// Name identifies the automaton inside compositions and traces.
+	Name() string
+
+	// Classify places an action in the automaton's signature.
+	Classify(Action) Class
+
+	// NextLocal returns an enabled local action, or ok == false when no
+	// local action is enabled. Deterministic automata (see Deterministic)
+	// have at most one enabled local action per state; implementations with
+	// several enabled local actions must pick a fixed priority order so
+	// that NextLocal is a function of the state.
+	NextLocal() (act Action, ok bool)
+
+	// Apply performs one transition on the action, which must be either an
+	// enabled local action or any input action. It returns an error if the
+	// action is not in the signature or is a non-enabled local action.
+	Apply(Action) error
+}
+
+// Deterministic is implemented by automata that guarantee the paper's
+// determinism condition (Section 2.1): at most one state per (state,
+// action) pair and at most one enabled local action per state. It is a
+// marker used by the lower-bound machinery, which is stated for
+// deterministic processes.
+type Deterministic interface {
+	Automaton
+	// DeterministicIOA is a marker; implementations return true.
+	DeterministicIOA() bool
+}
+
+// ErrNotEnabled is returned by Apply for a local action whose precondition
+// does not hold in the current state.
+var ErrNotEnabled = errors.New("ioa: action not enabled")
+
+// ErrNotInSignature is returned by Apply and composition routing for an
+// action that no component classifies.
+var ErrNotInSignature = errors.New("ioa: action not in signature")
+
+// Event is one occurrence of an action inside an execution, attributed to
+// the component that controlled it (for input actions arriving from outside
+// a composition, Actor names the composition itself).
+type Event struct {
+	// Index is the position of the event in its execution, starting at 0.
+	Index int
+	// Actor names the controlling component.
+	Actor string
+	// Action is the action that occurred.
+	Action Action
+}
+
+// String renders the event.
+func (e Event) String() string {
+	return fmt.Sprintf("#%d %s: %s", e.Index, e.Actor, e.Action)
+}
+
+// Execution is a finite execution fragment: the sequence of events fired so
+// far. (States are implicit in the mutable automata.)
+type Execution struct {
+	Events []Event
+}
+
+// Append records the next event.
+func (e *Execution) Append(actor string, act Action) {
+	e.Events = append(e.Events, Event{Index: len(e.Events), Actor: actor, Action: act})
+}
+
+// Len returns the number of events recorded.
+func (e *Execution) Len() int { return len(e.Events) }
+
+// Restrict returns the subsequence of actions satisfying keep — the paper's
+// α|B' restriction operator specialised to actions.
+func (e *Execution) Restrict(keep func(Action) bool) []Action {
+	var out []Action
+	for _, ev := range e.Events {
+		if keep(ev.Action) {
+			out = append(out, ev.Action)
+		}
+	}
+	return out
+}
+
+// Behavior returns the external actions of the execution relative to the
+// given automaton: the restriction to in(A) ∪ out(A).
+func (e *Execution) Behavior(a Automaton) []Action {
+	return e.Restrict(func(act Action) bool {
+		c := a.Classify(act)
+		return c == ClassInput || c == ClassOutput
+	})
+}
+
+// KindCount counts events whose action kind matches kind.
+func (e *Execution) KindCount(kind string) int {
+	n := 0
+	for _, ev := range e.Events {
+		if ev.Action.Kind() == kind {
+			n++
+		}
+	}
+	return n
+}

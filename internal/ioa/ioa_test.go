@@ -1,0 +1,373 @@
+package ioa
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+// Toy actions for framework tests.
+type emit struct{ N int }
+
+func (emit) Kind() string     { return "emit" }
+func (e emit) String() string { return fmt.Sprintf("emit(%d)", e.N) }
+
+type tock struct{}
+
+func (tock) Kind() string   { return "tock" }
+func (tock) String() string { return "tock" }
+
+// foreign is an action outside every test automaton's signature.
+type foreign struct{}
+
+func (foreign) Kind() string   { return "foreign" }
+func (foreign) String() string { return "foreign" }
+
+// newCounter returns a machine that outputs emit(0), emit(1), ..., then a
+// final internal tock, then goes quiescent.
+func newCounter(t *testing.T, name string, limit int) *Machine {
+	t.Helper()
+	n := 0
+	done := false
+	m, err := NewMachine(name,
+		func(a Action) Class {
+			switch a.(type) {
+			case emit:
+				return ClassOutput
+			case tock:
+				return ClassInternal
+			default:
+				return ClassNone
+			}
+		},
+		nil,
+		[]Command{
+			{
+				Name:  "emit",
+				Class: ClassOutput,
+				Pre:   func() bool { return n < limit },
+				Act:   func() Action { return emit{N: n} },
+				Eff:   func() { n++ },
+			},
+			{
+				Name:  "tock",
+				Class: ClassInternal,
+				Pre:   func() bool { return n == limit && !done },
+				Act:   func() Action { return tock{} },
+				Eff:   func() { done = true },
+			},
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// newSink returns a machine that consumes emit inputs and counts them.
+func newSink(t *testing.T, name string, got *[]int) *Machine {
+	t.Helper()
+	m, err := NewMachine(name,
+		func(a Action) Class {
+			if _, ok := a.(emit); ok {
+				return ClassInput
+			}
+			return ClassNone
+		},
+		func(a Action) error {
+			e, ok := a.(emit)
+			if !ok {
+				return ErrNotInSignature
+			}
+			*got = append(*got, e.N)
+			return nil
+		},
+		nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestMachineDeterministicSequence(t *testing.T) {
+	m := newCounter(t, "c", 3)
+	var fired []string
+	for {
+		act, ok := m.NextLocal()
+		if !ok {
+			break
+		}
+		if err := m.Apply(act); err != nil {
+			t.Fatal(err)
+		}
+		fired = append(fired, act.String())
+	}
+	want := []string{"emit(0)", "emit(1)", "emit(2)", "tock"}
+	if len(fired) != len(want) {
+		t.Fatalf("fired %v, want %v", fired, want)
+	}
+	for i := range want {
+		if fired[i] != want[i] {
+			t.Fatalf("fired %v, want %v", fired, want)
+		}
+	}
+	if _, ok := m.NextLocal(); ok {
+		t.Error("machine should be quiescent")
+	}
+}
+
+func TestMachineApplyErrors(t *testing.T) {
+	m := newCounter(t, "c", 1)
+	// A local action that is not the enabled one.
+	if err := m.Apply(emit{N: 7}); !errors.Is(err, ErrNotEnabled) {
+		t.Errorf("Apply(emit(7)) = %v, want ErrNotEnabled", err)
+	}
+	// An action outside the signature.
+	if err := m.Apply(foreign{}); !errors.Is(err, ErrNotInSignature) {
+		t.Errorf("Apply(foreign) = %v, want ErrNotInSignature", err)
+	}
+	// Internal action before its precondition holds.
+	if err := m.Apply(tock{}); !errors.Is(err, ErrNotEnabled) {
+		t.Errorf("Apply(tock) early = %v, want ErrNotEnabled", err)
+	}
+}
+
+func TestMachineInputWithoutHandler(t *testing.T) {
+	n := 0
+	m, err := NewMachine("m",
+		func(a Action) Class {
+			if _, ok := a.(emit); ok {
+				return ClassInput
+			}
+			return ClassNone
+		},
+		nil,
+		[]Command{{
+			Name:  "noop",
+			Class: ClassInternal,
+			Pre:   func() bool { return n == 0 },
+			Act:   func() Action { return tock{} },
+			Eff:   func() { n++ },
+		}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Apply(emit{N: 1}); err == nil {
+		t.Error("input without handler should fail loudly")
+	}
+}
+
+func TestNewMachineValidation(t *testing.T) {
+	classify := func(Action) Class { return ClassNone }
+	if _, err := NewMachine("", classify, nil, nil); err == nil {
+		t.Error("empty name should fail")
+	}
+	if _, err := NewMachine("m", nil, nil, nil); err == nil {
+		t.Error("nil classifier should fail")
+	}
+	bad := []Command{{Name: "x", Class: ClassInput, Pre: func() bool { return true }, Act: func() Action { return tock{} }, Eff: func() {}}}
+	if _, err := NewMachine("m", classify, nil, bad); err == nil {
+		t.Error("input-class command should fail")
+	}
+	missing := []Command{{Name: "x", Class: ClassInternal}}
+	if _, err := NewMachine("m", classify, nil, missing); err == nil {
+		t.Error("command without Pre/Act/Eff should fail")
+	}
+}
+
+func TestClassHelpers(t *testing.T) {
+	if !ClassOutput.Local() || !ClassInternal.Local() {
+		t.Error("output/internal are local")
+	}
+	if ClassInput.Local() || ClassNone.Local() {
+		t.Error("input/none are not local")
+	}
+	for c, want := range map[Class]string{
+		ClassNone: "none", ClassInput: "input", ClassOutput: "output", ClassInternal: "internal", Class(9): "class(9)",
+	} {
+		if c.String() != want {
+			t.Errorf("Class %d = %q, want %q", int(c), c.String(), want)
+		}
+	}
+}
+
+func TestComposeRoutesOutputsToInputs(t *testing.T) {
+	var got []int
+	counter := newCounter(t, "c", 3)
+	sink := newSink(t, "s", &got)
+	comp, err := Compose("sys", counter, sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex := NewExecutor(comp, &RoundRobin{})
+	quiescent, err := ex.Run(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !quiescent {
+		t.Error("system should go quiescent")
+	}
+	if len(got) != 3 || got[0] != 0 || got[2] != 2 {
+		t.Errorf("sink got %v", got)
+	}
+	// Trace: behaviors relative to the counter exclude the internal tock.
+	beh := ex.Trace().Behavior(counter)
+	if len(beh) != 3 {
+		t.Errorf("behavior length %d, want 3 (internal excluded)", len(beh))
+	}
+	if ex.Trace().KindCount("emit") != 3 || ex.Trace().KindCount("tock") != 1 {
+		t.Errorf("kind counts wrong: %v", ex.Trace().Events)
+	}
+}
+
+func TestComposeDuplicateNames(t *testing.T) {
+	a := newCounter(t, "x", 1)
+	b := newCounter(t, "x", 1)
+	if _, err := Compose("sys", a, b); err == nil {
+		t.Error("duplicate component names should fail")
+	}
+	if _, err := Compose("sys"); err == nil {
+		t.Error("empty composition should fail")
+	}
+}
+
+func TestComposeDetectsSharedOutputs(t *testing.T) {
+	a := newCounter(t, "a", 1)
+	b := newCounter(t, "b", 1)
+	comp, err := Compose("sys", a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both claim emit(0) as output: not composable, detected at Apply.
+	if err := comp.Apply(emit{N: 0}); err == nil {
+		t.Error("shared output should be rejected")
+	}
+}
+
+func TestCompositionClassifyAndOwner(t *testing.T) {
+	var got []int
+	counter := newCounter(t, "c", 1)
+	sink := newSink(t, "s", &got)
+	comp, err := Compose("sys", counter, sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if comp.Classify(emit{N: 0}) != ClassOutput {
+		t.Error("emit should be an output of the composition")
+	}
+	if comp.Classify(tock{}) != ClassInternal {
+		t.Error("tock should be internal")
+	}
+	if comp.Classify(foreign{}) != ClassNone {
+		t.Error("unknown action should be none")
+	}
+	if i, name := comp.Owner(emit{N: 0}); i != 0 || name != "c" {
+		t.Errorf("owner = %d %q", i, name)
+	}
+	if i, _ := comp.Owner(foreign{}); i != -1 {
+		t.Error("unknown action should have no owner")
+	}
+	if _, ok := comp.Component("s"); !ok {
+		t.Error("component s should exist")
+	}
+	if _, ok := comp.Component("nope"); ok {
+		t.Error("component nope should not exist")
+	}
+	if len(comp.Components()) != 2 {
+		t.Error("two components expected")
+	}
+}
+
+func TestExecutorInject(t *testing.T) {
+	var got []int
+	sink := newSink(t, "s", &got)
+	comp, err := Compose("sys", sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex := NewExecutor(comp, &RoundRobin{})
+	if err := ex.Inject(emit{N: 42}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0] != 42 {
+		t.Errorf("sink got %v", got)
+	}
+	// Injecting a non-input is rejected.
+	if err := ex.Inject(tock{}); err == nil {
+		t.Error("injecting a non-input should fail")
+	}
+	// Trace attributes injected events to the environment.
+	if ex.Trace().Events[0].Actor != "env" {
+		t.Errorf("actor = %q, want env", ex.Trace().Events[0].Actor)
+	}
+}
+
+func TestRoundRobinIsFair(t *testing.T) {
+	// Two infinite counters; round-robin must interleave them.
+	mk := func(name string) *Machine {
+		n := 0
+		m, err := NewMachine(name,
+			func(a Action) Class {
+				if _, ok := a.(emit); ok {
+					return ClassInternal // private: both can fire emit-like acts
+				}
+				return ClassNone
+			},
+			nil,
+			[]Command{{
+				Name:  "spin",
+				Class: ClassInternal,
+				Pre:   func() bool { return true },
+				Act:   func() Action { return emit{N: n} },
+				Eff:   func() { n++ },
+			}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	a, b := mk("a"), mk("b")
+	// Internal actions shared across signatures are non-composable; use
+	// candidates directly instead of Compose to test the scheduler alone.
+	rr := &RoundRobin{}
+	counts := map[int]int{}
+	cands := []Candidate{{Comp: 0, Actor: "a"}, {Comp: 1, Actor: "b"}}
+	for i := 0; i < 100; i++ {
+		counts[cands[rr.Pick(cands)].Comp]++
+	}
+	if counts[0] != 50 || counts[1] != 50 {
+		t.Errorf("round robin counts %v, want 50/50", counts)
+	}
+	_ = a
+	_ = b
+}
+
+func TestFirstEnabledAndRandomized(t *testing.T) {
+	cands := []Candidate{{Comp: 0}, {Comp: 1}, {Comp: 2}}
+	if (FirstEnabled{}).Pick(cands) != 0 {
+		t.Error("FirstEnabled should pick 0")
+	}
+	r := Randomized{Intn: func(n int) int { return n - 1 }}
+	if r.Pick(cands) != 2 {
+		t.Error("Randomized should delegate to Intn")
+	}
+	if (FirstEnabled{}).Name() == "" || r.Name() == "" || (&RoundRobin{}).Name() == "" {
+		t.Error("schedulers need names")
+	}
+}
+
+func TestExecutionRestrict(t *testing.T) {
+	var e Execution
+	e.Append("a", emit{N: 1})
+	e.Append("a", tock{})
+	e.Append("a", emit{N: 2})
+	only := e.Restrict(func(a Action) bool { return a.Kind() == "emit" })
+	if len(only) != 2 {
+		t.Errorf("restrict: %v", only)
+	}
+	if e.Len() != 3 {
+		t.Errorf("len = %d", e.Len())
+	}
+	if e.Events[1].String() == "" {
+		t.Error("event String should render")
+	}
+}

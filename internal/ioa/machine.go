@@ -1,0 +1,112 @@
+package ioa
+
+import (
+	"fmt"
+)
+
+// Command is one guarded command of a Machine: a named precondition /
+// effect pair producing a single local action. The paper presents every
+// automaton in exactly this precondition/effect style (Figures 1, 3, 4).
+type Command struct {
+	// Name labels the command for diagnostics.
+	Name string
+	// Class is the action's class; it must be ClassOutput or ClassInternal.
+	Class Class
+	// Pre reports whether the command is enabled in the current state.
+	Pre func() bool
+	// Act builds the action from the current state. Called only when Pre
+	// holds. The returned Action must be comparable (a plain struct).
+	Act func() Action
+	// Eff applies the command's effect to the state. Called only when Pre
+	// holds, after Act.
+	Eff func()
+}
+
+// Machine is a reusable guarded-command implementation of a deterministic
+// I/O automaton: the first enabled command (in declaration order) is the
+// unique local action, mirroring the paper's convention that preconditions
+// are evaluated with a fixed priority when they are not mutually exclusive
+// (the A^γ(k) receiver needs this).
+//
+// Protocol automata hold a Machine and delegate the Automaton methods to
+// it.
+type Machine struct {
+	name     string
+	commands []Command
+	classify func(Action) Class
+	onInput  func(Action) error
+}
+
+var _ Deterministic = (*Machine)(nil)
+
+// NewMachine builds a guarded-command machine.
+//
+// classify must place every action of the automaton's signature; it is
+// consulted before onInput and before matching local actions. onInput
+// handles input actions and must accept every input in every state
+// (input-enabledness); it may be nil for automata with no inputs.
+func NewMachine(name string, classify func(Action) Class, onInput func(Action) error, commands []Command) (*Machine, error) {
+	if name == "" {
+		return nil, fmt.Errorf("ioa: machine needs a name")
+	}
+	if classify == nil {
+		return nil, fmt.Errorf("ioa: machine %q needs a classifier", name)
+	}
+	for i, c := range commands {
+		if !c.Class.Local() {
+			return nil, fmt.Errorf("ioa: machine %q command %d (%s) must be output or internal, got %v", name, i, c.Name, c.Class)
+		}
+		if c.Pre == nil || c.Act == nil || c.Eff == nil {
+			return nil, fmt.Errorf("ioa: machine %q command %d (%s) needs Pre, Act and Eff", name, i, c.Name)
+		}
+	}
+	return &Machine{name: name, classify: classify, onInput: onInput, commands: commands}, nil
+}
+
+// Name returns the machine's name.
+func (m *Machine) Name() string { return m.name }
+
+// Classify places an action in the machine's signature.
+func (m *Machine) Classify(a Action) Class { return m.classify(a) }
+
+// DeterministicIOA marks the machine as deterministic.
+func (m *Machine) DeterministicIOA() bool { return true }
+
+// NextLocal returns the first enabled command's action.
+func (m *Machine) NextLocal() (Action, bool) {
+	for _, c := range m.commands {
+		if c.Pre() {
+			return c.Act(), true
+		}
+	}
+	return nil, false
+}
+
+// Apply performs one transition. Input actions are dispatched to onInput;
+// local actions must equal the currently enabled command's action.
+func (m *Machine) Apply(a Action) error {
+	switch m.classify(a) {
+	case ClassInput:
+		if m.onInput == nil {
+			return fmt.Errorf("ioa: machine %q has no input handler for %v: %w", m.name, a, ErrNotInSignature)
+		}
+		return m.onInput(a)
+	case ClassOutput, ClassInternal:
+		for _, c := range m.commands {
+			if !c.Pre() {
+				continue
+			}
+			act := c.Act()
+			if act != a {
+				// Deterministic machines have exactly one enabled local
+				// action; a different action is simply not enabled here.
+				return fmt.Errorf("ioa: machine %q: %v (enabled: %v): %w", m.name, a, act, ErrNotEnabled)
+			}
+			c.Eff()
+			return nil
+		}
+		return fmt.Errorf("ioa: machine %q: %v: %w", m.name, a, ErrNotEnabled)
+	default:
+		return fmt.Errorf("ioa: machine %q: %v: %w", m.name, a, ErrNotInSignature)
+	}
+}

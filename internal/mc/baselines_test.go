@@ -1,0 +1,107 @@
+package mc
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/rstp"
+	"repro/internal/stp"
+	"repro/internal/wire"
+)
+
+func abSystem(t *testing.T, xBits string, dup bool) System {
+	t.Helper()
+	x, err := wire.ParseBits(xBits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := stp.NewABTransmitter(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc, err := stp.NewABReceiver()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return System{
+		X: x, T: tr, R: rc,
+		ForkT:         func(n Node) (Node, error) { return n.(*stp.ABTransmitter).Fork() },
+		ForkR:         func(n Node) (Node, error) { return n.(*stp.ABReceiver).Fork() },
+		Written:       func(n Node) []wire.Bit { return n.(*stp.ABReceiver).WrittenBits() },
+		DupDeliveries: dup,
+	}
+}
+
+// TestAlternatingBitUnsafeUnderReorder rediscovers the [WZ89]
+// impossibility automatically: with >= 3 messages, a freely-reordering
+// channel (no duplication needed!) lets a stale tag-0 acknowledgement
+// arrive while message 3 (tag 0 again) is current, advancing the
+// transmitter past an undelivered message. The checker finds the
+// counterexample that internal/stp's tests script by hand.
+func TestAlternatingBitUnsafeUnderReorder(t *testing.T) {
+	res, err := Check(abSystem(t, "101", false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Violation == nil {
+		t.Fatal("expected the alternating bit to fail under reordering")
+	}
+	t.Logf("counterexample (%d steps): %s", len(res.Violation.Path), res.Violation.Error())
+}
+
+// TestAlternatingBitDupAlsoBreaks: duplication gives the adversary even
+// more room; still broken.
+func TestAlternatingBitDupAlsoBreaks(t *testing.T) {
+	res, err := Check(abSystem(t, "101", true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Violation == nil {
+		t.Fatal("expected a violation with duplication enabled")
+	}
+}
+
+// TestGammaLossBreaksLiveness: the paper's channel never loses packets
+// (fair executions pair sends with recvs). Allowing loss lets the
+// adversary strand A^γ short of completion: the checker reports a
+// terminal state with Y != X.
+func TestGammaLossBreaksLiveness(t *testing.T) {
+	p := rstp.Params{C1: 1, C2: 2, D: 5}
+	x, _ := wire.ParseBits("101")
+	tr, err := rstp.NewGammaTransmitter(p, 2, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc, err := rstp.NewGammaReceiver(p, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Check(System{
+		X: x, T: tr, R: rc,
+		ForkT:           func(n Node) (Node, error) { return n.(*rstp.GammaTransmitter).Fork() },
+		ForkR:           func(n Node) (Node, error) { return n.(*rstp.GammaReceiver).Fork() },
+		Written:         func(n Node) []wire.Bit { return n.(*rstp.GammaReceiver).WrittenBits() },
+		LossyDeliveries: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Violation == nil {
+		t.Fatal("expected a stranded terminal state under loss")
+	}
+	if !strings.Contains(res.Violation.Msg, "terminal state") {
+		t.Errorf("expected a liveness (terminal) violation, got: %s", res.Violation.Msg)
+	}
+	if !pathContainsLoss(res.Violation.Path) {
+		t.Errorf("witness should involve a loss: %v", res.Violation.Path)
+	}
+}
+
+func pathContainsLoss(path []string) bool {
+	for _, step := range path {
+		if strings.Contains(step, "lose") {
+			return true
+		}
+	}
+	return false
+}

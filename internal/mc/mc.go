@@ -1,0 +1,354 @@
+// Package mc is a small explicit-state model checker for the *untimed*
+// semantics of the protocols: it exhaustively explores every interleaving
+// of process steps and channel deliveries (the channel may reorder
+// freely) and checks a safety property in every reachable state.
+//
+// Timed claims (A^α, A^β) cannot be verified this way — their correctness
+// genuinely needs Σ/Δ — but A^γ's safety is ack-clocked and holds in the
+// raw untimed composition, which this package proves exhaustively for
+// small instances instead of sampling schedules. The checker also has
+// teeth: enabling duplicate deliveries finds the real counterexample
+// showing A^γ depends on the channel not duplicating (the paper's C(P)
+// never duplicates — its fair executions pair sends and recvs
+// bijectively).
+package mc
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/ioa"
+	"repro/internal/wire"
+)
+
+// Node is an explorable process automaton: an I/O automaton with a
+// canonical state key.
+type Node interface {
+	ioa.Automaton
+	// Snapshot returns a canonical key of the node's mutable state.
+	Snapshot() string
+}
+
+// System describes the composition to explore.
+type System struct {
+	// X is the input sequence; the property is "Written(R) is always a
+	// prefix of X".
+	X []wire.Bit
+	// T and R are the processes in their initial states.
+	T, R Node
+	// ForkT and ForkR deep-copy a node (the checker owns the copies).
+	ForkT, ForkR func(Node) (Node, error)
+	// Written extracts Y from the receiver.
+	Written func(Node) []wire.Bit
+	// DupDeliveries also explores duplicate deliveries of in-flight
+	// packets — behaviour outside the paper's channel; used to exhibit
+	// counterexamples.
+	DupDeliveries bool
+	// LossyDeliveries also explores losing in-flight packets — likewise
+	// outside the paper's channel (its fair executions pair every send
+	// with a recv); used to exhibit liveness counterexamples.
+	LossyDeliveries bool
+	// MaxStates caps the exploration (default 1 << 20).
+	MaxStates int
+}
+
+// Result reports the exploration outcome.
+type Result struct {
+	// States is the number of distinct states visited.
+	States int
+	// Transitions is the number of edges expanded.
+	Transitions int
+	// Terminals is the number of states with no state-changing move.
+	Terminals int
+	// Violation is the first violation found, nil if the property holds
+	// everywhere.
+	Violation *Violation
+}
+
+// Violation is a safety failure with its witness path.
+type Violation struct {
+	// Msg describes the failure.
+	Msg string
+	// Path is the action-label trace from the initial state.
+	Path []string
+}
+
+// Error renders the violation.
+func (v *Violation) Error() string {
+	return fmt.Sprintf("mc: %s (path: %s)", v.Msg, strings.Join(v.Path, " -> "))
+}
+
+// state is one explored configuration. In-flight packets are kept per
+// direction as sorted multisets (the channel reorders freely, so only the
+// multiset matters).
+type state struct {
+	t, r Node
+	// tr and rt hold in-flight packets per direction, sorted canonically.
+	tr, rt []wire.Packet
+}
+
+func packetsKey(ps []wire.Packet) string {
+	parts := make([]string, len(ps))
+	for i, p := range ps {
+		parts[i] = fmt.Sprintf("%d/%d/%d", p.Kind, p.Symbol, p.Tag)
+	}
+	return strings.Join(parts, ",")
+}
+
+func (s *state) key() string {
+	return s.t.Snapshot() + " || " + s.r.Snapshot() +
+		" || tr{" + packetsKey(s.tr) + "} rt{" + packetsKey(s.rt) + "}"
+}
+
+func (s *state) fork(sys *System) (*state, error) {
+	t, err := sys.ForkT(s.t)
+	if err != nil {
+		return nil, err
+	}
+	r, err := sys.ForkR(s.r)
+	if err != nil {
+		return nil, err
+	}
+	return &state{
+		t:  t,
+		r:  r,
+		tr: append([]wire.Packet(nil), s.tr...),
+		rt: append([]wire.Packet(nil), s.rt...),
+	}, nil
+}
+
+func packetLess(a, b wire.Packet) bool {
+	if a.Kind != b.Kind {
+		return a.Kind < b.Kind
+	}
+	if a.Symbol != b.Symbol {
+		return a.Symbol < b.Symbol
+	}
+	return a.Tag < b.Tag
+}
+
+func insertSorted(ps []wire.Packet, p wire.Packet) []wire.Packet {
+	i := sort.Search(len(ps), func(i int) bool { return !packetLess(ps[i], p) })
+	ps = append(ps, wire.Packet{})
+	copy(ps[i+1:], ps[i:])
+	ps[i] = p
+	return ps
+}
+
+func removeAt(ps []wire.Packet, i int) []wire.Packet {
+	out := append([]wire.Packet(nil), ps[:i]...)
+	return append(out, ps[i+1:]...)
+}
+
+// successor describes one move.
+type successor struct {
+	label string
+	next  *state
+}
+
+// expand returns every state-changing move from s.
+func (sys *System) expand(s *state) ([]successor, error) {
+	var out []successor
+	add := func(label string, n *state) {
+		out = append(out, successor{label: label, next: n})
+	}
+
+	// Transmitter local step.
+	if act, ok := s.t.NextLocal(); ok {
+		n, err := s.fork(sys)
+		if err != nil {
+			return nil, err
+		}
+		if err := n.t.Apply(act); err != nil {
+			return nil, fmt.Errorf("mc: transmitter %v: %w", act, err)
+		}
+		if send, isSend := act.(wire.Send); isSend && send.Dir == wire.TtoR {
+			n.tr = insertSorted(n.tr, send.P)
+		}
+		add("t:"+act.String(), n)
+	}
+
+	// Receiver local step.
+	if act, ok := s.r.NextLocal(); ok {
+		n, err := s.fork(sys)
+		if err != nil {
+			return nil, err
+		}
+		if err := n.r.Apply(act); err != nil {
+			return nil, fmt.Errorf("mc: receiver %v: %w", act, err)
+		}
+		if send, isSend := act.(wire.Send); isSend && send.Dir == wire.RtoT {
+			n.rt = insertSorted(n.rt, send.P)
+		}
+		add("r:"+act.String(), n)
+	}
+
+	// Deliver (optionally duplicate or lose) each distinct in-flight
+	// packet, in either direction.
+	deliverAll := func(dir wire.Dir, flights []wire.Packet, apply func(n *state, p wire.Packet) error, strip func(n *state, i int)) error {
+		for i := 0; i < len(flights); i++ {
+			if i > 0 && flights[i] == flights[i-1] {
+				continue // identical move
+			}
+			deliver := func(dup bool) error {
+				n, err := s.fork(sys)
+				if err != nil {
+					return err
+				}
+				act := wire.Recv{Dir: dir, P: flights[i]}
+				if err := apply(n, flights[i]); err != nil {
+					return fmt.Errorf("mc: deliver %v: %w", act, err)
+				}
+				label := "chan:" + act.String()
+				if dup {
+					label += " (dup)"
+				} else {
+					strip(n, i)
+				}
+				add(label, n)
+				return nil
+			}
+			if err := deliver(false); err != nil {
+				return err
+			}
+			if sys.DupDeliveries {
+				if err := deliver(true); err != nil {
+					return err
+				}
+			}
+			if sys.LossyDeliveries {
+				n, err := s.fork(sys)
+				if err != nil {
+					return err
+				}
+				strip(n, i)
+				add(fmt.Sprintf("chan:lose[%v] %v", dir, flights[i]), n)
+			}
+		}
+		return nil
+	}
+	if err := deliverAll(wire.TtoR, s.tr,
+		func(n *state, p wire.Packet) error { return n.r.Apply(wire.Recv{Dir: wire.TtoR, P: p}) },
+		func(n *state, i int) { n.tr = removeAt(n.tr, i) },
+	); err != nil {
+		return nil, err
+	}
+	if err := deliverAll(wire.RtoT, s.rt,
+		func(n *state, p wire.Packet) error { return n.t.Apply(wire.Recv{Dir: wire.RtoT, P: p}) },
+		func(n *state, i int) { n.rt = removeAt(n.rt, i) },
+	); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Check explores the full reachable state space breadth-first and
+// verifies in every state that Y is a prefix of X; in terminal states —
+// no state-changing move exists — it additionally requires Y = X (nothing
+// is in flight and nobody can act, so the run is over).
+func Check(sys System) (*Result, error) {
+	if sys.T == nil || sys.R == nil || sys.ForkT == nil || sys.ForkR == nil || sys.Written == nil {
+		return nil, fmt.Errorf("mc: incomplete system")
+	}
+	if sys.MaxStates == 0 {
+		sys.MaxStates = 1 << 20
+	}
+	initial := &state{t: sys.T, r: sys.R}
+	res := &Result{}
+
+	type meta struct {
+		parent string
+		label  string
+	}
+	seen := map[string]meta{initial.key(): {}}
+	pathTo := func(k string) []string {
+		var labels []string
+		for k != "" {
+			m := seen[k]
+			if m.label == "" {
+				break
+			}
+			labels = append(labels, m.label)
+			k = m.parent
+		}
+		for i, j := 0, len(labels)-1; i < j; i, j = i+1, j-1 {
+			labels[i], labels[j] = labels[j], labels[i]
+		}
+		return labels
+	}
+	checkPrefix := func(s *state, k string) *Violation {
+		y := sys.Written(s.r)
+		if len(y) > len(sys.X) {
+			return &Violation{Msg: fmt.Sprintf("|Y| = %d exceeds |X| = %d", len(y), len(sys.X)), Path: pathTo(k)}
+		}
+		for i := range y {
+			if y[i] != sys.X[i] {
+				return &Violation{
+					Msg:  fmt.Sprintf("Y[%d] = %v but X[%d] = %v (Y=%s)", i, y[i], i, sys.X[i], wire.BitsToString(y)),
+					Path: pathTo(k),
+				}
+			}
+		}
+		return nil
+	}
+
+	queue := []*state{initial}
+	keys := []string{initial.key()}
+	res.States = 1
+	if v := checkPrefix(initial, keys[0]); v != nil {
+		res.Violation = v
+		return res, nil
+	}
+
+	for len(queue) > 0 {
+		s := queue[0]
+		k := keys[0]
+		queue, keys = queue[1:], keys[1:]
+
+		succs, err := sys.expand(s)
+		if err != nil {
+			// An Apply failure during exploration IS a reachable
+			// misbehaviour (e.g. a burst decoding to a non-codeword under
+			// duplicate deliveries): report it as a violation with its
+			// witness path.
+			res.Violation = &Violation{Msg: err.Error(), Path: pathTo(k)}
+			return res, nil
+		}
+		progressed := false
+		for _, succ := range succs {
+			res.Transitions++
+			nk := succ.next.key()
+			if nk == k {
+				continue // self-loop (idle actions)
+			}
+			progressed = true
+			if _, dup := seen[nk]; dup {
+				continue
+			}
+			seen[nk] = meta{parent: k, label: succ.label}
+			res.States++
+			if res.States > sys.MaxStates {
+				return res, fmt.Errorf("mc: state space exceeds %d states", sys.MaxStates)
+			}
+			if v := checkPrefix(succ.next, nk); v != nil {
+				res.Violation = v
+				return res, nil
+			}
+			queue = append(queue, succ.next)
+			keys = append(keys, nk)
+		}
+		if !progressed {
+			res.Terminals++
+			y := sys.Written(s.r)
+			if wire.BitsToString(y) != wire.BitsToString(sys.X) {
+				res.Violation = &Violation{
+					Msg:  fmt.Sprintf("terminal state with Y = %s, want X = %s", wire.BitsToString(y), wire.BitsToString(sys.X)),
+					Path: pathTo(k),
+				}
+				return res, nil
+			}
+		}
+	}
+	return res, nil
+}

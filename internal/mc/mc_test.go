@@ -1,0 +1,166 @@
+package mc
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/rstp"
+	"repro/internal/wire"
+)
+
+func gammaSystem(t *testing.T, p rstp.Params, k int, xBits string, dup bool) System {
+	t.Helper()
+	x, err := wire.ParseBits(xBits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := rstp.NewGammaTransmitter(p, k, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc, err := rstp.NewGammaReceiver(p, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return System{
+		X: x,
+		T: tr,
+		R: rc,
+		ForkT: func(n Node) (Node, error) {
+			return n.(*rstp.GammaTransmitter).Fork()
+		},
+		ForkR: func(n Node) (Node, error) {
+			return n.(*rstp.GammaReceiver).Fork()
+		},
+		Written: func(n Node) []wire.Bit {
+			return n.(*rstp.GammaReceiver).WrittenBits()
+		},
+		DupDeliveries: dup,
+	}
+}
+
+// TestGammaSafeUnderAllInterleavings is the headline model-checking
+// result: A^γ's prefix safety holds in EVERY reachable state of the
+// untimed composition with an arbitrarily reordering channel — no
+// sampling, no schedules, the full state space.
+func TestGammaSafeUnderAllInterleavings(t *testing.T) {
+	tests := []struct {
+		name string
+		p    rstp.Params
+		k    int
+		x    string
+	}{
+		// δ2 = 2, 1 bit/block, 3 blocks.
+		{name: "delta2=2 three blocks", p: rstp.Params{C1: 1, C2: 2, D: 5}, k: 2, x: "101"},
+		// δ2 = 3, 2 bits/block, 2 blocks.
+		{name: "delta2=3 two blocks", p: rstp.Params{C1: 1, C2: 1, D: 3}, k: 2, x: "1001"},
+		// k = 3, δ2 = 2, μ_3(2) = 6, 2 bits/block.
+		{name: "k=3 two blocks", p: rstp.Params{C1: 1, C2: 2, D: 5}, k: 3, x: "0111"},
+		// δ2 = 4, 2 bits/block, 4 blocks: a deeper pipeline.
+		{name: "delta2=4 four blocks", p: rstp.Params{C1: 1, C2: 1, D: 4}, k: 2, x: "10011100"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			res, err := Check(gammaSystem(t, tt.p, tt.k, tt.x, false))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Violation != nil {
+				t.Fatalf("violation: %v", res.Violation)
+			}
+			if res.States < 10 {
+				t.Errorf("suspiciously few states: %d", res.States)
+			}
+			if res.Terminals == 0 {
+				t.Error("no terminal state reached — liveness suspect")
+			}
+			t.Logf("states=%d transitions=%d terminals=%d", res.States, res.Transitions, res.Terminals)
+		})
+	}
+}
+
+// TestGammaUnsafeUnderDuplication: the checker has teeth. With duplicate
+// deliveries allowed — behaviour the paper's channel C(P) excludes by its
+// send/recv bijection — the exploration finds a real counterexample
+// (an early-advanced burst interleaving at the receiver).
+func TestGammaUnsafeUnderDuplication(t *testing.T) {
+	res, err := Check(gammaSystem(t, rstp.Params{C1: 1, C2: 2, D: 5}, 2, "101", true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Violation == nil {
+		t.Fatal("expected a violation under duplicate deliveries")
+	}
+	if len(res.Violation.Path) == 0 {
+		t.Error("violation should carry a witness path")
+	}
+	if !strings.Contains(res.Violation.Path[len(res.Violation.Path)-1], "dup") &&
+		!pathContainsDup(res.Violation.Path) {
+		t.Errorf("witness path should involve a duplicate delivery: %v", res.Violation.Path)
+	}
+	t.Logf("counterexample (%d steps): %s", len(res.Violation.Path), res.Violation.Error())
+}
+
+func pathContainsDup(path []string) bool {
+	for _, step := range path {
+		if strings.Contains(step, "dup") {
+			return true
+		}
+	}
+	return false
+}
+
+// TestCheckValidation: incomplete systems and state caps are rejected.
+func TestCheckValidation(t *testing.T) {
+	if _, err := Check(System{}); err == nil {
+		t.Error("incomplete system should fail")
+	}
+	sys := gammaSystem(t, rstp.Params{C1: 1, C2: 1, D: 3}, 2, "1001", false)
+	sys.MaxStates = 5
+	if _, err := Check(sys); err == nil || !strings.Contains(err.Error(), "exceeds") {
+		t.Errorf("tiny cap should trip: %v", err)
+	}
+}
+
+// TestForkIndependence: forked automata do not share mutable state.
+func TestForkIndependence(t *testing.T) {
+	p := rstp.Params{C1: 1, C2: 2, D: 5}
+	x, _ := wire.ParseBits("10")
+	tr, err := rstp.NewGammaTransmitter(p, 2, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp, err := tr.Fork()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp.Snapshot() != tr.Snapshot() {
+		t.Fatal("fork changed state")
+	}
+	// Step the copy; the original must not move.
+	act, ok := cp.NextLocal()
+	if !ok {
+		t.Fatal("copy has no action")
+	}
+	if err := cp.Apply(act); err != nil {
+		t.Fatal(err)
+	}
+	if cp.Snapshot() == tr.Snapshot() {
+		t.Fatal("copy step did not change its state")
+	}
+
+	rc, err := rstp.NewGammaReceiver(p, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rcp, err := rc.Fork()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rcp.Apply(wire.Recv{Dir: wire.TtoR, P: wire.DataPacket(0)}); err != nil {
+		t.Fatal(err)
+	}
+	if rc.Snapshot() == rcp.Snapshot() {
+		t.Fatal("receiver fork shares state")
+	}
+}

@@ -1,0 +1,229 @@
+package multiset
+
+import (
+	"fmt"
+	"math/big"
+
+	"repro/internal/wire"
+)
+
+// Codec realises the paper's maps for fixed k and n:
+//
+//	tomulti_k(n): {0,1}^⌊log2 μ_k(n)⌋ → multisets of size n over k symbols
+//	toseq_k(n):   multisets of size n → sequences (the multiset's ToSeq)
+//
+// via an explicit combinatorial ranking of multisets of size exactly n.
+// Rank order: multisets are blocked by the multiplicity of symbol 0
+// (ascending), then recursively by the remaining symbols; the rank of a
+// multiset is its index in that order, in [0, μ_k(n)).
+//
+// Encode maps a block of ⌊log2 μ_k(n)⌋ bits (MSB first) to the multiset
+// with that rank; Decode inverts it. Since 2^⌊log2 μ⌋ <= μ_k(n), every
+// block has a multiset, and Decode rejects multisets whose rank falls
+// outside the encodable range (which only happens on corrupted input).
+//
+// Codecs are immutable after construction and safe for concurrent use.
+type Codec struct {
+	k, n  int
+	bits  int
+	table *Table
+	fast  bool     // all needed μ values fit uint64
+	limit *big.Int // 2^bits
+}
+
+// NewCodec builds a codec for multisets of size n over k symbols. It
+// requires k >= 2 and n >= 1 so that at least one bit can be encoded.
+func NewCodec(k, n int) (*Codec, error) {
+	if k < 2 {
+		return nil, fmt.Errorf("multiset: codec needs k >= 2, got %d", k)
+	}
+	if n < 1 {
+		return nil, fmt.Errorf("multiset: codec needs n >= 1, got %d", n)
+	}
+	table, err := NewTable(k, n)
+	if err != nil {
+		return nil, err
+	}
+	bits := table.Mu(k, n).BitLen() - 1
+	if bits < 1 {
+		return nil, fmt.Errorf("multiset: μ_%d(%d) = %v encodes no bits", k, n, table.Mu(k, n))
+	}
+	return &Codec{
+		k:     k,
+		n:     n,
+		bits:  bits,
+		table: table,
+		fast:  table.AllFit64(k, n),
+		limit: new(big.Int).Lsh(big.NewInt(1), uint(bits)),
+	}, nil
+}
+
+// K returns the universe size.
+func (c *Codec) K() int { return c.k }
+
+// N returns the multiset (burst) size.
+func (c *Codec) N() int { return c.n }
+
+// BlockBits returns ⌊log2 μ_k(n)⌋, the number of bits per block.
+func (c *Codec) BlockBits() int { return c.bits }
+
+// Mu returns μ_k(n) for this codec's parameters.
+func (c *Codec) Mu() *big.Int { return new(big.Int).Set(c.table.Mu(c.k, c.n)) }
+
+// Rank returns the index of m in the codec's multiset order. m must have
+// universe k and size n.
+func (c *Codec) Rank(m Multiset) (*big.Int, error) {
+	if m.K() != c.k || m.Size() != c.n {
+		return nil, fmt.Errorf("multiset: rank wants a multiset of size %d over %d symbols, got size %d over %d", c.n, c.k, m.Size(), m.K())
+	}
+	if c.fast {
+		r, err := c.rank64(m)
+		if err != nil {
+			return nil, err
+		}
+		return new(big.Int).SetUint64(r), nil
+	}
+	rank := new(big.Int)
+	rest := c.n
+	for j := 0; j < c.k-1; j++ {
+		left := c.k - j // universe size still in play
+		cnt := m.Mult(wire.Symbol(j))
+		for cc := 0; cc < cnt; cc++ {
+			rank.Add(rank, c.table.Mu(left-1, rest-cc))
+		}
+		rest -= cnt
+	}
+	return rank, nil
+}
+
+// Unrank returns the multiset with the given rank in [0, μ_k(n)).
+func (c *Codec) Unrank(rank *big.Int) (Multiset, error) {
+	if rank.Sign() < 0 || rank.Cmp(c.table.Mu(c.k, c.n)) >= 0 {
+		return Multiset{}, fmt.Errorf("multiset: rank %v outside [0, μ_%d(%d) = %v)", rank, c.k, c.n, c.table.Mu(c.k, c.n))
+	}
+	if c.fast {
+		return c.unrank64(rank.Uint64())
+	}
+	r := new(big.Int).Set(rank)
+	counts := make([]int, c.k)
+	rest := c.n
+	for j := 0; j < c.k-1; j++ {
+		left := c.k - j
+		cnt := 0
+		for {
+			w := c.table.Mu(left-1, rest-cnt)
+			if r.Cmp(w) < 0 {
+				break
+			}
+			r.Sub(r, w)
+			cnt++
+		}
+		counts[j] = cnt
+		rest -= cnt
+	}
+	counts[c.k-1] = rest
+	return FromCounts(counts)
+}
+
+func (c *Codec) rank64(m Multiset) (uint64, error) {
+	var rank uint64
+	rest := c.n
+	for j := 0; j < c.k-1; j++ {
+		left := c.k - j
+		cnt := m.Mult(wire.Symbol(j))
+		for cc := 0; cc < cnt; cc++ {
+			w, ok := c.table.Mu64(left-1, rest-cc)
+			if !ok {
+				return 0, fmt.Errorf("multiset: internal: fast path without 64-bit μ")
+			}
+			rank += w
+		}
+		rest -= cnt
+	}
+	return rank, nil
+}
+
+func (c *Codec) unrank64(rank uint64) (Multiset, error) {
+	counts := make([]int, c.k)
+	rest := c.n
+	r := rank
+	for j := 0; j < c.k-1; j++ {
+		left := c.k - j
+		cnt := 0
+		for {
+			w, ok := c.table.Mu64(left-1, rest-cnt)
+			if !ok {
+				return Multiset{}, fmt.Errorf("multiset: internal: fast path without 64-bit μ")
+			}
+			if r < w {
+				break
+			}
+			r -= w
+			cnt++
+		}
+		counts[j] = cnt
+		rest -= cnt
+	}
+	counts[c.k-1] = rest
+	return FromCounts(counts)
+}
+
+// Encode maps a block of exactly BlockBits bits (MSB first) to a multiset
+// of size n — the paper's tomulti_k(n).
+func (c *Codec) Encode(block []wire.Bit) (Multiset, error) {
+	if len(block) != c.bits {
+		return Multiset{}, fmt.Errorf("multiset: encode wants %d bits, got %d", c.bits, len(block))
+	}
+	rank := new(big.Int)
+	for _, b := range block {
+		if !b.Valid() {
+			return Multiset{}, fmt.Errorf("multiset: encode: invalid bit %d", b)
+		}
+		rank.Lsh(rank, 1)
+		if b == wire.One {
+			rank.SetBit(rank, 0, 1)
+		}
+	}
+	return c.Unrank(rank)
+}
+
+// EncodeSeq is Encode followed by the ascending linearisation toseq_k(n):
+// it returns the n symbols the transmitter actually sends for the block.
+func (c *Codec) EncodeSeq(block []wire.Bit) ([]wire.Symbol, error) {
+	m, err := c.Encode(block)
+	if err != nil {
+		return nil, err
+	}
+	return m.ToSeq(), nil
+}
+
+// Decode inverts Encode: it returns the BlockBits-bit block whose rank is
+// the multiset's rank. It rejects multisets of the wrong shape and
+// multisets whose rank is >= 2^BlockBits (unencodable, so necessarily
+// corrupted).
+func (c *Codec) Decode(m Multiset) ([]wire.Bit, error) {
+	rank, err := c.Rank(m)
+	if err != nil {
+		return nil, err
+	}
+	if rank.Cmp(c.limit) >= 0 {
+		return nil, fmt.Errorf("multiset: decode: multiset %v has rank %v >= 2^%d (not a codeword)", m, rank, c.bits)
+	}
+	block := make([]wire.Bit, c.bits)
+	for i := 0; i < c.bits; i++ {
+		if rank.Bit(c.bits-1-i) == 1 {
+			block[i] = wire.One
+		}
+	}
+	return block, nil
+}
+
+// DecodeSeq builds the multiset of seq and decodes it; seq's order is
+// irrelevant, which is the whole point of the construction.
+func (c *Codec) DecodeSeq(seq []wire.Symbol) ([]wire.Bit, error) {
+	m, err := FromSeq(c.k, seq)
+	if err != nil {
+		return nil, err
+	}
+	return c.Decode(m)
+}

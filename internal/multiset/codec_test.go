@@ -1,0 +1,330 @@
+package multiset
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/wire"
+)
+
+func mustCodec(t *testing.T, k, n int) *Codec {
+	t.Helper()
+	c, err := NewCodec(k, n)
+	if err != nil {
+		t.Fatalf("NewCodec(%d,%d): %v", k, n, err)
+	}
+	return c
+}
+
+func TestNewCodecErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		k, n int
+	}{
+		{name: "k too small", k: 1, n: 5},
+		{name: "n zero", k: 4, n: 0},
+		{name: "n negative", k: 4, n: -2},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := NewCodec(tt.k, tt.n); err == nil {
+				t.Errorf("NewCodec(%d,%d) should fail", tt.k, tt.n)
+			}
+		})
+	}
+}
+
+// TestRankIsBijection enumerates every multiset for small (k, n) and checks
+// that Rank is a bijection onto [0, μ_k(n)) with Unrank as its inverse.
+func TestRankIsBijection(t *testing.T) {
+	for k := 2; k <= 5; k++ {
+		for n := 1; n <= 6; n++ {
+			c := mustCodec(t, k, n)
+			mu := int(Mu(k, n).Int64())
+			seen := make(map[int64]bool, mu)
+			for _, counts := range enumerate(k, n) {
+				m, err := FromCounts(counts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				r, err := c.Rank(m)
+				if err != nil {
+					t.Fatalf("Rank(%v): %v", m, err)
+				}
+				ri := r.Int64()
+				if ri < 0 || ri >= int64(mu) {
+					t.Fatalf("Rank(%v) = %d outside [0,%d)", m, ri, mu)
+				}
+				if seen[ri] {
+					t.Fatalf("Rank collision at %d (k=%d n=%d)", ri, k, n)
+				}
+				seen[ri] = true
+				back, err := c.Unrank(r)
+				if err != nil {
+					t.Fatalf("Unrank(%d): %v", ri, err)
+				}
+				if !back.Equal(m) {
+					t.Fatalf("Unrank(Rank(%v)) = %v", m, back)
+				}
+			}
+			if len(seen) != mu {
+				t.Fatalf("k=%d n=%d: %d distinct ranks, want %d", k, n, len(seen), mu)
+			}
+		}
+	}
+}
+
+// TestRankUnrankQuick property-checks rank∘unrank = id at a size where the
+// uint64 fast path is active, and at one where only big.Int works.
+func TestRankUnrankQuick(t *testing.T) {
+	cases := []struct {
+		name string
+		k, n int
+	}{
+		{name: "fast-path", k: 6, n: 12},
+		{name: "big-path", k: 48, n: 96}, // μ_48(96) ≫ 2^64
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c := mustCodec(t, tc.k, tc.n)
+			if tc.name == "big-path" && c.fast {
+				t.Fatalf("expected big path for k=%d n=%d", tc.k, tc.n)
+			}
+			mu := c.Mu()
+			rng := rand.New(rand.NewSource(7))
+			f := func() bool {
+				r := new(big.Int).Rand(rng, mu)
+				m, err := c.Unrank(r)
+				if err != nil {
+					return false
+				}
+				if m.Size() != tc.n || m.K() != tc.k {
+					return false
+				}
+				back, err := c.Rank(m)
+				if err != nil {
+					return false
+				}
+				return back.Cmp(r) == 0
+			}
+			if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+}
+
+func TestUnrankRange(t *testing.T) {
+	c := mustCodec(t, 3, 4)
+	if _, err := c.Unrank(big.NewInt(-1)); err == nil {
+		t.Error("Unrank(-1) should fail")
+	}
+	if _, err := c.Unrank(c.Mu()); err == nil {
+		t.Error("Unrank(μ) should fail")
+	}
+	last := new(big.Int).Sub(c.Mu(), big.NewInt(1))
+	if _, err := c.Unrank(last); err != nil {
+		t.Errorf("Unrank(μ-1): %v", err)
+	}
+}
+
+func TestRankShapeErrors(t *testing.T) {
+	c := mustCodec(t, 3, 4)
+	wrongSize, _ := FromCounts([]int{1, 1, 1}) // size 3, want 4
+	if _, err := c.Rank(wrongSize); err == nil {
+		t.Error("Rank on wrong-size multiset should fail")
+	}
+	wrongK, _ := FromCounts([]int{2, 2}) // k = 2, want 3
+	if _, err := c.Rank(wrongK); err == nil {
+		t.Error("Rank on wrong-universe multiset should fail")
+	}
+}
+
+// TestEncodeDecodeRoundTrip checks decode(encode(b)) = b for every block at
+// small sizes and randomly at large sizes.
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	c := mustCodec(t, 3, 4) // μ = 15, L = 3
+	if c.BlockBits() != 3 {
+		t.Fatalf("BlockBits = %d, want 3", c.BlockBits())
+	}
+	for v := 0; v < 1<<3; v++ {
+		block := make([]wire.Bit, 3)
+		for i := range block {
+			block[i] = wire.Bit((v >> (2 - i)) & 1)
+		}
+		m, err := c.Encode(block)
+		if err != nil {
+			t.Fatalf("Encode(%v): %v", block, err)
+		}
+		if m.Size() != 4 {
+			t.Fatalf("Encode produced size %d", m.Size())
+		}
+		back, err := c.Decode(m)
+		if err != nil {
+			t.Fatalf("Decode: %v", err)
+		}
+		if wire.BitsToString(back) != wire.BitsToString(block) {
+			t.Fatalf("round trip %v -> %v -> %v", block, m, back)
+		}
+	}
+}
+
+func TestEncodeDecodeQuick(t *testing.T) {
+	c := mustCodec(t, 8, 16)
+	rng := rand.New(rand.NewSource(11))
+	f := func() bool {
+		block := wire.RandomBits(c.BlockBits(), rng.Uint64)
+		seq, err := c.EncodeSeq(block)
+		if err != nil {
+			return false
+		}
+		if len(seq) != 16 {
+			return false
+		}
+		// Shuffle the sequence: decoding must be order-independent.
+		rng.Shuffle(len(seq), func(i, j int) { seq[i], seq[j] = seq[j], seq[i] })
+		back, err := c.DecodeSeq(seq)
+		if err != nil {
+			return false
+		}
+		return wire.BitsToString(back) == wire.BitsToString(block)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEncodeErrors(t *testing.T) {
+	c := mustCodec(t, 3, 4)
+	if _, err := c.Encode(make([]wire.Bit, 2)); err == nil {
+		t.Error("Encode with short block should fail")
+	}
+	if _, err := c.Encode([]wire.Bit{0, 1, 9}); err == nil {
+		t.Error("Encode with invalid bit should fail")
+	}
+}
+
+func TestDecodeRejectsNonCodewords(t *testing.T) {
+	// k = 3, n = 4: μ = 15, L = 3, so ranks 8..14 are not codewords.
+	c := mustCodec(t, 3, 4)
+	nonCode, err := c.Unrank(big.NewInt(14))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Decode(nonCode); err == nil {
+		t.Error("Decode of rank-14 multiset should fail (not a codeword)")
+	}
+	// Wrong size is rejected too.
+	small, _ := FromCounts([]int{1, 1, 1})
+	if _, err := c.Decode(small); err == nil {
+		t.Error("Decode of wrong-size multiset should fail")
+	}
+}
+
+func TestDecodeSeqRejectsForeignSymbols(t *testing.T) {
+	c := mustCodec(t, 3, 4)
+	if _, err := c.DecodeSeq([]wire.Symbol{0, 1, 2, 5}); err == nil {
+		t.Error("DecodeSeq with symbol 5 over k=3 should fail")
+	}
+}
+
+// TestFastAndBigPathsAgree drives both rank implementations over the same
+// multisets and compares.
+func TestFastAndBigPathsAgree(t *testing.T) {
+	k, n := 5, 9
+	fast := mustCodec(t, k, n)
+	if !fast.fast {
+		t.Fatal("expected fast path")
+	}
+	slow := mustCodec(t, k, n)
+	slow.fast = false // force big.Int path
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 200; trial++ {
+		r := new(big.Int).Rand(rng, fast.Mu())
+		m1, err := fast.Unrank(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m2, err := slow.Unrank(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !m1.Equal(m2) {
+			t.Fatalf("rank %v: fast %v != big %v", r, m1, m2)
+		}
+		r1, _ := fast.Rank(m1)
+		r2, _ := slow.Rank(m2)
+		if r1.Cmp(r2) != 0 || r1.Cmp(r) != 0 {
+			t.Fatalf("rank mismatch: %v vs %v vs %v", r1, r2, r)
+		}
+	}
+}
+
+// TestRankOrderIsByFirstCount documents the codec's order: ascending count
+// of symbol 0 first.
+func TestRankOrderIsByFirstCount(t *testing.T) {
+	c := mustCodec(t, 2, 3)
+	// Order over k=2, n=3 (count0 ascending): {1,1,1},{0,1,1},{0,0,1},{0,0,0}.
+	wantOrder := [][]int{{0, 3}, {1, 2}, {2, 1}, {3, 0}}
+	for i, counts := range wantOrder {
+		m, _ := FromCounts(counts)
+		r, err := c.Rank(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Int64() != int64(i) {
+			t.Errorf("Rank(%v) = %v, want %d", m, r, i)
+		}
+	}
+}
+
+func BenchmarkEncodeFast(b *testing.B) {
+	c, err := NewCodec(8, 16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	block := wire.RandomBits(c.BlockBits(), rng.Uint64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Encode(block); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecodeFast(b *testing.B) {
+	c, err := NewCodec(8, 16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	block := wire.RandomBits(c.BlockBits(), rng.Uint64)
+	m, err := c.Encode(block)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Decode(m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEncodeBig(b *testing.B) {
+	c, err := NewCodec(48, 96)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	block := wire.RandomBits(c.BlockBits(), rng.Uint64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Encode(block); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

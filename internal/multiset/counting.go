@@ -1,0 +1,185 @@
+package multiset
+
+import (
+	"fmt"
+	"math"
+	"math/big"
+)
+
+// Mu returns μ_k(n) = C(n+k-1, k-1), the number of multisets of size
+// exactly n over a universe of k symbols. μ_k(0) = 1 (the empty multiset).
+func Mu(k, n int) *big.Int {
+	if k < 1 || n < 0 {
+		return big.NewInt(0)
+	}
+	return new(big.Int).Binomial(int64(n+k-1), int64(k-1))
+}
+
+// Mu64 returns μ_k(n) as a uint64 when it fits, with ok reporting success.
+// The value is computed exactly (a multiplicative scheme suffers spurious
+// intermediate overflow), so ok is false only when μ_k(n) itself exceeds
+// 64 bits.
+func Mu64(k, n int) (v uint64, ok bool) {
+	if k < 1 || n < 0 {
+		return 0, false
+	}
+	mu := Mu(k, n)
+	if !mu.IsUint64() {
+		return 0, false
+	}
+	return mu.Uint64(), true
+}
+
+// Zeta returns ζ_k(n) = Σ_{j=1..n} μ_k(j), the number of non-empty
+// multisets over k symbols with at most n elements (Section 3).
+func Zeta(k, n int) *big.Int {
+	total := new(big.Int)
+	for j := 1; j <= n; j++ {
+		total.Add(total, Mu(k, j))
+	}
+	return total
+}
+
+// Log2Big returns log2(x) for a positive big integer, accurate to roughly
+// float64 precision.
+func Log2Big(x *big.Int) float64 {
+	if x.Sign() <= 0 {
+		return math.Inf(-1)
+	}
+	bl := x.BitLen()
+	if bl <= 53 {
+		return math.Log2(float64(x.Uint64()))
+	}
+	shift := uint(bl - 53)
+	top := new(big.Int).Rsh(x, shift)
+	return math.Log2(float64(top.Uint64())) + float64(shift)
+}
+
+// Log2Mu returns log2(μ_k(n)).
+func Log2Mu(k, n int) float64 { return Log2Big(Mu(k, n)) }
+
+// Log2Zeta returns log2(ζ_k(n)).
+func Log2Zeta(k, n int) float64 { return Log2Big(Zeta(k, n)) }
+
+// BlockBits returns ⌊log2 μ_k(n)⌋ — the number of input bits that
+// tomulti_k(n) packs into one multiset of n k-ary symbols, i.e. one
+// transmission burst of the paper's A^β(k) and A^γ(k) protocols.
+//
+// It returns 0 when μ_k(n) < 2 (nothing can be encoded).
+func BlockBits(k, n int) int {
+	mu := Mu(k, n)
+	if mu.Sign() <= 0 {
+		return 0
+	}
+	return mu.BitLen() - 1
+}
+
+// ForEach enumerates every multiset of size n over k symbols, in the
+// codec's rank order (ascending count of symbol 0, then recursively), and
+// calls yield for each; enumeration stops early when yield returns false.
+// The Multiset passed to yield is reused across calls — Clone it to keep
+// it.
+func ForEach(k, n int, yield func(Multiset) bool) error {
+	if k < 1 {
+		return fmt.Errorf("multiset: ForEach needs k >= 1, got %d", k)
+	}
+	if n < 0 {
+		return fmt.Errorf("multiset: ForEach needs n >= 0, got %d", n)
+	}
+	counts := make([]int, k)
+	var walk func(sym, rest int) bool
+	walk = func(sym, rest int) bool {
+		if sym == k-1 {
+			counts[sym] = rest
+			m, err := FromCounts(counts)
+			if err != nil {
+				return false
+			}
+			return yield(m)
+		}
+		for c := 0; c <= rest; c++ {
+			counts[sym] = c
+			if !walk(sym+1, rest-c) {
+				return false
+			}
+		}
+		counts[sym] = 0
+		return true
+	}
+	walk(0, n)
+	return nil
+}
+
+// Table precomputes μ_j(m) for all 1 <= j <= k and 0 <= m <= n, so that
+// ranking and unranking run without repeated binomial evaluation. Tables
+// are immutable after construction and safe for concurrent use.
+type Table struct {
+	k, n int
+	mu   [][]*big.Int // mu[j][m] = μ_j(m), j in 1..k
+	mu64 [][]uint64   // mu64[j][m] valid iff fits64[j][m]
+	fits [][]bool
+}
+
+// NewTable builds the μ table for universes up to k and sizes up to n.
+func NewTable(k, n int) (*Table, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("multiset: table needs k >= 1, got %d", k)
+	}
+	if n < 0 {
+		return nil, fmt.Errorf("multiset: table needs n >= 0, got %d", n)
+	}
+	t := &Table{
+		k:    k,
+		n:    n,
+		mu:   make([][]*big.Int, k+1),
+		mu64: make([][]uint64, k+1),
+		fits: make([][]bool, k+1),
+	}
+	for j := 1; j <= k; j++ {
+		t.mu[j] = make([]*big.Int, n+1)
+		t.mu64[j] = make([]uint64, n+1)
+		t.fits[j] = make([]bool, n+1)
+		for m := 0; m <= n; m++ {
+			if j == 1 {
+				t.mu[j][m] = big.NewInt(1)
+			} else if m == 0 {
+				t.mu[j][m] = big.NewInt(1)
+			} else {
+				// Pascal-style recurrence: μ_j(m) = μ_{j-1}(m) + μ_j(m-1).
+				t.mu[j][m] = new(big.Int).Add(t.mu[j-1][m], t.mu[j][m-1])
+			}
+			if t.mu[j][m].IsUint64() {
+				t.mu64[j][m] = t.mu[j][m].Uint64()
+				t.fits[j][m] = true
+			}
+		}
+	}
+	return t, nil
+}
+
+// K returns the largest universe size covered.
+func (t *Table) K() int { return t.k }
+
+// N returns the largest multiset size covered.
+func (t *Table) N() int { return t.n }
+
+// Mu returns μ_j(m) from the table. It panics if (j, m) is out of range;
+// the table's bounds are fixed at construction and callers size them from
+// protocol parameters.
+func (t *Table) Mu(j, m int) *big.Int { return t.mu[j][m] }
+
+// Mu64 returns μ_j(m) as a uint64 when it fits.
+func (t *Table) Mu64(j, m int) (uint64, bool) { return t.mu64[j][m], t.fits[j][m] }
+
+// AllFit64 reports whether every μ_j(m) with j <= kk and m <= nn fits in a
+// uint64, enabling the codec's fast path.
+func (t *Table) AllFit64(kk, nn int) bool {
+	for j := 1; j <= kk; j++ {
+		for m := 0; m <= nn; m++ {
+			if !t.fits[j][m] {
+				return false
+			}
+		}
+	}
+	return true
+}

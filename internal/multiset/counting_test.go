@@ -1,0 +1,304 @@
+package multiset
+
+import (
+	"math"
+	"math/big"
+	"testing"
+	"testing/quick"
+)
+
+func TestMuSmallValues(t *testing.T) {
+	tests := []struct {
+		k, n int
+		want int64
+	}{
+		{k: 1, n: 0, want: 1},
+		{k: 1, n: 5, want: 1},
+		{k: 2, n: 0, want: 1},
+		{k: 2, n: 1, want: 2},
+		{k: 2, n: 5, want: 6},     // δ1 + 1 for k = 2
+		{k: 3, n: 2, want: 6},     // {00,01,02,11,12,22}
+		{k: 3, n: 3, want: 10},    // C(5,2)
+		{k: 4, n: 4, want: 35},    // C(7,3)
+		{k: 5, n: 10, want: 1001}, // C(14,4)
+		{k: 10, n: 1, want: 10},
+		{k: 64, n: 1, want: 64},
+	}
+	for _, tt := range tests {
+		if got := Mu(tt.k, tt.n); got.Int64() != tt.want {
+			t.Errorf("Mu(%d,%d) = %v, want %d", tt.k, tt.n, got, tt.want)
+		}
+		got64, ok := Mu64(tt.k, tt.n)
+		if !ok || got64 != uint64(tt.want) {
+			t.Errorf("Mu64(%d,%d) = %d,%v, want %d", tt.k, tt.n, got64, ok, tt.want)
+		}
+	}
+}
+
+func TestMuInvalidArgs(t *testing.T) {
+	if got := Mu(0, 3); got.Sign() != 0 {
+		t.Errorf("Mu(0,3) = %v, want 0", got)
+	}
+	if got := Mu(2, -1); got.Sign() != 0 {
+		t.Errorf("Mu(2,-1) = %v, want 0", got)
+	}
+	if _, ok := Mu64(0, 3); ok {
+		t.Error("Mu64(0,3) should fail")
+	}
+}
+
+// TestMuMatchesEnumeration cross-checks μ against brute-force enumeration
+// of multisets for small k, n.
+func TestMuMatchesEnumeration(t *testing.T) {
+	for k := 1; k <= 5; k++ {
+		for n := 0; n <= 7; n++ {
+			count := int64(len(enumerate(k, n)))
+			if got := Mu(k, n).Int64(); got != count {
+				t.Errorf("Mu(%d,%d) = %d, enumeration says %d", k, n, got, count)
+			}
+		}
+	}
+}
+
+// enumerate returns every multiplicity vector of size n over k symbols.
+func enumerate(k, n int) [][]int {
+	if k == 1 {
+		return [][]int{{n}}
+	}
+	var out [][]int
+	for c := 0; c <= n; c++ {
+		for _, rest := range enumerate(k-1, n-c) {
+			row := append([]int{c}, rest...)
+			out = append(out, row)
+		}
+	}
+	return out
+}
+
+func TestZeta(t *testing.T) {
+	tests := []struct {
+		k, n int
+		want int64
+	}{
+		{k: 2, n: 1, want: 2},
+		{k: 2, n: 3, want: 2 + 3 + 4},
+		{k: 3, n: 2, want: 3 + 6},
+		{k: 2, n: 0, want: 0}, // empty sum
+	}
+	for _, tt := range tests {
+		if got := Zeta(tt.k, tt.n); got.Int64() != tt.want {
+			t.Errorf("Zeta(%d,%d) = %v, want %d", tt.k, tt.n, got, tt.want)
+		}
+	}
+}
+
+// TestZetaBoundedByNMu checks the paper's remark ζ_k(n) <= n·μ_k(n).
+func TestZetaBoundedByNMu(t *testing.T) {
+	for k := 2; k <= 8; k++ {
+		for n := 1; n <= 12; n++ {
+			zeta := Zeta(k, n)
+			bound := new(big.Int).Mul(big.NewInt(int64(n)), Mu(k, n))
+			if zeta.Cmp(bound) > 0 {
+				t.Errorf("ζ_%d(%d) = %v > n·μ = %v", k, n, zeta, bound)
+			}
+			if zeta.Cmp(Mu(k, n)) < 0 {
+				t.Errorf("ζ_%d(%d) = %v < μ_%d(%d) = %v", k, n, zeta, k, n, Mu(k, n))
+			}
+		}
+	}
+}
+
+func TestLog2Big(t *testing.T) {
+	tests := []struct {
+		x    int64
+		want float64
+	}{
+		{x: 1, want: 0},
+		{x: 2, want: 1},
+		{x: 1024, want: 10},
+		{x: 3, want: math.Log2(3)},
+	}
+	for _, tt := range tests {
+		if got := Log2Big(big.NewInt(tt.x)); math.Abs(got-tt.want) > 1e-9 {
+			t.Errorf("Log2Big(%d) = %g, want %g", tt.x, got, tt.want)
+		}
+	}
+	// Large value: log2(2^100) = 100 exactly.
+	big100 := new(big.Int).Lsh(big.NewInt(1), 100)
+	if got := Log2Big(big100); math.Abs(got-100) > 1e-9 {
+		t.Errorf("Log2Big(2^100) = %g, want 100", got)
+	}
+	if got := Log2Big(big.NewInt(0)); !math.IsInf(got, -1) {
+		t.Errorf("Log2Big(0) = %g, want -Inf", got)
+	}
+}
+
+// TestLog2BigLargeAccuracy compares against big.Float-based computation on
+// random widths.
+func TestLog2BigLargeAccuracy(t *testing.T) {
+	f := func(shift uint8, add uint32) bool {
+		x := new(big.Int).Lsh(big.NewInt(int64(add)+1), uint(shift))
+		got := Log2Big(x)
+		// Reference via big.Float.
+		ref, _ := new(big.Float).SetInt(x).Float64()
+		want := math.Log2(ref)
+		if math.IsInf(ref, 1) {
+			return true // outside float64 range; skip
+		}
+		return math.Abs(got-want) < 1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBlockBits(t *testing.T) {
+	tests := []struct {
+		k, n, want int
+	}{
+		{k: 2, n: 1, want: 1},    // μ = 2
+		{k: 2, n: 5, want: 2},    // μ = 6
+		{k: 3, n: 3, want: 3},    // μ = 10
+		{k: 4, n: 4, want: 5},    // μ = 35
+		{k: 5, n: 10, want: 9},   // μ = 1001
+		{k: 1, n: 5, want: 0},    // μ = 1: nothing encodable
+		{k: 16, n: 10, want: 21}, // μ_16(10) = C(25,15) = 3268760, log2 ≈ 21.6
+	}
+	for _, tt := range tests {
+		if got := BlockBits(tt.k, tt.n); got != tt.want {
+			t.Errorf("BlockBits(%d,%d) = %d, want %d (μ = %v)", tt.k, tt.n, got, tt.want, Mu(tt.k, tt.n))
+		}
+	}
+}
+
+func TestNewTableErrors(t *testing.T) {
+	if _, err := NewTable(0, 3); err == nil {
+		t.Error("NewTable(0,3) should fail")
+	}
+	if _, err := NewTable(2, -1); err == nil {
+		t.Error("NewTable(2,-1) should fail")
+	}
+}
+
+func TestTableMatchesMu(t *testing.T) {
+	tab, err := NewTable(8, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := 1; j <= 8; j++ {
+		for m := 0; m <= 20; m++ {
+			if tab.Mu(j, m).Cmp(Mu(j, m)) != 0 {
+				t.Errorf("table Mu(%d,%d) = %v, direct = %v", j, m, tab.Mu(j, m), Mu(j, m))
+			}
+			v64, ok := tab.Mu64(j, m)
+			if !ok {
+				t.Errorf("Mu64(%d,%d) should fit", j, m)
+				continue
+			}
+			if v64 != Mu(j, m).Uint64() {
+				t.Errorf("table Mu64(%d,%d) = %d, want %v", j, m, v64, Mu(j, m))
+			}
+		}
+	}
+	if !tab.AllFit64(8, 20) {
+		t.Error("AllFit64(8,20) should hold")
+	}
+}
+
+// TestTableHugeValues checks big.Int handling beyond uint64.
+func TestTableHugeValues(t *testing.T) {
+	tab, err := NewTable(64, 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// μ_64(80) = C(143, 63) overflows uint64 by a wide margin.
+	if tab.AllFit64(64, 80) {
+		t.Error("μ_64(80) should not fit in uint64")
+	}
+	if tab.Mu(64, 80).Cmp(Mu(64, 80)) != 0 {
+		t.Error("table disagrees with direct binomial for μ_64(80)")
+	}
+	if _, ok := Mu64(64, 80); ok {
+		t.Error("Mu64(64,80) should report overflow")
+	}
+}
+
+// TestMu64AgreesWithBig property: whenever Mu64 succeeds it equals Mu.
+func TestMu64AgreesWithBig(t *testing.T) {
+	f := func(k8, n8 uint8) bool {
+		k := int(k8%32) + 1
+		n := int(n8 % 64)
+		v, ok := Mu64(k, n)
+		mu := Mu(k, n)
+		if !ok {
+			return !mu.IsUint64()
+		}
+		return mu.IsUint64() && mu.Uint64() == v
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestForEachMatchesRankOrder: the enumeration visits exactly μ_k(n)
+// multisets, in codec rank order.
+func TestForEachMatchesRankOrder(t *testing.T) {
+	for k := 2; k <= 4; k++ {
+		for n := 1; n <= 5; n++ {
+			codec, err := NewCodec(k, n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var visited int64
+			if err := ForEach(k, n, func(m Multiset) bool {
+				r, err := codec.Rank(m)
+				if err != nil {
+					t.Fatalf("rank during enumeration: %v", err)
+				}
+				if r.Int64() != visited {
+					t.Fatalf("k=%d n=%d: visit %d has rank %v", k, n, visited, r)
+				}
+				visited++
+				return true
+			}); err != nil {
+				t.Fatal(err)
+			}
+			if visited != Mu(k, n).Int64() {
+				t.Fatalf("k=%d n=%d: visited %d, want μ = %v", k, n, visited, Mu(k, n))
+			}
+		}
+	}
+}
+
+func TestForEachEarlyStopAndErrors(t *testing.T) {
+	count := 0
+	if err := ForEach(3, 3, func(Multiset) bool {
+		count++
+		return count < 4
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if count != 4 {
+		t.Errorf("early stop after %d visits, want 4", count)
+	}
+	if err := ForEach(0, 3, func(Multiset) bool { return true }); err == nil {
+		t.Error("k = 0 should fail")
+	}
+	if err := ForEach(2, -1, func(Multiset) bool { return true }); err == nil {
+		t.Error("n < 0 should fail")
+	}
+}
+
+func BenchmarkMuBig(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		Mu(16, 64)
+	}
+}
+
+func BenchmarkMu64(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, ok := Mu64(8, 20); !ok {
+			b.Fatal("overflow")
+		}
+	}
+}

@@ -1,0 +1,112 @@
+package multiset
+
+import (
+	"math/big"
+	"testing"
+
+	"repro/internal/wire"
+)
+
+// FuzzDecodeNeverPanics feeds arbitrary multiplicity vectors to the
+// decoder: it must return a clean error or a correct block, never panic,
+// and accepted multisets must round-trip.
+func FuzzDecodeNeverPanics(f *testing.F) {
+	f.Add(3, 4, []byte{1, 1, 2})
+	f.Add(2, 5, []byte{5, 0})
+	f.Add(4, 6, []byte{0, 0, 0, 6})
+	f.Add(2, 1, []byte{})
+	f.Fuzz(func(t *testing.T, k, n int, raw []byte) {
+		if k < 2 || k > 12 || n < 1 || n > 24 {
+			t.Skip()
+		}
+		codec, err := NewCodec(k, n)
+		if err != nil {
+			t.Skip()
+		}
+		counts := make([]int, k)
+		for i := 0; i < k && i < len(raw); i++ {
+			counts[i] = int(raw[i] % 32)
+		}
+		m, err := FromCounts(counts)
+		if err != nil {
+			t.Skip()
+		}
+		block, err := codec.Decode(m)
+		if err != nil {
+			return // rejected: fine
+		}
+		if len(block) != codec.BlockBits() {
+			t.Fatalf("accepted block has %d bits, want %d", len(block), codec.BlockBits())
+		}
+		back, err := codec.Encode(block)
+		if err != nil {
+			t.Fatalf("re-encode of accepted block failed: %v", err)
+		}
+		if !back.Equal(m) {
+			t.Fatalf("decode/encode mismatch: %v vs %v", m, back)
+		}
+	})
+}
+
+// FuzzUnrankRank: any in-range rank round-trips; any out-of-range rank is
+// rejected without panicking.
+func FuzzUnrankRank(f *testing.F) {
+	f.Add(3, 5, uint64(0))
+	f.Add(3, 5, uint64(20))
+	f.Add(8, 10, uint64(1<<40))
+	f.Fuzz(func(t *testing.T, k, n int, r uint64) {
+		if k < 2 || k > 10 || n < 1 || n > 20 {
+			t.Skip()
+		}
+		codec, err := NewCodec(k, n)
+		if err != nil {
+			t.Skip()
+		}
+		rank := new(big.Int).SetUint64(r)
+		m, err := codec.Unrank(rank)
+		if err != nil {
+			if rank.Cmp(codec.Mu()) < 0 {
+				t.Fatalf("in-range rank %v rejected: %v", rank, err)
+			}
+			return
+		}
+		back, err := codec.Rank(m)
+		if err != nil {
+			t.Fatalf("rank of unranked multiset failed: %v", err)
+		}
+		if back.Cmp(rank) != 0 {
+			t.Fatalf("rank round trip %v -> %v", rank, back)
+		}
+	})
+}
+
+// FuzzEncodeSeqShuffleDecode: any encodable block survives any
+// permutation of its symbol sequence.
+func FuzzEncodeSeqShuffleDecode(f *testing.F) {
+	f.Add(uint64(0), uint(0))
+	f.Add(uint64(12345), uint(7))
+	f.Fuzz(func(t *testing.T, blockBits uint64, rot uint) {
+		codec, err := NewCodec(5, 9) // L = 12
+		if err != nil {
+			t.Fatal(err)
+		}
+		block := make([]wire.Bit, codec.BlockBits())
+		for i := range block {
+			block[i] = wire.Bit((blockBits >> uint(i)) & 1)
+		}
+		seq, err := codec.EncodeSeq(block)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Rotate the sequence by rot positions — a permutation.
+		r := int(rot) % len(seq)
+		rotated := append(append([]wire.Symbol(nil), seq[r:]...), seq[:r]...)
+		back, err := codec.DecodeSeq(rotated)
+		if err != nil {
+			t.Fatalf("decode of rotated codeword failed: %v", err)
+		}
+		if wire.BitsToString(back) != wire.BitsToString(block) {
+			t.Fatalf("rotation changed decode: %s vs %s", wire.BitsToString(back), wire.BitsToString(block))
+		}
+	})
+}

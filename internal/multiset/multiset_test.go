@@ -1,0 +1,216 @@
+package multiset
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/wire"
+)
+
+func TestNewIsEmpty(t *testing.T) {
+	m := New(4)
+	if m.Size() != 0 || m.K() != 4 {
+		t.Fatalf("New(4): size=%d k=%d", m.Size(), m.K())
+	}
+	for s := 0; s < 4; s++ {
+		if m.Mult(wire.Symbol(s)) != 0 {
+			t.Errorf("Mult(%d) = %d on empty", s, m.Mult(wire.Symbol(s)))
+		}
+	}
+}
+
+func TestAddRemoveMult(t *testing.T) {
+	m := New(3)
+	for _, s := range []wire.Symbol{0, 2, 2, 1} {
+		if err := m.Add(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if m.Size() != 4 {
+		t.Fatalf("size = %d, want 4", m.Size())
+	}
+	if m.Mult(2) != 2 || m.Mult(0) != 1 || m.Mult(1) != 1 {
+		t.Fatalf("unexpected counts %v", m.Counts())
+	}
+	if err := m.Remove(2); err != nil {
+		t.Fatal(err)
+	}
+	if m.Mult(2) != 1 || m.Size() != 3 {
+		t.Fatalf("after remove: mult=%d size=%d", m.Mult(2), m.Size())
+	}
+	if err := m.Remove(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Remove(2); err == nil {
+		t.Error("removing absent symbol should fail")
+	}
+}
+
+func TestAddOutOfRange(t *testing.T) {
+	m := New(3)
+	if err := m.Add(3); err == nil {
+		t.Error("Add(3) over k=3 should fail")
+	}
+	if err := m.Add(-1); err == nil {
+		t.Error("Add(-1) should fail")
+	}
+}
+
+func TestFromSeqAndToSeq(t *testing.T) {
+	seq := []wire.Symbol{2, 0, 2, 1, 0}
+	m, err := FromSeq(3, seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := m.ToSeq()
+	want := []wire.Symbol{0, 0, 1, 2, 2}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("ToSeq = %v, want %v", got, want)
+	}
+}
+
+func TestFromSeqError(t *testing.T) {
+	if _, err := FromSeq(2, []wire.Symbol{0, 5}); err == nil {
+		t.Error("FromSeq with out-of-range symbol should fail")
+	}
+}
+
+func TestFromCounts(t *testing.T) {
+	m, err := FromCounts([]int{1, 0, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Size() != 4 || m.Mult(2) != 3 {
+		t.Fatalf("FromCounts: size=%d mult2=%d", m.Size(), m.Mult(2))
+	}
+	if _, err := FromCounts([]int{1, -1}); err == nil {
+		t.Error("negative count should fail")
+	}
+}
+
+func TestEqualAndClone(t *testing.T) {
+	a, _ := FromCounts([]int{1, 2, 0})
+	b := a.Clone()
+	if !a.Equal(b) {
+		t.Fatal("clone not equal")
+	}
+	if err := b.Add(2); err != nil {
+		t.Fatal(err)
+	}
+	if a.Equal(b) {
+		t.Fatal("mutating clone changed original equality")
+	}
+	if a.Mult(2) != 0 {
+		t.Fatal("clone aliases original storage")
+	}
+	c, _ := FromCounts([]int{1, 2}) // different universe
+	if a.Equal(c) {
+		t.Fatal("different universes must not compare equal")
+	}
+}
+
+func TestSubmultisetOf(t *testing.T) {
+	small, _ := FromCounts([]int{1, 1, 0})
+	large, _ := FromCounts([]int{2, 1, 1})
+	if !small.SubmultisetOf(large) {
+		t.Error("small ⊑ large expected")
+	}
+	if large.SubmultisetOf(small) {
+		t.Error("large ⊑ small unexpected")
+	}
+	empty := New(3)
+	if !empty.SubmultisetOf(small) {
+		t.Error("empty ⊑ anything expected")
+	}
+	otherK := New(2)
+	if otherK.SubmultisetOf(small) {
+		t.Error("different universes are incomparable")
+	}
+}
+
+func TestClear(t *testing.T) {
+	m, _ := FromCounts([]int{3, 1})
+	m.Clear()
+	if m.Size() != 0 || m.Mult(0) != 0 {
+		t.Fatalf("Clear left size=%d", m.Size())
+	}
+}
+
+func TestStringAndKey(t *testing.T) {
+	m, _ := FromCounts([]int{2, 0, 1})
+	if got := m.String(); got != "{0,0,2}" {
+		t.Errorf("String = %q", got)
+	}
+	if got := m.Key(); got != "2,0,1" {
+		t.Errorf("Key = %q", got)
+	}
+	if New(2).String() != "{}" {
+		t.Errorf("empty String = %q", New(2).String())
+	}
+}
+
+func TestCountsIsCopy(t *testing.T) {
+	m, _ := FromCounts([]int{1, 1})
+	c := m.Counts()
+	c[0] = 99
+	if m.Mult(0) != 1 {
+		t.Fatal("Counts leaked internal storage")
+	}
+}
+
+// Property: FromSeq(ToSeq(m)) = m.
+func TestSeqRoundTripQuick(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	f := func() bool {
+		k := 1 + rng.Intn(8)
+		n := rng.Intn(20)
+		m := New(k)
+		for i := 0; i < n; i++ {
+			if err := m.Add(wire.Symbol(rng.Intn(k))); err != nil {
+				return false
+			}
+		}
+		back, err := FromSeq(k, m.ToSeq())
+		if err != nil {
+			return false
+		}
+		return back.Equal(m) && back.Key() == m.Key()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Add then Remove restores the multiset.
+func TestAddRemoveInverseQuick(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	f := func() bool {
+		k := 2 + rng.Intn(6)
+		m := New(k)
+		for i := 0; i < 10; i++ {
+			_ = m.Add(wire.Symbol(rng.Intn(k)))
+		}
+		before := m.Clone()
+		s := wire.Symbol(rng.Intn(k))
+		if err := m.Add(s); err != nil {
+			return false
+		}
+		if err := m.Remove(s); err != nil {
+			return false
+		}
+		return m.Equal(before)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSortSymbols(t *testing.T) {
+	seq := []wire.Symbol{3, 1, 2, 1}
+	SortSymbols(seq)
+	if !reflect.DeepEqual(seq, []wire.Symbol{1, 1, 2, 3}) {
+		t.Errorf("SortSymbols = %v", seq)
+	}
+}

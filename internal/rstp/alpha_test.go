@@ -1,0 +1,219 @@
+package rstp
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/chanmodel"
+	"repro/internal/ioa"
+	"repro/internal/sim"
+	"repro/internal/wire"
+)
+
+// stepLocal fires the automaton's enabled local action and returns it.
+func stepLocal(t *testing.T, a ioa.Automaton) (ioa.Action, bool) {
+	t.Helper()
+	act, ok := a.NextLocal()
+	if !ok {
+		return nil, false
+	}
+	if err := a.Apply(act); err != nil {
+		t.Fatalf("apply %v: %v", act, err)
+	}
+	return act, true
+}
+
+func TestAlphaTransmitterStepSequence(t *testing.T) {
+	p := Params{C1: 2, C2: 3, D: 8} // ⌈d/c1⌉ = 4 steps per round
+	x, _ := wire.ParseBits("10")
+	tr, err := NewAlphaTransmitter(p, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var kinds []string
+	for {
+		act, ok := stepLocal(t, tr)
+		if !ok {
+			break
+		}
+		kinds = append(kinds, act.Kind())
+		if len(kinds) > 100 {
+			t.Fatal("runaway transmitter")
+		}
+	}
+	// Per message: 1 send + 3 waits.
+	want := []string{"send", "wait_t", "wait_t", "wait_t", "send", "wait_t", "wait_t", "wait_t"}
+	if len(kinds) != len(want) {
+		t.Fatalf("kinds = %v, want %v", kinds, want)
+	}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Fatalf("step %d = %s, want %s", i, kinds[i], want[i])
+		}
+	}
+	if !tr.Done() {
+		t.Error("transmitter should be done")
+	}
+}
+
+func TestAlphaTransmitterSendsBitsInOrder(t *testing.T) {
+	p := Params{C1: 1, C2: 1, D: 2}
+	x, _ := wire.ParseBits("1101")
+	tr, err := NewAlphaTransmitter(p, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sent []wire.Bit
+	for {
+		act, ok := stepLocal(t, tr)
+		if !ok {
+			break
+		}
+		if s, isSend := act.(wire.Send); isSend {
+			sent = append(sent, wire.Bit(s.P.Symbol))
+		}
+	}
+	if wire.BitsToString(sent) != "1101" {
+		t.Fatalf("sent %s", wire.BitsToString(sent))
+	}
+}
+
+func TestAlphaTransmitterValidation(t *testing.T) {
+	if _, err := NewAlphaTransmitter(Params{C1: 0, C2: 1, D: 2}, nil); err == nil {
+		t.Error("bad params should fail")
+	}
+	if _, err := NewAlphaTransmitter(Params{C1: 1, C2: 1, D: 2}, []wire.Bit{5}); err == nil {
+		t.Error("invalid bit should fail")
+	}
+}
+
+func TestAlphaTransmitterIsRPassive(t *testing.T) {
+	p := Params{C1: 1, C2: 1, D: 2}
+	tr, err := NewAlphaTransmitter(p, []wire.Bit{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No inputs in the signature: recv classifies as none.
+	if got := tr.Classify(wire.Recv{Dir: wire.RtoT, P: wire.AckPacket()}); got != ioa.ClassNone {
+		t.Errorf("r-passive transmitter classifies ack recv as %v", got)
+	}
+	if !tr.DeterministicIOA() {
+		t.Error("alpha transmitter must be deterministic")
+	}
+	if tr.Name() != TransmitterName {
+		t.Errorf("name = %q", tr.Name())
+	}
+}
+
+func TestAlphaReceiverWriteIdlePriority(t *testing.T) {
+	p := Params{C1: 1, C2: 1, D: 2}
+	rc, err := NewAlphaReceiver(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Empty: idles.
+	act, ok := rc.NextLocal()
+	if !ok || act.Kind() != "idle_r" {
+		t.Fatalf("empty receiver NextLocal = %v", act)
+	}
+	// Input-enabled at any time.
+	if err := rc.Apply(wire.Recv{Dir: wire.TtoR, P: wire.DataPacket(1)}); err != nil {
+		t.Fatal(err)
+	}
+	act, ok = rc.NextLocal()
+	if !ok || act.Kind() != wire.KindWrite {
+		t.Fatalf("receiver with pending message NextLocal = %v", act)
+	}
+	if w := act.(wire.Write); w.M != wire.One {
+		t.Fatalf("write %v, want 1", w.M)
+	}
+	if err := rc.Apply(act); err != nil {
+		t.Fatal(err)
+	}
+	if rc.Written() != 1 {
+		t.Fatalf("written = %d", rc.Written())
+	}
+	// Back to idling.
+	act, _ = rc.NextLocal()
+	if act.Kind() != "idle_r" {
+		t.Fatalf("drained receiver NextLocal = %v", act)
+	}
+}
+
+func TestAlphaReceiverRejectsForeignActions(t *testing.T) {
+	rc, err := NewAlphaReceiver(Params{C1: 1, C2: 1, D: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rc.Apply(wire.Send{Dir: wire.TtoR, P: wire.DataPacket(0)}); !errors.Is(err, ioa.ErrNotInSignature) {
+		t.Errorf("send applied to receiver: %v", err)
+	}
+	// A write that is not the enabled one.
+	if err := rc.Apply(wire.Write{M: 1}); !errors.Is(err, ioa.ErrNotEnabled) {
+		t.Errorf("spurious write: %v", err)
+	}
+}
+
+// TestAlphaReceiverBuffersAtMostTwo reproduces the paper's Section 4
+// remark: "The assumption that c2 < d guarantees that A_r^α has to store
+// only two messages" — the pending (received-but-unwritten) count never
+// exceeds 2 in any good execution, across schedules and channels.
+func TestAlphaReceiverBuffersAtMostTwo(t *testing.T) {
+	for _, p := range []Params{
+		{C1: 1, C2: 1, D: 2},
+		{C1: 2, C2: 3, D: 8},
+		{C1: 2, C2: 5, D: 11},
+	} {
+		s, err := Alpha(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		x := randomInput(t, s, 64, 12)
+		rng := rand.New(rand.NewSource(13))
+		for _, opt := range []RunOptions{
+			{}, // slow + max delay
+			{TPolicy: sim.FixedGap{C: p.C1}, RPolicy: sim.FixedGap{C: p.C2}, Delay: chanmodel.Zero{}},
+			{
+				TPolicy: sim.RandomGap{C1: p.C1, C2: p.C2, Int63n: rng.Int63n},
+				RPolicy: sim.RandomGap{C1: p.C1, C2: p.C2, Int63n: rng.Int63n},
+				Delay:   &chanmodel.UniformRandom{D: p.D, Rand: rng},
+			},
+		} {
+			run, err := s.Run(x, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pending, maxPending := 0, 0
+			for _, e := range run.Trace {
+				switch e.Action.Kind() {
+				case wire.KindRecv:
+					pending++
+				case wire.KindWrite:
+					pending--
+				}
+				if pending > maxPending {
+					maxPending = pending
+				}
+			}
+			if maxPending > 2 {
+				t.Errorf("%v: receiver buffered %d messages, paper says <= 2", p, maxPending)
+			}
+		}
+	}
+}
+
+// TestAlphaRoundLengthGuaranteesSpacing: under the fastest schedule the
+// inter-send time is still at least d.
+func TestAlphaRoundLengthGuaranteesSpacing(t *testing.T) {
+	for _, p := range []Params{
+		{C1: 2, C2: 3, D: 8},
+		{C1: 2, C2: 5, D: 11}, // non-divisible
+		{C1: 3, C2: 4, D: 25},
+	} {
+		s := int64(p.CeilSteps1())
+		if s*p.C1 < p.D {
+			t.Errorf("%v: round of %d steps × c1 = %d < d", p, s, s*p.C1)
+		}
+	}
+}

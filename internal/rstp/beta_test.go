@@ -1,0 +1,261 @@
+package rstp
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ioa"
+	"repro/internal/multiset"
+	"repro/internal/wire"
+)
+
+func TestBetaBlockBitsMatchesCodec(t *testing.T) {
+	p := Params{C1: 2, C2: 3, D: 12} // δ1 = 6
+	for _, k := range []int{2, 4, 16, 64} {
+		want := multiset.BlockBits(k, 6)
+		if got := BetaBlockBits(p, k); got != want {
+			t.Errorf("BetaBlockBits(k=%d) = %d, want %d", k, got, want)
+		}
+	}
+}
+
+func TestBetaTransmitterValidation(t *testing.T) {
+	p := Params{C1: 2, C2: 3, D: 12}
+	if _, err := NewBetaTransmitter(p, 1, nil); err == nil {
+		t.Error("k = 1 should fail")
+	}
+	if _, err := NewBetaTransmitter(Params{C1: 0, C2: 1, D: 2}, 2, nil); err == nil {
+		t.Error("bad params should fail")
+	}
+	// |X| not a multiple of the block size.
+	bits := BetaBlockBits(p, 4)
+	if _, err := NewBetaTransmitter(p, 4, make([]wire.Bit, bits+1)); err == nil ||
+		!strings.Contains(err.Error(), "multiple") {
+		t.Error("misaligned input should fail with a block-size error")
+	}
+}
+
+func TestBetaTransmitterRoundStructure(t *testing.T) {
+	p := Params{C1: 2, C2: 3, D: 12} // δ1 = 6, wait = 6: rounds of 12 steps
+	k := 4
+	bits := BetaBlockBits(p, k)
+	x := make([]wire.Bit, 2*bits) // two blocks
+	for i := range x {
+		x[i] = wire.Bit(i % 2)
+	}
+	tr, err := NewBetaTransmitter(p, k, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Burst() != 6 {
+		t.Fatalf("burst = %d", tr.Burst())
+	}
+	var pattern []string
+	for {
+		act, ok := stepLocal(t, tr)
+		if !ok {
+			break
+		}
+		pattern = append(pattern, act.Kind())
+		if len(pattern) > 100 {
+			t.Fatal("runaway")
+		}
+	}
+	if len(pattern) != 24 {
+		t.Fatalf("took %d steps, want 24 (two 12-step rounds)", len(pattern))
+	}
+	for i, kind := range pattern {
+		inBurst := i%12 < 6
+		if inBurst && kind != wire.KindSend {
+			t.Fatalf("step %d = %s, want send", i, kind)
+		}
+		if !inBurst && kind != "wait_t" {
+			t.Fatalf("step %d = %s, want wait_t", i, kind)
+		}
+	}
+	if !tr.Done() {
+		t.Error("transmitter should be done")
+	}
+}
+
+// TestBetaBurstIsCodeword: each burst's symbols form the codec's encoding
+// of the corresponding block.
+func TestBetaBurstIsCodeword(t *testing.T) {
+	p := Params{C1: 1, C2: 1, D: 5} // δ1 = 5
+	k := 3
+	codec, err := multiset.NewCodec(k, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bits := codec.BlockBits()
+	x := make([]wire.Bit, 3*bits)
+	for i := range x {
+		x[i] = wire.Bit((i / 2) % 2)
+	}
+	tr, err := NewBetaTransmitter(p, k, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var symbols []wire.Symbol
+	for {
+		act, ok := stepLocal(t, tr)
+		if !ok {
+			break
+		}
+		if s, isSend := act.(wire.Send); isSend {
+			symbols = append(symbols, s.P.Symbol)
+		}
+	}
+	if len(symbols) != 15 {
+		t.Fatalf("sent %d symbols, want 15", len(symbols))
+	}
+	for b := 0; b < 3; b++ {
+		got, err := codec.DecodeSeq(symbols[b*5 : (b+1)*5])
+		if err != nil {
+			t.Fatalf("block %d: %v", b, err)
+		}
+		want := x[b*bits : (b+1)*bits]
+		if wire.BitsToString(got) != wire.BitsToString(want) {
+			t.Fatalf("block %d decodes to %s, want %s", b, wire.BitsToString(got), wire.BitsToString(want))
+		}
+	}
+}
+
+func TestBetaReceiverDecodesOutOfOrderBurst(t *testing.T) {
+	p := Params{C1: 1, C2: 1, D: 5}
+	k := 3
+	rc, err := NewBetaReceiver(p, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	codec, err := multiset.NewCodec(k, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	block := make([]wire.Bit, codec.BlockBits())
+	block[0] = wire.One
+	seq, err := codec.EncodeSeq(block)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Deliver in reverse order.
+	for i := len(seq) - 1; i >= 0; i-- {
+		if err := rc.Apply(wire.Recv{Dir: wire.TtoR, P: wire.DataPacket(seq[i])}); err != nil {
+			t.Fatal(err)
+		}
+		if i > 0 && rc.PendingBurst() != len(seq)-i {
+			t.Fatalf("pending = %d after %d packets", rc.PendingBurst(), len(seq)-i)
+		}
+	}
+	if rc.PendingBurst() != 0 {
+		t.Fatalf("burst not flushed, pending = %d", rc.PendingBurst())
+	}
+	var y []wire.Bit
+	for {
+		act, ok := rc.NextLocal()
+		if !ok || act.Kind() != wire.KindWrite {
+			break
+		}
+		if err := rc.Apply(act); err != nil {
+			t.Fatal(err)
+		}
+		y = append(y, act.(wire.Write).M)
+	}
+	if wire.BitsToString(y) != wire.BitsToString(block) {
+		t.Fatalf("decoded %s, want %s", wire.BitsToString(y), wire.BitsToString(block))
+	}
+	if rc.Written() != len(block) {
+		t.Fatalf("written = %d", rc.Written())
+	}
+}
+
+func TestBetaReceiverRejectsForeignSymbol(t *testing.T) {
+	p := Params{C1: 1, C2: 1, D: 5}
+	rc, err := NewBetaReceiver(p, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Symbol 7 over k = 3 is outside the alphabet; classify says none, so
+	// the action is not an input of this automaton at all.
+	in := wire.Recv{Dir: wire.TtoR, P: wire.DataPacket(7)}
+	if rc.Classify(in) == ioa.ClassInput {
+		t.Error("out-of-alphabet packet classified as input")
+	}
+}
+
+// TestBetaReceiverCorruptBurstErrors: a burst that is not a codeword (rank
+// out of encodable range) surfaces as a decode error rather than silent
+// garbage.
+func TestBetaReceiverCorruptBurstErrors(t *testing.T) {
+	p := Params{C1: 1, C2: 1, D: 4} // δ1 = 4; k = 3: μ = 15, L = 3, ranks 8..14 unused
+	rc, err := NewBetaReceiver(p, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	codec, err := multiset.NewCodec(3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The codec orders multisets by ascending count of symbol 0, so the
+	// all-zeros burst has the highest rank μ-1 = 14 >= 2^3: not a codeword.
+	allZero, err := multiset.FromCounts([]int{4, 0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r, err := codec.Rank(allZero); err != nil || r.Int64() != 14 {
+		t.Fatalf("rank({0,0,0,0}) = %v, %v; want 14", r, err)
+	}
+	var lastErr error
+	for i := 0; i < 4; i++ {
+		lastErr = rc.Apply(wire.Recv{Dir: wire.TtoR, P: wire.DataPacket(0)})
+	}
+	if lastErr == nil {
+		t.Fatal("corrupt burst should error on completion")
+	}
+}
+
+func TestBetaClassification(t *testing.T) {
+	p := Params{C1: 2, C2: 3, D: 12}
+	tr, err := NewBetaTransmitter(p, 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Classify(wire.Send{Dir: wire.TtoR, P: wire.DataPacket(1)}) != ioa.ClassOutput {
+		t.Error("data send should be output")
+	}
+	if tr.Classify(wire.Send{Dir: wire.RtoT, P: wire.AckPacket()}) != ioa.ClassNone {
+		t.Error("acks are outside the r-passive signature")
+	}
+	if tr.Classify(wire.Internal{Name: "wait_t"}) != ioa.ClassInternal {
+		t.Error("wait_t should be internal")
+	}
+	rc, err := NewBetaReceiver(p, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rc.Classify(wire.Write{M: 0}) != ioa.ClassOutput {
+		t.Error("write should be output")
+	}
+	if rc.Classify(wire.Internal{Name: "idle_r"}) != ioa.ClassInternal {
+		t.Error("idle_r should be internal")
+	}
+	if !tr.DeterministicIOA() || !rc.DeterministicIOA() {
+		t.Error("beta automata must be deterministic")
+	}
+}
+
+// TestBetaEmptyInputQuiescent: a transmitter with nothing to send is
+// immediately quiescent.
+func TestBetaEmptyInputQuiescent(t *testing.T) {
+	p := Params{C1: 2, C2: 3, D: 12}
+	tr, err := NewBetaTransmitter(p, 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := tr.NextLocal(); ok {
+		t.Error("empty transmitter should be quiescent")
+	}
+	if !tr.Done() {
+		t.Error("empty transmitter is done")
+	}
+}

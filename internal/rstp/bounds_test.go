@@ -1,0 +1,140 @@
+package rstp
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/multiset"
+)
+
+func TestAlphaEffortFormula(t *testing.T) {
+	tests := []struct {
+		p    Params
+		want float64
+	}{
+		{p: Params{C1: 1, C2: 1, D: 8}, want: 8},    // d·c2/c1
+		{p: Params{C1: 2, C2: 3, D: 12}, want: 18},  // 6·3
+		{p: Params{C1: 2, C2: 5, D: 11}, want: 30},  // ⌈11/2⌉·5
+		{p: Params{C1: 4, C2: 8, D: 64}, want: 128}, // 16·8
+	}
+	for _, tt := range tests {
+		if got := AlphaEffort(tt.p); got != tt.want {
+			t.Errorf("AlphaEffort(%v) = %g, want %g", tt.p, got, tt.want)
+		}
+	}
+}
+
+func TestPassiveLowerBoundFormula(t *testing.T) {
+	p := Params{C1: 2, C2: 3, D: 12} // δ1 = 6
+	k := 4
+	want := float64(6*3) / multiset.Log2Zeta(4, 6)
+	if got := PassiveLowerBound(p, k); math.Abs(got-want) > 1e-12 {
+		t.Errorf("PassiveLowerBound = %g, want %g", got, want)
+	}
+}
+
+func TestActiveLowerBoundFormula(t *testing.T) {
+	p := Params{C1: 2, C2: 3, D: 12} // δ2 = 4
+	k := 4
+	want := 12 / multiset.Log2Zeta(4, 4)
+	if got := ActiveLowerBound(p, k); math.Abs(got-want) > 1e-12 {
+		t.Errorf("ActiveLowerBound = %g, want %g", got, want)
+	}
+}
+
+func TestBetaUpperBoundFormula(t *testing.T) {
+	p := Params{C1: 2, C2: 3, D: 12} // δ1 = 6, ⌈d/c1⌉ = 6 -> 2δ1c2 = 36
+	k := 2                           // μ_2(6) = 7, ⌊log2⌋ = 2
+	if got := BetaUpperBound(p, k); got != 18 {
+		t.Errorf("BetaUpperBound = %g, want 18", got)
+	}
+	// Non-divisible d/c1: round is δ1 + ⌈d/c1⌉ steps.
+	p2 := Params{C1: 2, C2: 5, D: 11} // δ1 = 5, ceil = 6, round = 11·5 = 55; μ_2(5)=6, L=2
+	if got := BetaUpperBound(p2, 2); got != 27.5 {
+		t.Errorf("BetaUpperBound (non-divisible) = %g, want 27.5", got)
+	}
+}
+
+func TestGammaUpperBoundFormula(t *testing.T) {
+	p := Params{C1: 2, C2: 3, D: 12} // δ2 = 4; 3d + c2 = 39
+	k := 2                           // μ_2(4) = 5, L = 2
+	if got := GammaUpperBound(p, k); got != 19.5 {
+		t.Errorf("GammaUpperBound = %g, want 19.5", got)
+	}
+}
+
+// TestBoundsDegenerate: k = 1 (or otherwise unencodable) yields +Inf
+// ceilings and MinRounds, never a panic or a zero division.
+func TestBoundsDegenerate(t *testing.T) {
+	p := Params{C1: 2, C2: 3, D: 12}
+	if !math.IsInf(BetaUpperBound(p, 1), 1) {
+		t.Error("BetaUpperBound(k=1) should be +Inf")
+	}
+	if !math.IsInf(GammaUpperBound(p, 1), 1) {
+		t.Error("GammaUpperBound(k=1) should be +Inf")
+	}
+	if !math.IsInf(MinRoundsPassive(Params{C1: 100, C2: 100, D: 101}, 1, 8), 1) {
+		t.Error("MinRoundsPassive with log ζ = 0 should be +Inf")
+	}
+	if v := PassiveTightness(p, 1); !math.IsNaN(v) {
+		t.Errorf("PassiveTightness(k=1) = %g, want NaN", v)
+	}
+	if v := ActiveTightness(p, 1); !math.IsNaN(v) {
+		t.Errorf("ActiveTightness(k=1) = %g, want NaN", v)
+	}
+}
+
+// TestBoundsMonotoneInK: all four bounds weakly decrease as k grows.
+func TestBoundsMonotoneInK(t *testing.T) {
+	p := Params{C1: 2, C2: 3, D: 24}
+	type fn struct {
+		name string
+		f    func(Params, int) float64
+	}
+	for _, b := range []fn{
+		{name: "PassiveLowerBound", f: PassiveLowerBound},
+		{name: "ActiveLowerBound", f: ActiveLowerBound},
+		{name: "BetaUpperBound", f: BetaUpperBound},
+		{name: "GammaUpperBound", f: GammaUpperBound},
+	} {
+		prev := math.Inf(1)
+		for k := 2; k <= 256; k *= 2 {
+			cur := b.f(p, k)
+			if cur > prev+1e-9 {
+				t.Errorf("%s increased at k=%d: %g -> %g", b.name, k, prev, cur)
+			}
+			prev = cur
+		}
+	}
+}
+
+// TestLowerBelowUpper across a wide grid: the theory's sanity condition.
+func TestLowerBelowUpper(t *testing.T) {
+	grid := []Params{
+		{C1: 1, C2: 1, D: 2},
+		{C1: 1, C2: 1, D: 16},
+		{C1: 1, C2: 4, D: 16},
+		{C1: 3, C2: 5, D: 31},
+		{C1: 5, C2: 9, D: 100},
+	}
+	for _, p := range grid {
+		for k := 2; k <= 128; k *= 2 {
+			if lb, ub := PassiveLowerBound(p, k), BetaUpperBound(p, k); lb > ub+1e-9 {
+				t.Errorf("%v k=%d: passive lb %g > ub %g", p, k, lb, ub)
+			}
+			if lb, ub := ActiveLowerBound(p, k), GammaUpperBound(p, k); lb > ub+1e-9 {
+				t.Errorf("%v k=%d: active lb %g > ub %g", p, k, lb, ub)
+			}
+		}
+	}
+}
+
+// TestMinRoundsPassiveGrowsLinearly in n.
+func TestMinRoundsPassiveGrowsLinearly(t *testing.T) {
+	p := Params{C1: 1, C2: 1, D: 5}
+	a := MinRoundsPassive(p, 2, 100)
+	b := MinRoundsPassive(p, 2, 200)
+	if math.Abs(b-2*a) > 1e-9 {
+		t.Errorf("MinRounds not linear: %g vs 2·%g", b, a)
+	}
+}

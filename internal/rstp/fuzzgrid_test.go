@@ -1,0 +1,98 @@
+package rstp
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/chanmodel"
+	"repro/internal/sim"
+	"repro/internal/wire"
+)
+
+// TestRandomParameterGridQuick is the broad-spectrum property test: for
+// random legal (c1, c2, d, k), random inputs, random schedules and random
+// delivery delays, every protocol delivers Y = X with good(A) holding.
+func TestRandomParameterGridQuick(t *testing.T) {
+	rng := rand.New(rand.NewSource(2026))
+	f := func(a, b, c, kk, seed uint8) bool {
+		p := Params{C1: int64(a%4) + 1}
+		p.C2 = p.C1 + int64(b%4)
+		p.D = p.C2 + int64(c%20) + 1
+		k := 2 + int(kk%7)
+		runRng := rand.New(rand.NewSource(int64(seed)))
+
+		solutions := make([]Solution, 0, 3)
+		alpha, err := Alpha(p)
+		if err != nil {
+			return false
+		}
+		solutions = append(solutions, alpha)
+		beta, err := Beta(p, k)
+		if err != nil {
+			return false
+		}
+		solutions = append(solutions, beta)
+		gamma, err := Gamma(p, k)
+		if err != nil {
+			return false
+		}
+		solutions = append(solutions, gamma)
+
+		for _, s := range solutions {
+			x := wire.RandomBits(3*s.BlockBits, rng.Uint64)
+			run, err := s.Run(x, RunOptions{
+				TPolicy: sim.RandomGap{C1: p.C1, C2: p.C2, Int63n: runRng.Int63n},
+				RPolicy: sim.RandomGap{C1: p.C1, C2: p.C2, Int63n: runRng.Int63n},
+				Delay:   &chanmodel.UniformRandom{D: p.D, Rand: runRng},
+			})
+			if err != nil {
+				t.Logf("%s %v: %v", s, p, err)
+				return false
+			}
+			if wire.BitsToString(run.Writes()) != wire.BitsToString(x) {
+				t.Logf("%s %v: Y != X", s, p)
+				return false
+			}
+			if v := s.Verify(run, x); len(v) != 0 {
+				t.Logf("%s %v: %v", s, p, v[0])
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSimulationIsDeterministic: identical configurations (including
+// seeds) produce identical traces — the property every "re-run this
+// experiment" claim rests on.
+func TestSimulationIsDeterministic(t *testing.T) {
+	p := Params{C1: 2, C2: 4, D: 12}
+	s, err := Beta(p, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := wire.RandomBits(10*s.BlockBits, rand.New(rand.NewSource(5)).Uint64)
+	trace := func() string {
+		rng := rand.New(rand.NewSource(77))
+		run, err := s.Run(x, RunOptions{
+			TPolicy: sim.RandomGap{C1: p.C1, C2: p.C2, Int63n: rng.Int63n},
+			RPolicy: sim.RandomGap{C1: p.C1, C2: p.C2, Int63n: rng.Int63n},
+			Delay:   &chanmodel.UniformRandom{D: p.D, Rand: rng},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out string
+		for _, e := range run.Trace {
+			out += e.String() + "\n"
+		}
+		return out
+	}
+	if trace() != trace() {
+		t.Fatal("identical configurations produced different traces")
+	}
+}

@@ -1,0 +1,348 @@
+package rstp
+
+import (
+	"fmt"
+
+	"repro/internal/ioa"
+	"repro/internal/multiset"
+	"repro/internal/wire"
+)
+
+// A^γ(k) — the active solution of Section 6.2, Figure 4 (the protocol idea
+// is credited to Richard Beigel).
+//
+// The transmitter sends bursts of δ2 = ⌊d/c2⌋ packets (each burst encoding
+// ⌊log2 μ_k(δ2)⌋ bits as a multiset) and then waits until it has received
+// δ2 acknowledgements before starting the next burst. The receiver
+// acknowledges every data packet with the single packet "ack"
+// (|P^rt| = 1).
+//
+// Safety is ack-clocked rather than time-clocked: burst m+1 cannot start
+// before every burst-m packet was received (each ack follows its recv),
+// so bursts never interleave even if the channel violates the delay
+// bound — only performance depends on d. Effort ≤ (3d + c2)/⌊log2 μ_k(δ2)⌋.
+
+// GammaTransmitter is A^γ(k)'s transmitter At^γ(k).
+type GammaTransmitter struct {
+	m *ioa.Machine
+
+	blocks [][]wire.Symbol
+	bi     int // current block
+	c      int // packets sent in the current block (paper's c)
+	a      int // acks received in the current block (paper's a)
+	burst  int // δ2
+	bits   int
+}
+
+var _ ioa.Deterministic = (*GammaTransmitter)(nil)
+
+// NewGammaTransmitter builds At^γ(k) for input x, which must be a multiple
+// of GammaBlockBits(p, k) bits long.
+func NewGammaTransmitter(p Params, k int, x []wire.Bit) (*GammaTransmitter, error) {
+	codec, err := gammaCodec(p, k)
+	if err != nil {
+		return nil, err
+	}
+	bits := codec.BlockBits()
+	if len(x)%bits != 0 {
+		return nil, fmt.Errorf("rstp: gamma transmitter: |X| = %d is not a multiple of the block size %d", len(x), bits)
+	}
+	blocks := make([][]wire.Symbol, 0, len(x)/bits)
+	for off := 0; off < len(x); off += bits {
+		seq, err := codec.EncodeSeq(x[off : off+bits])
+		if err != nil {
+			return nil, fmt.Errorf("rstp: gamma transmitter: block at bit %d: %w", off, err)
+		}
+		blocks = append(blocks, seq)
+	}
+	t := &GammaTransmitter{
+		blocks: blocks,
+		burst:  p.Delta2(),
+		bits:   bits,
+	}
+	if err := t.initMachine(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// initMachine (re)binds the guarded commands to this instance; Fork calls
+// it on copies.
+func (t *GammaTransmitter) initMachine() error {
+	m, err := ioa.NewMachine(TransmitterName, t.classify, t.onInput, []ioa.Command{
+		{
+			Name:  "send",
+			Class: ioa.ClassOutput,
+			Pre:   func() bool { return t.bi < len(t.blocks) && t.c < t.burst },
+			Act: func() ioa.Action {
+				return wire.Send{Dir: wire.TtoR, P: wire.DataPacket(t.blocks[t.bi][t.c])}
+			},
+			Eff: func() { t.c++ },
+		},
+		{
+			Name:  "idle_t",
+			Class: ioa.ClassInternal,
+			Pre:   func() bool { return t.bi < len(t.blocks) && t.c == t.burst },
+			Act:   func() ioa.Action { return wire.Internal{Name: "idle_t"} },
+			Eff:   func() {},
+		},
+	})
+	if err != nil {
+		return err
+	}
+	t.m = m
+	return nil
+}
+
+// Fork returns an independent deep copy in the same state, for exhaustive
+// state-space exploration (internal/mc). The immutable encoded blocks are
+// shared.
+func (t *GammaTransmitter) Fork() (*GammaTransmitter, error) {
+	c := &GammaTransmitter{
+		blocks: t.blocks, // immutable after construction
+		bi:     t.bi,
+		c:      t.c,
+		a:      t.a,
+		burst:  t.burst,
+		bits:   t.bits,
+	}
+	if err := c.initMachine(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// Snapshot returns a canonical key of the mutable state, for state-space
+// memoisation.
+func (t *GammaTransmitter) Snapshot() string {
+	return fmt.Sprintf("bi=%d c=%d a=%d", t.bi, t.c, t.a)
+}
+
+func gammaCodec(p Params, k int) (*multiset.Codec, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if k < 2 {
+		return nil, fmt.Errorf("rstp: gamma needs a packet alphabet of size k >= 2, got %d", k)
+	}
+	return multiset.NewCodec(k, p.Delta2())
+}
+
+// GammaBlockBits returns ⌊log2 μ_k(δ2)⌋, the bits A^γ(k) transmits per
+// burst.
+func GammaBlockBits(p Params, k int) int {
+	return multiset.BlockBits(k, p.Delta2())
+}
+
+func (t *GammaTransmitter) classify(a ioa.Action) ioa.Class {
+	switch act := a.(type) {
+	case wire.Send:
+		if act.Dir == wire.TtoR && act.P.Kind == wire.Data {
+			return ioa.ClassOutput
+		}
+	case wire.Recv:
+		if act.Dir == wire.RtoT && act.P.Kind == wire.Ack {
+			return ioa.ClassInput
+		}
+	case wire.Internal:
+		if act.Name == "idle_t" {
+			return ioa.ClassInternal
+		}
+	}
+	return ioa.ClassNone
+}
+
+func (t *GammaTransmitter) onInput(act ioa.Action) error {
+	if _, ok := act.(wire.Recv); !ok {
+		return fmt.Errorf("rstp: gamma transmitter: unexpected input %v: %w", act, ioa.ErrNotInSignature)
+	}
+	t.a++
+	if t.a == t.burst {
+		t.a = 0
+		t.c = 0
+		t.bi++
+	}
+	return nil
+}
+
+// Name returns "t".
+func (t *GammaTransmitter) Name() string { return t.m.Name() }
+
+// Classify places an action in the signature.
+func (t *GammaTransmitter) Classify(a ioa.Action) ioa.Class { return t.m.Classify(a) }
+
+// NextLocal returns the unique enabled local action.
+func (t *GammaTransmitter) NextLocal() (ioa.Action, bool) { return t.m.NextLocal() }
+
+// Apply performs a transition.
+func (t *GammaTransmitter) Apply(a ioa.Action) error { return t.m.Apply(a) }
+
+// DeterministicIOA marks the automaton deterministic.
+func (t *GammaTransmitter) DeterministicIOA() bool { return true }
+
+// Done reports whether every block has been sent and fully acknowledged.
+func (t *GammaTransmitter) Done() bool { return t.bi >= len(t.blocks) }
+
+// Burst returns the burst size δ2.
+func (t *GammaTransmitter) Burst() int { return t.burst }
+
+// GammaReceiver is A^γ(k)'s receiver Ar^γ(k). Figure 4 leaves the order of
+// its simultaneously enabled send(ack) and write actions open; we fix the
+// deterministic priority send(ack) > write > idle (acknowledging first
+// keeps the transmitter's pipeline moving).
+type GammaReceiver struct {
+	m *ioa.Machine
+
+	codec *multiset.Codec
+	burst int
+	k     int
+	a     multiset.Multiset
+	j     int // unacknowledged packets (paper's j)
+	queue []wire.Bit
+	next  int
+}
+
+var _ ioa.Deterministic = (*GammaReceiver)(nil)
+
+// NewGammaReceiver builds Ar^γ(k).
+func NewGammaReceiver(p Params, k int) (*GammaReceiver, error) {
+	codec, err := gammaCodec(p, k)
+	if err != nil {
+		return nil, err
+	}
+	r := &GammaReceiver{
+		codec: codec,
+		burst: p.Delta2(),
+		k:     k,
+		a:     multiset.New(k),
+	}
+	if err := r.initMachine(); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// initMachine (re)binds the guarded commands to this instance; Fork calls
+// it on copies.
+func (r *GammaReceiver) initMachine() error {
+	m, err := ioa.NewMachine(ReceiverName, r.classify, r.onInput, []ioa.Command{
+		{
+			Name:  "send_ack",
+			Class: ioa.ClassOutput,
+			Pre:   func() bool { return r.j > 0 },
+			Act:   func() ioa.Action { return wire.Send{Dir: wire.RtoT, P: wire.AckPacket()} },
+			Eff:   func() { r.j-- },
+		},
+		{
+			Name:  "write",
+			Class: ioa.ClassOutput,
+			Pre:   func() bool { return r.next < len(r.queue) },
+			Act:   func() ioa.Action { return wire.Write{M: r.queue[r.next]} },
+			Eff:   func() { r.next++ },
+		},
+		{
+			Name:  "idle_r",
+			Class: ioa.ClassInternal,
+			Pre:   func() bool { return true },
+			Act:   func() ioa.Action { return wire.Internal{Name: "idle_r"} },
+			Eff:   func() {},
+		},
+	})
+	if err != nil {
+		return err
+	}
+	r.m = m
+	return nil
+}
+
+// Fork returns an independent deep copy in the same state, for exhaustive
+// state-space exploration (internal/mc).
+func (r *GammaReceiver) Fork() (*GammaReceiver, error) {
+	c := &GammaReceiver{
+		codec: r.codec, // immutable
+		burst: r.burst,
+		k:     r.k,
+		a:     r.a.Clone(),
+		j:     r.j,
+		queue: append([]wire.Bit(nil), r.queue...),
+		next:  r.next,
+	}
+	if err := c.initMachine(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// Snapshot returns a canonical key of the mutable state, for state-space
+// memoisation.
+func (r *GammaReceiver) Snapshot() string {
+	return fmt.Sprintf("A=%s j=%d q=%s next=%d", r.a.Key(), r.j, wire.BitsToString(r.queue), r.next)
+}
+
+// WrittenBits returns Y: the bits written so far, in order.
+func (r *GammaReceiver) WrittenBits() []wire.Bit {
+	return append([]wire.Bit(nil), r.queue[:r.next]...)
+}
+
+func (r *GammaReceiver) classify(a ioa.Action) ioa.Class {
+	switch act := a.(type) {
+	case wire.Recv:
+		// The input alphabet is exactly P^tr = {0, ..., k-1}.
+		if act.Dir == wire.TtoR && act.P.Kind == wire.Data &&
+			act.P.Symbol >= 0 && int(act.P.Symbol) < r.k {
+			return ioa.ClassInput
+		}
+	case wire.Send:
+		if act.Dir == wire.RtoT && act.P.Kind == wire.Ack {
+			return ioa.ClassOutput
+		}
+	case wire.Write:
+		return ioa.ClassOutput
+	case wire.Internal:
+		if act.Name == "idle_r" {
+			return ioa.ClassInternal
+		}
+	}
+	return ioa.ClassNone
+}
+
+func (r *GammaReceiver) onInput(act ioa.Action) error {
+	recv, ok := act.(wire.Recv)
+	if !ok {
+		return fmt.Errorf("rstp: gamma receiver: unexpected input %v: %w", act, ioa.ErrNotInSignature)
+	}
+	r.j++
+	if err := r.a.Add(recv.P.Symbol); err != nil {
+		return fmt.Errorf("rstp: gamma receiver: %w", err)
+	}
+	if r.a.Size() == r.burst {
+		bits, err := r.codec.Decode(r.a)
+		if err != nil {
+			return fmt.Errorf("rstp: gamma receiver: decode burst: %w", err)
+		}
+		r.queue = append(r.queue, bits...)
+		r.a.Clear()
+	}
+	return nil
+}
+
+// Name returns "r".
+func (r *GammaReceiver) Name() string { return r.m.Name() }
+
+// Classify places an action in the signature.
+func (r *GammaReceiver) Classify(a ioa.Action) ioa.Class { return r.m.Classify(a) }
+
+// NextLocal returns the unique enabled local action.
+func (r *GammaReceiver) NextLocal() (ioa.Action, bool) { return r.m.NextLocal() }
+
+// Apply performs a transition.
+func (r *GammaReceiver) Apply(a ioa.Action) error { return r.m.Apply(a) }
+
+// DeterministicIOA marks the automaton deterministic.
+func (r *GammaReceiver) DeterministicIOA() bool { return true }
+
+// Written returns the number of bits written.
+func (r *GammaReceiver) Written() int { return r.next }
+
+// Unacked returns the number of packets not yet acknowledged.
+func (r *GammaReceiver) Unacked() int { return r.j }

@@ -1,0 +1,207 @@
+package rstp
+
+import (
+	"testing"
+
+	"repro/internal/ioa"
+	"repro/internal/multiset"
+	"repro/internal/wire"
+)
+
+func TestGammaBlockBitsMatchesCodec(t *testing.T) {
+	p := Params{C1: 2, C2: 3, D: 12} // δ2 = 4
+	for _, k := range []int{2, 4, 16} {
+		want := multiset.BlockBits(k, 4)
+		if got := GammaBlockBits(p, k); got != want {
+			t.Errorf("GammaBlockBits(k=%d) = %d, want %d", k, got, want)
+		}
+	}
+}
+
+func TestGammaTransmitterAckClocking(t *testing.T) {
+	p := Params{C1: 2, C2: 3, D: 12} // δ2 = 4
+	k := 4
+	bits := GammaBlockBits(p, k)
+	x := make([]wire.Bit, 2*bits)
+	tr, err := NewGammaTransmitter(p, k, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Burst() != 4 {
+		t.Fatalf("burst = %d", tr.Burst())
+	}
+
+	// Burst 1: exactly 4 sends, then idle_t until acked.
+	for i := 0; i < 4; i++ {
+		act, ok := stepLocal(t, tr)
+		if !ok || act.Kind() != wire.KindSend {
+			t.Fatalf("step %d = %v, want send", i, act)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		act, ok := stepLocal(t, tr)
+		if !ok || act.Kind() != "idle_t" {
+			t.Fatalf("waiting step = %v, want idle_t", act)
+		}
+	}
+
+	// Three acks: still waiting. Fourth ack: next burst unlocked.
+	ack := wire.Recv{Dir: wire.RtoT, P: wire.AckPacket()}
+	for i := 0; i < 3; i++ {
+		if err := tr.Apply(ack); err != nil {
+			t.Fatal(err)
+		}
+		if act, _ := tr.NextLocal(); act.Kind() != "idle_t" {
+			t.Fatalf("after %d acks: %v, want idle_t", i+1, act)
+		}
+	}
+	if err := tr.Apply(ack); err != nil {
+		t.Fatal(err)
+	}
+	act, ok := tr.NextLocal()
+	if !ok || act.Kind() != wire.KindSend {
+		t.Fatalf("after full ack: %v, want send", act)
+	}
+
+	// Drain burst 2 and ack it; the transmitter finishes.
+	for i := 0; i < 4; i++ {
+		if _, ok := stepLocal(t, tr); !ok {
+			t.Fatal("quiescent mid-burst")
+		}
+	}
+	for i := 0; i < 4; i++ {
+		if err := tr.Apply(ack); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !tr.Done() {
+		t.Error("transmitter should be done")
+	}
+	if _, ok := tr.NextLocal(); ok {
+		t.Error("done transmitter should be quiescent")
+	}
+}
+
+func TestGammaTransmitterValidation(t *testing.T) {
+	p := Params{C1: 2, C2: 3, D: 12}
+	if _, err := NewGammaTransmitter(p, 1, nil); err == nil {
+		t.Error("k = 1 should fail")
+	}
+	bits := GammaBlockBits(p, 4)
+	if _, err := NewGammaTransmitter(p, 4, make([]wire.Bit, bits+1)); err == nil {
+		t.Error("misaligned input should fail")
+	}
+	if _, err := NewGammaTransmitter(Params{C1: 1, C2: 2, D: 2}, 4, nil); err == nil {
+		t.Error("d <= c2 should fail")
+	}
+}
+
+func TestGammaReceiverPriorities(t *testing.T) {
+	p := Params{C1: 2, C2: 3, D: 12} // δ2 = 4
+	k := 4
+	rc, err := NewGammaReceiver(p, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Idle when empty.
+	if act, _ := rc.NextLocal(); act.Kind() != "idle_r" {
+		t.Fatalf("empty receiver: %v", act)
+	}
+	// One packet: ack owed; ack outranks everything.
+	codec, err := multiset.NewCodec(k, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	block := make([]wire.Bit, codec.BlockBits())
+	seq, err := codec.EncodeSeq(block)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range seq {
+		if err := rc.Apply(wire.Recv{Dir: wire.TtoR, P: wire.DataPacket(s)}); err != nil {
+			t.Fatal(err)
+		}
+		if rc.Unacked() != i+1 {
+			t.Fatalf("unacked = %d after %d packets", rc.Unacked(), i+1)
+		}
+	}
+	// Whole burst decoded, 4 acks owed: acks first, then writes, then idle.
+	for i := 0; i < 4; i++ {
+		act, ok := stepLocal(t, rc)
+		if !ok || act.Kind() != wire.KindSend {
+			t.Fatalf("ack phase step %d: %v", i, act)
+		}
+		if s := act.(wire.Send); s.Dir != wire.RtoT || s.P.Kind != wire.Ack {
+			t.Fatalf("ack phase sent %v", s)
+		}
+	}
+	for i := 0; i < codec.BlockBits(); i++ {
+		act, ok := stepLocal(t, rc)
+		if !ok || act.Kind() != wire.KindWrite {
+			t.Fatalf("write phase step %d: %v", i, act)
+		}
+	}
+	if act, _ := rc.NextLocal(); act.Kind() != "idle_r" {
+		t.Fatalf("drained receiver: %v", act)
+	}
+	if rc.Written() != codec.BlockBits() {
+		t.Fatalf("written = %d", rc.Written())
+	}
+}
+
+func TestGammaClassification(t *testing.T) {
+	p := Params{C1: 2, C2: 3, D: 12}
+	tr, err := NewGammaTransmitter(p, 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Classify(wire.Recv{Dir: wire.RtoT, P: wire.AckPacket()}) != ioa.ClassInput {
+		t.Error("ack recv should be transmitter input")
+	}
+	if tr.Classify(wire.Recv{Dir: wire.TtoR, P: wire.DataPacket(0)}) != ioa.ClassNone {
+		t.Error("data recv is not a transmitter action")
+	}
+	rc, err := NewGammaReceiver(p, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rc.Classify(wire.Send{Dir: wire.RtoT, P: wire.AckPacket()}) != ioa.ClassOutput {
+		t.Error("ack send should be receiver output")
+	}
+	if !tr.DeterministicIOA() || !rc.DeterministicIOA() {
+		t.Error("gamma automata must be deterministic")
+	}
+	if tr.Name() != TransmitterName || rc.Name() != ReceiverName {
+		t.Error("names")
+	}
+}
+
+// TestGammaBurstsNeverInterleave: because the transmitter waits for δ2
+// acks and the receiver only acks received packets, a new burst can only
+// start after the previous burst was fully received — regardless of the
+// channel's delays. This is the causal-safety invariant.
+func TestGammaBurstsNeverInterleave(t *testing.T) {
+	p := Params{C1: 2, C2: 3, D: 12}
+	k := 4
+	bits := GammaBlockBits(p, k)
+	x := make([]wire.Bit, 3*bits)
+	tr, err := NewGammaTransmitter(p, k, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Take local steps forever without delivering acks: the transmitter
+	// must stop at exactly δ2 sends.
+	sends := 0
+	for i := 0; i < 50; i++ {
+		act, ok := stepLocal(t, tr)
+		if !ok {
+			break
+		}
+		if act.Kind() == wire.KindSend {
+			sends++
+		}
+	}
+	if sends != p.Delta2() {
+		t.Fatalf("unacked transmitter sent %d packets, want exactly δ2 = %d", sends, p.Delta2())
+	}
+}

@@ -1,0 +1,297 @@
+package rstp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/chanmodel"
+	"repro/internal/sim"
+	"repro/internal/wire"
+)
+
+// solutions under test, over a parameter grid.
+func testGrid(t *testing.T) []Solution {
+	t.Helper()
+	var out []Solution
+	paramGrid := []Params{
+		{C1: 1, C2: 1, D: 4},
+		{C1: 1, C2: 2, D: 6},
+		{C1: 2, C2: 3, D: 12},
+		{C1: 2, C2: 5, D: 11}, // non-divisible d/c1, d/c2
+		{C1: 3, C2: 4, D: 25},
+	}
+	for _, p := range paramGrid {
+		a, err := Alpha(p)
+		if err != nil {
+			t.Fatalf("Alpha(%v): %v", p, err)
+		}
+		out = append(out, a)
+		for _, k := range []int{2, 4, 16} {
+			b, err := Beta(p, k)
+			if err != nil {
+				t.Fatalf("Beta(%v,%d): %v", p, k, err)
+			}
+			out = append(out, b)
+			g, err := Gamma(p, k)
+			if err != nil {
+				t.Fatalf("Gamma(%v,%d): %v", p, k, err)
+			}
+			out = append(out, g)
+		}
+	}
+	return out
+}
+
+func randomInput(t *testing.T, s Solution, blocks int, seed int64) []wire.Bit {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	return wire.RandomBits(blocks*s.BlockBits, rng.Uint64)
+}
+
+// TestSolutionsSolveRSTP is the headline integration test: every protocol ×
+// every schedule × every legal channel adversary yields a good execution
+// with Y = X.
+func TestSolutionsSolveRSTP(t *testing.T) {
+	for _, s := range testGrid(t) {
+		s := s
+		t.Run(s.String()+"/"+s.Params.String(), func(t *testing.T) {
+			x := randomInput(t, s, 6, 42)
+			rng := rand.New(rand.NewSource(99))
+			schedules := []sim.StepPolicy{
+				sim.FixedGap{C: s.Params.C1},
+				sim.FixedGap{C: s.Params.C2},
+				sim.AlternatingGap{C1: s.Params.C1, C2: s.Params.C2},
+				sim.RandomGap{C1: s.Params.C1, C2: s.Params.C2, Int63n: rng.Int63n},
+			}
+			delays := []chanmodel.DelayPolicy{
+				chanmodel.Zero{},
+				chanmodel.MaxDelay{D: s.Params.D},
+				chanmodel.FixedDelay{Delay: s.Params.D / 2},
+				&chanmodel.UniformRandom{D: s.Params.D, Rand: rng},
+				chanmodel.IntervalBatch{D: s.Params.D},
+				&chanmodel.Jitter{D: s.Params.D, Base: s.Params.D / 2, Amp: s.Params.D / 3, Rand: rng},
+				chanmodel.Bursty{D: s.Params.D, Lo: 0, Hi: s.Params.D, Period: 3 * s.Params.C2},
+			}
+			for _, sched := range schedules {
+				for _, delay := range delays {
+					run, err := s.Run(x, RunOptions{TPolicy: sched, RPolicy: sched, Delay: delay})
+					if err != nil {
+						t.Fatalf("sched=%s delay=%s: %v", sched.Name(), delay.Name(), err)
+					}
+					if got := wire.BitsToString(run.Writes()); got != wire.BitsToString(x) {
+						t.Fatalf("sched=%s delay=%s: Y != X\nY=%s\nX=%s", sched.Name(), delay.Name(), got, wire.BitsToString(x))
+					}
+					if v := s.Verify(run, x); len(v) != 0 {
+						t.Fatalf("sched=%s delay=%s: not good: %v", sched.Name(), delay.Name(), v[0])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestBurstProtocolsSurviveReversal drives A^β and A^γ through the
+// reverse-burst adversary: in-burst arrival order is reversed, and the
+// multiset decoding must not care.
+func TestBurstProtocolsSurviveReversal(t *testing.T) {
+	p := Params{C1: 2, C2: 3, D: 12}
+	for _, build := range []func() (Solution, error){
+		func() (Solution, error) { return Beta(p, 4) },
+		func() (Solution, error) { return Gamma(p, 4) },
+	} {
+		s, err := build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		burst := p.Delta1()
+		if s.Kind == KindGamma {
+			burst = p.Delta2()
+		}
+		x := randomInput(t, s, 8, 7)
+		delay := chanmodel.ReverseBurst{D: p.D, Burst: burst, StepGap: p.C1}
+		run, err := s.Run(x, RunOptions{
+			TPolicy: sim.FixedGap{C: p.C1},
+			RPolicy: sim.FixedGap{C: p.C1},
+			Delay:   delay,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", s, err)
+		}
+		if got := wire.BitsToString(run.Writes()); got != wire.BitsToString(x) {
+			t.Fatalf("%s under reversal: Y != X", s)
+		}
+		if v := s.Verify(run, x); len(v) != 0 {
+			t.Fatalf("%s under reversal: %v", s, v[0])
+		}
+	}
+}
+
+// TestAlphaEffortMatchesAnalytic checks eff(A^α) = ⌈d/c1⌉·c2 on the
+// worst-case schedule, within the O(1/n) truncation slack.
+func TestAlphaEffortMatchesAnalytic(t *testing.T) {
+	p := Params{C1: 2, C2: 3, D: 12}
+	s, err := Alpha(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := randomInput(t, s, 200, 3)
+	eff, err := s.MeasureEffort(x, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := AlphaEffort(p) // 6 * 3 = 18
+	// Last send happens at (n-1) rounds, so measured = want*(n-1)/n.
+	slack := want / float64(eff.N)
+	if math.Abs(eff.PerMessage-want) > slack+1e-9 {
+		t.Fatalf("alpha effort %.3f, want %.3f ± %.3f", eff.PerMessage, want, slack)
+	}
+}
+
+// TestBetaEffortWithinUpperBound checks measured effort <= Lemma 6.1's
+// bound on the worst-case schedule, and above the Theorem 5.3 lower bound.
+func TestBetaEffortWithinUpperBound(t *testing.T) {
+	p := Params{C1: 2, C2: 3, D: 12}
+	for _, k := range []int{2, 4, 16} {
+		s, err := Beta(p, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		x := randomInput(t, s, 100, 4)
+		eff, err := s.MeasureEffort(x, RunOptions{})
+		if err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		ub := BetaUpperBound(p, k)
+		lb := PassiveLowerBound(p, k)
+		if eff.PerMessage > ub+1e-9 {
+			t.Errorf("k=%d: measured %.3f exceeds upper bound %.3f", k, eff.PerMessage, ub)
+		}
+		if eff.PerMessage < lb-ub/float64(eff.N)-1e-9 {
+			t.Errorf("k=%d: measured %.3f below lower bound %.3f", k, eff.PerMessage, lb)
+		}
+	}
+}
+
+// TestGammaEffortWithinUpperBound checks measured effort <= Section 6.2's
+// (3d+c2)/⌊log μ_k(δ2)⌋ bound on the worst-case schedule.
+func TestGammaEffortWithinUpperBound(t *testing.T) {
+	p := Params{C1: 2, C2: 3, D: 12}
+	for _, k := range []int{2, 4, 16} {
+		s, err := Gamma(p, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		x := randomInput(t, s, 100, 5)
+		eff, err := s.MeasureEffort(x, RunOptions{})
+		if err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		ub := GammaUpperBound(p, k)
+		if eff.PerMessage > ub+1e-9 {
+			t.Errorf("k=%d: measured %.3f exceeds upper bound %.3f", k, eff.PerMessage, ub)
+		}
+		if lb := ActiveLowerBound(p, k); eff.PerMessage < lb-ub/float64(eff.N)-1e-9 {
+			t.Errorf("k=%d: measured %.3f below active lower bound %.3f", k, eff.PerMessage, lb)
+		}
+	}
+}
+
+// TestEffortDecreasesWithK reproduces the headline shape: larger packet
+// alphabets mean proportionally less effort (~1/log k).
+func TestEffortDecreasesWithK(t *testing.T) {
+	p := Params{C1: 2, C2: 3, D: 24}
+	var prev float64 = math.Inf(1)
+	for _, k := range []int{2, 4, 16, 64} {
+		s, err := Beta(p, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		x := randomInput(t, s, 50, 6)
+		eff, err := s.MeasureEffort(x, RunOptions{})
+		if err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		if eff.PerMessage >= prev {
+			t.Errorf("effort did not decrease at k=%d: %.3f >= %.3f", k, eff.PerMessage, prev)
+		}
+		prev = eff.PerMessage
+	}
+}
+
+// TestGammaSurvivesDelayViolation: A^γ's safety is ack-clocked, so it still
+// delivers X correctly when the channel breaks the d bound (the run is no
+// longer "good" — the delay validator must say so — but Y must equal X).
+// A^β's grouping, by contrast, is time-clocked and corrupts.
+func TestGammaSurvivesDelayViolation(t *testing.T) {
+	p := Params{C1: 2, C2: 3, D: 12}
+	delay := chanmodel.ExceedBound{D: p.D, Excess: 3 * p.D}
+
+	g, err := Gamma(p, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := randomInput(t, g, 4, 8)
+	run, err := g.Run(x, RunOptions{Delay: delay, MaxTicks: 5_000_000})
+	if err != nil {
+		t.Fatalf("gamma under late channel: %v", err)
+	}
+	if got := wire.BitsToString(run.Writes()); got != wire.BitsToString(x) {
+		t.Fatalf("gamma under late channel corrupted: Y=%s X=%s", got, wire.BitsToString(x))
+	}
+	if v := g.Verify(run, x); len(v) == 0 {
+		t.Fatal("validator failed to flag the delay violation")
+	}
+}
+
+// TestBetaBreaksUnderDelayViolation documents that A^β's correctness
+// genuinely depends on the real-time assumption: with deliveries past d,
+// bursts interleave and the receiver decodes garbage (or the run deadlocks
+// short of full delivery). This is the "why real time matters" experiment.
+func TestBetaBreaksUnderDelayViolation(t *testing.T) {
+	p := Params{C1: 2, C2: 2, D: 8}
+	b, err := Beta(p, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := randomInput(t, b, 12, 9)
+	// Deliver even-indexed packets immediately and odd-indexed packets far
+	// too late: bursts interleave at the receiver.
+	delay := chanmodel.Func{
+		Label: "interleaver",
+		F: func(dirSeq int64, sendTime int64, _ wire.Dir, _ wire.Packet) []int64 {
+			if dirSeq%2 == 0 {
+				return []int64{sendTime}
+			}
+			return []int64{sendTime + 10*p.D}
+		},
+	}
+	run, runErr := b.Run(x, RunOptions{Delay: delay, MaxTicks: 2_000_000})
+	// Either the receiver decodes a wrong block (Y != X) or decoding
+	// rejects a non-codeword burst (run error). Both demonstrate the
+	// dependence on Δ(C).
+	if runErr == nil {
+		if got := wire.BitsToString(run.Writes()); got == wire.BitsToString(x) {
+			t.Fatal("beta unexpectedly survived a gross delay violation")
+		}
+	}
+}
+
+// TestTightnessConstants: the measured upper/lower ratio stays below the
+// small constants the paper advertises ("only a constant factor worse").
+func TestTightnessConstants(t *testing.T) {
+	for _, p := range []Params{
+		{C1: 1, C2: 1, D: 8},
+		{C1: 2, C2: 3, D: 12},
+		{C1: 2, C2: 4, D: 24},
+	} {
+		for _, k := range []int{2, 4, 16, 64} {
+			if pt := PassiveTightness(p, k); !(pt >= 1) || pt > 6 {
+				t.Errorf("passive tightness %v k=%d: %.2f out of (1,6]", p, k, pt)
+			}
+			if at := ActiveTightness(p, k); !(at >= 1) || at > 8 {
+				t.Errorf("active tightness %v k=%d: %.2f out of (1,8]", p, k, at)
+			}
+		}
+	}
+}

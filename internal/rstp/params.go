@@ -1,0 +1,95 @@
+// Package rstp implements the paper's primary contribution: the Real-Time
+// Sequence Transmission Problem (Section 4), the three solutions —
+// A^α (Figure 1), the r-passive A^β(k) (Figure 3) and the active A^γ(k)
+// (Figure 4) — and the effort bounds of Sections 5 and 6.
+package rstp
+
+import (
+	"fmt"
+
+	"repro/internal/wire"
+)
+
+// TransmitterName and ReceiverName are the actor names the protocol
+// automata use in traces — the paper's t and r.
+const (
+	TransmitterName = "t"
+	ReceiverName    = "r"
+)
+
+// Params carries the three timing constants of RSTP, in ticks:
+// every process takes a local step at least every C1 and at most every C2
+// ticks, and every packet is delivered within D ticks of being sent.
+type Params struct {
+	// C1 is the minimum inter-step time (c1).
+	C1 int64
+	// C2 is the maximum inter-step time (c2).
+	C2 int64
+	// D is the channel delay bound (d).
+	D int64
+}
+
+// Validate checks the paper's constraint 0 < c1 <= c2 < d.
+func (p Params) Validate() error {
+	if p.C1 < 1 {
+		return fmt.Errorf("rstp: need c1 >= 1, got %d", p.C1)
+	}
+	if p.C2 < p.C1 {
+		return fmt.Errorf("rstp: need c1 <= c2, got c1=%d c2=%d", p.C1, p.C2)
+	}
+	if p.D <= p.C2 {
+		return fmt.Errorf("rstp: need c2 < d, got c2=%d d=%d", p.C2, p.D)
+	}
+	return nil
+}
+
+// Delta1 returns δ1 = ⌊d/c1⌋ — the maximum number of steps a process can
+// take in a window of d ticks. It is the burst size of A^β(k) and the
+// grouping width of the r-passive lower bound.
+func (p Params) Delta1() int { return int(p.D / p.C1) }
+
+// Delta2 returns δ2 = ⌊d/c2⌋ — the minimum number of steps a process
+// takes in a window of d ticks. It is the burst size of A^γ(k) and the
+// grouping width of the active lower bound.
+func (p Params) Delta2() int { return int(p.D / p.C2) }
+
+// CeilSteps1 returns ⌈d/c1⌉, the number of inter-send steps that
+// guarantees at least d ticks between consecutive sends even at the
+// fastest legal schedule. When c1 divides d this equals δ1, the paper's
+// wait count; otherwise it is δ1 + 1 (the paper implicitly assumes
+// divisibility — see DESIGN.md).
+func (p Params) CeilSteps1() int {
+	return int((p.D + p.C1 - 1) / p.C1)
+}
+
+// Divisible reports whether c1 and c2 both divide d — the regime in which
+// our step counts coincide exactly with the paper's δ1 and δ2.
+func (p Params) Divisible() bool {
+	return p.D%p.C1 == 0 && p.D%p.C2 == 0
+}
+
+// String renders the parameters.
+func (p Params) String() string {
+	return fmt.Sprintf("c1=%d c2=%d d=%d (δ1=%d δ2=%d)", p.C1, p.C2, p.D, p.Delta1(), p.Delta2())
+}
+
+// PadToBlock pads x with trailing zeros to a multiple of blockBits and
+// returns the padded sequence together with the number of padding bits
+// appended. The paper assumes |X| ≡ 0 (mod ⌊log μ⌋); applications that
+// cannot guarantee this pad and frame at a layer above (see examples/).
+func PadToBlock(x []wire.Bit, blockBits int) ([]wire.Bit, int) {
+	if blockBits <= 0 {
+		return x, 0
+	}
+	rem := len(x) % blockBits
+	if rem == 0 {
+		return x, 0
+	}
+	pad := blockBits - rem
+	out := make([]wire.Bit, len(x), len(x)+pad)
+	copy(out, x)
+	for i := 0; i < pad; i++ {
+		out = append(out, wire.Zero)
+	}
+	return out, pad
+}

@@ -1,0 +1,150 @@
+package rstp
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/wire"
+)
+
+func TestParamsValidate(t *testing.T) {
+	tests := []struct {
+		name    string
+		p       Params
+		wantErr string
+	}{
+		{name: "ok", p: Params{C1: 1, C2: 2, D: 3}},
+		{name: "ok equal c", p: Params{C1: 2, C2: 2, D: 5}},
+		{name: "zero c1", p: Params{C1: 0, C2: 2, D: 3}, wantErr: "c1 >= 1"},
+		{name: "negative c1", p: Params{C1: -1, C2: 2, D: 3}, wantErr: "c1 >= 1"},
+		{name: "c2 below c1", p: Params{C1: 3, C2: 2, D: 5}, wantErr: "c1 <= c2"},
+		{name: "d equals c2", p: Params{C1: 1, C2: 3, D: 3}, wantErr: "c2 < d"},
+		{name: "d below c2", p: Params{C1: 1, C2: 3, D: 2}, wantErr: "c2 < d"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			err := tt.p.Validate()
+			if tt.wantErr == "" {
+				if err != nil {
+					t.Fatalf("Validate() = %v", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tt.wantErr) {
+				t.Fatalf("Validate() = %v, want containing %q", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestDerivedQuantities(t *testing.T) {
+	tests := []struct {
+		p             Params
+		d1, d2, ceil1 int
+		divisible     bool
+	}{
+		{p: Params{C1: 1, C2: 1, D: 4}, d1: 4, d2: 4, ceil1: 4, divisible: true},
+		{p: Params{C1: 2, C2: 3, D: 12}, d1: 6, d2: 4, ceil1: 6, divisible: true},
+		{p: Params{C1: 2, C2: 5, D: 11}, d1: 5, d2: 2, ceil1: 6, divisible: false},
+		{p: Params{C1: 3, C2: 4, D: 25}, d1: 8, d2: 6, ceil1: 9, divisible: false},
+		{p: Params{C1: 4, C2: 8, D: 64}, d1: 16, d2: 8, ceil1: 16, divisible: true},
+	}
+	for _, tt := range tests {
+		if got := tt.p.Delta1(); got != tt.d1 {
+			t.Errorf("%v Delta1 = %d, want %d", tt.p, got, tt.d1)
+		}
+		if got := tt.p.Delta2(); got != tt.d2 {
+			t.Errorf("%v Delta2 = %d, want %d", tt.p, got, tt.d2)
+		}
+		if got := tt.p.CeilSteps1(); got != tt.ceil1 {
+			t.Errorf("%v CeilSteps1 = %d, want %d", tt.p, got, tt.ceil1)
+		}
+		if got := tt.p.Divisible(); got != tt.divisible {
+			t.Errorf("%v Divisible = %v, want %v", tt.p, got, tt.divisible)
+		}
+	}
+}
+
+// Property: δ2 <= δ1 <= ⌈d/c1⌉ <= δ1 + 1, and ⌈d/c1⌉·c1 >= d (the safety
+// separation the protocols rely on).
+func TestDerivedQuantitiesQuick(t *testing.T) {
+	f := func(a, b, c uint8) bool {
+		p := Params{
+			C1: int64(a%8) + 1,
+			C2: 0,
+			D:  0,
+		}
+		p.C2 = p.C1 + int64(b%8)
+		p.D = p.C2 + int64(c%32) + 1
+		if p.Validate() != nil {
+			return false
+		}
+		d1, d2, ceil1 := p.Delta1(), p.Delta2(), p.CeilSteps1()
+		if d2 > d1 || d1 > ceil1 || ceil1 > d1+1 {
+			return false
+		}
+		return int64(ceil1)*p.C1 >= p.D
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParamsString(t *testing.T) {
+	p := Params{C1: 2, C2: 3, D: 12}
+	s := p.String()
+	for _, want := range []string{"c1=2", "c2=3", "d=12", "δ1=6", "δ2=4"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q missing %q", s, want)
+		}
+	}
+}
+
+func TestPadToBlock(t *testing.T) {
+	tests := []struct {
+		name      string
+		in        string
+		blockBits int
+		wantLen   int
+		wantPad   int
+	}{
+		{name: "already aligned", in: "1010", blockBits: 4, wantLen: 4, wantPad: 0},
+		{name: "pad needed", in: "101", blockBits: 4, wantLen: 4, wantPad: 1},
+		{name: "empty", in: "", blockBits: 4, wantLen: 0, wantPad: 0},
+		{name: "one over", in: "10101", blockBits: 4, wantLen: 8, wantPad: 3},
+		{name: "zero block", in: "101", blockBits: 0, wantLen: 3, wantPad: 0},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			x, err := wire.ParseBits(tt.in)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out, pad := PadToBlock(x, tt.blockBits)
+			if len(out) != tt.wantLen || pad != tt.wantPad {
+				t.Fatalf("PadToBlock = len %d pad %d, want %d/%d", len(out), pad, tt.wantLen, tt.wantPad)
+			}
+			// Original bits preserved as a prefix; padding is zeros.
+			if wire.BitsToString(out[:len(x)]) != tt.in {
+				t.Fatal("prefix not preserved")
+			}
+			for i := len(x); i < len(out); i++ {
+				if out[i] != wire.Zero {
+					t.Fatal("padding not zero")
+				}
+			}
+		})
+	}
+}
+
+// TestPadToBlockDoesNotAliasInput: mutating the padded slice must not
+// change the caller's input.
+func TestPadToBlockDoesNotAliasInput(t *testing.T) {
+	x, _ := wire.ParseBits("101")
+	out, _ := PadToBlock(x, 4)
+	out[0] = wire.Zero
+	if x[0] != wire.One {
+		t.Fatal("PadToBlock aliased its input")
+	}
+}

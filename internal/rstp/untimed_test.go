@@ -1,0 +1,159 @@
+package rstp
+
+import (
+	"testing"
+
+	"repro/internal/chanmodel"
+	"repro/internal/ioa"
+	"repro/internal/wire"
+)
+
+// TestAlphaNeedsTimingUntimedReorderBreaksIt demonstrates why RSTP's
+// real-time assumptions are load-bearing: composed as plain (untimed) I/O
+// automata with the specification channel C(P) — which may reorder freely —
+// the very same A^α automata violate Y = X. The timed property Δ(C)
+// together with A^α's d-spaced sends is exactly what rules this out.
+func TestAlphaNeedsTimingUntimedReorderBreaksIt(t *testing.T) {
+	p := Params{C1: 2, C2: 3, D: 8} // ⌈d/c1⌉ = 4 steps per round
+	x, err := wire.ParseBits("10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := NewAlphaTransmitter(p, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc, err := NewAlphaReceiver(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch := chanmodel.NewChannel("chan")
+	comp, err := ioa.Compose("alpha-untimed", tr, ch, rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Drive the transmitter until both packets are in flight: 4 steps to
+	// send bit 0 and complete the wait, one more to send bit 1. Without
+	// timing, nothing forces the channel to deliver in between.
+	for i := 0; i < 5; i++ {
+		act, ok := tr.NextLocal()
+		if !ok {
+			t.Fatalf("transmitter quiescent after %d steps", i)
+		}
+		if err := comp.Apply(act); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if ch.InFlight() != 2 {
+		t.Fatalf("in flight = %d, want 2", ch.InFlight())
+	}
+
+	// Adversarial channel scheduling: deliver the second packet first.
+	// Both recv actions are enabled channel outputs — the untimed model
+	// permits either order.
+	if err := comp.Apply(wire.Recv{Dir: wire.TtoR, P: wire.DataPacket(0)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := comp.Apply(wire.Recv{Dir: wire.TtoR, P: wire.DataPacket(1)}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Let the receiver write everything it has.
+	for i := 0; i < 4; i++ {
+		act, ok := rc.NextLocal()
+		if !ok {
+			break
+		}
+		if err := comp.Apply(act); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if rc.Written() != 2 {
+		t.Fatalf("written = %d, want 2", rc.Written())
+	}
+
+	// The receiver wrote "01" for input "10": safety violated.
+	var y []wire.Bit
+	for _, e := range collectWrites(t, comp) {
+		y = append(y, e)
+	}
+	if wire.BitsToString(y) == wire.BitsToString(x) {
+		t.Fatal("untimed reordering unexpectedly preserved Y = X; the demonstration is broken")
+	}
+}
+
+// TestGammaUntimedFairExecutor runs the full formal composition
+// At ∘ C(P) ∘ Ar of Section 4 under the Section 2.1 fair-execution
+// semantics (round-robin over locally controlled actions, the channel
+// delivering FIFO): the ack-clocked A^γ delivers X with no timing at all.
+// This is the ioa-level counterpart of the model checker's exhaustive
+// result — one fair execution, executed through the formal composition
+// operator itself.
+func TestGammaUntimedFairExecutor(t *testing.T) {
+	p := Params{C1: 2, C2: 3, D: 12}
+	k := 4
+	x := make([]wire.Bit, 2*GammaBlockBits(p, k))
+	for i := range x {
+		x[i] = wire.Bit(i % 2)
+	}
+	tr, err := NewGammaTransmitter(p, k, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc, err := NewGammaReceiver(p, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch := chanmodel.NewChannel("chan")
+	comp, err := ioa.Compose("gamma-untimed", tr, ch, rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex := ioa.NewExecutor(comp, &ioa.RoundRobin{})
+	// The receiver idles forever, so the system never goes quiescent; run
+	// until all writes appear.
+	for steps := 0; steps < 100_000; steps++ {
+		if _, ok, err := ex.Step(); err != nil {
+			t.Fatal(err)
+		} else if !ok {
+			break
+		}
+		if ex.Trace().KindCount(wire.KindWrite) == len(x) {
+			break
+		}
+	}
+	var y []wire.Bit
+	for _, act := range ex.Trace().Restrict(func(a ioa.Action) bool { return a.Kind() == wire.KindWrite }) {
+		y = append(y, act.(wire.Write).M)
+	}
+	if wire.BitsToString(y) != wire.BitsToString(x) {
+		t.Fatalf("untimed fair execution: Y = %s, want %s", wire.BitsToString(y), wire.BitsToString(x))
+	}
+	if !tr.Done() {
+		t.Error("transmitter should be done")
+	}
+	// The behavior restricted to the transmitter contains exactly the
+	// sends and ack recvs (no internals) — the beh(α)|A projection.
+	beh := ex.Trace().Behavior(tr)
+	for _, a := range beh {
+		if a.Kind() != wire.KindSend && a.Kind() != wire.KindRecv {
+			t.Fatalf("transmitter behavior contains %v", a)
+		}
+	}
+}
+
+// collectWrites replays the composition's receiver state; since the
+// executor wasn't used, writes are reconstructed from the receiver.
+func collectWrites(t *testing.T, comp *ioa.Composition) []wire.Bit {
+	t.Helper()
+	auto, ok := comp.Component(ReceiverName)
+	if !ok {
+		t.Fatal("no receiver component")
+	}
+	rc, ok := auto.(*AlphaReceiver)
+	if !ok {
+		t.Fatalf("receiver has type %T", auto)
+	}
+	return rc.y[:rc.k]
+}

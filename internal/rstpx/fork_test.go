@@ -1,0 +1,163 @@
+package rstpx
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ioa"
+	"repro/internal/wire"
+)
+
+// TestGenBetaForkSnapshotIndependence exercises the state-space-exploration
+// surface of the generalised automata directly.
+func TestGenBetaForkSnapshotIndependence(t *testing.T) {
+	p := Base(2, 3, 12)
+	k, burst := 4, 6
+	bits := GenBetaBlockBits(k, burst)
+	x := make([]wire.Bit, bits)
+	x[0] = wire.One
+	tr, err := NewGenBetaTransmitter(p, k, burst, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Done() {
+		t.Fatal("fresh transmitter cannot be done")
+	}
+	cp, err := tr.Fork()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp.Snapshot() != tr.Snapshot() {
+		t.Fatal("fork changed state")
+	}
+	act, ok := cp.NextLocal()
+	if !ok {
+		t.Fatal("no local action")
+	}
+	if cp.Classify(act) != ioa.ClassOutput {
+		t.Fatalf("send classified as %v", cp.Classify(act))
+	}
+	if !cp.DeterministicIOA() {
+		t.Fatal("must be deterministic")
+	}
+	if err := cp.Apply(act); err != nil {
+		t.Fatal(err)
+	}
+	if cp.Snapshot() == tr.Snapshot() {
+		t.Fatal("fork shares state with original")
+	}
+
+	rc, err := NewGenBetaReceiver(p, k, burst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rc.DeterministicIOA() || rc.Written() != 0 {
+		t.Fatal("fresh receiver state wrong")
+	}
+	rcp, err := rc.Fork()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rcp.Snapshot() != rc.Snapshot() {
+		t.Fatal("receiver fork changed state")
+	}
+	if err := rcp.Apply(wire.Recv{Dir: wire.TtoR, P: wire.DataPacket(0)}); err != nil {
+		t.Fatal(err)
+	}
+	if rcp.Snapshot() == rc.Snapshot() {
+		t.Fatal("receiver fork shares state")
+	}
+	if rc.Classify(wire.Write{M: 0}) != ioa.ClassOutput {
+		t.Fatal("write should be receiver output")
+	}
+	if len(rcp.WrittenBits()) != 0 {
+		t.Fatal("nothing written yet")
+	}
+}
+
+func TestGenStringForms(t *testing.T) {
+	p := GenParams{TC1: 2, TC2: 3, RC1: 2, RC2: 4, D1: 6, D2: 12}
+	s := p.String()
+	for _, want := range []string{"t[2,3]", "r[2,4]", "d[6,12]", "slack=6"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("GenParams.String = %q missing %q", s, want)
+		}
+	}
+	sol, err := NewGenBeta(Base(2, 3, 12), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sol.String(); got != "genbeta(k=4,b=6)" {
+		t.Errorf("GenSolution.String = %q", got)
+	}
+}
+
+// TestOrderedReceiverSurface exercises the ordered receiver's remaining
+// automaton plumbing.
+func TestOrderedReceiverSurface(t *testing.T) {
+	p := Base(2, 3, 12)
+	rc, err := NewOrderedBetaReceiver(p, 4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rc.DeterministicIOA() || rc.Written() != 0 || rc.Name() != "r" {
+		t.Fatal("fresh ordered receiver state wrong")
+	}
+	if rc.Classify(wire.Recv{Dir: wire.TtoR, P: wire.DataPacket(1)}) != ioa.ClassInput {
+		t.Fatal("data recv should be input")
+	}
+	if rc.Classify(wire.Recv{Dir: wire.TtoR, P: wire.DataPacket(9)}) != ioa.ClassNone {
+		t.Fatal("out-of-alphabet packet should be outside the signature")
+	}
+	if rc.Classify(wire.Write{M: 1}) != ioa.ClassOutput {
+		t.Fatal("write should be output")
+	}
+	// Deliver one full in-order burst encoding the zero block.
+	bits := OrderedBlockBits(4, 3)
+	block := make([]wire.Bit, bits)
+	seq, err := EncodeOrdered(4, 3, block)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range seq {
+		if err := rc.Apply(wire.Recv{Dir: wire.TtoR, P: wire.DataPacket(s)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < bits; i++ {
+		act, ok := rc.NextLocal()
+		if !ok || act.Kind() != wire.KindWrite {
+			t.Fatalf("expected write, got %v", act)
+		}
+		if err := rc.Apply(act); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if rc.Written() != bits {
+		t.Fatalf("written = %d, want %d", rc.Written(), bits)
+	}
+	if rc.DetectedCorruption() {
+		t.Fatal("clean burst flagged as corrupt")
+	}
+}
+
+// TestGenAlphaClassifySurface rounds out the GenAlpha automaton plumbing.
+func TestGenAlphaClassifySurface(t *testing.T) {
+	p := Base(2, 3, 12)
+	tr, err := NewGenAlphaTransmitter(p, []wire.Bit{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Name() != "t" || !tr.DeterministicIOA() {
+		t.Fatal("basic surface wrong")
+	}
+	if tr.Classify(wire.Send{Dir: wire.TtoR, P: wire.DataPacket(1)}) != ioa.ClassOutput {
+		t.Fatal("send should be output")
+	}
+	if tr.Classify(wire.Internal{Name: "wait_t"}) != ioa.ClassInternal {
+		t.Fatal("wait_t should be internal")
+	}
+	if tr.Classify(wire.Write{M: 1}) != ioa.ClassNone {
+		t.Fatal("write is not a transmitter action")
+	}
+}

@@ -1,0 +1,151 @@
+package rstpx
+
+import (
+	"fmt"
+
+	"repro/internal/ioa"
+	"repro/internal/wire"
+)
+
+// GenAlpha is A^α lifted to the Section 7 window model: one message per
+// packet, consecutive sends separated by enough steps to cover the
+// reordering slack d2 - d1 (not all of d2). On a deterministic-delay
+// channel it degenerates to streaming one message per step.
+//
+// Round length: sends recur every r = max(1, ⌈slack/tc1⌉) steps, so the
+// inter-send time is at least r·tc1 >= slack even at the fastest pace
+// (ties resolved by send order, as everywhere in this repository). At
+// d1 = 0 this is the classical ⌈d/c1⌉; at d1 = d2 it is one step.
+//
+// Effort: r · tc2 per message — ⌈d/c1⌉·c2 at d1 = 0, tc2 at d1 = d2.
+
+// GenAlphaRoundSteps returns r, the steps per message round.
+func GenAlphaRoundSteps(p GenParams) int {
+	if p.Slack() <= 0 {
+		return 1
+	}
+	r := int((p.Slack() + p.TC1 - 1) / p.TC1)
+	if r < 1 {
+		r = 1
+	}
+	return r
+}
+
+// GenAlphaEffort returns the generalised simple-protocol effort.
+func GenAlphaEffort(p GenParams) float64 {
+	return float64(int64(GenAlphaRoundSteps(p)) * p.TC2)
+}
+
+// GenAlphaTransmitter sends one message then waits WaitSteps steps.
+type GenAlphaTransmitter struct {
+	m *ioa.Machine
+
+	x []wire.Bit
+	i int
+	j int
+	s int // steps per round: WaitSteps + 1
+}
+
+var _ ioa.Deterministic = (*GenAlphaTransmitter)(nil)
+
+// NewGenAlphaTransmitter builds the generalised simple transmitter.
+func NewGenAlphaTransmitter(p GenParams, x []wire.Bit) (*GenAlphaTransmitter, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	for idx, b := range x {
+		if !b.Valid() {
+			return nil, fmt.Errorf("rstpx: genalpha transmitter: invalid bit at %d", idx)
+		}
+	}
+	t := &GenAlphaTransmitter{
+		x: append([]wire.Bit(nil), x...),
+		s: GenAlphaRoundSteps(p),
+	}
+	if err := t.initMachine(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+func (t *GenAlphaTransmitter) initMachine() error {
+	m, err := ioa.NewMachine("t", t.classify, nil, []ioa.Command{
+		{
+			Name:  "send",
+			Class: ioa.ClassOutput,
+			Pre:   func() bool { return t.j == 0 && t.i < len(t.x) },
+			Act: func() ioa.Action {
+				return wire.Send{Dir: wire.TtoR, P: wire.DataPacket(wire.Symbol(t.x[t.i]))}
+			},
+			Eff: func() {
+				if t.s == 1 {
+					t.i++ // streaming: no wait at all
+					return
+				}
+				t.j = 1
+			},
+		},
+		{
+			Name:  "wait_t",
+			Class: ioa.ClassInternal,
+			Pre:   func() bool { return t.j > 0 },
+			Act:   func() ioa.Action { return wire.Internal{Name: "wait_t"} },
+			Eff: func() {
+				t.j++
+				if t.j == t.s {
+					t.i++
+					t.j = 0
+				}
+			},
+		},
+	})
+	if err != nil {
+		return err
+	}
+	t.m = m
+	return nil
+}
+
+func (t *GenAlphaTransmitter) classify(a ioa.Action) ioa.Class {
+	switch act := a.(type) {
+	case wire.Send:
+		if act.Dir == wire.TtoR && act.P.Kind == wire.Data {
+			return ioa.ClassOutput
+		}
+	case wire.Internal:
+		if act.Name == "wait_t" {
+			return ioa.ClassInternal
+		}
+	}
+	return ioa.ClassNone
+}
+
+// Name returns "t".
+func (t *GenAlphaTransmitter) Name() string { return t.m.Name() }
+
+// Classify places an action in the signature.
+func (t *GenAlphaTransmitter) Classify(a ioa.Action) ioa.Class { return t.m.Classify(a) }
+
+// NextLocal returns the unique enabled local action.
+func (t *GenAlphaTransmitter) NextLocal() (ioa.Action, bool) { return t.m.NextLocal() }
+
+// Apply performs a transition.
+func (t *GenAlphaTransmitter) Apply(a ioa.Action) error { return t.m.Apply(a) }
+
+// DeterministicIOA marks the automaton deterministic.
+func (t *GenAlphaTransmitter) DeterministicIOA() bool { return true }
+
+// Done reports whether every message was sent and waited out.
+func (t *GenAlphaTransmitter) Done() bool { return t.i >= len(t.x) && t.j == 0 }
+
+// Fork returns an independent deep copy, for state-space exploration.
+func (t *GenAlphaTransmitter) Fork() (*GenAlphaTransmitter, error) {
+	c := &GenAlphaTransmitter{x: t.x, i: t.i, j: t.j, s: t.s}
+	if err := c.initMachine(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// Snapshot returns a canonical key of the mutable state.
+func (t *GenAlphaTransmitter) Snapshot() string { return fmt.Sprintf("i=%d j=%d", t.i, t.j) }

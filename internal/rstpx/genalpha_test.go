@@ -1,0 +1,128 @@
+package rstpx
+
+import (
+	"testing"
+
+	"repro/internal/chanmodel"
+	"repro/internal/rstp"
+	"repro/internal/sim"
+	"repro/internal/timed"
+	"repro/internal/wire"
+)
+
+func TestGenAlphaEffortFormula(t *testing.T) {
+	// Base model: matches the classical formula.
+	base := Base(2, 3, 12)
+	if got, want := GenAlphaEffort(base), rstp.AlphaEffort(rstp.Params{C1: 2, C2: 3, D: 12}); got != want {
+		t.Errorf("base GenAlphaEffort = %g, classic = %g", got, want)
+	}
+	// Deterministic delay: one message per step.
+	det := GenParams{TC1: 2, TC2: 3, RC1: 2, RC2: 3, D1: 12, D2: 12}
+	if got := GenAlphaEffort(det); got != 3 {
+		t.Errorf("deterministic GenAlphaEffort = %g, want tc2 = 3", got)
+	}
+}
+
+func runGenAlpha(t *testing.T, p GenParams, xs string, delay chanmodel.DelayPolicy) *sim.Run {
+	t.Helper()
+	x, err := wire.ParseBits(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := NewGenAlphaTransmitter(p, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc, err := rstp.NewAlphaReceiver(rstp.Params{C1: p.RC1, C2: p.RC2, D: p.D2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, err := sim.Simulate(sim.Config{
+		C1: p.TC1, C2: p.TC2, D: p.D2,
+		Transmitter: sim.Process{Auto: tr, Policy: sim.FixedGap{C: p.TC1}},
+		Receiver:    sim.Process{Auto: rc, Policy: sim.FixedGap{C: p.RC1}},
+		Delay:       delay,
+		Stop:        sim.StopAfterWrites(len(x)),
+		MaxTicks:    1_000_000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wire.BitsToString(run.Writes()) != xs {
+		t.Fatalf("Y = %s, want %s", wire.BitsToString(run.Writes()), xs)
+	}
+	return run
+}
+
+// TestGenAlphaCorrectAcrossWindows: correctness holds for the full window
+// grid, including zero slack where it streams back to back.
+func TestGenAlphaCorrectAcrossWindows(t *testing.T) {
+	grids := []GenParams{
+		Base(2, 3, 12),
+		{TC1: 2, TC2: 3, RC1: 2, RC2: 3, D1: 8, D2: 12},
+		{TC1: 2, TC2: 3, RC1: 2, RC2: 3, D1: 12, D2: 12},
+	}
+	for _, p := range grids {
+		for _, delay := range []chanmodel.DelayPolicy{
+			chanmodel.FixedDelay{Delay: p.D1},
+			chanmodel.FixedDelay{Delay: p.D2},
+		} {
+			run := runGenAlpha(t, p, "10110", delay)
+			if v := timed.DelayWindow(run.Trace, p.D1, p.D2, true); len(v) != 0 {
+				t.Fatalf("%v: %v", p, v[0])
+			}
+		}
+	}
+}
+
+// TestGenAlphaStreamsAtZeroSlack: with d1 = d2 the transmitter never
+// waits — one send per step.
+func TestGenAlphaStreamsAtZeroSlack(t *testing.T) {
+	p := GenParams{TC1: 2, TC2: 3, RC1: 2, RC2: 3, D1: 12, D2: 12}
+	run := runGenAlpha(t, p, "1011", chanmodel.FixedDelay{Delay: 12})
+	for _, e := range run.Trace {
+		if e.Actor == "t" && e.Action.Kind() == "wait_t" {
+			t.Fatal("zero-slack GenAlpha waited")
+		}
+	}
+}
+
+// TestGenAlphaTimedModelCheck: exhaustively safe on a small windowed
+// instance, via its Fork/Snapshot support.
+func TestGenAlphaForkSnapshot(t *testing.T) {
+	p := GenParams{TC1: 1, TC2: 1, RC1: 1, RC2: 1, D1: 1, D2: 3}
+	x, _ := wire.ParseBits("10")
+	tr, err := NewGenAlphaTransmitter(p, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp, err := tr.Fork()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp.Snapshot() != tr.Snapshot() {
+		t.Fatal("fork changed state")
+	}
+	act, ok := cp.NextLocal()
+	if !ok {
+		t.Fatal("no action")
+	}
+	if err := cp.Apply(act); err != nil {
+		t.Fatal(err)
+	}
+	if cp.Snapshot() == tr.Snapshot() {
+		t.Fatal("fork shares state")
+	}
+	if tr.Done() {
+		t.Fatal("fresh transmitter cannot be done")
+	}
+}
+
+func TestGenAlphaValidation(t *testing.T) {
+	if _, err := NewGenAlphaTransmitter(GenParams{}, nil); err == nil {
+		t.Error("invalid params should fail")
+	}
+	if _, err := NewGenAlphaTransmitter(Base(1, 1, 2), []wire.Bit{9}); err == nil {
+		t.Error("invalid bit should fail")
+	}
+}

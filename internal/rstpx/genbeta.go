@@ -1,0 +1,333 @@
+package rstpx
+
+import (
+	"fmt"
+
+	"repro/internal/ioa"
+	"repro/internal/multiset"
+	"repro/internal/wire"
+)
+
+// GenBeta is the generalised r-passive burst protocol: bursts of Burst
+// k-ary packets encoding ⌊log2 μ_k(Burst)⌋ bits as a multiset, separated
+// by WaitSteps idle steps — just enough to cover the reordering slack
+// d2 - d1 rather than all of d2. With a deterministic-delay channel
+// (d1 = d2) the wait vanishes entirely and the transmitter streams bursts
+// back to back.
+//
+// The burst size is a free parameter of the generalised protocol
+// (correctness never depends on it); DefaultBurst picks the
+// paper-analogous value.
+
+// DefaultBurst returns the paper-analogous burst size: the reordering
+// window w*, but never smaller than the generalised δ1 when there is no
+// slack advantage to exploit. Concretely: max(w*, 1) when slack > 0
+// matches the paper's δ1 at d1 = 0, and a small constant burst (8) when
+// the channel is deterministic, to amortise per-burst overhead.
+func DefaultBurst(p GenParams) int {
+	if p.Validate() != nil {
+		return 1 // invalid parameters fail properly in the constructor
+	}
+	if p.Slack() <= 0 {
+		return 8
+	}
+	b := p.GenDelta1()
+	if w := p.WindowSteps(); w > b {
+		b = w
+	}
+	if b < 1 {
+		b = 1
+	}
+	return b
+}
+
+// GenBetaBlockBits returns ⌊log2 μ_k(burst)⌋ for the generalised protocol.
+func GenBetaBlockBits(k, burst int) int { return multiset.BlockBits(k, burst) }
+
+// GenBetaTransmitter is the generalised burst transmitter.
+type GenBetaTransmitter struct {
+	m *ioa.Machine
+
+	blocks [][]wire.Symbol
+	bi     int
+	c      int
+	burst  int
+	wait   int
+}
+
+var _ ioa.Deterministic = (*GenBetaTransmitter)(nil)
+
+// NewGenBetaTransmitter builds the transmitter for input x with the given
+// burst size; len(x) must be a multiple of GenBetaBlockBits(k, burst).
+func NewGenBetaTransmitter(p GenParams, k, burst int, x []wire.Bit) (*GenBetaTransmitter, error) {
+	codec, err := genCodec(p, k, burst)
+	if err != nil {
+		return nil, err
+	}
+	bits := codec.BlockBits()
+	if len(x)%bits != 0 {
+		return nil, fmt.Errorf("rstpx: |X| = %d not a multiple of block size %d", len(x), bits)
+	}
+	blocks := make([][]wire.Symbol, 0, len(x)/bits)
+	for off := 0; off < len(x); off += bits {
+		seq, err := codec.EncodeSeq(x[off : off+bits])
+		if err != nil {
+			return nil, fmt.Errorf("rstpx: block at bit %d: %w", off, err)
+		}
+		blocks = append(blocks, seq)
+	}
+	t := &GenBetaTransmitter{
+		blocks: blocks,
+		burst:  burst,
+		wait:   p.WaitSteps(),
+	}
+	if err := t.initMachine(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// initMachine (re)binds the guarded commands to this instance; Fork calls
+// it on copies.
+func (t *GenBetaTransmitter) initMachine() error {
+	m, err := ioa.NewMachine("t", t.classify, nil, []ioa.Command{
+		{
+			Name:  "send",
+			Class: ioa.ClassOutput,
+			Pre:   func() bool { return t.bi < len(t.blocks) && t.c < t.burst },
+			Act: func() ioa.Action {
+				return wire.Send{Dir: wire.TtoR, P: wire.DataPacket(t.blocks[t.bi][t.c])}
+			},
+			Eff: func() {
+				t.c++
+				// No wait configured: roll straight into the next block.
+				if t.c == t.burst && t.wait == 0 {
+					t.c = 0
+					t.bi++
+				}
+			},
+		},
+		{
+			Name:  "wait_t",
+			Class: ioa.ClassInternal,
+			Pre:   func() bool { return t.bi < len(t.blocks) && t.c >= t.burst },
+			Act:   func() ioa.Action { return wire.Internal{Name: "wait_t"} },
+			Eff: func() {
+				t.c++
+				if t.c == t.burst+t.wait {
+					t.c = 0
+					t.bi++
+				}
+			},
+		},
+	})
+	if err != nil {
+		return err
+	}
+	t.m = m
+	return nil
+}
+
+// Fork returns an independent deep copy in the same state, for
+// state-space exploration. The immutable encoded blocks are shared.
+func (t *GenBetaTransmitter) Fork() (*GenBetaTransmitter, error) {
+	c := &GenBetaTransmitter{
+		blocks: t.blocks,
+		bi:     t.bi,
+		c:      t.c,
+		burst:  t.burst,
+		wait:   t.wait,
+	}
+	if err := c.initMachine(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// Snapshot returns a canonical key of the mutable state.
+func (t *GenBetaTransmitter) Snapshot() string { return fmt.Sprintf("bi=%d c=%d", t.bi, t.c) }
+
+func genCodec(p GenParams, k, burst int) (*multiset.Codec, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if k < 2 {
+		return nil, fmt.Errorf("rstpx: need k >= 2, got %d", k)
+	}
+	if burst < 1 {
+		return nil, fmt.Errorf("rstpx: need burst >= 1, got %d", burst)
+	}
+	return multiset.NewCodec(k, burst)
+}
+
+func (t *GenBetaTransmitter) classify(a ioa.Action) ioa.Class {
+	switch act := a.(type) {
+	case wire.Send:
+		if act.Dir == wire.TtoR && act.P.Kind == wire.Data {
+			return ioa.ClassOutput
+		}
+	case wire.Internal:
+		if act.Name == "wait_t" {
+			return ioa.ClassInternal
+		}
+	}
+	return ioa.ClassNone
+}
+
+// Name returns "t".
+func (t *GenBetaTransmitter) Name() string { return t.m.Name() }
+
+// Classify places an action in the signature.
+func (t *GenBetaTransmitter) Classify(a ioa.Action) ioa.Class { return t.m.Classify(a) }
+
+// NextLocal returns the unique enabled local action.
+func (t *GenBetaTransmitter) NextLocal() (ioa.Action, bool) { return t.m.NextLocal() }
+
+// Apply performs a transition.
+func (t *GenBetaTransmitter) Apply(a ioa.Action) error { return t.m.Apply(a) }
+
+// DeterministicIOA marks the automaton deterministic.
+func (t *GenBetaTransmitter) DeterministicIOA() bool { return true }
+
+// Done reports whether every block is sent and waited out.
+func (t *GenBetaTransmitter) Done() bool { return t.bi >= len(t.blocks) }
+
+// GenBetaReceiver is the generalised burst receiver; identical decoding
+// logic, parameterised burst.
+type GenBetaReceiver struct {
+	m *ioa.Machine
+
+	codec *multiset.Codec
+	burst int
+	k     int
+	a     multiset.Multiset
+	queue []wire.Bit
+	next  int
+}
+
+var _ ioa.Deterministic = (*GenBetaReceiver)(nil)
+
+// NewGenBetaReceiver builds the receiver.
+func NewGenBetaReceiver(p GenParams, k, burst int) (*GenBetaReceiver, error) {
+	codec, err := genCodec(p, k, burst)
+	if err != nil {
+		return nil, err
+	}
+	r := &GenBetaReceiver{
+		codec: codec,
+		burst: burst,
+		k:     k,
+		a:     multiset.New(k),
+	}
+	if err := r.initMachine(); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// initMachine (re)binds the guarded commands to this instance; Fork calls
+// it on copies.
+func (r *GenBetaReceiver) initMachine() error {
+	m, err := ioa.NewMachine("r", r.classify, r.onInput, []ioa.Command{
+		{
+			Name:  "write",
+			Class: ioa.ClassOutput,
+			Pre:   func() bool { return r.next < len(r.queue) },
+			Act:   func() ioa.Action { return wire.Write{M: r.queue[r.next]} },
+			Eff:   func() { r.next++ },
+		},
+		{
+			Name:  "idle_r",
+			Class: ioa.ClassInternal,
+			Pre:   func() bool { return true },
+			Act:   func() ioa.Action { return wire.Internal{Name: "idle_r"} },
+			Eff:   func() {},
+		},
+	})
+	if err != nil {
+		return err
+	}
+	r.m = m
+	return nil
+}
+
+// Fork returns an independent deep copy in the same state, for
+// state-space exploration.
+func (r *GenBetaReceiver) Fork() (*GenBetaReceiver, error) {
+	c := &GenBetaReceiver{
+		codec: r.codec,
+		burst: r.burst,
+		k:     r.k,
+		a:     r.a.Clone(),
+		queue: append([]wire.Bit(nil), r.queue...),
+		next:  r.next,
+	}
+	if err := c.initMachine(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// Snapshot returns a canonical key of the mutable state.
+func (r *GenBetaReceiver) Snapshot() string {
+	return fmt.Sprintf("A=%s q=%s next=%d", r.a.Key(), wire.BitsToString(r.queue), r.next)
+}
+
+// WrittenBits returns Y: the bits written so far, in order.
+func (r *GenBetaReceiver) WrittenBits() []wire.Bit {
+	return append([]wire.Bit(nil), r.queue[:r.next]...)
+}
+
+func (r *GenBetaReceiver) classify(a ioa.Action) ioa.Class {
+	switch act := a.(type) {
+	case wire.Recv:
+		if act.Dir == wire.TtoR && act.P.Kind == wire.Data &&
+			act.P.Symbol >= 0 && int(act.P.Symbol) < r.k {
+			return ioa.ClassInput
+		}
+	case wire.Write:
+		return ioa.ClassOutput
+	case wire.Internal:
+		if act.Name == "idle_r" {
+			return ioa.ClassInternal
+		}
+	}
+	return ioa.ClassNone
+}
+
+func (r *GenBetaReceiver) onInput(act ioa.Action) error {
+	recv, ok := act.(wire.Recv)
+	if !ok {
+		return fmt.Errorf("rstpx: receiver: unexpected input %v: %w", act, ioa.ErrNotInSignature)
+	}
+	if err := r.a.Add(recv.P.Symbol); err != nil {
+		return fmt.Errorf("rstpx: receiver: %w", err)
+	}
+	if r.a.Size() == r.burst {
+		bits, err := r.codec.Decode(r.a)
+		if err != nil {
+			return fmt.Errorf("rstpx: receiver: decode burst: %w", err)
+		}
+		r.queue = append(r.queue, bits...)
+		r.a.Clear()
+	}
+	return nil
+}
+
+// Name returns "r".
+func (r *GenBetaReceiver) Name() string { return r.m.Name() }
+
+// Classify places an action in the signature.
+func (r *GenBetaReceiver) Classify(a ioa.Action) ioa.Class { return r.m.Classify(a) }
+
+// NextLocal returns the unique enabled local action.
+func (r *GenBetaReceiver) NextLocal() (ioa.Action, bool) { return r.m.NextLocal() }
+
+// Apply performs a transition.
+func (r *GenBetaReceiver) Apply(a ioa.Action) error { return r.m.Apply(a) }
+
+// DeterministicIOA marks the automaton deterministic.
+func (r *GenBetaReceiver) DeterministicIOA() bool { return true }
+
+// Written returns the number of bits written.
+func (r *GenBetaReceiver) Written() int { return r.next }

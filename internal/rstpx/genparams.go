@@ -1,0 +1,109 @@
+// Package rstpx implements the generalisations the paper's conclusion
+// (Section 7) proposes as future work:
+//
+//   - the delay bound d is replaced by a delivery window [d1, d2]: every
+//     packet arrives at least d1 and at most d2 ticks after it is sent;
+//   - each process has its own step bounds: the transmitter steps every
+//     tc1..tc2 ticks and the receiver every rc1..rc2 ticks.
+//
+// The interesting consequence: what the channel can scramble is governed
+// by the *slack* d2 - d1, not by d2. Two packets sent Δt apart can arrive
+// out of order only if Δt < d2 - d1, so
+//
+//   - the reordering window shrinks to w* = max(1, ⌈(d2-d1)/tc1⌉)
+//     transmitter steps (w* = δ1 when d1 = 0 and tc1 = c1 — the paper's
+//     case), which generalises the Theorem 5.3 lower bound to
+//     w*·tc2 / log2 ζ_k(w*);
+//   - the burst protocol only needs to separate bursts by the slack, not
+//     by d2: with a deterministic-delay channel (d1 = d2) bursts need no
+//     wait at all and the effort approaches tc2/log2 μ_k(B) per message.
+//
+// The package provides the generalised parameters, bounds, and the
+// generalised r-passive burst protocol GenBeta (the active A^γ(k) needs
+// no generalisation for safety — it is ack-clocked — so only its bound
+// changes; see GenGammaUpperBound).
+package rstpx
+
+import (
+	"fmt"
+)
+
+// GenParams carries the Section 7 generalised timing constants, in ticks.
+type GenParams struct {
+	// TC1, TC2 bound the transmitter's inter-step time.
+	TC1, TC2 int64
+	// RC1, RC2 bound the receiver's inter-step time.
+	RC1, RC2 int64
+	// D1, D2 bound each packet's delivery delay: d1 <= delay <= d2.
+	D1, D2 int64
+}
+
+// Validate checks 0 < tc1 <= tc2, 0 < rc1 <= rc2, 0 <= d1 <= d2 and
+// tc2 < d2 (the paper's c2 < d, which keeps δ2 >= 1).
+func (p GenParams) Validate() error {
+	if p.TC1 < 1 || p.TC2 < p.TC1 {
+		return fmt.Errorf("rstpx: need 0 < tc1 <= tc2, got tc1=%d tc2=%d", p.TC1, p.TC2)
+	}
+	if p.RC1 < 1 || p.RC2 < p.RC1 {
+		return fmt.Errorf("rstpx: need 0 < rc1 <= rc2, got rc1=%d rc2=%d", p.RC1, p.RC2)
+	}
+	if p.D1 < 0 || p.D2 < p.D1 {
+		return fmt.Errorf("rstpx: need 0 <= d1 <= d2, got d1=%d d2=%d", p.D1, p.D2)
+	}
+	if p.D2 <= p.TC2 {
+		return fmt.Errorf("rstpx: need tc2 < d2, got tc2=%d d2=%d", p.TC2, p.D2)
+	}
+	return nil
+}
+
+// Slack returns the reordering slack d2 - d1: the only quantity the
+// channel's nondeterminism can exploit.
+func (p GenParams) Slack() int64 { return p.D2 - p.D1 }
+
+// WindowSteps returns w*: the largest number of consecutive transmitter
+// steps (at the fastest pace tc1) whose packets the channel can deliver in
+// an arbitrary order. Packets sent Δt apart reorder only when Δt < slack,
+// so w* = ⌈slack/tc1⌉, and at least 1 (a packet is always alone in its own
+// window).
+func (p GenParams) WindowSteps() int {
+	if p.Slack() <= 0 {
+		return 1
+	}
+	w := int((p.Slack() + p.TC1 - 1) / p.TC1)
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// WaitSteps returns the number of idle transmitter steps GenBeta inserts
+// between bursts so that consecutive bursts cannot interleave: the gap
+// between the last send of one burst and the first send of the next is
+// (WaitSteps+1)·tc1 > slack, hence the next burst's earliest arrival
+// (send + d1) falls at or after every previous arrival (send' + d2).
+// With d1 = 0 this is ⌈d2/tc1⌉ — the base protocol's wait.
+func (p GenParams) WaitSteps() int {
+	if p.Slack() <= 0 {
+		return 0
+	}
+	return int((p.Slack() + p.TC1 - 1) / p.TC1)
+}
+
+// GenDelta1 returns the generalised δ1 = ⌊d2/tc1⌋ (the base model's δ1
+// when d1 = 0); used by the paper-analogous default burst size.
+func (p GenParams) GenDelta1() int { return int(p.D2 / p.TC1) }
+
+// GenDelta2 returns the generalised δ2 = ⌊d2/tc2⌋.
+func (p GenParams) GenDelta2() int { return int(p.D2 / p.TC2) }
+
+// Base lifts classic RSTP parameters into the generalised model
+// (d1 = 0, both processes sharing the same clock bounds).
+func Base(c1, c2, d int64) GenParams {
+	return GenParams{TC1: c1, TC2: c2, RC1: c1, RC2: c2, D1: 0, D2: d}
+}
+
+// String renders the parameters.
+func (p GenParams) String() string {
+	return fmt.Sprintf("t[%d,%d] r[%d,%d] d[%d,%d] (slack=%d w*=%d)",
+		p.TC1, p.TC2, p.RC1, p.RC2, p.D1, p.D2, p.Slack(), p.WindowSteps())
+}

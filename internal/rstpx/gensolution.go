@@ -1,0 +1,119 @@
+package rstpx
+
+import (
+	"fmt"
+
+	"repro/internal/chanmodel"
+	"repro/internal/sim"
+	"repro/internal/timed"
+	"repro/internal/wire"
+)
+
+// GenSolution bundles GenBeta's protocol pair with its parameters.
+type GenSolution struct {
+	// Params are the generalised timing constants.
+	Params GenParams
+	// K is the packet alphabet size.
+	K int
+	// Burst is the packets-per-burst parameter.
+	Burst int
+	// BlockBits is the input bits carried per burst.
+	BlockBits int
+}
+
+// NewGenBeta builds the generalised r-passive solution with the default
+// burst; NewGenBetaBurst chooses the burst explicitly.
+func NewGenBeta(p GenParams, k int) (GenSolution, error) {
+	return NewGenBetaBurst(p, k, DefaultBurst(p))
+}
+
+// NewGenBetaBurst builds the generalised r-passive solution with an
+// explicit burst size.
+func NewGenBetaBurst(p GenParams, k, burst int) (GenSolution, error) {
+	codec, err := genCodec(p, k, burst)
+	if err != nil {
+		return GenSolution{}, err
+	}
+	return GenSolution{Params: p, K: k, Burst: burst, BlockBits: codec.BlockBits()}, nil
+}
+
+// String renders the solution name.
+func (s GenSolution) String() string {
+	return fmt.Sprintf("genbeta(k=%d,b=%d)", s.K, s.Burst)
+}
+
+// GenRunOptions select the schedules of one generalised run; zero values
+// default to the worst case (both processes slowest, delay pinned at d2).
+type GenRunOptions struct {
+	// TPolicy and RPolicy schedule the two processes.
+	TPolicy, RPolicy sim.StepPolicy
+	// Delay is the channel adversary; it must respect [d1, d2].
+	Delay chanmodel.DelayPolicy
+	// MaxTicks and MaxEvents cap the run.
+	MaxTicks  int64
+	MaxEvents int
+}
+
+// Run executes the solution on x until all messages are written.
+func (s GenSolution) Run(x []wire.Bit, opt GenRunOptions) (*sim.Run, error) {
+	if opt.TPolicy == nil {
+		opt.TPolicy = sim.FixedGap{C: s.Params.TC2}
+	}
+	if opt.RPolicy == nil {
+		opt.RPolicy = sim.FixedGap{C: s.Params.RC2}
+	}
+	if opt.Delay == nil {
+		opt.Delay = chanmodel.FixedDelay{Delay: s.Params.D2}
+	}
+	t, err := NewGenBetaTransmitter(s.Params, s.K, s.Burst, x)
+	if err != nil {
+		return nil, err
+	}
+	r, err := NewGenBetaReceiver(s.Params, s.K, s.Burst)
+	if err != nil {
+		return nil, err
+	}
+	run, err := sim.Simulate(sim.Config{
+		C1:          s.Params.TC1,
+		C2:          s.Params.TC2,
+		D:           s.Params.D2,
+		Transmitter: sim.Process{Auto: t, Policy: opt.TPolicy},
+		Receiver:    sim.Process{Auto: r, Policy: opt.RPolicy},
+		Delay:       opt.Delay,
+		Stop:        sim.StopAfterWrites(len(x)),
+		MaxTicks:    opt.MaxTicks,
+		MaxEvents:   opt.MaxEvents,
+	})
+	if err != nil {
+		return run, fmt.Errorf("rstpx: %s run: %w", s, err)
+	}
+	return run, nil
+}
+
+// Verify checks the generalised good(A): per-process step bounds, the
+// delivery window [d1, d2], and Y = X.
+func (s GenSolution) Verify(run *sim.Run, x []wire.Bit) []timed.Violation {
+	var out []timed.Violation
+	out = append(out, timed.Timing(run.Trace)...)
+	out = append(out, timed.StepBounds(run.Trace, "t", s.Params.TC1, s.Params.TC2)...)
+	out = append(out, timed.StepBounds(run.Trace, "r", s.Params.RC1, s.Params.RC2)...)
+	out = append(out, timed.DelayWindow(run.Trace, s.Params.D1, s.Params.D2, true)...)
+	out = append(out, timed.PrefixInvariant(run.Trace, x, true)...)
+	return out
+}
+
+// MeasureEffort runs on x and reports t(last-send)/|x| after verifying.
+func (s GenSolution) MeasureEffort(x []wire.Bit, opt GenRunOptions) (float64, error) {
+	run, err := s.Run(x, opt)
+	if err != nil {
+		return 0, err
+	}
+	if v := s.Verify(run, x); len(v) > 0 {
+		return 0, fmt.Errorf("rstpx: %s run not good: %v (and %d more)", s, v[0], len(v)-1)
+	}
+	last, ok := run.LastSendTime()
+	if !ok {
+		return 0, fmt.Errorf("rstpx: %s run sent nothing", s)
+	}
+	return float64(last) / float64(len(x)), nil
+}

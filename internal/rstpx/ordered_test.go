@@ -1,0 +1,155 @@
+package rstpx
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/chanmodel"
+	"repro/internal/sim"
+	"repro/internal/wire"
+)
+
+func TestOrderedBlockBits(t *testing.T) {
+	tests := []struct {
+		k, burst, want int
+	}{
+		{k: 2, burst: 6, want: 6},   // 2^6
+		{k: 4, burst: 6, want: 12},  // 4^6 = 2^12
+		{k: 3, burst: 4, want: 6},   // 81 -> 6
+		{k: 16, burst: 3, want: 12}, // 16^3 = 2^12
+	}
+	for _, tt := range tests {
+		if got := OrderedBlockBits(tt.k, tt.burst); got != tt.want {
+			t.Errorf("OrderedBlockBits(%d,%d) = %d, want %d", tt.k, tt.burst, got, tt.want)
+		}
+	}
+}
+
+// TestOrderedCodeRoundTrip: encode∘decode = id, but ONLY in order.
+func TestOrderedCodeRoundTrip(t *testing.T) {
+	k, burst := 4, 6
+	bits := OrderedBlockBits(k, burst)
+	rng := rand.New(rand.NewSource(21))
+	f := func() bool {
+		block := wire.RandomBits(bits, rng.Uint64)
+		seq, err := EncodeOrdered(k, burst, block)
+		if err != nil || len(seq) != burst {
+			return false
+		}
+		back, err := DecodeOrdered(k, bits, seq)
+		if err != nil {
+			return false
+		}
+		return wire.BitsToString(back) == wire.BitsToString(block)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOrderedCodeIsOrderSensitive(t *testing.T) {
+	k, burst := 4, 3
+	bits := OrderedBlockBits(k, burst)
+	block := make([]wire.Bit, bits)
+	block[bits-1] = wire.One // value 1 -> digits 0,0,1
+	seq, err := EncodeOrdered(k, burst, block)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rev := []wire.Symbol{seq[2], seq[1], seq[0]} // 1,0,0 -> value 16
+	back, err := DecodeOrdered(k, bits, rev)
+	if err == nil && wire.BitsToString(back) == wire.BitsToString(block) {
+		t.Fatal("reversal should change the decoded value")
+	}
+}
+
+func TestOrderedGainExceedsOne(t *testing.T) {
+	// The sequence code always carries at least as many bits as the
+	// multiset code — that is the temptation the ablation kills.
+	for _, k := range []int{2, 4, 16} {
+		for _, burst := range []int{2, 6, 12} {
+			if g := OrderedGain(k, burst); g < 1 {
+				t.Errorf("OrderedGain(%d,%d) = %.2f < 1", k, burst, g)
+			}
+		}
+	}
+	if OrderedGain(4, 6) <= 1.5 {
+		t.Errorf("k=4 burst=6 gain should be substantial, got %.2f", OrderedGain(4, 6))
+	}
+}
+
+func runOrdered(t *testing.T, p GenParams, k, burst int, x []wire.Bit, delay chanmodel.DelayPolicy) (*sim.Run, *OrderedBetaReceiver) {
+	t.Helper()
+	tr, err := NewOrderedBetaTransmitter(p, k, burst, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc, err := NewOrderedBetaReceiver(p, k, burst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, err := sim.Simulate(sim.Config{
+		C1: p.TC1, C2: p.TC2, D: p.D2,
+		Transmitter: sim.Process{Auto: tr, Policy: sim.FixedGap{C: p.TC1}},
+		Receiver:    sim.Process{Auto: rc, Policy: sim.FixedGap{C: p.RC1}},
+		Delay:       delay,
+		Stop:        sim.StopAfterWrites(len(x)),
+		MaxTicks:    10_000_000,
+	})
+	if err != nil && run.WriteCount >= len(x) {
+		t.Fatal(err)
+	}
+	return run, rc
+}
+
+// TestOrderedDecoderWorksInOrder: on an order-preserving channel the
+// ablated protocol is fine — and carries more bits per burst.
+func TestOrderedDecoderWorksInOrder(t *testing.T) {
+	p := Base(2, 3, 12)
+	k, burst := 4, 6
+	bits := OrderedBlockBits(k, burst)
+	rng := rand.New(rand.NewSource(33))
+	x := wire.RandomBits(6*bits, rng.Uint64)
+	run, _ := runOrdered(t, p, k, burst, x, chanmodel.FixedDelay{Delay: p.D2})
+	if wire.BitsToString(run.Writes()) != wire.BitsToString(x) {
+		t.Fatal("ordered decoder failed on an order-preserving channel")
+	}
+}
+
+// TestOrderedDecoderBrokenByReversal is the ablation's point: the very
+// same legal Δ(C) adversary that A^β provably survives corrupts the
+// sequence decoder.
+func TestOrderedDecoderBrokenByReversal(t *testing.T) {
+	p := Base(2, 3, 12)
+	k, burst := 4, p.GenDelta1()
+	bits := OrderedBlockBits(k, burst)
+	rng := rand.New(rand.NewSource(34))
+	x := wire.RandomBits(6*bits, rng.Uint64)
+	delay := chanmodel.ReverseBurst{D: p.D2, Burst: burst, StepGap: p.TC1}
+	run, rc := runOrdered(t, p, k, burst, x, delay)
+	if wire.BitsToString(run.Writes()) == wire.BitsToString(x) && !rc.DetectedCorruption() {
+		t.Fatal("ordered decoder unexpectedly survived in-burst reversal")
+	}
+	// Meanwhile the multiset protocol under the same adversary is fine —
+	// covered by TestGenBetaSurvivesWindowReordering and rstp's suite.
+}
+
+func TestOrderedConstructorValidation(t *testing.T) {
+	p := Base(2, 3, 12)
+	if _, err := NewOrderedBetaTransmitter(p, 1, 6, nil); err == nil {
+		t.Error("k = 1 should fail")
+	}
+	if _, err := NewOrderedBetaTransmitter(p, 4, 6, make([]wire.Bit, 1)); err == nil {
+		t.Error("misaligned input should fail")
+	}
+	if _, err := NewOrderedBetaReceiver(p, 4, 0); err == nil {
+		t.Error("burst = 0 should fail")
+	}
+	if _, err := DecodeOrdered(4, 3, []wire.Symbol{9}); err == nil {
+		t.Error("out-of-alphabet symbol should fail")
+	}
+	if _, err := EncodeOrdered(4, 3, make([]wire.Bit, 2)); err == nil {
+		t.Error("wrong block size should fail")
+	}
+}

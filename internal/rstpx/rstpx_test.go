@@ -1,0 +1,309 @@
+package rstpx
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/chanmodel"
+	"repro/internal/rstp"
+	"repro/internal/sim"
+	"repro/internal/wire"
+)
+
+func TestGenParamsValidate(t *testing.T) {
+	tests := []struct {
+		name    string
+		p       GenParams
+		wantErr string
+	}{
+		{name: "ok", p: GenParams{TC1: 1, TC2: 2, RC1: 1, RC2: 3, D1: 2, D2: 8}},
+		{name: "ok deterministic delay", p: GenParams{TC1: 1, TC2: 2, RC1: 1, RC2: 2, D1: 5, D2: 5}},
+		{name: "tc order", p: GenParams{TC1: 3, TC2: 2, RC1: 1, RC2: 2, D1: 0, D2: 8}, wantErr: "tc1 <= tc2"},
+		{name: "rc order", p: GenParams{TC1: 1, TC2: 2, RC1: 0, RC2: 2, D1: 0, D2: 8}, wantErr: "rc1 <= rc2"},
+		{name: "d order", p: GenParams{TC1: 1, TC2: 2, RC1: 1, RC2: 2, D1: 9, D2: 8}, wantErr: "d1 <= d2"},
+		{name: "d2 too small", p: GenParams{TC1: 1, TC2: 4, RC1: 1, RC2: 2, D1: 0, D2: 4}, wantErr: "tc2 < d2"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			err := tt.p.Validate()
+			if tt.wantErr == "" {
+				if err != nil {
+					t.Fatalf("Validate() = %v", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tt.wantErr) {
+				t.Fatalf("Validate() = %v, want %q", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestWindowAndWaitSteps(t *testing.T) {
+	tests := []struct {
+		p            GenParams
+		slack        int64
+		window, wait int
+	}{
+		// Base model: d1 = 0 -> slack = d2, matches ⌈d/c1⌉.
+		{p: Base(2, 3, 12), slack: 12, window: 6, wait: 6},
+		{p: Base(2, 5, 11), slack: 11, window: 6, wait: 6},
+		// Narrow window: slack 4 over tc1 = 2 -> 2-step windows.
+		{p: GenParams{TC1: 2, TC2: 3, RC1: 2, RC2: 3, D1: 8, D2: 12}, slack: 4, window: 2, wait: 2},
+		// Deterministic delay: no reordering at all.
+		{p: GenParams{TC1: 2, TC2: 3, RC1: 2, RC2: 3, D1: 12, D2: 12}, slack: 0, window: 1, wait: 0},
+	}
+	for _, tt := range tests {
+		if got := tt.p.Slack(); got != tt.slack {
+			t.Errorf("%v Slack = %d, want %d", tt.p, got, tt.slack)
+		}
+		if got := tt.p.WindowSteps(); got != tt.window {
+			t.Errorf("%v WindowSteps = %d, want %d", tt.p, got, tt.window)
+		}
+		if got := tt.p.WaitSteps(); got != tt.wait {
+			t.Errorf("%v WaitSteps = %d, want %d", tt.p, got, tt.wait)
+		}
+	}
+}
+
+// TestBaseMatchesClassicModel: with d1 = 0 and shared clocks, the
+// generalised bounds coincide with the paper's.
+func TestBaseMatchesClassicModel(t *testing.T) {
+	c1, c2, dd := int64(2), int64(3), int64(12)
+	gp := Base(c1, c2, dd)
+	cp := rstp.Params{C1: c1, C2: c2, D: dd}
+	for _, k := range []int{2, 4, 16} {
+		if got, want := GenPassiveLowerBound(gp, k), rstp.PassiveLowerBound(cp, k); math.Abs(got-want) > 1e-9 {
+			t.Errorf("k=%d: gen passive LB %g != classic %g", k, got, want)
+		}
+		if got, want := GenBetaUpperBound(gp, k, gp.GenDelta1()), rstp.BetaUpperBound(cp, k); math.Abs(got-want) > 1e-9 {
+			t.Errorf("k=%d: gen beta UB %g != classic %g", k, got, want)
+		}
+	}
+	if gp.GenDelta1() != cp.Delta1() || gp.GenDelta2() != cp.Delta2() {
+		t.Error("generalised deltas disagree with classic")
+	}
+}
+
+func genInput(s GenSolution, blocks int, seed int64) []wire.Bit {
+	rng := rand.New(rand.NewSource(seed))
+	return wire.RandomBits(blocks*s.BlockBits, rng.Uint64)
+}
+
+// TestGenBetaCorrectAcrossWindows: GenBeta delivers X under every legal
+// window channel, for several slack regimes including zero.
+func TestGenBetaCorrectAcrossWindows(t *testing.T) {
+	paramGrid := []GenParams{
+		Base(2, 3, 12),
+		{TC1: 2, TC2: 3, RC1: 2, RC2: 3, D1: 8, D2: 12},  // narrow slack
+		{TC1: 2, TC2: 3, RC1: 2, RC2: 3, D1: 12, D2: 12}, // deterministic
+		{TC1: 1, TC2: 2, RC1: 3, RC2: 5, D1: 3, D2: 9},   // asymmetric clocks
+	}
+	for _, p := range paramGrid {
+		for _, k := range []int{2, 8} {
+			s, err := NewGenBeta(p, k)
+			if err != nil {
+				t.Fatalf("%v k=%d: %v", p, k, err)
+			}
+			x := genInput(s, 6, 11)
+			rng := rand.New(rand.NewSource(13))
+			delays := []chanmodel.DelayPolicy{
+				chanmodel.FixedDelay{Delay: p.D1},
+				chanmodel.FixedDelay{Delay: p.D2},
+				&chanmodel.UniformWindow{D1: p.D1, D2: p.D2, Rand: rng},
+			}
+			schedules := []sim.StepPolicy{
+				sim.FixedGap{C: p.TC1},
+				sim.FixedGap{C: p.TC2},
+			}
+			for _, delay := range delays {
+				for _, sched := range schedules {
+					rsched := sim.FixedGap{C: p.RC1}
+					run, err := s.Run(x, GenRunOptions{TPolicy: sched, RPolicy: rsched, Delay: delay})
+					if err != nil {
+						t.Fatalf("%s %v %s: %v", s, p, delay.Name(), err)
+					}
+					if wire.BitsToString(run.Writes()) != wire.BitsToString(x) {
+						t.Fatalf("%s %v %s: Y != X", s, p, delay.Name())
+					}
+					if v := s.Verify(run, x); len(v) != 0 {
+						t.Fatalf("%s %v %s: %v", s, p, delay.Name(), v[0])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestGenBetaSurvivesWindowReordering: an adversary that reverses arrival
+// order within the slack window cannot corrupt the multiset decoding.
+func TestGenBetaSurvivesWindowReordering(t *testing.T) {
+	p := GenParams{TC1: 2, TC2: 3, RC1: 2, RC2: 3, D1: 6, D2: 12}
+	s, err := NewGenBeta(p, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := genInput(s, 8, 17)
+	// Alternate delays d1/d2 within each burst: adjacent packets swap.
+	delay := chanmodel.Func{
+		Label: "window-swapper",
+		F: func(dirSeq int64, sendTime int64, _ wire.Dir, _ wire.Packet) []int64 {
+			if dirSeq%2 == 0 {
+				return []int64{sendTime + p.D2}
+			}
+			return []int64{sendTime + p.D1}
+		},
+	}
+	run, err := s.Run(x, GenRunOptions{
+		TPolicy: sim.FixedGap{C: p.TC1},
+		RPolicy: sim.FixedGap{C: p.RC1},
+		Delay:   delay,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wire.BitsToString(run.Writes()) != wire.BitsToString(x) {
+		t.Fatal("window reordering corrupted the stream")
+	}
+	if v := s.Verify(run, x); len(v) != 0 {
+		t.Fatalf("not good: %v", v[0])
+	}
+}
+
+// TestDeterministicDelayNoWait: with d1 = d2 the transmitter never waits —
+// every local step is a send.
+func TestDeterministicDelayNoWait(t *testing.T) {
+	p := GenParams{TC1: 2, TC2: 3, RC1: 2, RC2: 3, D1: 12, D2: 12}
+	s, err := NewGenBeta(p, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := genInput(s, 5, 23)
+	run, err := s.Run(x, GenRunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range run.Trace {
+		if e.Actor == "t" && e.Action.Kind() == "wait_t" {
+			t.Fatal("transmitter waited despite zero slack")
+		}
+	}
+	if wire.BitsToString(run.Writes()) != wire.BitsToString(x) {
+		t.Fatal("Y != X")
+	}
+}
+
+// TestEffortImprovesAsWindowShrinks is the headline result of the
+// extension: fixing d2 and raising d1 (shrinking the slack) strictly
+// reduces both the generalised lower bound and the measured effort.
+func TestEffortImprovesAsWindowShrinks(t *testing.T) {
+	k := 4
+	var prevLB, prevMeas float64 = math.Inf(1), math.Inf(1)
+	for _, d1 := range []int64{0, 6, 10, 12} {
+		p := GenParams{TC1: 2, TC2: 3, RC1: 2, RC2: 3, D1: d1, D2: 12}
+		lb := GenPassiveLowerBound(p, k)
+		if lb > prevLB+1e-9 {
+			t.Errorf("d1=%d: lower bound rose to %.3f from %.3f", d1, lb, prevLB)
+		}
+		prevLB = lb
+		s, err := NewGenBeta(p, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		x := genInput(s, 40, 29)
+		meas, err := s.MeasureEffort(x, GenRunOptions{})
+		if err != nil {
+			t.Fatalf("d1=%d: %v", d1, err)
+		}
+		if meas > prevMeas+1e-9 {
+			t.Errorf("d1=%d: measured effort rose to %.3f from %.3f", d1, meas, prevMeas)
+		}
+		if ub := GenBetaUpperBound(p, k, s.Burst); meas > ub+1e-9 {
+			t.Errorf("d1=%d: measured %.3f above bound %.3f", d1, meas, ub)
+		}
+		prevMeas = meas
+	}
+}
+
+// TestAsymmetricClocksOnlySlowReceiverWrites: with a much slower receiver
+// the r-passive protocol's transmission effort is unchanged (the receiver
+// never gates the channel), demonstrating the per-process extension.
+func TestAsymmetricClocksOnlySlowReceiverWrites(t *testing.T) {
+	fast := GenParams{TC1: 2, TC2: 3, RC1: 2, RC2: 3, D1: 0, D2: 12}
+	slowR := GenParams{TC1: 2, TC2: 3, RC1: 8, RC2: 16, D1: 0, D2: 12}
+	k := 4
+	sFast, err := NewGenBeta(fast, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sSlow, err := NewGenBetaBurst(slowR, k, sFast.Burst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := genInput(sFast, 20, 31)
+	eFast, err := sFast.MeasureEffort(x, GenRunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eSlow, err := sSlow.MeasureEffort(x, GenRunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(eFast-eSlow) > 1e-9 {
+		t.Errorf("r-passive transmission effort changed with receiver speed: %.3f vs %.3f", eFast, eSlow)
+	}
+}
+
+func TestGenConstructorsValidate(t *testing.T) {
+	p := Base(2, 3, 12)
+	if _, err := NewGenBetaBurst(p, 1, 4); err == nil {
+		t.Error("k = 1 should fail")
+	}
+	if _, err := NewGenBetaBurst(p, 4, 0); err == nil {
+		t.Error("burst = 0 should fail")
+	}
+	if _, err := NewGenBetaTransmitter(p, 4, 6, make([]wire.Bit, 1)); err == nil {
+		t.Error("misaligned input should fail")
+	}
+	bad := GenParams{TC1: 0, TC2: 1, RC1: 1, RC2: 1, D1: 0, D2: 3}
+	if _, err := NewGenBeta(bad, 4); err == nil {
+		t.Error("invalid params should fail")
+	}
+}
+
+func TestDefaultBurst(t *testing.T) {
+	// Base model: default burst equals δ1.
+	if b := DefaultBurst(Base(2, 3, 12)); b != 6 {
+		t.Errorf("base default burst = %d, want 6", b)
+	}
+	// Deterministic delay: small constant burst.
+	det := GenParams{TC1: 2, TC2: 3, RC1: 2, RC2: 3, D1: 12, D2: 12}
+	if b := DefaultBurst(det); b != 8 {
+		t.Errorf("deterministic default burst = %d, want 8", b)
+	}
+	// Narrow slack: still at least the window and at least δ1.
+	nar := GenParams{TC1: 2, TC2: 3, RC1: 2, RC2: 3, D1: 8, D2: 12}
+	if b := DefaultBurst(nar); b < nar.WindowSteps() {
+		t.Errorf("default burst %d below window %d", b, nar.WindowSteps())
+	}
+}
+
+func TestGenGammaUpperBoundSanity(t *testing.T) {
+	// Base case compares against the classic 3d+c2 bound: the generalised
+	// bound is the conservative one (it charges ack queueing), so it must
+	// be at least the classic value.
+	gp := Base(2, 3, 12)
+	cp := rstp.Params{C1: 2, C2: 3, D: 12}
+	for _, k := range []int{2, 4, 16} {
+		gen := GenGammaUpperBound(gp, k)
+		classic := rstp.GammaUpperBound(cp, k)
+		if gen < classic {
+			t.Errorf("k=%d: generalised gamma bound %.3f below classic %.3f", k, gen, classic)
+		}
+	}
+	if !math.IsInf(GenGammaUpperBound(gp, 1), 1) {
+		t.Error("k=1 should be +Inf")
+	}
+}

@@ -1,0 +1,340 @@
+// Package sim is the timed execution engine: a deterministic discrete-event
+// simulator producing timed executions of the composition
+// At ∘ Ar ∘ C(P) under chosen step schedules (Σ(At, Ar)) and a chosen
+// channel delivery adversary (Δ(C(P))).
+//
+// Time is integer ticks. Event ordering at equal ticks is fixed: packet
+// deliveries precede process steps, and same-tick deliveries occur in send
+// order. Consequently two packets sent at least d ticks apart are never
+// received out of order — the property the paper's burst protocols rely on
+// ("At sends no packet during (t, t+d]", proof of Lemma 6.1).
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+
+	"repro/internal/chanmodel"
+	"repro/internal/ioa"
+	"repro/internal/timed"
+	"repro/internal/wire"
+)
+
+// StepPolicy chooses each inter-step gap for one process. Gaps must lie in
+// [c1, c2] for the run to be a good execution; the policy is deliberately
+// unconstrained so fault-injection tests can violate the bounds.
+type StepPolicy interface {
+	// Name identifies the policy in experiment reports.
+	Name() string
+	// Gap returns the gap in ticks between local step stepIndex and step
+	// stepIndex+1 (step 0 happens at time 0).
+	Gap(stepIndex int64) int64
+}
+
+// FixedGap steps every C ticks — the paper's "every c time units" schedule.
+type FixedGap struct {
+	// C is the constant gap.
+	C int64
+}
+
+var _ StepPolicy = FixedGap{}
+
+// Name returns "fixed(C)".
+func (f FixedGap) Name() string { return fmt.Sprintf("fixed(%d)", f.C) }
+
+// Gap returns C.
+func (f FixedGap) Gap(int64) int64 { return f.C }
+
+// AlternatingGap alternates between the two extreme legal gaps.
+type AlternatingGap struct {
+	// C1, C2 are the alternating gaps.
+	C1, C2 int64
+}
+
+var _ StepPolicy = AlternatingGap{}
+
+// Name returns "alternating".
+func (a AlternatingGap) Name() string { return fmt.Sprintf("alternating(%d,%d)", a.C1, a.C2) }
+
+// Gap alternates C1, C2, C1, ...
+func (a AlternatingGap) Gap(i int64) int64 {
+	if i%2 == 0 {
+		return a.C1
+	}
+	return a.C2
+}
+
+// RandomGap draws each gap uniformly from [C1, C2].
+type RandomGap struct {
+	// C1, C2 bound the gap.
+	C1, C2 int64
+	// Int63n is the randomness source, typically (*rand.Rand).Int63n.
+	Int63n func(n int64) int64
+}
+
+var _ StepPolicy = RandomGap{}
+
+// Name returns "random".
+func (r RandomGap) Name() string { return fmt.Sprintf("random(%d,%d)", r.C1, r.C2) }
+
+// Gap draws uniformly in [C1, C2].
+func (r RandomGap) Gap(int64) int64 {
+	if r.C2 <= r.C1 {
+		return r.C1
+	}
+	return r.C1 + r.Int63n(r.C2-r.C1+1)
+}
+
+// ScriptedGap replays an explicit gap sequence, then repeats Fallback —
+// the fully adversarial schedule used by the lower-bound constructions.
+type ScriptedGap struct {
+	// Gaps are the first len(Gaps) gaps.
+	Gaps []int64
+	// Fallback is used beyond the script.
+	Fallback int64
+}
+
+var _ StepPolicy = ScriptedGap{}
+
+// Name returns "scripted".
+func (s ScriptedGap) Name() string { return "scripted" }
+
+// Gap returns the scripted gap or the fallback.
+func (s ScriptedGap) Gap(i int64) int64 {
+	if i >= 0 && i < int64(len(s.Gaps)) {
+		return s.Gaps[i]
+	}
+	return s.Fallback
+}
+
+// Process pairs a protocol automaton with its step schedule.
+type Process struct {
+	// Auto is the process automaton (transmitter or receiver).
+	Auto ioa.Automaton
+	// Policy schedules the process's local steps.
+	Policy StepPolicy
+}
+
+// Actor names used in traces.
+const (
+	// ChannelActor attributes recv events to the channel automaton.
+	ChannelActor = "chan"
+)
+
+// Config describes one timed run.
+type Config struct {
+	// C1, C2, D are the RSTP timing constants, used for reporting and by
+	// Good validation; the engine itself follows the policies verbatim.
+	C1, C2, D int64
+	// Transmitter and Receiver are the two processes.
+	Transmitter, Receiver Process
+	// Delay is the channel's delivery adversary.
+	Delay chanmodel.DelayPolicy
+	// Stop ends the run when it returns true (checked after every recorded
+	// event). Nil means run until MaxTicks/MaxEvents.
+	Stop func(r *Run) bool
+	// MaxTicks caps simulated time (default 50_000_000).
+	MaxTicks int64
+	// MaxEvents caps recorded events (default 20_000_000).
+	MaxEvents int
+}
+
+// StopReason says why a run ended.
+type StopReason string
+
+const (
+	// StopCondition means cfg.Stop returned true.
+	StopCondition StopReason = "stop-condition"
+	// StopMaxTicks means simulated time hit the cap.
+	StopMaxTicks StopReason = "max-ticks"
+	// StopMaxEvents means the event cap was hit.
+	StopMaxEvents StopReason = "max-events"
+	// StopQuiescent means nothing remained scheduled to happen — both
+	// processes permanently action-less and no packet in flight.
+	StopQuiescent StopReason = "quiescent"
+)
+
+// Run is the result of one timed execution.
+type Run struct {
+	// Trace is the recorded timed execution.
+	Trace []timed.Event
+	// WriteCount is the number of write events.
+	WriteCount int
+	// SendCount counts send events (both directions).
+	SendCount int
+	// Now is the time of the last processed event.
+	Now int64
+	// Reason says why the run stopped.
+	Reason StopReason
+}
+
+// Writes returns the written sequence Y.
+func (r *Run) Writes() []wire.Bit { return timed.Writes(r.Trace) }
+
+// LastSendTime returns t(last-send), the effort numerator.
+func (r *Run) LastSendTime() (int64, bool) { return timed.LastSendTime(r.Trace) }
+
+// LastWriteTime returns the time of the final write.
+func (r *Run) LastWriteTime() (int64, bool) { return timed.LastWriteTime(r.Trace) }
+
+// StopAfterWrites stops a run once n messages have been written.
+func StopAfterWrites(n int) func(*Run) bool {
+	return func(r *Run) bool { return r.WriteCount >= n }
+}
+
+// ErrNoProgress is returned when a run ends by cap without meeting its
+// stop condition.
+var ErrNoProgress = errors.New("sim: run hit its cap before the stop condition")
+
+// event kinds, ordered: deliveries before steps at the same tick.
+const (
+	kindDeliver = 0
+	kindStep    = 1
+)
+
+type event struct {
+	time int64
+	kind int
+	tie  int64 // packetSeq for deliveries, push order for steps
+	who  int   // step: 0 = transmitter, 1 = receiver
+	dir  wire.Dir
+	pkt  wire.Packet
+	pseq int64 // packet instance id
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	if h[i].kind != h[j].kind {
+		return h[i].kind < h[j].kind
+	}
+	return h[i].tie < h[j].tie
+}
+func (h eventHeap) Swap(i, j int)   { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)     { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any       { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+func (h eventHeap) peekTime() int64 { return h[0].time }
+
+// Simulate runs the configured timed execution to completion.
+func Simulate(cfg Config) (*Run, error) {
+	if cfg.Transmitter.Auto == nil || cfg.Receiver.Auto == nil {
+		return nil, errors.New("sim: both processes required")
+	}
+	if cfg.Transmitter.Policy == nil || cfg.Receiver.Policy == nil {
+		return nil, errors.New("sim: both step policies required")
+	}
+	if cfg.Delay == nil {
+		return nil, errors.New("sim: delay policy required")
+	}
+	if cfg.MaxTicks == 0 {
+		cfg.MaxTicks = 50_000_000
+	}
+	if cfg.MaxEvents == 0 {
+		cfg.MaxEvents = 20_000_000
+	}
+
+	procs := [2]Process{cfg.Transmitter, cfg.Receiver}
+	var (
+		h         eventHeap
+		run       Run
+		seq       int64 // trace sequence
+		pushOrder int64
+		packetSeq int64
+		stepIdx   [2]int64
+		dirSeq    = map[wire.Dir]int64{wire.TtoR: 0, wire.RtoT: 0}
+	)
+	push := func(e event) {
+		pushOrder++
+		if e.kind == kindStep {
+			e.tie = pushOrder
+		}
+		heap.Push(&h, e)
+	}
+	record := func(t int64, actor string, act ioa.Action, pseq int64) {
+		seq++
+		run.Trace = append(run.Trace, timed.Event{
+			Time: t, Seq: seq, Actor: actor, Action: act, PacketSeq: pseq,
+		})
+		switch act.Kind() {
+		case wire.KindWrite:
+			run.WriteCount++
+		case wire.KindSend:
+			run.SendCount++
+		}
+	}
+
+	push(event{time: 0, kind: kindStep, who: 0})
+	push(event{time: 0, kind: kindStep, who: 1})
+
+	for len(h) > 0 {
+		if h.peekTime() > cfg.MaxTicks {
+			run.Reason = StopMaxTicks
+			return &run, fmt.Errorf("%w (max-ticks %d)", ErrNoProgress, cfg.MaxTicks)
+		}
+		if len(run.Trace) >= cfg.MaxEvents {
+			run.Reason = StopMaxEvents
+			return &run, fmt.Errorf("%w (max-events %d)", ErrNoProgress, cfg.MaxEvents)
+		}
+		e := heap.Pop(&h).(event)
+		run.Now = e.time
+
+		switch e.kind {
+		case kindDeliver:
+			// recv(p) is the channel's output and an input of the
+			// destination process.
+			target := 1 // TtoR lands at the receiver
+			if e.dir == wire.RtoT {
+				target = 0
+			}
+			act := wire.Recv{Dir: e.dir, P: e.pkt}
+			if err := procs[target].Auto.Apply(act); err != nil {
+				return &run, fmt.Errorf("sim: t=%d deliver %v to %s: %w", e.time, act, procs[target].Auto.Name(), err)
+			}
+			record(e.time, ChannelActor, act, e.pseq)
+
+		case kindStep:
+			p := procs[e.who]
+			act, ok := p.Auto.NextLocal()
+			if ok {
+				if err := p.Auto.Apply(act); err != nil {
+					return &run, fmt.Errorf("sim: t=%d step %s apply %v: %w", e.time, p.Auto.Name(), act, err)
+				}
+				pseqHere := int64(0)
+				if s, isSend := act.(wire.Send); isSend {
+					packetSeq++
+					pseqHere = packetSeq
+					ds := dirSeq[s.Dir]
+					dirSeq[s.Dir] = ds + 1
+					for _, at := range cfg.Delay.Arrivals(ds, e.time, s.Dir, s.P) {
+						if at < e.time {
+							at = e.time
+						}
+						push(event{time: at, kind: kindDeliver, tie: packetSeq, dir: s.Dir, pkt: s.P, pseq: packetSeq})
+					}
+				}
+				record(e.time, p.Auto.Name(), act, pseqHere)
+			}
+			// Schedule the next step regardless: the step-bound property
+			// constrains the process's clock, not its workload. A process
+			// with nothing enabled simply has no event at this step.
+			gap := p.Policy.Gap(stepIdx[e.who])
+			stepIdx[e.who]++
+			if gap < 1 {
+				gap = 1
+			}
+			push(event{time: e.time + gap, kind: kindStep, who: e.who})
+		}
+
+		if cfg.Stop != nil && cfg.Stop(&run) {
+			run.Reason = StopCondition
+			return &run, nil
+		}
+	}
+	run.Reason = StopQuiescent
+	return &run, nil
+}

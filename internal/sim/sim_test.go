@@ -1,0 +1,396 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/chanmodel"
+	"repro/internal/ioa"
+	"repro/internal/timed"
+	"repro/internal/wire"
+)
+
+// pinger sends `count` data packets, one per step.
+type pinger struct{ m *ioa.Machine }
+
+func newPinger(t *testing.T, count int) *pinger {
+	t.Helper()
+	sent := 0
+	p := &pinger{}
+	m, err := ioa.NewMachine("t",
+		func(a ioa.Action) ioa.Class {
+			if s, ok := a.(wire.Send); ok && s.Dir == wire.TtoR {
+				return ioa.ClassOutput
+			}
+			return ioa.ClassNone
+		},
+		nil,
+		[]ioa.Command{{
+			Name:  "send",
+			Class: ioa.ClassOutput,
+			Pre:   func() bool { return sent < count },
+			Act: func() ioa.Action {
+				return wire.Send{Dir: wire.TtoR, P: wire.DataPacket(wire.Symbol(sent % 4))}
+			},
+			Eff: func() { sent++ },
+		}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.m = m
+	return p
+}
+
+func (p *pinger) Name() string                    { return p.m.Name() }
+func (p *pinger) Classify(a ioa.Action) ioa.Class { return p.m.Classify(a) }
+func (p *pinger) NextLocal() (ioa.Action, bool)   { return p.m.NextLocal() }
+func (p *pinger) Apply(a ioa.Action) error        { return p.m.Apply(a) }
+
+// echoSink counts received packets and writes a bit per packet.
+type echoSink struct {
+	m        *ioa.Machine
+	received int
+	written  int
+}
+
+func newEchoSink(t *testing.T) *echoSink {
+	t.Helper()
+	s := &echoSink{}
+	m, err := ioa.NewMachine("r",
+		func(a ioa.Action) ioa.Class {
+			switch act := a.(type) {
+			case wire.Recv:
+				if act.Dir == wire.TtoR {
+					return ioa.ClassInput
+				}
+			case wire.Write:
+				return ioa.ClassOutput
+			case wire.Internal:
+				if act.Name == "idle_r" {
+					return ioa.ClassInternal
+				}
+			}
+			return ioa.ClassNone
+		},
+		func(a ioa.Action) error {
+			if _, ok := a.(wire.Recv); !ok {
+				return ioa.ErrNotInSignature
+			}
+			s.received++
+			return nil
+		},
+		[]ioa.Command{
+			{
+				Name:  "write",
+				Class: ioa.ClassOutput,
+				Pre:   func() bool { return s.written < s.received },
+				Act:   func() ioa.Action { return wire.Write{M: wire.One} },
+				Eff:   func() { s.written++ },
+			},
+			{
+				Name:  "idle_r",
+				Class: ioa.ClassInternal,
+				Pre:   func() bool { return true },
+				Act:   func() ioa.Action { return wire.Internal{Name: "idle_r"} },
+				Eff:   func() {},
+			},
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.m = m
+	return s
+}
+
+func (s *echoSink) Name() string                    { return s.m.Name() }
+func (s *echoSink) Classify(a ioa.Action) ioa.Class { return s.m.Classify(a) }
+func (s *echoSink) NextLocal() (ioa.Action, bool)   { return s.m.NextLocal() }
+func (s *echoSink) Apply(a ioa.Action) error        { return s.m.Apply(a) }
+
+func TestSimulateBasicFlow(t *testing.T) {
+	tr := newPinger(t, 5)
+	rc := newEchoSink(t)
+	run, err := Simulate(Config{
+		C1: 2, C2: 2, D: 6,
+		Transmitter: Process{Auto: tr, Policy: FixedGap{C: 2}},
+		Receiver:    Process{Auto: rc, Policy: FixedGap{C: 2}},
+		Delay:       chanmodel.FixedDelay{Delay: 3},
+		Stop:        StopAfterWrites(5),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.WriteCount != 5 || run.SendCount != 5 {
+		t.Fatalf("writes=%d sends=%d", run.WriteCount, run.SendCount)
+	}
+	if run.Reason != StopCondition {
+		t.Fatalf("reason = %s", run.Reason)
+	}
+	// Sends at 0,2,4,6,8; arrivals at 3,5,7,9,11.
+	if last, ok := run.LastSendTime(); !ok || last != 8 {
+		t.Fatalf("last send = %d", last)
+	}
+	// Every delay within bound, steps within [2,2].
+	v := timed.Good(run.Trace, timed.GoodConfig{
+		C1: 2, C2: 2, D: 6, Transmitter: "t", Receiver: "r",
+		X: []wire.Bit{1, 1, 1, 1, 1}, RequireComplete: true,
+	})
+	if len(v) != 0 {
+		t.Fatalf("violations: %v", v)
+	}
+}
+
+func TestSimulateConfigValidation(t *testing.T) {
+	tr := newPinger(t, 1)
+	rc := newEchoSink(t)
+	good := Config{
+		Transmitter: Process{Auto: tr, Policy: FixedGap{C: 1}},
+		Receiver:    Process{Auto: rc, Policy: FixedGap{C: 1}},
+		Delay:       chanmodel.Zero{},
+		Stop:        StopAfterWrites(1),
+	}
+	bad := good
+	bad.Transmitter.Auto = nil
+	if _, err := Simulate(bad); err == nil {
+		t.Error("missing automaton should fail")
+	}
+	bad = good
+	bad.Receiver.Policy = nil
+	if _, err := Simulate(bad); err == nil {
+		t.Error("missing policy should fail")
+	}
+	bad = good
+	bad.Delay = nil
+	if _, err := Simulate(bad); err == nil {
+		t.Error("missing delay policy should fail")
+	}
+}
+
+func TestSimulateMaxTicks(t *testing.T) {
+	tr := newPinger(t, 0) // nothing to send: writes never happen
+	rc := newEchoSink(t)
+	run, err := Simulate(Config{
+		Transmitter: Process{Auto: tr, Policy: FixedGap{C: 1}},
+		Receiver:    Process{Auto: rc, Policy: FixedGap{C: 1}},
+		Delay:       chanmodel.Zero{},
+		Stop:        StopAfterWrites(1),
+		MaxTicks:    100,
+	})
+	if !errors.Is(err, ErrNoProgress) {
+		t.Fatalf("err = %v, want ErrNoProgress", err)
+	}
+	if run.Reason != StopMaxTicks {
+		t.Fatalf("reason = %s", run.Reason)
+	}
+}
+
+func TestSimulateMaxEvents(t *testing.T) {
+	tr := newPinger(t, 0)
+	rc := newEchoSink(t) // idles forever, generating events
+	run, err := Simulate(Config{
+		Transmitter: Process{Auto: tr, Policy: FixedGap{C: 1}},
+		Receiver:    Process{Auto: rc, Policy: FixedGap{C: 1}},
+		Delay:       chanmodel.Zero{},
+		Stop:        StopAfterWrites(1),
+		MaxTicks:    1_000_000,
+		MaxEvents:   50,
+	})
+	if !errors.Is(err, ErrNoProgress) {
+		t.Fatalf("err = %v, want ErrNoProgress", err)
+	}
+	if run.Reason != StopMaxEvents {
+		t.Fatalf("reason = %s", run.Reason)
+	}
+}
+
+// TestDeliveryPrecedesStepAtSameTick pins the documented tie-break: a
+// packet arriving at tick T is visible to a process step at tick T.
+func TestDeliveryPrecedesStepAtSameTick(t *testing.T) {
+	tr := newPinger(t, 1)
+	rc := newEchoSink(t)
+	// Send at 0, delay 2 -> arrival at 2; receiver steps at 0,2,4...
+	// With delivery-before-step the write can happen at tick 2... but the
+	// receiver's tick-2 step sees received=1 only if delivery sorted first.
+	run, err := Simulate(Config{
+		Transmitter: Process{Auto: tr, Policy: FixedGap{C: 2}},
+		Receiver:    Process{Auto: rc, Policy: FixedGap{C: 2}},
+		Delay:       chanmodel.FixedDelay{Delay: 2},
+		Stop:        StopAfterWrites(1),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if last, ok := run.LastWriteTime(); !ok || last != 2 {
+		t.Fatalf("write at %d, want 2 (delivery must precede the step)", last)
+	}
+}
+
+// TestSameTickDeliveriesInSendOrder pins the second tie-break rule.
+func TestSameTickDeliveriesInSendOrder(t *testing.T) {
+	tr := newPinger(t, 3)
+	rc := newEchoSink(t)
+	// Sends at 0,1,2 all delivered at tick 5.
+	delay := chanmodel.Func{Label: "batch", F: func(_, _ int64, _ wire.Dir, _ wire.Packet) []int64 {
+		return []int64{5}
+	}}
+	run, err := Simulate(Config{
+		Transmitter: Process{Auto: tr, Policy: FixedGap{C: 1}},
+		Receiver:    Process{Auto: rc, Policy: FixedGap{C: 1}},
+		Delay:       delay,
+		Stop:        StopAfterWrites(3),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var seqs []int64
+	var times []int64
+	for _, e := range run.Trace {
+		if e.Action.Kind() == wire.KindRecv {
+			seqs = append(seqs, e.PacketSeq)
+			times = append(times, e.Time)
+		}
+	}
+	if len(seqs) != 3 {
+		t.Fatalf("recvs = %d", len(seqs))
+	}
+	for i := range seqs {
+		if times[i] != 5 {
+			t.Fatalf("recv %d at %d, want 5", i, times[i])
+		}
+		if i > 0 && seqs[i] < seqs[i-1] {
+			t.Fatalf("same-tick deliveries out of send order: %v", seqs)
+		}
+	}
+}
+
+// TestStepPolicies checks the gap sequences of each policy.
+func TestStepPolicies(t *testing.T) {
+	if g := (FixedGap{C: 4}).Gap(99); g != 4 {
+		t.Errorf("FixedGap = %d", g)
+	}
+	alt := AlternatingGap{C1: 2, C2: 5}
+	if alt.Gap(0) != 2 || alt.Gap(1) != 5 || alt.Gap(2) != 2 {
+		t.Error("AlternatingGap sequence wrong")
+	}
+	rng := rand.New(rand.NewSource(4))
+	rg := RandomGap{C1: 3, C2: 7, Int63n: rng.Int63n}
+	for i := int64(0); i < 100; i++ {
+		if g := rg.Gap(i); g < 3 || g > 7 {
+			t.Fatalf("RandomGap out of range: %d", g)
+		}
+	}
+	deg := RandomGap{C1: 3, C2: 3, Int63n: rng.Int63n}
+	if deg.Gap(0) != 3 {
+		t.Error("degenerate RandomGap should return C1")
+	}
+	sc := ScriptedGap{Gaps: []int64{9, 8}, Fallback: 2}
+	if sc.Gap(0) != 9 || sc.Gap(1) != 8 || sc.Gap(2) != 2 || sc.Gap(-1) != 2 {
+		t.Error("ScriptedGap sequence wrong")
+	}
+	for _, p := range []StepPolicy{FixedGap{C: 1}, alt, rg, sc} {
+		if p.Name() == "" {
+			t.Errorf("%T has empty name", p)
+		}
+	}
+}
+
+// TestScriptedScheduleTiming verifies gaps drive event times exactly.
+func TestScriptedScheduleTiming(t *testing.T) {
+	tr := newPinger(t, 3)
+	rc := newEchoSink(t)
+	run, err := Simulate(Config{
+		Transmitter: Process{Auto: tr, Policy: ScriptedGap{Gaps: []int64{3, 5}, Fallback: 2}},
+		Receiver:    Process{Auto: rc, Policy: FixedGap{C: 1}},
+		Delay:       chanmodel.Zero{},
+		Stop:        StopAfterWrites(3),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sendTimes []int64
+	for _, e := range run.Trace {
+		if e.Actor == "t" && e.Action.Kind() == wire.KindSend {
+			sendTimes = append(sendTimes, e.Time)
+		}
+	}
+	want := []int64{0, 3, 8}
+	if fmt.Sprint(sendTimes) != fmt.Sprint(want) {
+		t.Fatalf("send times %v, want %v", sendTimes, want)
+	}
+}
+
+// TestLossMakesRunStall: a lossy channel with no retransmission stalls.
+func TestLossMakesRunStall(t *testing.T) {
+	tr := newPinger(t, 3)
+	rc := newEchoSink(t)
+	drop := chanmodel.Func{Label: "drop-all", F: func(_, _ int64, _ wire.Dir, _ wire.Packet) []int64 {
+		return nil
+	}}
+	_, err := Simulate(Config{
+		Transmitter: Process{Auto: tr, Policy: FixedGap{C: 1}},
+		Receiver:    Process{Auto: rc, Policy: FixedGap{C: 1}},
+		Delay:       drop,
+		Stop:        StopAfterWrites(3),
+		MaxTicks:    200,
+	})
+	if !errors.Is(err, ErrNoProgress) {
+		t.Fatalf("err = %v, want ErrNoProgress", err)
+	}
+}
+
+// TestArrivalBeforeSendClamped: a policy returning an arrival in the past
+// is clamped to the send time (no causality violation).
+func TestArrivalBeforeSendClamped(t *testing.T) {
+	tr := newPinger(t, 1)
+	rc := newEchoSink(t)
+	bad := chanmodel.Func{Label: "time-travel", F: func(_, st int64, _ wire.Dir, _ wire.Packet) []int64 {
+		return []int64{st - 100}
+	}}
+	run, err := Simulate(Config{
+		Transmitter: Process{Auto: tr, Policy: FixedGap{C: 1}},
+		Receiver:    Process{Auto: rc, Policy: FixedGap{C: 1}},
+		Delay:       bad,
+		Stop:        StopAfterWrites(1),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range run.Trace {
+		if e.Action.Kind() == wire.KindRecv && e.Time < 0 {
+			t.Fatal("causality violated")
+		}
+	}
+	if v := timed.DelayBound(run.Trace, 10, true); len(v) != 0 {
+		t.Fatalf("clamped arrival still flagged: %v", v)
+	}
+}
+
+// TestDuplicateArrivalsBothDelivered: a duplicating policy yields two recv
+// events for one send.
+func TestDuplicateArrivalsBothDelivered(t *testing.T) {
+	tr := newPinger(t, 1)
+	rc := newEchoSink(t)
+	dup := chanmodel.Func{Label: "dup", F: func(_, st int64, _ wire.Dir, _ wire.Packet) []int64 {
+		return []int64{st + 1, st + 2}
+	}}
+	run, err := Simulate(Config{
+		Transmitter: Process{Auto: tr, Policy: FixedGap{C: 1}},
+		Receiver:    Process{Auto: rc, Policy: FixedGap{C: 1}},
+		Delay:       dup,
+		Stop:        StopAfterWrites(2), // sink writes once per recv
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recvs := 0
+	for _, e := range run.Trace {
+		if e.Action.Kind() == wire.KindRecv {
+			recvs++
+		}
+	}
+	if recvs != 2 {
+		t.Fatalf("recvs = %d, want 2", recvs)
+	}
+}

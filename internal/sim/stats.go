@@ -1,0 +1,120 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/timed"
+	"repro/internal/wire"
+)
+
+// Stats summarises one timed run: the operational quantities behind the
+// effort numbers (channel utilisation, delay distribution, step
+// utilisation), used by `rstpsim -stats` and the examples.
+type Stats struct {
+	// Events is the total recorded event count.
+	Events int
+	// Duration is the time of the last event.
+	Duration int64
+	// SendsTR and SendsRT count sends per direction.
+	SendsTR, SendsRT int
+	// Recvs counts deliveries.
+	Recvs int
+	// Writes counts write events.
+	Writes int
+	// MinDelay, MaxDelay and MeanDelay summarise packet delays.
+	MinDelay, MaxDelay int64
+	MeanDelay          float64
+	// PeakInFlight is the maximum number of simultaneously undelivered
+	// packets.
+	PeakInFlight int
+	// TSteps and RSteps count local events per process; TIdle and RIdle
+	// the subset that were internal idle/wait actions.
+	TSteps, RSteps int
+	TIdle, RIdle   int
+	// EffortPerMessage is t(last-send)/writes when both exist.
+	EffortPerMessage float64
+}
+
+// Collect computes statistics over a run's trace. transmitter and
+// receiver name the process actors.
+func Collect(run *Run, transmitter, receiver string) Stats {
+	var st Stats
+	st.Events = len(run.Trace)
+	sendTimes := make(map[int64]int64)
+	var (
+		delaySum   int64
+		delayCount int64
+		inFlight   int
+	)
+	st.MinDelay = -1
+	for _, e := range run.Trace {
+		if e.Time > st.Duration {
+			st.Duration = e.Time
+		}
+		switch act := e.Action.(type) {
+		case wire.Send:
+			if act.Dir == wire.TtoR {
+				st.SendsTR++
+			} else {
+				st.SendsRT++
+			}
+			sendTimes[e.PacketSeq] = e.Time
+			inFlight++
+			if inFlight > st.PeakInFlight {
+				st.PeakInFlight = inFlight
+			}
+		case wire.Recv:
+			st.Recvs++
+			if sent, ok := sendTimes[e.PacketSeq]; ok {
+				lag := e.Time - sent
+				delaySum += lag
+				delayCount++
+				if st.MinDelay < 0 || lag < st.MinDelay {
+					st.MinDelay = lag
+				}
+				if lag > st.MaxDelay {
+					st.MaxDelay = lag
+				}
+				delete(sendTimes, e.PacketSeq)
+				inFlight--
+			}
+		case wire.Write:
+			st.Writes++
+		}
+		switch e.Actor {
+		case transmitter:
+			st.TSteps++
+			if _, isInternal := e.Action.(wire.Internal); isInternal {
+				st.TIdle++
+			}
+		case receiver:
+			st.RSteps++
+			if _, isInternal := e.Action.(wire.Internal); isInternal {
+				st.RIdle++
+			}
+		}
+	}
+	if delayCount > 0 {
+		st.MeanDelay = float64(delaySum) / float64(delayCount)
+	}
+	if st.MinDelay < 0 {
+		st.MinDelay = 0
+	}
+	if last, ok := timed.LastSendTime(run.Trace); ok && st.Writes > 0 {
+		st.EffortPerMessage = float64(last) / float64(st.Writes)
+	}
+	return st
+}
+
+// String renders the statistics as a small report.
+func (s Stats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "events      %d over %d ticks\n", s.Events, s.Duration)
+	fmt.Fprintf(&b, "sends       %d t->r, %d r->t; %d deliveries (peak in flight %d)\n",
+		s.SendsTR, s.SendsRT, s.Recvs, s.PeakInFlight)
+	fmt.Fprintf(&b, "delay       min %d, mean %.2f, max %d ticks\n", s.MinDelay, s.MeanDelay, s.MaxDelay)
+	fmt.Fprintf(&b, "steps       t: %d (%d idle), r: %d (%d idle)\n", s.TSteps, s.TIdle, s.RSteps, s.RIdle)
+	fmt.Fprintf(&b, "writes      %d (effort %.3f ticks/message)", s.Writes, s.EffortPerMessage)
+	return b.String()
+}

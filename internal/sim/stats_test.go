@@ -1,0 +1,65 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/chanmodel"
+)
+
+func TestCollectStats(t *testing.T) {
+	tr := newPinger(t, 4)
+	rc := newEchoSink(t)
+	run, err := Simulate(Config{
+		C1: 2, C2: 2, D: 6,
+		Transmitter: Process{Auto: tr, Policy: FixedGap{C: 2}},
+		Receiver:    Process{Auto: rc, Policy: FixedGap{C: 2}},
+		Delay:       chanmodel.FixedDelay{Delay: 3},
+		Stop:        StopAfterWrites(4),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := Collect(run, "t", "r")
+	if st.SendsTR != 4 || st.SendsRT != 0 {
+		t.Errorf("sends = %d/%d, want 4/0", st.SendsTR, st.SendsRT)
+	}
+	if st.Recvs != 4 || st.Writes != 4 {
+		t.Errorf("recvs=%d writes=%d", st.Recvs, st.Writes)
+	}
+	if st.MinDelay != 3 || st.MaxDelay != 3 || st.MeanDelay != 3 {
+		t.Errorf("delays = %d/%.2f/%d, want 3/3/3", st.MinDelay, st.MeanDelay, st.MaxDelay)
+	}
+	// Sends 2 apart, delay 3: at most 2 in flight at once.
+	if st.PeakInFlight < 1 || st.PeakInFlight > 2 {
+		t.Errorf("peak in flight = %d", st.PeakInFlight)
+	}
+	if st.TSteps != 4 {
+		t.Errorf("t steps = %d", st.TSteps)
+	}
+	if st.RIdle == 0 {
+		t.Error("receiver should have idled at least once")
+	}
+	if st.EffortPerMessage <= 0 {
+		t.Error("effort should be positive")
+	}
+	if st.Events != len(run.Trace) || st.Duration == 0 {
+		t.Errorf("events=%d duration=%d", st.Events, st.Duration)
+	}
+	out := st.String()
+	for _, want := range []string{"sends", "delay", "steps", "writes"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCollectStatsEmptyRun(t *testing.T) {
+	st := Collect(&Run{}, "t", "r")
+	if st.Events != 0 || st.MinDelay != 0 || st.EffortPerMessage != 0 {
+		t.Errorf("empty stats: %+v", st)
+	}
+	if st.String() == "" {
+		t.Error("report should render")
+	}
+}

@@ -1,0 +1,77 @@
+package sim
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/wire"
+)
+
+// Timeline renders a run as a space-time diagram in the spirit of the
+// paper's Figure 2: one row per tick that has events, three columns
+// (transmitter, channel, receiver). Sends show as rightward arrows out of
+// their process, deliveries as arrows into the destination.
+//
+//	tick  transmitter            channel                   receiver
+//	0     send data(2) ──▶       [1 in flight]
+//	12                           ──▶ data(2)               (recv)
+//	12                                                     write(1)
+//
+// maxRows caps the output (0 = everything).
+func Timeline(w io.Writer, run *Run, transmitter, receiver string, maxRows int) error {
+	const (
+		colTick = 6
+		colT    = 26
+		colC    = 26
+	)
+	header := fmt.Sprintf("%-*s%-*s%-*s%s", colTick, "tick", colT, transmitter+" (transmitter)", colC, "channel", receiver+" (receiver)")
+	if _, err := fmt.Fprintln(w, header); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(w, strings.Repeat("-", len(header))); err != nil {
+		return err
+	}
+	inFlight := 0
+	rows := 0
+	for _, e := range run.Trace {
+		if maxRows > 0 && rows >= maxRows {
+			remaining := len(run.Trace) - rows
+			_, err := fmt.Fprintf(w, "... %d more events\n", remaining)
+			return err
+		}
+		var tCol, cCol, rCol string
+		switch act := e.Action.(type) {
+		case wire.Send:
+			inFlight++
+			arrow := fmt.Sprintf("%s ──▶", act.P)
+			if e.Actor == transmitter {
+				tCol = arrow
+			} else {
+				rCol = "◀── " + act.P.String()
+			}
+			cCol = fmt.Sprintf("[%d in flight]", inFlight)
+		case wire.Recv:
+			inFlight--
+			cCol = fmt.Sprintf("──▶ %s", act.P)
+			if act.Dir == wire.TtoR {
+				rCol = "(recv)"
+			} else {
+				tCol = "(recv ack)"
+			}
+		case wire.Write:
+			rCol = act.String()
+		default:
+			if e.Actor == transmitter {
+				tCol = e.Action.String()
+			} else {
+				rCol = e.Action.String()
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%-*d%-*s%-*s%s\n", colTick, e.Time, colT, tCol, colC, cCol, rCol); err != nil {
+			return err
+		}
+		rows++
+	}
+	return nil
+}

@@ -1,0 +1,58 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/chanmodel"
+)
+
+func timelineRun(t *testing.T) *Run {
+	t.Helper()
+	tr := newPinger(t, 3)
+	rc := newEchoSink(t)
+	run, err := Simulate(Config{
+		C1: 2, C2: 2, D: 6,
+		Transmitter: Process{Auto: tr, Policy: FixedGap{C: 2}},
+		Receiver:    Process{Auto: rc, Policy: FixedGap{C: 2}},
+		Delay:       chanmodel.FixedDelay{Delay: 3},
+		Stop:        StopAfterWrites(3),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return run
+}
+
+func TestTimelineRendersAllEventKinds(t *testing.T) {
+	run := timelineRun(t)
+	var sb strings.Builder
+	if err := Timeline(&sb, run, "t", "r", 0); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"tick", "──▶", "(recv)", "write(1)", "in flight"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("timeline missing %q:\n%s", want, out)
+		}
+	}
+	// One row per trace event plus two header lines.
+	if got := strings.Count(out, "\n"); got != len(run.Trace)+2 {
+		t.Errorf("timeline rows = %d, want %d", got, len(run.Trace)+2)
+	}
+}
+
+func TestTimelineMaxRows(t *testing.T) {
+	run := timelineRun(t)
+	var sb strings.Builder
+	if err := Timeline(&sb, run, "t", "r", 2); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "more events") {
+		t.Errorf("truncation note missing:\n%s", out)
+	}
+	if got := strings.Count(out, "\n"); got != 5 { // 2 header + 2 rows + note
+		t.Errorf("rows = %d, want 5", got)
+	}
+}

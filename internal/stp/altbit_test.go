@@ -1,0 +1,173 @@
+package stp
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/chanmodel"
+	"repro/internal/sim"
+	"repro/internal/wire"
+)
+
+func runAB(t *testing.T, x []wire.Bit, delay chanmodel.DelayPolicy, maxTicks int64) (*sim.Run, *ABTransmitter, error) {
+	t.Helper()
+	tr, err := NewABTransmitter(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc, err := NewABReceiver()
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, err := sim.Simulate(sim.Config{
+		C1: 1, C2: 1, D: 8,
+		Transmitter: sim.Process{Auto: tr, Policy: sim.FixedGap{C: 1}},
+		Receiver:    sim.Process{Auto: rc, Policy: sim.FixedGap{C: 1}},
+		Delay:       delay,
+		Stop:        sim.StopAfterWrites(len(x)),
+		MaxTicks:    maxTicks,
+	})
+	return run, tr, err
+}
+
+// TestABPerfectChannel: on a perfect channel the protocol trivially works.
+func TestABPerfectChannel(t *testing.T) {
+	x, _ := wire.ParseBits("1011001110001011")
+	run, tr, err := runAB(t, x, chanmodel.Zero{}, 100_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := wire.BitsToString(run.Writes()); got != wire.BitsToString(x) {
+		t.Fatalf("Y = %s, want %s", got, wire.BitsToString(x))
+	}
+	if !tr.Done() {
+		t.Error("transmitter not done")
+	}
+}
+
+// TestABLossyDupFIFO: the protocol's home turf — loss and duplication
+// without reordering. It must deliver X across seeds and loss rates.
+func TestABLossyDupFIFO(t *testing.T) {
+	x, _ := wire.ParseBits("110100101100111000010111")
+	for _, loss := range []float64{0.0, 0.2, 0.5} {
+		for seed := int64(1); seed <= 5; seed++ {
+			delay := &chanmodel.FIFOLossyDup{
+				D:        8,
+				LossProb: loss,
+				DupProb:  0.3,
+				Rand:     rand.New(rand.NewSource(seed)),
+			}
+			run, _, err := runAB(t, x, delay, 5_000_000)
+			if err != nil {
+				t.Fatalf("loss=%.1f seed=%d: %v", loss, seed, err)
+			}
+			if got := wire.BitsToString(run.Writes()); got != wire.BitsToString(x) {
+				t.Fatalf("loss=%.1f seed=%d: Y = %s, want %s", loss, seed, got, wire.BitsToString(x))
+			}
+		}
+	}
+}
+
+// TestABCostGrowsWithLoss: the baseline's cost is unbounded in
+// expectation — more loss, longer delivery time. This is the E9 shape.
+func TestABCostGrowsWithLoss(t *testing.T) {
+	x := wire.RandomBits(64, rand.New(rand.NewSource(9)).Uint64)
+	finish := make(map[float64]int64)
+	for _, loss := range []float64{0.0, 0.9} {
+		var total int64
+		for seed := int64(1); seed <= 5; seed++ {
+			delay := &chanmodel.FIFOLossyDup{
+				D:        8,
+				LossProb: loss,
+				DupProb:  0.0,
+				Rand:     rand.New(rand.NewSource(seed)),
+			}
+			run, _, err := runAB(t, x, delay, 10_000_000)
+			if err != nil {
+				t.Fatalf("loss=%.1f seed=%d: %v", loss, seed, err)
+			}
+			last, ok := run.LastWriteTime()
+			if !ok {
+				t.Fatalf("loss=%.1f seed=%d: nothing written", loss, seed)
+			}
+			total += last
+		}
+		finish[loss] = total / 5
+	}
+	if finish[0.9] <= 2*finish[0.0] {
+		t.Errorf("mean completion at 90%% loss (%d) should far exceed 0%% loss (%d)", finish[0.9], finish[0.0])
+	}
+}
+
+// TestABFailsUnderDupReorder reproduces the [WZ89] impossibility scenario
+// cited in the introduction: a channel that duplicates AND reorders defeats
+// the alternating bit. A stale duplicate of the first ack (tag 0) is held
+// back and delivered after the transmitter has moved to the third message
+// (tag 0 again); the transmitter takes it as that message's ack and
+// terminates, while every copy of the third message was (legally, finitely)
+// lost. The run stalls at 2 of 3 writes with the transmitter done.
+func TestABFailsUnderDupReorder(t *testing.T) {
+	x, _ := wire.ParseBits("101")
+	delay := chanmodel.Func{
+		Label: "dup-reorder",
+		F: func(dirSeq int64, sendTime int64, dir wire.Dir, p wire.Packet) []int64 {
+			if dir == wire.TtoR {
+				// Lose the finitely many copies of the third message
+				// (tag 0, first sent at t = 2 — the instant-feedback
+				// schedule advances one message per tick); deliver
+				// everything else instantly.
+				if p.Tag == 0 && sendTime >= 2 {
+					return nil
+				}
+				return []int64{sendTime}
+			}
+			// First ack (tag 0): deliver now and replay a stale duplicate
+			// much later — after the transmitter reaches message 3.
+			if dirSeq == 0 {
+				return []int64{sendTime, sendTime + 151}
+			}
+			return []int64{sendTime}
+		},
+	}
+	run, tr, err := runAB(t, x, delay, 2_000)
+	if err == nil {
+		t.Fatalf("expected a stalled run, got writes=%d", run.WriteCount)
+	}
+	if !errors.Is(err, sim.ErrNoProgress) {
+		t.Fatalf("expected ErrNoProgress, got %v", err)
+	}
+	if run.WriteCount != 2 {
+		t.Fatalf("writes = %d, want 2 (stalled before the third)", run.WriteCount)
+	}
+	if !tr.Done() {
+		t.Fatal("transmitter should have (wrongly) concluded it was done")
+	}
+}
+
+// TestABDuplicateDataIgnored: stale data duplicates do not corrupt Y.
+func TestABDuplicateDataIgnored(t *testing.T) {
+	x, _ := wire.ParseBits("10")
+	delay := chanmodel.Func{
+		Label: "dup-data",
+		F: func(dirSeq int64, sendTime int64, dir wire.Dir, _ wire.Packet) []int64 {
+			if dir == wire.TtoR {
+				return []int64{sendTime, sendTime + 3} // duplicate everything
+			}
+			return []int64{sendTime}
+		},
+	}
+	run, _, err := runAB(t, x, delay, 100_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := wire.BitsToString(run.Writes()); got != "10" {
+		t.Fatalf("Y = %s, want 10", got)
+	}
+}
+
+func TestNewABTransmitterValidates(t *testing.T) {
+	if _, err := NewABTransmitter([]wire.Bit{0, 7}); err == nil {
+		t.Error("invalid bit should fail")
+	}
+}

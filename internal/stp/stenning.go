@@ -1,0 +1,208 @@
+package stp
+
+import (
+	"fmt"
+
+	"repro/internal/ioa"
+	"repro/internal/wire"
+)
+
+// Stenning's data transfer protocol [Ste76], the other classical STP
+// solution the introduction cites: unbounded sequence numbers instead of
+// the alternating bit. The transmitter retransmits the current message
+// tagged with its index; the receiver accepts exactly the next expected
+// index and acknowledges with the index it accepted. Unlike the
+// alternating bit, unbounded sequence numbers survive reordering AND
+// duplication (at the price of unbounded packet headers — which is the
+// whole point of the finite-alphabet impossibility line [WZ89, MS89]
+// the paper continues).
+//
+// Tags ride in wire.Packet.Tag; the simulator's packets carry ints, which
+// models the unbounded header the literature charges this protocol for.
+
+// StenningTransmitter retransmits message i tagged i until ack(i) arrives.
+type StenningTransmitter struct {
+	m *ioa.Machine
+
+	x []wire.Bit
+	i int
+}
+
+var _ ioa.Deterministic = (*StenningTransmitter)(nil)
+
+// NewStenningTransmitter builds the transmitter for input x.
+func NewStenningTransmitter(x []wire.Bit) (*StenningTransmitter, error) {
+	for idx, b := range x {
+		if !b.Valid() {
+			return nil, fmt.Errorf("stp: stenning transmitter: invalid bit at %d", idx)
+		}
+	}
+	t := &StenningTransmitter{x: append([]wire.Bit(nil), x...)}
+	m, err := ioa.NewMachine("t", t.classify, t.onInput, []ioa.Command{
+		{
+			Name:  "send",
+			Class: ioa.ClassOutput,
+			Pre:   func() bool { return t.i < len(t.x) },
+			Act: func() ioa.Action {
+				return wire.Send{Dir: wire.TtoR, P: wire.Packet{
+					Kind:   wire.Data,
+					Symbol: wire.Symbol(t.x[t.i]),
+					Tag:    t.i + 1, // 1-based so the zero Tag never aliases
+				}}
+			},
+			Eff: func() {},
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	t.m = m
+	return t, nil
+}
+
+func (t *StenningTransmitter) classify(a ioa.Action) ioa.Class {
+	switch act := a.(type) {
+	case wire.Send:
+		if act.Dir == wire.TtoR && act.P.Kind == wire.Data {
+			return ioa.ClassOutput
+		}
+	case wire.Recv:
+		if act.Dir == wire.RtoT && act.P.Kind == wire.Ack {
+			return ioa.ClassInput
+		}
+	}
+	return ioa.ClassNone
+}
+
+func (t *StenningTransmitter) onInput(a ioa.Action) error {
+	recv, ok := a.(wire.Recv)
+	if !ok {
+		return fmt.Errorf("stp: stenning transmitter: unexpected input %v: %w", a, ioa.ErrNotInSignature)
+	}
+	// Advance past every index the receiver has confirmed; stale and
+	// duplicate acks (<= current) are no-ops, future ones impossible.
+	if recv.P.Tag == t.i+1 && t.i < len(t.x) {
+		t.i++
+	}
+	return nil
+}
+
+// Name returns "t".
+func (t *StenningTransmitter) Name() string { return t.m.Name() }
+
+// Classify places an action in the signature.
+func (t *StenningTransmitter) Classify(a ioa.Action) ioa.Class { return t.m.Classify(a) }
+
+// NextLocal returns the unique enabled local action.
+func (t *StenningTransmitter) NextLocal() (ioa.Action, bool) { return t.m.NextLocal() }
+
+// Apply performs a transition.
+func (t *StenningTransmitter) Apply(a ioa.Action) error { return t.m.Apply(a) }
+
+// DeterministicIOA marks the automaton deterministic.
+func (t *StenningTransmitter) DeterministicIOA() bool { return true }
+
+// Done reports whether every message has been acknowledged.
+func (t *StenningTransmitter) Done() bool { return t.i >= len(t.x) }
+
+// StenningReceiver accepts exactly the next expected index; every
+// received packet is (re-)acknowledged with the highest accepted index.
+type StenningReceiver struct {
+	m *ioa.Machine
+
+	expected int // next index to accept (1-based)
+	ackDue   int
+	queue    []wire.Bit
+	next     int
+}
+
+var _ ioa.Deterministic = (*StenningReceiver)(nil)
+
+// NewStenningReceiver builds the receiver.
+func NewStenningReceiver() (*StenningReceiver, error) {
+	r := &StenningReceiver{expected: 1}
+	m, err := ioa.NewMachine("r", r.classify, r.onInput, []ioa.Command{
+		{
+			Name:  "send_ack",
+			Class: ioa.ClassOutput,
+			Pre:   func() bool { return r.ackDue > 0 },
+			Act: func() ioa.Action {
+				return wire.Send{Dir: wire.RtoT, P: wire.Packet{Kind: wire.Ack, Tag: r.expected - 1}}
+			},
+			Eff: func() { r.ackDue-- },
+		},
+		{
+			Name:  "write",
+			Class: ioa.ClassOutput,
+			Pre:   func() bool { return r.next < len(r.queue) },
+			Act:   func() ioa.Action { return wire.Write{M: r.queue[r.next]} },
+			Eff:   func() { r.next++ },
+		},
+		{
+			Name:  "idle_r",
+			Class: ioa.ClassInternal,
+			Pre:   func() bool { return true },
+			Act:   func() ioa.Action { return wire.Internal{Name: "idle_r"} },
+			Eff:   func() {},
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	r.m = m
+	return r, nil
+}
+
+func (r *StenningReceiver) classify(a ioa.Action) ioa.Class {
+	switch act := a.(type) {
+	case wire.Recv:
+		if act.Dir == wire.TtoR && act.P.Kind == wire.Data {
+			return ioa.ClassInput
+		}
+	case wire.Send:
+		if act.Dir == wire.RtoT && act.P.Kind == wire.Ack {
+			return ioa.ClassOutput
+		}
+	case wire.Write:
+		return ioa.ClassOutput
+	case wire.Internal:
+		if act.Name == "idle_r" {
+			return ioa.ClassInternal
+		}
+	}
+	return ioa.ClassNone
+}
+
+func (r *StenningReceiver) onInput(a ioa.Action) error {
+	recv, ok := a.(wire.Recv)
+	if !ok {
+		return fmt.Errorf("stp: stenning receiver: unexpected input %v: %w", a, ioa.ErrNotInSignature)
+	}
+	if recv.P.Tag == r.expected {
+		r.queue = append(r.queue, wire.Bit(recv.P.Symbol))
+		r.expected++
+	}
+	// Every packet (duplicate, stale or accepted) triggers an ack carrying
+	// the highest accepted index, so lost acks are repaired by
+	// retransmissions.
+	r.ackDue++
+	return nil
+}
+
+// Name returns "r".
+func (r *StenningReceiver) Name() string { return r.m.Name() }
+
+// Classify places an action in the signature.
+func (r *StenningReceiver) Classify(a ioa.Action) ioa.Class { return r.m.Classify(a) }
+
+// NextLocal returns the unique enabled local action.
+func (r *StenningReceiver) NextLocal() (ioa.Action, bool) { return r.m.NextLocal() }
+
+// Apply performs a transition.
+func (r *StenningReceiver) Apply(a ioa.Action) error { return r.m.Apply(a) }
+
+// DeterministicIOA marks the automaton deterministic.
+func (r *StenningReceiver) DeterministicIOA() bool { return true }
+
+// Written returns the number of messages written.
+func (r *StenningReceiver) Written() int { return r.next }

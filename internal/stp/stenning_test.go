@@ -1,0 +1,165 @@
+package stp
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/chanmodel"
+	"repro/internal/sim"
+	"repro/internal/wire"
+)
+
+func runStenning(t *testing.T, x []wire.Bit, delay chanmodel.DelayPolicy, maxTicks int64) (*sim.Run, *StenningTransmitter, error) {
+	t.Helper()
+	tr, err := NewStenningTransmitter(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc, err := NewStenningReceiver()
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, err := sim.Simulate(sim.Config{
+		C1: 1, C2: 1, D: 8,
+		Transmitter: sim.Process{Auto: tr, Policy: sim.FixedGap{C: 1}},
+		Receiver:    sim.Process{Auto: rc, Policy: sim.FixedGap{C: 1}},
+		Delay:       delay,
+		Stop:        sim.StopAfterWrites(len(x)),
+		MaxTicks:    maxTicks,
+	})
+	return run, tr, err
+}
+
+func TestStenningPerfectChannel(t *testing.T) {
+	x, _ := wire.ParseBits("100110101111000010")
+	run, tr, err := runStenning(t, x, chanmodel.Zero{}, 100_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := wire.BitsToString(run.Writes()); got != wire.BitsToString(x) {
+		t.Fatalf("Y = %s, want %s", got, wire.BitsToString(x))
+	}
+	if !tr.Done() {
+		t.Error("transmitter should be done")
+	}
+}
+
+// TestStenningSurvivesLossDupAndReorder: the unbounded-sequence-number
+// protocol handles the full faulty-channel triple that defeats the
+// alternating bit — loss, duplication AND reordering (random delays).
+func TestStenningSurvivesLossDupAndReorder(t *testing.T) {
+	x := wire.RandomBits(48, rand.New(rand.NewSource(2)).Uint64)
+	for seed := int64(1); seed <= 6; seed++ {
+		delay := &chanmodel.LossyDup{
+			D:        12,
+			LossProb: 0.35,
+			DupProb:  0.35,
+			Rand:     rand.New(rand.NewSource(seed)),
+		}
+		run, _, err := runStenning(t, x, delay, 20_000_000)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if got := wire.BitsToString(run.Writes()); got != wire.BitsToString(x) {
+			t.Fatalf("seed %d: Y = %s, want %s", seed, got, wire.BitsToString(x))
+		}
+	}
+}
+
+// TestStenningVsAlternatingBitUnderReorder contrasts the two baselines on
+// the exact adversary that defeats the alternating bit: Stenning's
+// sequence numbers see through the stale duplicate.
+func TestStenningVsAlternatingBitUnderReorder(t *testing.T) {
+	x, _ := wire.ParseBits("101")
+	// The same scripted dup-reorder channel as TestABFailsUnderDupReorder,
+	// except data must flow: only the stale ack duplicate is adversarial.
+	delay := chanmodel.Func{
+		Label: "stale-ack-dup",
+		F: func(dirSeq int64, sendTime int64, dir wire.Dir, p wire.Packet) []int64 {
+			if dir == wire.TtoR {
+				return []int64{sendTime}
+			}
+			if dirSeq == 0 {
+				return []int64{sendTime, sendTime + 151} // stale duplicate
+			}
+			return []int64{sendTime}
+		},
+	}
+	run, tr, err := runStenning(t, x, delay, 100_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := wire.BitsToString(run.Writes()); got != "101" {
+		t.Fatalf("Y = %s, want 101", got)
+	}
+	if !tr.Done() {
+		t.Error("transmitter should be done")
+	}
+}
+
+// TestStenningIgnoresStaleAcks at the automaton level.
+func TestStenningIgnoresStaleAcks(t *testing.T) {
+	x, _ := wire.ParseBits("11")
+	tr, err := NewStenningTransmitter(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ack(0) and ack(2) are stale/future; only ack(1) advances.
+	for _, tag := range []int{0, 2, 5} {
+		if err := tr.Apply(wire.Recv{Dir: wire.RtoT, P: wire.Packet{Kind: wire.Ack, Tag: tag}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tr.Done() {
+		t.Fatal("stale acks advanced the transmitter")
+	}
+	if err := tr.Apply(wire.Recv{Dir: wire.RtoT, P: wire.Packet{Kind: wire.Ack, Tag: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Apply(wire.Recv{Dir: wire.RtoT, P: wire.Packet{Kind: wire.Ack, Tag: 2}}); err != nil {
+		t.Fatal(err)
+	}
+	if !tr.Done() {
+		t.Fatal("in-order acks should finish the transmitter")
+	}
+}
+
+// TestStenningReceiverDedupes: duplicates of an accepted packet are
+// re-acked but not re-written.
+func TestStenningReceiverDedupes(t *testing.T) {
+	rc, err := NewStenningReceiver()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkt := wire.Recv{Dir: wire.TtoR, P: wire.Packet{Kind: wire.Data, Symbol: 1, Tag: 1}}
+	for i := 0; i < 3; i++ {
+		if err := rc.Apply(pkt); err != nil {
+			t.Fatal(err)
+		}
+	}
+	writes := 0
+	for i := 0; i < 20; i++ {
+		act, ok := rc.NextLocal()
+		if !ok {
+			break
+		}
+		if err := rc.Apply(act); err != nil {
+			t.Fatal(err)
+		}
+		if act.Kind() == wire.KindWrite {
+			writes++
+		}
+		if act.Kind() == "idle_r" {
+			break
+		}
+	}
+	if writes != 1 {
+		t.Fatalf("writes = %d, want 1 (duplicates deduped)", writes)
+	}
+}
+
+func TestStenningValidation(t *testing.T) {
+	if _, err := NewStenningTransmitter([]wire.Bit{3}); err == nil {
+		t.Error("invalid bit should fail")
+	}
+}

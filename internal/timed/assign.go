@@ -1,0 +1,98 @@
+package timed
+
+import (
+	"fmt"
+
+	"repro/internal/ioa"
+	"repro/internal/wire"
+)
+
+// Assignment is the formal object of Section 2.2: an (untimed) execution
+// together with a timing t mapping its events to nonnegative reals
+// (integer ticks here), written η^t in the paper.
+type Assignment struct {
+	exec  *ioa.Execution
+	times []int64
+}
+
+// NewAssignment pairs an execution with event times, validating the
+// Section 2.2 timing conditions:
+//
+//  1. the first event is mapped to 0;
+//  2. the mapping is monotone in event order;
+//  3. only finitely many events fall in any interval (trivial for the
+//     finite executions this package handles).
+func NewAssignment(exec *ioa.Execution, times []int64) (*Assignment, error) {
+	if exec == nil {
+		return nil, fmt.Errorf("timed: assignment needs an execution")
+	}
+	if len(times) != exec.Len() {
+		return nil, fmt.Errorf("timed: %d times for %d events", len(times), exec.Len())
+	}
+	for i, tm := range times {
+		if i == 0 && tm != 0 {
+			return nil, fmt.Errorf("timed: first event must be at time 0, got %d", tm)
+		}
+		if tm < 0 {
+			return nil, fmt.Errorf("timed: event %d at negative time %d", i, tm)
+		}
+		if i > 0 && tm < times[i-1] {
+			return nil, fmt.Errorf("timed: event %d at %d precedes event %d at %d", i, tm, i-1, times[i-1])
+		}
+	}
+	return &Assignment{exec: exec, times: append([]int64(nil), times...)}, nil
+}
+
+// Events converts the assignment into this package's timed-event form, so
+// the good(A) validators apply to formally-constructed timed executions
+// exactly as they do to simulator output. Packet sequence numbers are
+// assigned by matching each recv to the earliest unmatched send of the
+// same packet (the channel bijection).
+func (a *Assignment) Events() []Event {
+	type pending struct {
+		seq int64
+	}
+	var (
+		out     = make([]Event, 0, a.exec.Len())
+		nextSeq int64
+		inFlite = make(map[wire.Send][]pending)
+	)
+	for i, ev := range a.exec.Events {
+		te := Event{
+			Time:   a.times[i],
+			Seq:    int64(i + 1),
+			Actor:  ev.Actor,
+			Action: ev.Action,
+		}
+		switch act := ev.Action.(type) {
+		case wire.Send:
+			nextSeq++
+			te.PacketSeq = nextSeq
+			inFlite[act] = append(inFlite[act], pending{seq: nextSeq})
+		case wire.Recv:
+			key := wire.Send{Dir: act.Dir, P: act.P}
+			if q := inFlite[key]; len(q) > 0 {
+				te.PacketSeq = q[0].seq
+				inFlite[key] = q[1:]
+			}
+		}
+		out = append(out, te)
+	}
+	return out
+}
+
+// Restrict returns the timed sequence of events whose actions satisfy
+// keep — the paper's η^t|B operator.
+func (a *Assignment) Restrict(keep func(ioa.Action) bool) ([]ioa.Action, []int64) {
+	var (
+		acts  []ioa.Action
+		times []int64
+	)
+	for i, ev := range a.exec.Events {
+		if keep(ev.Action) {
+			acts = append(acts, ev.Action)
+			times = append(times, a.times[i])
+		}
+	}
+	return acts, times
+}

@@ -1,0 +1,80 @@
+package timed
+
+import (
+	"testing"
+
+	"repro/internal/ioa"
+	"repro/internal/wire"
+)
+
+func buildExec(t *testing.T) *ioa.Execution {
+	t.Helper()
+	var e ioa.Execution
+	e.Append("t", wire.Send{Dir: wire.TtoR, P: wire.DataPacket(1)})
+	e.Append("t", wire.Internal{Name: "wait_t"})
+	e.Append("chan", wire.Recv{Dir: wire.TtoR, P: wire.DataPacket(1)})
+	e.Append("r", wire.Write{M: 1})
+	return &e
+}
+
+func TestNewAssignmentValidation(t *testing.T) {
+	exec := buildExec(t)
+	if _, err := NewAssignment(nil, nil); err == nil {
+		t.Error("nil execution should fail")
+	}
+	if _, err := NewAssignment(exec, []int64{0, 1}); err == nil {
+		t.Error("length mismatch should fail")
+	}
+	if _, err := NewAssignment(exec, []int64{1, 2, 3, 4}); err == nil {
+		t.Error("first event not at 0 should fail")
+	}
+	if _, err := NewAssignment(exec, []int64{0, 3, 2, 4}); err == nil {
+		t.Error("non-monotone times should fail")
+	}
+	if _, err := NewAssignment(exec, []int64{0, 2, 3, 9}); err != nil {
+		t.Errorf("legal assignment rejected: %v", err)
+	}
+}
+
+// TestAssignmentEventsFeedValidators: a formal assignment converts into
+// the validators' event form, with the send/recv bijection reconstructed.
+func TestAssignmentEventsFeedValidators(t *testing.T) {
+	exec := buildExec(t)
+	a, err := NewAssignment(exec, []int64{0, 2, 3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := a.Events()
+	if len(events) != 4 {
+		t.Fatalf("events = %d", len(events))
+	}
+	if events[0].PacketSeq != 1 || events[2].PacketSeq != 1 {
+		t.Fatalf("send/recv not paired: %d vs %d", events[0].PacketSeq, events[2].PacketSeq)
+	}
+	if v := DelayBound(events, 3, true); len(v) != 0 {
+		t.Errorf("legal assignment flagged: %v", v)
+	}
+	if v := PrefixInvariant(events, []wire.Bit{1}, true); len(v) != 0 {
+		t.Errorf("prefix flagged: %v", v)
+	}
+	// A delay-violating assignment is flagged.
+	late, err := NewAssignment(exec, []int64{0, 2, 9, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := DelayBound(late.Events(), 3, true); len(v) != 1 {
+		t.Errorf("late delivery not flagged: %v", v)
+	}
+}
+
+func TestAssignmentRestrict(t *testing.T) {
+	exec := buildExec(t)
+	a, err := NewAssignment(exec, []int64{0, 1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	acts, times := a.Restrict(func(act ioa.Action) bool { return act.Kind() == wire.KindWrite })
+	if len(acts) != 1 || times[0] != 3 {
+		t.Errorf("restrict = %v at %v", acts, times)
+	}
+}

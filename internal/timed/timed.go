@@ -1,0 +1,266 @@
+// Package timed implements the timed I/O automata notions of Section 2.2
+// and the two timing assumptions defining good(A) in Section 4:
+//
+//   - Σ(At, Ar): each process's consecutive local events are between c1 and
+//     c2 time units apart;
+//   - Δ(C(P)): every send event's matching recv event occurs within d time
+//     units.
+//
+// Time is measured in integer ticks throughout the repository.
+package timed
+
+import (
+	"fmt"
+
+	"repro/internal/ioa"
+	"repro/internal/wire"
+)
+
+// Event is one timed event of a timed execution: an action occurrence with
+// its assigned time.
+type Event struct {
+	// Time is the event's time in ticks.
+	Time int64
+	// Seq is the event's global sequence number, breaking ties among
+	// same-tick events (lower Seq happens first).
+	Seq int64
+	// Actor names the component that controlled the action; recv events at
+	// a process are attributed to the channel ("chan").
+	Actor string
+	// Action is the action that occurred.
+	Action ioa.Action
+	// PacketSeq identifies the packet instance for send/recv events (> 0);
+	// it pairs each recv with its send, realising the channel's bijection.
+	PacketSeq int64
+}
+
+// String renders the timed event.
+func (e Event) String() string {
+	return fmt.Sprintf("t=%d %s: %s", e.Time, e.Actor, e.Action)
+}
+
+// Violation describes one failed timing or correctness condition.
+type Violation struct {
+	// Index is the trace position of the offending event (or -1 for
+	// trace-global conditions).
+	Index int
+	// Rule names the violated condition.
+	Rule string
+	// Msg explains the violation.
+	Msg string
+}
+
+// Error renders the violation.
+func (v Violation) Error() string {
+	return fmt.Sprintf("timed: %s at #%d: %s", v.Rule, v.Index, v.Msg)
+}
+
+// Timing validates the Section 2.2 conditions on a timed execution trace:
+// times start at zero or later, and are monotone in sequence order.
+// (Condition 3 — finitely many events per interval — holds trivially for
+// finite traces.)
+func Timing(trace []Event) []Violation {
+	var out []Violation
+	var prev int64
+	for i, e := range trace {
+		if e.Time < 0 {
+			out = append(out, Violation{Index: i, Rule: "timing", Msg: fmt.Sprintf("negative time %d", e.Time)})
+		}
+		if i > 0 && e.Time < prev {
+			out = append(out, Violation{Index: i, Rule: "timing", Msg: fmt.Sprintf("time %d precedes %d", e.Time, prev)})
+		}
+		prev = e.Time
+	}
+	return out
+}
+
+// StepBounds validates Σ(At, Ar) for one process: consecutive local events
+// (everything the actor controls; recv inputs do not count as steps) are
+// separated by at least c1 and at most c2 ticks.
+//
+// A process that has terminated — no local action enabled ever again — may
+// trail off; the bound "at most c2" is therefore only checked between
+// recorded local events, and the caller asserts separately that the
+// process kept stepping for as long as it had work (the simulator
+// guarantees this by construction).
+func StepBounds(trace []Event, actor string, c1, c2 int64) []Violation {
+	var out []Violation
+	prevIdx := -1
+	var prevTime int64
+	for i, e := range trace {
+		if e.Actor != actor || e.Action.Kind() == wire.KindRecv {
+			continue
+		}
+		if prevIdx >= 0 {
+			gap := e.Time - prevTime
+			if gap < c1 {
+				out = append(out, Violation{Index: i, Rule: "step-lower",
+					Msg: fmt.Sprintf("%s stepped %d ticks after previous local event (< c1 = %d)", actor, gap, c1)})
+			}
+			if gap > c2 {
+				out = append(out, Violation{Index: i, Rule: "step-upper",
+					Msg: fmt.Sprintf("%s stepped %d ticks after previous local event (> c2 = %d)", actor, gap, c2)})
+			}
+		}
+		prevIdx = i
+		prevTime = e.Time
+	}
+	return out
+}
+
+// DelayBound validates Δ(C(P)): every recv pairs with a unique earlier
+// send of the same packet (via PacketSeq) no more than d ticks before it.
+//
+// When requireDelivered is set, sends must also have their recv — the
+// channel's fairness bijection. Traces are finite truncations of the
+// execution, so a packet is only flagged as undelivered when the trace
+// extends strictly more than d ticks past its send: by then a Δ-obeying
+// channel must already have delivered it.
+func DelayBound(trace []Event, d int64, requireDelivered bool) []Violation {
+	return DelayWindow(trace, 0, d, requireDelivered)
+}
+
+// DelayWindow validates the Section 7 generalised delivery property:
+// every packet's delay lies in [d1, d2]. DelayBound is the d1 = 0 case.
+func DelayWindow(trace []Event, d1, d2 int64, requireDelivered bool) []Violation {
+	type flight struct {
+		idx  int
+		time int64
+		pkt  string
+	}
+	var out []Violation
+	sent := make(map[int64]flight)
+	for i, e := range trace {
+		switch e.Action.Kind() {
+		case wire.KindSend:
+			if e.PacketSeq <= 0 {
+				out = append(out, Violation{Index: i, Rule: "delay", Msg: "send event without packet sequence"})
+				continue
+			}
+			if _, dup := sent[e.PacketSeq]; dup {
+				out = append(out, Violation{Index: i, Rule: "delay", Msg: fmt.Sprintf("duplicate send of packet #%d", e.PacketSeq)})
+				continue
+			}
+			sent[e.PacketSeq] = flight{idx: i, time: e.Time, pkt: e.Action.String()}
+		case wire.KindRecv:
+			f, ok := sent[e.PacketSeq]
+			if !ok {
+				out = append(out, Violation{Index: i, Rule: "delay", Msg: fmt.Sprintf("recv of packet #%d without matching send", e.PacketSeq)})
+				continue
+			}
+			delete(sent, e.PacketSeq)
+			if lag := e.Time - f.time; lag < d1 || lag > d2 {
+				out = append(out, Violation{Index: i, Rule: "delay",
+					Msg: fmt.Sprintf("packet #%d delivered %d ticks after send (window [%d, %d])", e.PacketSeq, lag, d1, d2)})
+			}
+		}
+	}
+	if requireDelivered && len(trace) > 0 {
+		end := trace[len(trace)-1].Time
+		for seq, f := range sent {
+			if f.time+d2 < end {
+				out = append(out, Violation{Index: f.idx, Rule: "delay",
+					Msg: fmt.Sprintf("packet #%d (%s) sent at %d not delivered by %d (bound d2 = %d)", seq, f.pkt, f.time, end, d2)})
+			}
+		}
+	}
+	return out
+}
+
+// PrefixInvariant validates the STP safety condition: at every point of the
+// trace, the written sequence Y is a prefix of X. When requireComplete is
+// set it also checks the liveness outcome Y = X at the end of the trace.
+func PrefixInvariant(trace []Event, x []wire.Bit, requireComplete bool) []Violation {
+	var out []Violation
+	written := 0
+	for i, e := range trace {
+		w, ok := e.Action.(wire.Write)
+		if !ok {
+			continue
+		}
+		if written >= len(x) {
+			out = append(out, Violation{Index: i, Rule: "prefix",
+				Msg: fmt.Sprintf("write #%d exceeds |X| = %d", written+1, len(x))})
+			written++
+			continue
+		}
+		if w.M != x[written] {
+			out = append(out, Violation{Index: i, Rule: "prefix",
+				Msg: fmt.Sprintf("Y[%d] = %v but X[%d] = %v", written, w.M, written, x[written])})
+		}
+		written++
+	}
+	if requireComplete && written != len(x) {
+		out = append(out, Violation{Index: -1, Rule: "prefix",
+			Msg: fmt.Sprintf("only %d of %d messages written", written, len(x))})
+	}
+	return out
+}
+
+// GoodConfig carries the parameters of a good(A) check.
+type GoodConfig struct {
+	// C1, C2 bound each process's inter-step time; D bounds packet delay.
+	C1, C2, D int64
+	// Transmitter and Receiver name the two process actors in the trace.
+	Transmitter, Receiver string
+	// X is the input sequence; Y must equal it by the end of the trace.
+	X []wire.Bit
+	// RequireComplete demands full delivery (Y = X and every packet
+	// received); unset for truncated traces.
+	RequireComplete bool
+}
+
+// Good validates all conditions of good(A) plus the RSTP correctness
+// condition Y = X over a recorded trace.
+func Good(trace []Event, cfg GoodConfig) []Violation {
+	var out []Violation
+	out = append(out, Timing(trace)...)
+	out = append(out, StepBounds(trace, cfg.Transmitter, cfg.C1, cfg.C2)...)
+	out = append(out, StepBounds(trace, cfg.Receiver, cfg.C1, cfg.C2)...)
+	out = append(out, DelayBound(trace, cfg.D, cfg.RequireComplete)...)
+	out = append(out, PrefixInvariant(trace, cfg.X, cfg.RequireComplete)...)
+	return out
+}
+
+// Writes extracts the written sequence Y from a trace.
+func Writes(trace []Event) []wire.Bit {
+	var out []wire.Bit
+	for _, e := range trace {
+		if w, ok := e.Action.(wire.Write); ok {
+			out = append(out, w.M)
+		}
+	}
+	return out
+}
+
+// LastSendTime returns the time of the last send event in the trace (the
+// numerator of the paper's effort), and ok == false if nothing was sent.
+func LastSendTime(trace []Event) (int64, bool) {
+	var (
+		t     int64
+		found bool
+	)
+	for _, e := range trace {
+		if e.Action.Kind() == wire.KindSend {
+			t = e.Time
+			found = true
+		}
+	}
+	return t, found
+}
+
+// LastWriteTime returns the time of the last write event, with ok == false
+// if nothing was written.
+func LastWriteTime(trace []Event) (int64, bool) {
+	var (
+		t     int64
+		found bool
+	)
+	for _, e := range trace {
+		if e.Action.Kind() == wire.KindWrite {
+			t = e.Time
+			found = true
+		}
+	}
+	return t, found
+}

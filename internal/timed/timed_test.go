@@ -1,0 +1,210 @@
+package timed
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/wire"
+)
+
+func ev(t int64, actor string, act interface {
+	Kind() string
+	String() string
+}, pseq int64) Event {
+	return Event{Time: t, Actor: actor, Action: act, PacketSeq: pseq}
+}
+
+func TestTimingMonotone(t *testing.T) {
+	ok := []Event{
+		ev(0, "t", wire.Internal{Name: "wait_t"}, 0),
+		ev(0, "r", wire.Internal{Name: "idle_r"}, 0),
+		ev(3, "t", wire.Internal{Name: "wait_t"}, 0),
+	}
+	if v := Timing(ok); len(v) != 0 {
+		t.Errorf("monotone trace flagged: %v", v)
+	}
+	bad := []Event{
+		ev(5, "t", wire.Internal{Name: "wait_t"}, 0),
+		ev(3, "t", wire.Internal{Name: "wait_t"}, 0),
+	}
+	if v := Timing(bad); len(v) != 1 || v[0].Rule != "timing" {
+		t.Errorf("non-monotone trace not flagged: %v", v)
+	}
+	neg := []Event{ev(-1, "t", wire.Internal{Name: "wait_t"}, 0)}
+	if v := Timing(neg); len(v) != 1 {
+		t.Errorf("negative time not flagged: %v", v)
+	}
+}
+
+func TestStepBounds(t *testing.T) {
+	trace := []Event{
+		ev(0, "t", wire.Internal{Name: "wait_t"}, 0),
+		ev(2, "chan", wire.Recv{Dir: wire.TtoR, P: wire.DataPacket(0)}, 1), // not a step
+		ev(3, "t", wire.Internal{Name: "wait_t"}, 0),
+		ev(5, "t", wire.Send{Dir: wire.TtoR, P: wire.DataPacket(0)}, 2),
+		ev(9, "r", wire.Write{M: 0}, 0), // other actor, ignored for "t"
+	}
+	if v := StepBounds(trace, "t", 2, 3); len(v) != 0 {
+		t.Errorf("legal gaps flagged: %v", v)
+	}
+	if v := StepBounds(trace, "t", 3, 3); len(v) != 1 || v[0].Rule != "step-upper" {
+		// first gap 3 ok, second gap 2 < c1=3 — wait: rule should be lower.
+		if len(v) != 1 || v[0].Rule != "step-lower" {
+			t.Errorf("lower violation not flagged correctly: %v", v)
+		}
+	}
+	if v := StepBounds(trace, "t", 1, 2); len(v) != 1 || v[0].Rule != "step-upper" {
+		t.Errorf("upper violation not flagged: %v", v)
+	}
+	// recv events do not count as receiver steps either.
+	rtrace := []Event{
+		ev(0, "r", wire.Internal{Name: "idle_r"}, 0),
+		ev(1, "chan", wire.Recv{Dir: wire.TtoR, P: wire.DataPacket(1)}, 1),
+		ev(4, "r", wire.Write{M: 1}, 0),
+	}
+	if v := StepBounds(rtrace, "r", 4, 4); len(v) != 0 {
+		t.Errorf("recv treated as a step: %v", v)
+	}
+}
+
+func TestDelayBound(t *testing.T) {
+	send := func(tm, seq int64) Event {
+		return ev(tm, "t", wire.Send{Dir: wire.TtoR, P: wire.DataPacket(0)}, seq)
+	}
+	recv := func(tm, seq int64) Event {
+		return ev(tm, "chan", wire.Recv{Dir: wire.TtoR, P: wire.DataPacket(0)}, seq)
+	}
+	okTrace := []Event{send(0, 1), send(2, 2), recv(4, 1), recv(2, 2)}
+	if v := DelayBound(okTrace, 4, true); len(v) != 0 {
+		t.Errorf("legal delays flagged: %v", v)
+	}
+	late := []Event{send(0, 1), recv(5, 1)}
+	if v := DelayBound(late, 4, false); len(v) != 1 || v[0].Rule != "delay" {
+		t.Errorf("late delivery not flagged: %v", v)
+	}
+	orphan := []Event{recv(1, 9)}
+	if v := DelayBound(orphan, 4, false); len(v) != 1 {
+		t.Errorf("orphan recv not flagged: %v", v)
+	}
+	dupSend := []Event{send(0, 1), send(1, 1)}
+	if v := DelayBound(dupSend, 4, false); len(v) != 1 {
+		t.Errorf("duplicate packet seq not flagged: %v", v)
+	}
+	noSeq := []Event{ev(0, "t", wire.Send{Dir: wire.TtoR, P: wire.DataPacket(0)}, 0)}
+	if v := DelayBound(noSeq, 4, false); len(v) != 1 {
+		t.Errorf("send without packet seq not flagged: %v", v)
+	}
+}
+
+func TestDelayBoundTruncation(t *testing.T) {
+	send := func(tm, seq int64) Event {
+		return ev(tm, "t", wire.Send{Dir: wire.TtoR, P: wire.DataPacket(0)}, seq)
+	}
+	last := ev(10, "r", wire.Internal{Name: "idle_r"}, 0)
+	// Sent at 8, bound 4: trace ends at 10 < 8+4, may still be in flight.
+	fresh := []Event{send(8, 1), last}
+	if v := DelayBound(fresh, 4, true); len(v) != 0 {
+		t.Errorf("in-flight packet inside window flagged: %v", v)
+	}
+	// Sent at 2, bound 4: by time 10 it must have arrived.
+	stale := []Event{send(2, 1), last}
+	if v := DelayBound(stale, 4, true); len(v) != 1 {
+		t.Errorf("overdue packet not flagged: %v", v)
+	}
+	// Without requireDelivered nothing is flagged.
+	if v := DelayBound(stale, 4, false); len(v) != 0 {
+		t.Errorf("non-required delivery flagged: %v", v)
+	}
+}
+
+func TestPrefixInvariant(t *testing.T) {
+	x, _ := wire.ParseBits("101")
+	good := []Event{
+		ev(1, "r", wire.Write{M: 1}, 0),
+		ev(2, "r", wire.Write{M: 0}, 0),
+		ev(3, "r", wire.Write{M: 1}, 0),
+	}
+	if v := PrefixInvariant(good, x, true); len(v) != 0 {
+		t.Errorf("correct writes flagged: %v", v)
+	}
+	if v := PrefixInvariant(good[:2], x, true); len(v) != 1 {
+		t.Errorf("incomplete output not flagged: %v", v)
+	}
+	if v := PrefixInvariant(good[:2], x, false); len(v) != 0 {
+		t.Errorf("prefix-only check flagged a prefix: %v", v)
+	}
+	wrong := []Event{ev(1, "r", wire.Write{M: 0}, 0)}
+	if v := PrefixInvariant(wrong, x, false); len(v) != 1 || !strings.Contains(v[0].Msg, "Y[0]") {
+		t.Errorf("wrong write not flagged: %v", v)
+	}
+	over := []Event{
+		ev(1, "r", wire.Write{M: 1}, 0),
+		ev(2, "r", wire.Write{M: 0}, 0),
+		ev(3, "r", wire.Write{M: 1}, 0),
+		ev(4, "r", wire.Write{M: 1}, 0),
+	}
+	if v := PrefixInvariant(over, x, false); len(v) != 1 {
+		t.Errorf("overflow write not flagged: %v", v)
+	}
+}
+
+func TestGoodAggregates(t *testing.T) {
+	x, _ := wire.ParseBits("1")
+	trace := []Event{
+		ev(0, "t", wire.Send{Dir: wire.TtoR, P: wire.DataPacket(1)}, 1),
+		ev(2, "chan", wire.Recv{Dir: wire.TtoR, P: wire.DataPacket(1)}, 1),
+		ev(0, "r", wire.Internal{Name: "idle_r"}, 0),
+		// Receiver gap 0 -> 3 exceeds c2 = 2 (one violation); write is fine.
+	}
+	trace = append(trace, ev(3, "r", wire.Write{M: 1}, 0))
+	v := Good(trace, GoodConfig{
+		C1: 1, C2: 2, D: 4,
+		Transmitter: "t", Receiver: "r",
+		X: x, RequireComplete: true,
+	})
+	count := 0
+	for _, viol := range v {
+		if viol.Rule == "step-upper" {
+			count++
+		}
+		if viol.Error() == "" {
+			t.Error("violations must render")
+		}
+	}
+	// The receiver stepped at 0 then 3 with c2 = 2; also events are not
+	// globally monotone (0,2,0,3) — Timing flags that too.
+	if count != 1 {
+		t.Errorf("expected exactly one step-upper violation, got %v", v)
+	}
+}
+
+func TestWritesAndLastTimes(t *testing.T) {
+	trace := []Event{
+		ev(0, "t", wire.Send{Dir: wire.TtoR, P: wire.DataPacket(1)}, 1),
+		ev(2, "r", wire.Write{M: 1}, 0),
+		ev(4, "t", wire.Send{Dir: wire.TtoR, P: wire.DataPacket(0)}, 2),
+		ev(6, "r", wire.Write{M: 0}, 0),
+	}
+	if got := wire.BitsToString(Writes(trace)); got != "10" {
+		t.Errorf("Writes = %q", got)
+	}
+	if ts, ok := LastSendTime(trace); !ok || ts != 4 {
+		t.Errorf("LastSendTime = %d,%v", ts, ok)
+	}
+	if tw, ok := LastWriteTime(trace); !ok || tw != 6 {
+		t.Errorf("LastWriteTime = %d,%v", tw, ok)
+	}
+	if _, ok := LastSendTime(nil); ok {
+		t.Error("LastSendTime on empty should be !ok")
+	}
+	if _, ok := LastWriteTime(nil); ok {
+		t.Error("LastWriteTime on empty should be !ok")
+	}
+}
+
+func TestEventString(t *testing.T) {
+	e := ev(7, "t", wire.Send{Dir: wire.TtoR, P: wire.DataPacket(1)}, 1)
+	if got := e.String(); !strings.Contains(got, "t=7") || !strings.Contains(got, "send") {
+		t.Errorf("Event.String = %q", got)
+	}
+}

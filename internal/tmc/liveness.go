@@ -1,0 +1,112 @@
+package tmc
+
+import (
+	"fmt"
+
+	"repro/internal/wire"
+)
+
+// WorstCompletion computes, by exhaustive search over the timed state
+// space, the latest tick at which the adversary can still be holding the
+// run short of completion (Y = X) — the exact worst-case completion time
+// for the instance. It simultaneously verifies liveness: every maximal
+// adversary strategy reaches completion (a reachable pre-completion cycle
+// would let the adversary stall forever, and is reported as an error).
+//
+// This is the other half of good(A): Check verifies safety in every
+// reachable state; WorstCompletion verifies the "eventually Y = X"
+// condition against every legal timing, and yields the number the effort
+// bounds are about.
+func WorstCompletion(sys System) (int64, error) {
+	if err := sys.Validate(); err != nil {
+		return 0, err
+	}
+	if sys.MaxStates == 0 {
+		sys.MaxStates = 1 << 22
+	}
+	initial := &state{t: sys.T, r: sys.R}
+
+	const (
+		colorGray = 1
+		colorDone = 2
+	)
+	var (
+		color = make(map[string]int)
+		memo  = make(map[string]int64)
+	)
+
+	completed := func(s *state) (bool, error) {
+		y := sys.Written(s.r)
+		if len(y) > len(sys.X) {
+			return false, fmt.Errorf("tmc: |Y| exceeds |X| during completion search")
+		}
+		for i := range y {
+			if y[i] != sys.X[i] {
+				return false, fmt.Errorf("tmc: safety violation during completion search (Y=%s)", wire.BitsToString(y))
+			}
+		}
+		return len(y) == len(sys.X), nil
+	}
+
+	// Iterative DFS computing the longest (in ticks) path to completion.
+	var rec func(s *state, k string, depth int) (int64, error)
+	rec = func(s *state, k string, depth int) (int64, error) {
+		if v, ok := memo[k]; ok {
+			return v, nil
+		}
+		if color[k] == colorGray {
+			return 0, fmt.Errorf("tmc: liveness violation: the adversary can cycle without completing (state %s)", k)
+		}
+		if len(color) > sys.MaxStates {
+			return 0, fmt.Errorf("tmc: state space exceeds %d states", sys.MaxStates)
+		}
+		done, err := completed(s)
+		if err != nil {
+			return 0, err
+		}
+		if done {
+			memo[k] = 0
+			color[k] = colorDone
+			return 0, nil
+		}
+		color[k] = colorGray
+		succs, err := sys.expand(s)
+		if err != nil {
+			return 0, err
+		}
+		var (
+			worst    int64
+			anyMove  bool
+			selfOnly = true
+		)
+		for _, succ := range succs {
+			nk := succ.next.key()
+			if nk == k {
+				continue // idle self-loop: no progress, no time
+			}
+			selfOnly = false
+			cost := int64(0)
+			if succ.label == "tick" {
+				cost = 1
+			}
+			sub, err := rec(succ.next, nk, depth+1)
+			if err != nil {
+				return 0, err
+			}
+			if cost+sub > worst {
+				worst = cost + sub
+			}
+			anyMove = true
+		}
+		if !anyMove {
+			if selfOnly {
+				return 0, fmt.Errorf("tmc: deadlock before completion (state %s)", k)
+			}
+			return 0, fmt.Errorf("tmc: stuck before completion (state %s)", k)
+		}
+		color[k] = colorDone
+		memo[k] = worst
+		return worst, nil
+	}
+	return rec(initial, initial.key(), 0)
+}

@@ -1,0 +1,428 @@
+// Package tmc is an explicit-state model checker for the *timed*
+// semantics: it exhaustively explores every behaviour permitted by the
+// RSTP timing assumptions — every step schedule with gaps in [c1, c2],
+// every per-packet delivery time within the window [d1, d2], and every
+// same-tick event interleaving — and checks prefix safety in each
+// reachable state.
+//
+// This is the strongest verification artifact in the repository for the
+// time-clocked protocols A^α and A^β, whose correctness cannot be checked
+// untimed (internal/mc demonstrates they fail there): for small instances
+// it replaces schedule sampling with full coverage of good(A).
+//
+// # Semantics
+//
+// Time is integer ticks. Each process carries a timer (ticks until its
+// next local step); when the timer hits 0 the process fires its enabled
+// local action (if any) and nondeterministically re-arms with any gap in
+// [c1, c2] — or parks forever if it is quiescent (sound for this
+// repository's automata, whose quiescence is permanent). Each sent packet
+// becomes a flight with a delivery window: it may arrive once its age
+// reaches d1 and must arrive before its age exceeds d2.
+//
+// Deliveries are events; several may share a tick, and the checker
+// explores all event orders consistent with the channel convention the
+// paper's proofs (and internal/sim) use: two same-direction packets whose
+// arrival times coincide are received in send order. Operationally: a
+// flight may be delivered now only if every earlier-sent same-direction
+// flight still in transit can arrive at a strictly later tick, and
+// delivering it pushes those flights' earliest arrival past the current
+// tick.
+package tmc
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/ioa"
+	"repro/internal/wire"
+)
+
+// Node is an explorable process automaton with a canonical state key.
+type Node interface {
+	ioa.Automaton
+	// Snapshot returns a canonical key of the node's mutable state.
+	Snapshot() string
+}
+
+// System describes the timed composition to explore.
+type System struct {
+	// X is the input; the property is "Written(R) is always a prefix of
+	// X", plus reachability of Written(R) = X.
+	X []wire.Bit
+	// T and R are the processes in their initial states.
+	T, R Node
+	// ForkT and ForkR deep-copy a node.
+	ForkT, ForkR func(Node) (Node, error)
+	// Written extracts Y from the receiver.
+	Written func(Node) []wire.Bit
+	// C1, C2 bound both processes' step gaps.
+	C1, C2 int64
+	// D1, D2 bound every packet's delivery delay.
+	D1, D2 int64
+	// MaxStates caps the exploration (default 1 << 22).
+	MaxStates int
+}
+
+// Validate checks the timing constants.
+func (s *System) Validate() error {
+	if s.T == nil || s.R == nil || s.ForkT == nil || s.ForkR == nil || s.Written == nil {
+		return fmt.Errorf("tmc: incomplete system")
+	}
+	if s.C1 < 1 || s.C2 < s.C1 {
+		return fmt.Errorf("tmc: need 0 < c1 <= c2, got %d, %d", s.C1, s.C2)
+	}
+	if s.D1 < 0 || s.D2 < s.D1 {
+		return fmt.Errorf("tmc: need 0 <= d1 <= d2, got %d, %d", s.D1, s.D2)
+	}
+	return nil
+}
+
+// Result reports the exploration outcome.
+type Result struct {
+	// States and Transitions size the explored space.
+	States, Transitions int
+	// CompletionReachable reports whether some state has Y = X.
+	CompletionReachable bool
+	// Violation is the first safety violation, nil if none.
+	Violation *Violation
+}
+
+// Violation is a safety failure with its witness.
+type Violation struct {
+	// Msg describes the failure.
+	Msg string
+	// Path is the event-label trace from the initial state.
+	Path []string
+}
+
+// Error renders the violation.
+func (v *Violation) Error() string {
+	return fmt.Sprintf("tmc: %s (path: %s)", v.Msg, strings.Join(v.Path, " -> "))
+}
+
+// flight is one in-transit packet.
+type flight struct {
+	p         wire.Packet
+	remaining int64 // must deliver while remaining >= 0
+	earliest  int64 // may deliver only when earliest == 0
+}
+
+const parked = int64(-1)
+
+// state is one timed configuration. Flights are kept per direction in
+// send order, which is canonical.
+type state struct {
+	t, r           Node
+	tTimer, rTimer int64
+	tr, rt         []flight // in send order
+}
+
+func flightsKey(fs []flight) string {
+	parts := make([]string, len(fs))
+	for i, f := range fs {
+		parts[i] = fmt.Sprintf("%d/%d/%d:%d", f.p.Kind, f.p.Symbol, f.remaining, f.earliest)
+	}
+	return strings.Join(parts, ",")
+}
+
+func (s *state) key() string {
+	return fmt.Sprintf("%s || %s || tt=%d rt=%d || tr[%s] rt[%s]",
+		s.t.Snapshot(), s.r.Snapshot(), s.tTimer, s.rTimer, flightsKey(s.tr), flightsKey(s.rt))
+}
+
+func (s *state) fork(sys *System) (*state, error) {
+	t, err := sys.ForkT(s.t)
+	if err != nil {
+		return nil, err
+	}
+	r, err := sys.ForkR(s.r)
+	if err != nil {
+		return nil, err
+	}
+	return &state{
+		t: t, r: r,
+		tTimer: s.tTimer, rTimer: s.rTimer,
+		tr: append([]flight(nil), s.tr...),
+		rt: append([]flight(nil), s.rt...),
+	}, nil
+}
+
+type successor struct {
+	label string
+	next  *state
+}
+
+// deliverable reports whether flights[i] may be delivered now: its lower
+// window has passed and no earlier-sent flight would be overtaken within
+// this tick (every earlier flight must be able to arrive strictly later).
+func deliverable(fs []flight, i int) bool {
+	if fs[i].earliest > 0 {
+		return false
+	}
+	for j := 0; j < i; j++ {
+		if fs[j].remaining < 1 {
+			return false
+		}
+	}
+	return true
+}
+
+// expand returns every timed move from s.
+func (sys *System) expand(s *state) ([]successor, error) {
+	var out []successor
+
+	// Process steps fire exactly when their timer reaches 0.
+	step := func(who string) error {
+		n, err := s.fork(sys)
+		if err != nil {
+			return err
+		}
+		node := n.t
+		if who == "r" {
+			node = n.r
+		}
+		label := who + ":(quiescent)"
+		if act, ok := node.NextLocal(); ok {
+			if err := node.Apply(act); err != nil {
+				return fmt.Errorf("tmc: %s step %v: %w", who, act, err)
+			}
+			label = who + ":" + act.String()
+			if send, isSend := act.(wire.Send); isSend {
+				fl := flight{p: send.P, remaining: sys.D2, earliest: sys.D1}
+				if send.Dir == wire.TtoR {
+					n.tr = append(n.tr, fl)
+				} else {
+					n.rt = append(n.rt, fl)
+				}
+			}
+			// Re-arm with every legal gap.
+			for g := sys.C1; g <= sys.C2; g++ {
+				child, err := n.fork(sys)
+				if err != nil {
+					return err
+				}
+				if who == "t" {
+					child.tTimer = g
+				} else {
+					child.rTimer = g
+				}
+				out = append(out, successor{label: fmt.Sprintf("%s (gap %d)", label, g), next: child})
+			}
+			return nil
+		}
+		// Quiescent: park the clock (sound: quiescence is permanent for
+		// these automata).
+		if who == "t" {
+			n.tTimer = parked
+		} else {
+			n.rTimer = parked
+		}
+		out = append(out, successor{label: label, next: n})
+		return nil
+	}
+	if s.tTimer == 0 {
+		if err := step("t"); err != nil {
+			return nil, err
+		}
+	}
+	if s.rTimer == 0 {
+		if err := step("r"); err != nil {
+			return nil, err
+		}
+	}
+
+	// Deliveries.
+	deliver := func(dirName string, fs []flight, i int, apply func(n *state, p wire.Packet) error, strip func(n *state, i int)) error {
+		n, err := s.fork(sys)
+		if err != nil {
+			return err
+		}
+		if err := apply(n, fs[i].p); err != nil {
+			return fmt.Errorf("tmc: deliver %s %v: %w", dirName, fs[i].p, err)
+		}
+		strip(n, i)
+		out = append(out, successor{label: "chan:" + dirName + " " + fs[i].p.String(), next: n})
+		return nil
+	}
+	for i := range s.tr {
+		if !deliverable(s.tr, i) {
+			continue
+		}
+		if i > 0 && s.tr[i].p == s.tr[i-1].p && s.tr[i].remaining == s.tr[i-1].remaining && s.tr[i].earliest == s.tr[i-1].earliest && deliverable(s.tr, i-1) {
+			continue // identical move
+		}
+		err := deliver("t->r", s.tr, i,
+			func(n *state, p wire.Packet) error {
+				return n.r.Apply(wire.Recv{Dir: wire.TtoR, P: p})
+			},
+			func(n *state, i int) {
+				// Earlier-sent flights may no longer arrive this tick.
+				for j := 0; j < i; j++ {
+					if n.tr[j].earliest < 1 {
+						n.tr[j].earliest = 1
+					}
+				}
+				n.tr = append(append([]flight(nil), n.tr[:i]...), n.tr[i+1:]...)
+			})
+		if err != nil {
+			return nil, err
+		}
+	}
+	for i := range s.rt {
+		if !deliverable(s.rt, i) {
+			continue
+		}
+		if i > 0 && s.rt[i].p == s.rt[i-1].p && s.rt[i].remaining == s.rt[i-1].remaining && s.rt[i].earliest == s.rt[i-1].earliest && deliverable(s.rt, i-1) {
+			continue
+		}
+		err := deliver("r->t", s.rt, i,
+			func(n *state, p wire.Packet) error {
+				return n.t.Apply(wire.Recv{Dir: wire.RtoT, P: p})
+			},
+			func(n *state, i int) {
+				for j := 0; j < i; j++ {
+					if n.rt[j].earliest < 1 {
+						n.rt[j].earliest = 1
+					}
+				}
+				n.rt = append(append([]flight(nil), n.rt[:i]...), n.rt[i+1:]...)
+			})
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// Advance time by one tick: only when nothing is forced now.
+	mustAct := s.tTimer == 0 || s.rTimer == 0
+	for _, f := range s.tr {
+		if f.remaining == 0 {
+			mustAct = true
+		}
+	}
+	for _, f := range s.rt {
+		if f.remaining == 0 {
+			mustAct = true
+		}
+	}
+	if !mustAct {
+		n, err := s.fork(sys)
+		if err != nil {
+			return nil, err
+		}
+		tick := func(v int64) int64 {
+			if v > 0 {
+				return v - 1
+			}
+			return v // parked stays parked; 0 handled above
+		}
+		n.tTimer = tick(n.tTimer)
+		n.rTimer = tick(n.rTimer)
+		for i := range n.tr {
+			n.tr[i].remaining--
+			if n.tr[i].earliest > 0 {
+				n.tr[i].earliest--
+			}
+		}
+		for i := range n.rt {
+			n.rt[i].remaining--
+			if n.rt[i].earliest > 0 {
+				n.rt[i].earliest--
+			}
+		}
+		out = append(out, successor{label: "tick", next: n})
+	}
+	return out, nil
+}
+
+// Check explores the full timed state space breadth-first.
+func Check(sys System) (*Result, error) {
+	if err := sys.Validate(); err != nil {
+		return nil, err
+	}
+	if sys.MaxStates == 0 {
+		sys.MaxStates = 1 << 22
+	}
+	initial := &state{t: sys.T, r: sys.R} // both step at time 0
+	res := &Result{States: 1}
+
+	type meta struct {
+		parent string
+		label  string
+	}
+	seen := map[string]meta{initial.key(): {}}
+	pathTo := func(k string) []string {
+		var labels []string
+		for k != "" {
+			m := seen[k]
+			if m.label == "" {
+				break
+			}
+			labels = append(labels, m.label)
+			k = m.parent
+		}
+		for i, j := 0, len(labels)-1; i < j; i, j = i+1, j-1 {
+			labels[i], labels[j] = labels[j], labels[i]
+		}
+		return labels
+	}
+	check := func(s *state, k string) *Violation {
+		y := sys.Written(s.r)
+		if len(y) > len(sys.X) {
+			return &Violation{Msg: fmt.Sprintf("|Y| = %d exceeds |X| = %d", len(y), len(sys.X)), Path: pathTo(k)}
+		}
+		for i := range y {
+			if y[i] != sys.X[i] {
+				return &Violation{
+					Msg:  fmt.Sprintf("Y[%d] = %v but X[%d] = %v (Y=%s)", i, y[i], i, sys.X[i], wire.BitsToString(y)),
+					Path: pathTo(k),
+				}
+			}
+		}
+		if len(y) == len(sys.X) {
+			res.CompletionReachable = true
+		}
+		return nil
+	}
+	if v := check(initial, initial.key()); v != nil {
+		res.Violation = v
+		return res, nil
+	}
+
+	queue := []*state{initial}
+	keys := []string{initial.key()}
+	for len(queue) > 0 {
+		s, k := queue[0], keys[0]
+		queue, keys = queue[1:], keys[1:]
+
+		succs, err := sys.expand(s)
+		if err != nil {
+			// A reachable Apply failure (e.g. a burst decoding to a
+			// non-codeword) is itself a violation with a witness path.
+			res.Violation = &Violation{Msg: err.Error(), Path: pathTo(k)}
+			return res, nil
+		}
+		for _, succ := range succs {
+			res.Transitions++
+			nk := succ.next.key()
+			if nk == k {
+				continue
+			}
+			if _, dup := seen[nk]; dup {
+				continue
+			}
+			seen[nk] = meta{parent: k, label: succ.label}
+			res.States++
+			if res.States > sys.MaxStates {
+				return res, fmt.Errorf("tmc: state space exceeds %d states", sys.MaxStates)
+			}
+			if v := check(succ.next, nk); v != nil {
+				res.Violation = v
+				return res, nil
+			}
+			queue = append(queue, succ.next)
+			keys = append(keys, nk)
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,278 @@
+package tmc
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/rstp"
+	"repro/internal/rstpx"
+	"repro/internal/wire"
+)
+
+func alphaSystem(t *testing.T, p rstp.Params, xBits string) System {
+	t.Helper()
+	x, err := wire.ParseBits(xBits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := rstp.NewAlphaTransmitter(p, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc, err := rstp.NewAlphaReceiver(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return System{
+		X: x, T: tr, R: rc,
+		ForkT:   func(n Node) (Node, error) { return n.(*rstp.AlphaTransmitter).Fork() },
+		ForkR:   func(n Node) (Node, error) { return n.(*rstp.AlphaReceiver).Fork() },
+		Written: func(n Node) []wire.Bit { return n.(*rstp.AlphaReceiver).WrittenBits() },
+		C1:      p.C1, C2: p.C2, D1: 0, D2: p.D,
+	}
+}
+
+func betaSystem(t *testing.T, p rstp.Params, k int, xBits string) System {
+	t.Helper()
+	x, err := wire.ParseBits(xBits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := rstp.NewBetaTransmitter(p, k, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc, err := rstp.NewBetaReceiver(p, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return System{
+		X: x, T: tr, R: rc,
+		ForkT:   func(n Node) (Node, error) { return n.(*rstp.BetaTransmitter).Fork() },
+		ForkR:   func(n Node) (Node, error) { return n.(*rstp.BetaReceiver).Fork() },
+		Written: func(n Node) []wire.Bit { return n.(*rstp.BetaReceiver).WrittenBits() },
+		C1:      p.C1, C2: p.C2, D1: 0, D2: p.D,
+	}
+}
+
+// TestAlphaSafeForAllTimedBehaviors exhaustively verifies A^α over every
+// legal schedule, every delivery time in [0, d], and every same-tick
+// interleaving — including the boundary case c1 | d where consecutive
+// packets' arrival windows touch and the send-order tie-break is what
+// saves the protocol.
+func TestAlphaSafeForAllTimedBehaviors(t *testing.T) {
+	tests := []struct {
+		name string
+		p    rstp.Params
+		x    string
+	}{
+		{name: "divisible boundary", p: rstp.Params{C1: 1, C2: 2, D: 3}, x: "10"},
+		{name: "non-divisible", p: rstp.Params{C1: 2, C2: 3, D: 5}, x: "10"},
+		{name: "three messages", p: rstp.Params{C1: 1, C2: 1, D: 2}, x: "101"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			res, err := Check(alphaSystem(t, tt.p, tt.x))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Violation != nil {
+				t.Fatalf("violation: %v", res.Violation)
+			}
+			if !res.CompletionReachable {
+				t.Fatal("Y = X never reached")
+			}
+			t.Logf("states=%d transitions=%d", res.States, res.Transitions)
+		})
+	}
+}
+
+// TestBetaSafeForAllTimedBehaviors: the burst protocol's safety over the
+// full timed behaviour space, including in-burst reordering (flights of
+// one burst genuinely overtake each other here).
+func TestBetaSafeForAllTimedBehaviors(t *testing.T) {
+	tests := []struct {
+		name string
+		p    rstp.Params
+		k    int
+		x    string
+	}{
+		// δ1 = 2, L = ⌊log2 μ_2(2)⌋ = 1, two blocks.
+		{name: "delta1=2 two blocks", p: rstp.Params{C1: 1, C2: 1, D: 2}, k: 2, x: "10"},
+		// δ1 = 3, k = 2: μ = 4, L = 2, two blocks.
+		{name: "delta1=3 two blocks", p: rstp.Params{C1: 1, C2: 1, D: 3}, k: 2, x: "1001"},
+		// timing uncertainty: c2 > c1 (δ1 = 3, 2 bits/block, one block).
+		{name: "delta1=3 jittery clocks", p: rstp.Params{C1: 1, C2: 2, D: 3}, k: 2, x: "10"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			res, err := Check(betaSystem(t, tt.p, tt.k, tt.x))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Violation != nil {
+				t.Fatalf("violation: %v", res.Violation)
+			}
+			if !res.CompletionReachable {
+				t.Fatal("Y = X never reached")
+			}
+			t.Logf("states=%d transitions=%d", res.States, res.Transitions)
+		})
+	}
+}
+
+// zeroWaitSystem builds a burst protocol whose wait assumes a
+// deterministic-delay channel (slack 0 -> no wait), explored against the
+// true window [0, d].
+func zeroWaitSystem(t *testing.T) System {
+	t.Helper()
+	// Built believing d1 = d2 = 2 (no reordering, no wait)...
+	lie := rstpx.GenParams{TC1: 1, TC2: 1, RC1: 1, RC2: 1, D1: 2, D2: 2}
+	k, burst := 2, 2
+	bits := rstpx.GenBetaBlockBits(k, burst)
+	// X = 01: blocks encode to multisets {1,1} then {0,1}, whose packets
+	// CAN cross burst boundaries into distinguishable wrong groups (an
+	// all-equal choice like 10 happens to be permutation-immune even
+	// across bursts — the checker correctly finds no violation there).
+	x := make([]wire.Bit, 2*bits)
+	x[1] = wire.One
+	tr, err := rstpx.NewGenBetaTransmitter(lie, k, burst, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc, err := rstpx.NewGenBetaReceiver(lie, k, burst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return System{
+		X: x, T: tr, R: rc,
+		ForkT:   func(n Node) (Node, error) { return n.(*rstpx.GenBetaTransmitter).Fork() },
+		ForkR:   func(n Node) (Node, error) { return n.(*rstpx.GenBetaReceiver).Fork() },
+		Written: func(n Node) []wire.Bit { return n.(*rstpx.GenBetaReceiver).WrittenBits() },
+		// ...but explored against the real window [0, 2].
+		C1: 1, C2: 1, D1: 0, D2: 2,
+	}
+}
+
+// TestBetaWaitIsLoadBearing: the zero-wait protocol is caught by the
+// checker — the exact failure the Section 7 slack analysis predicts.
+func TestBetaWaitIsLoadBearing(t *testing.T) {
+	res, err := Check(zeroWaitSystem(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Violation == nil {
+		t.Fatal("expected the zero-wait protocol to fail on a slack-2 window")
+	}
+	t.Logf("counterexample (%d steps): %s", len(res.Violation.Path), res.Violation.Error())
+}
+
+// TestGenBetaSafeOnItsOwnWindow: the same zero-wait protocol IS safe when
+// the channel honours the window it was built for.
+func TestGenBetaSafeOnItsOwnWindow(t *testing.T) {
+	p := rstpx.GenParams{TC1: 1, TC2: 1, RC1: 1, RC2: 1, D1: 2, D2: 2}
+	k, burst := 2, 2
+	bits := rstpx.GenBetaBlockBits(k, burst)
+	x := make([]wire.Bit, 2*bits)
+	x[1] = wire.One
+	tr, err := rstpx.NewGenBetaTransmitter(p, k, burst, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc, err := rstpx.NewGenBetaReceiver(p, k, burst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := System{
+		X: x, T: tr, R: rc,
+		ForkT:   func(n Node) (Node, error) { return n.(*rstpx.GenBetaTransmitter).Fork() },
+		ForkR:   func(n Node) (Node, error) { return n.(*rstpx.GenBetaReceiver).Fork() },
+		Written: func(n Node) []wire.Bit { return n.(*rstpx.GenBetaReceiver).WrittenBits() },
+		C1:      1, C2: 1, D1: 2, D2: 2,
+	}
+	res, err := Check(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Violation != nil {
+		t.Fatalf("violation on the honest window: %v", res.Violation)
+	}
+	if !res.CompletionReachable {
+		t.Fatal("Y = X never reached")
+	}
+}
+
+// TestGenAlphaSafeOnWindow: the generalised simple protocol, exhaustively
+// verified on a genuine window [d1, d2] with d1 > 0 — its spacing covers
+// only the slack, and that is enough.
+func TestGenAlphaSafeOnWindow(t *testing.T) {
+	p := rstpx.GenParams{TC1: 1, TC2: 2, RC1: 1, RC2: 2, D1: 2, D2: 4}
+	x, _ := wire.ParseBits("10")
+	tr, err := rstpx.NewGenAlphaTransmitter(p, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc, err := rstp.NewAlphaReceiver(rstp.Params{C1: p.RC1, C2: p.RC2, D: p.D2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := System{
+		X: x, T: tr, R: rc,
+		ForkT:   func(n Node) (Node, error) { return n.(*rstpx.GenAlphaTransmitter).Fork() },
+		ForkR:   func(n Node) (Node, error) { return n.(*rstp.AlphaReceiver).Fork() },
+		Written: func(n Node) []wire.Bit { return n.(*rstp.AlphaReceiver).WrittenBits() },
+		C1:      p.TC1, C2: p.TC2, D1: p.D1, D2: p.D2,
+	}
+	res, err := Check(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Violation != nil {
+		t.Fatalf("violation: %v", res.Violation)
+	}
+	if !res.CompletionReachable {
+		t.Fatal("Y = X never reached")
+	}
+	// And the slack really is load-bearing: the same protocol on the full
+	// window [0, d2] (more reordering than it was built for) fails.
+	tr2, err := rstpx.NewGenAlphaTransmitter(p, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc2, err := rstp.NewAlphaReceiver(rstp.Params{C1: p.RC1, C2: p.RC2, D: p.D2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.T, sys.R = tr2, rc2
+	sys.D1 = 0
+	res, err = Check(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Violation == nil {
+		t.Fatal("expected the slack-tuned protocol to fail on the full window")
+	}
+	t.Logf("full-window counterexample: %s", res.Violation.Error())
+}
+
+func TestCheckValidation(t *testing.T) {
+	if _, err := Check(System{}); err == nil {
+		t.Error("incomplete system should fail")
+	}
+	sys := alphaSystem(t, rstp.Params{C1: 1, C2: 1, D: 2}, "1")
+	sys.C1 = 0
+	if _, err := Check(sys); err == nil {
+		t.Error("c1 = 0 should fail")
+	}
+	sys = alphaSystem(t, rstp.Params{C1: 1, C2: 1, D: 2}, "1")
+	sys.D1 = 3
+	sys.D2 = 2
+	if _, err := Check(sys); err == nil {
+		t.Error("d1 > d2 should fail")
+	}
+	sys = alphaSystem(t, rstp.Params{C1: 1, C2: 2, D: 3}, "10")
+	sys.MaxStates = 3
+	if _, err := Check(sys); err == nil || !strings.Contains(err.Error(), "exceeds") {
+		t.Errorf("tiny cap should trip: %v", err)
+	}
+}

@@ -1,0 +1,28 @@
+package wire
+
+import (
+	"testing"
+)
+
+// FuzzParseBits: ParseBits either errors or produces bits that format
+// back to the input.
+func FuzzParseBits(f *testing.F) {
+	f.Add("")
+	f.Add("0101")
+	f.Add("2")
+	f.Add("01x")
+	f.Fuzz(func(t *testing.T, s string) {
+		bits, err := ParseBits(s)
+		if err != nil {
+			return
+		}
+		if got := BitsToString(bits); got != s {
+			t.Fatalf("round trip %q -> %q", s, got)
+		}
+		for _, b := range bits {
+			if !b.Valid() {
+				t.Fatalf("parsed invalid bit %d", b)
+			}
+		}
+	})
+}

@@ -1,0 +1,141 @@
+package wire
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBitValid(t *testing.T) {
+	if !Zero.Valid() || !One.Valid() {
+		t.Error("0 and 1 must be valid")
+	}
+	if Bit(2).Valid() {
+		t.Error("2 must be invalid")
+	}
+}
+
+func TestBitString(t *testing.T) {
+	if Zero.String() != "0" || One.String() != "1" {
+		t.Errorf("bit strings: %q %q", Zero, One)
+	}
+}
+
+func TestDirString(t *testing.T) {
+	tests := []struct {
+		d    Dir
+		want string
+	}{
+		{d: TtoR, want: "t->r"},
+		{d: RtoT, want: "r->t"},
+		{d: Dir(9), want: "dir(9)"},
+	}
+	for _, tt := range tests {
+		if got := tt.d.String(); got != tt.want {
+			t.Errorf("Dir(%d).String() = %q, want %q", int(tt.d), got, tt.want)
+		}
+	}
+}
+
+func TestPacketString(t *testing.T) {
+	tests := []struct {
+		p    Packet
+		want string
+	}{
+		{p: DataPacket(3), want: "data(3)"},
+		{p: AckPacket(), want: "ack"},
+		{p: Packet{Kind: Data, Symbol: 1, Tag: 1}, want: "data(1,tag=1)"},
+		{p: Packet{Kind: Ack, Tag: 1}, want: "ack(tag=1)"},
+	}
+	for _, tt := range tests {
+		if got := tt.p.String(); got != tt.want {
+			t.Errorf("%#v.String() = %q, want %q", tt.p, got, tt.want)
+		}
+	}
+}
+
+func TestActionKindsAndStrings(t *testing.T) {
+	send := Send{Dir: TtoR, P: DataPacket(2)}
+	if send.Kind() != KindSend || send.String() != "send[t->r](data(2))" {
+		t.Errorf("send: kind=%q str=%q", send.Kind(), send.String())
+	}
+	recv := Recv{Dir: RtoT, P: AckPacket()}
+	if recv.Kind() != KindRecv || recv.String() != "recv[r->t](ack)" {
+		t.Errorf("recv: kind=%q str=%q", recv.Kind(), recv.String())
+	}
+	w := Write{M: One}
+	if w.Kind() != KindWrite || w.String() != "write(1)" {
+		t.Errorf("write: kind=%q str=%q", w.Kind(), w.String())
+	}
+	in := Internal{Name: "wait_t"}
+	if in.Kind() != "wait_t" || in.String() != "wait_t" {
+		t.Errorf("internal: kind=%q str=%q", in.Kind(), in.String())
+	}
+}
+
+func TestParseBitsRoundTrip(t *testing.T) {
+	bits, err := ParseBits("0110")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if BitsToString(bits) != "0110" {
+		t.Errorf("round trip = %q", BitsToString(bits))
+	}
+	if _, err := ParseBits("01x0"); err == nil {
+		t.Error("invalid char should fail")
+	}
+	empty, err := ParseBits("")
+	if err != nil || len(empty) != 0 {
+		t.Errorf("empty parse: %v, %v", empty, err)
+	}
+}
+
+func TestParseFormatQuick(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	f := func() bool {
+		n := rng.Intn(100)
+		bits := RandomBits(n, rng.Uint64)
+		parsed, err := ParseBits(BitsToString(bits))
+		if err != nil || len(parsed) != n {
+			return false
+		}
+		for i := range bits {
+			if parsed[i] != bits[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRandomBitsLengthAndValidity(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, n := range []int{0, 1, 63, 64, 65, 200} {
+		bits := RandomBits(n, rng.Uint64)
+		if len(bits) != n {
+			t.Fatalf("len = %d, want %d", len(bits), n)
+		}
+		for i, b := range bits {
+			if !b.Valid() {
+				t.Fatalf("invalid bit %d at %d", b, i)
+			}
+		}
+	}
+}
+
+func TestRandomBitsUsesAllWordBits(t *testing.T) {
+	// A constant source with a pattern ensures bits beyond the first are
+	// consumed from the same word.
+	calls := 0
+	next := func() uint64 { calls++; return 0xAAAAAAAAAAAAAAAA } // 1010...
+	bits := RandomBits(64, next)
+	if calls != 1 {
+		t.Fatalf("expected 1 word for 64 bits, got %d", calls)
+	}
+	if bits[0] != Zero || bits[1] != One {
+		t.Errorf("LSB-first extraction broken: %v %v", bits[0], bits[1])
+	}
+}

@@ -1,0 +1,224 @@
+// Package repro is the public API of the RSTP reproduction: the real-time
+// sequence transmission protocols and effort bounds of Wang & Zuck,
+// "Real-Time Sequence Transmission Problem" (Yale TR-856, 1991).
+//
+// The model: a transmitter must reliably communicate a binary sequence X
+// to a receiver over a channel that may reorder packets but delivers each
+// within d ticks, while both processes take local steps every c1..c2
+// ticks. The effort of a solution is the worst-case average time per
+// transmitted message.
+//
+// Three solutions are provided:
+//
+//   - Alpha: the simple r-passive protocol (one message per d-spaced
+//     packet), effort ⌈d/c1⌉·c2;
+//   - Beta(k): the r-passive burst protocol — blocks of ⌊log2 μ_k(δ1)⌋
+//     bits ride as *multisets* of δ1 k-ary packets, immune to in-burst
+//     reordering; effort ≤ 2δ1c2/⌊log2 μ_k(δ1)⌋, matching the Theorem 5.3
+//     lower bound up to a constant;
+//   - Gamma(k): the active (acknowledged) protocol; effort
+//     ≤ (3d+c2)/⌊log2 μ_k(δ2)⌋, matching Theorem 5.6 up to a constant.
+//
+// Quickstart:
+//
+//	p := repro.Params{C1: 2, C2: 3, D: 12}
+//	s, err := repro.Beta(p, 4)             // k = 4 packet symbols
+//	x, _ := repro.ParseBits("101100111000")
+//	x, _ = repro.PadToBlock(x, s.BlockBits)
+//	run, err := s.Run(x, repro.RunOptions{}) // worst-case schedules
+//	fmt.Println(repro.BitsToString(run.Writes())) // == input
+//
+// The implementation subsystems live under internal/: the timed I/O
+// automata model (ioa, timed), the discrete-event engine (sim), the
+// channel adversaries (chanmodel), the Section 3 multiset codec
+// (multiset), the Section 5 lower-bound machinery (adversary), the
+// classical baseline (stp), and the table generators reproducing the
+// paper's results (experiments).
+package repro
+
+import (
+	"repro/internal/chanmodel"
+	"repro/internal/frame"
+	"repro/internal/rstp"
+	"repro/internal/rstpx"
+	"repro/internal/sim"
+	"repro/internal/timed"
+	"repro/internal/wire"
+)
+
+// Core model types, re-exported from the internal implementation. The
+// aliases make the internal types usable by downstream importers.
+type (
+	// Params carries the RSTP timing constants c1 <= c2 < d, in ticks.
+	Params = rstp.Params
+	// Solution is one of the paper's protocol pairs At ∘ Ar.
+	Solution = rstp.Solution
+	// RunOptions selects the step schedules and channel adversary of a run.
+	RunOptions = rstp.RunOptions
+	// Effort is a measured effort data point (ticks per message).
+	Effort = rstp.Effort
+	// Run is one recorded timed execution.
+	Run = sim.Run
+	// Bit is a message from the binary domain M = {0, 1}.
+	Bit = wire.Bit
+	// Violation is one failed good(A) condition found by Verify.
+	Violation = timed.Violation
+	// StepPolicy schedules one process's local steps.
+	StepPolicy = sim.StepPolicy
+	// DelayPolicy is the channel's delivery adversary.
+	DelayPolicy = chanmodel.DelayPolicy
+)
+
+// Alpha returns the simple r-passive solution A^α (Figure 1).
+func Alpha(p Params) (Solution, error) { return rstp.Alpha(p) }
+
+// Beta returns the r-passive burst solution A^β(k) (Figure 3).
+func Beta(p Params, k int) (Solution, error) { return rstp.Beta(p, k) }
+
+// Gamma returns the active solution A^γ(k) (Figure 4).
+func Gamma(p Params, k int) (Solution, error) { return rstp.Gamma(p, k) }
+
+// PadToBlock pads x with trailing zeros to a multiple of blockBits,
+// returning the padded sequence and the number of bits added.
+func PadToBlock(x []Bit, blockBits int) ([]Bit, int) { return rstp.PadToBlock(x, blockBits) }
+
+// ParseBits parses a 0/1 string.
+func ParseBits(s string) ([]Bit, error) { return wire.ParseBits(s) }
+
+// BitsToString renders bits as a 0/1 string.
+func BitsToString(bits []Bit) string { return wire.BitsToString(bits) }
+
+// RandomBits returns n random bits drawn from next (e.g. rand.Uint64).
+func RandomBits(n int, next func() uint64) []Bit { return wire.RandomBits(n, next) }
+
+// Bound formulas (Sections 5 and 6), in ticks per message.
+
+// AlphaEffort returns eff(A^α) = ⌈d/c1⌉·c2.
+func AlphaEffort(p Params) float64 { return rstp.AlphaEffort(p) }
+
+// PassiveLowerBound returns Theorem 5.3's floor for r-passive solutions.
+func PassiveLowerBound(p Params, k int) float64 { return rstp.PassiveLowerBound(p, k) }
+
+// ActiveLowerBound returns Theorem 5.6's floor for active solutions.
+func ActiveLowerBound(p Params, k int) float64 { return rstp.ActiveLowerBound(p, k) }
+
+// BetaUpperBound returns Lemma 6.1's ceiling for A^β(k).
+func BetaUpperBound(p Params, k int) float64 { return rstp.BetaUpperBound(p, k) }
+
+// GammaUpperBound returns Section 6.2's ceiling for A^γ(k).
+func GammaUpperBound(p Params, k int) float64 { return rstp.GammaUpperBound(p, k) }
+
+// Step schedules for RunOptions.
+
+// FixedSchedule steps every c ticks.
+func FixedSchedule(c int64) StepPolicy { return sim.FixedGap{C: c} }
+
+// AlternatingSchedule alternates between the two gaps.
+func AlternatingSchedule(c1, c2 int64) StepPolicy { return sim.AlternatingGap{C1: c1, C2: c2} }
+
+// RandomSchedule draws each gap uniformly from [c1, c2] via int63n
+// (typically (*rand.Rand).Int63n).
+func RandomSchedule(c1, c2 int64, int63n func(int64) int64) StepPolicy {
+	return sim.RandomGap{C1: c1, C2: c2, Int63n: int63n}
+}
+
+// Channel adversaries for RunOptions.
+
+// ZeroDelay delivers instantly.
+func ZeroDelay() DelayPolicy { return chanmodel.Zero{} }
+
+// MaxDelay delays every packet by exactly d.
+func MaxDelay(d int64) DelayPolicy { return chanmodel.MaxDelay{D: d} }
+
+// RandomDelay delays each packet uniformly in [0, d].
+func RandomDelay(d int64, rnd interface{ Int63n(int64) int64 }) DelayPolicy {
+	return &randomDelay{d: d, rnd: rnd}
+}
+
+type randomDelay struct {
+	d   int64
+	rnd interface{ Int63n(int64) int64 }
+}
+
+func (r *randomDelay) Name() string { return "uniform-random(public)" }
+
+func (r *randomDelay) Arrivals(_ int64, sendTime int64, _ wire.Dir, _ wire.Packet) []int64 {
+	return []int64{sendTime + r.rnd.Int63n(r.d+1)}
+}
+
+// ReverseBurstDelay reverses each burst's arrival order while respecting
+// the d bound — the adversary the multiset encoding is built to survive.
+func ReverseBurstDelay(d int64, burst int, stepGap int64) DelayPolicy {
+	return chanmodel.ReverseBurst{D: d, Burst: burst, StepGap: stepGap}
+}
+
+// IntervalBatchDelay is the Figure 2 adversary: all packets sent in one
+// (d-1)-tick interval are delivered together at the next boundary.
+func IntervalBatchDelay(d int64) DelayPolicy { return chanmodel.IntervalBatch{D: d} }
+
+// Application framing: self-delimiting byte messages over the bit
+// protocols, tolerant of block padding (see internal/frame).
+
+// FrameDecoder incrementally parses a framed bit stream back into byte
+// payloads.
+type FrameDecoder = frame.Decoder
+
+// FrameMessages frames byte payloads into one bit stream; pad the result
+// with PadToBlock and transmit it with any solution.
+func FrameMessages(payloads [][]byte) ([]Bit, error) { return frame.EncodeStream(payloads) }
+
+// UnframeMessages parses a complete framed bit stream (trailing padding
+// tolerated) back into payloads.
+func UnframeMessages(bits []Bit) ([][]byte, error) { return frame.DecodeStream(bits) }
+
+// Section 7 extensions: the delivery-window model with per-process clocks
+// (see internal/rstpx for the full story).
+type (
+	// GenParams carries the generalised timing constants: per-process step
+	// bounds and a delivery window [d1, d2].
+	GenParams = rstpx.GenParams
+	// GenSolution is the generalised r-passive burst solution.
+	GenSolution = rstpx.GenSolution
+	// GenRunOptions selects the schedules of a generalised run.
+	GenRunOptions = rstpx.GenRunOptions
+)
+
+// BaseGenParams lifts classic parameters into the generalised model.
+func BaseGenParams(c1, c2, d int64) GenParams { return rstpx.Base(c1, c2, d) }
+
+// GenBeta returns the generalised r-passive burst solution with the
+// paper-analogous default burst.
+func GenBeta(p GenParams, k int) (GenSolution, error) { return rstpx.NewGenBeta(p, k) }
+
+// GenBetaBurst returns the generalised solution with an explicit burst.
+func GenBetaBurst(p GenParams, k, burst int) (GenSolution, error) {
+	return rstpx.NewGenBetaBurst(p, k, burst)
+}
+
+// GenPassiveLowerBound is the generalised Theorem 5.3 floor: the channel
+// can only scramble windows of the slack d2 - d1.
+func GenPassiveLowerBound(p GenParams, k int) float64 { return rstpx.GenPassiveLowerBound(p, k) }
+
+// GenBetaUpperBound is the generalised Lemma 6.1 ceiling.
+func GenBetaUpperBound(p GenParams, k, burst int) float64 {
+	return rstpx.GenBetaUpperBound(p, k, burst)
+}
+
+// WindowDelay delays each packet uniformly within [d1, d2].
+func WindowDelay(d1, d2 int64, rnd interface{ Int63n(int64) int64 }) DelayPolicy {
+	return &windowDelay{d1: d1, d2: d2, rnd: rnd}
+}
+
+type windowDelay struct {
+	d1, d2 int64
+	rnd    interface{ Int63n(int64) int64 }
+}
+
+func (w *windowDelay) Name() string { return "uniform-window(public)" }
+
+func (w *windowDelay) Arrivals(_ int64, sendTime int64, _ wire.Dir, _ wire.Packet) []int64 {
+	if w.d2 <= w.d1 {
+		return []int64{sendTime + w.d1}
+	}
+	return []int64{sendTime + w.d1 + w.rnd.Int63n(w.d2-w.d1+1)}
+}

@@ -1,0 +1,56 @@
+package repro_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro"
+)
+
+// TestSoakLargeTransfers pushes each protocol through a large transfer
+// (64 KiB of payload bits) under mixed adversarial conditions; skipped
+// under -short. This is the scale check behind the "library a downstream
+// user would adopt" claim: hundreds of thousands of events per run, full
+// good(A) validation at the end.
+func TestSoakLargeTransfers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test skipped in -short mode")
+	}
+	p := repro.Params{C1: 2, C2: 3, D: 12}
+	rng := rand.New(rand.NewSource(20260705))
+	payload := repro.RandomBits(64*1024, rng.Uint64)
+
+	mk := map[string]func() (repro.Solution, error){
+		"beta-k16":  func() (repro.Solution, error) { return repro.Beta(p, 16) },
+		"beta-k64":  func() (repro.Solution, error) { return repro.Beta(p, 64) },
+		"gamma-k16": func() (repro.Solution, error) { return repro.Gamma(p, 16) },
+	}
+	for name, build := range mk {
+		t.Run(name, func(t *testing.T) {
+			s, err := build()
+			if err != nil {
+				t.Fatal(err)
+			}
+			x, _ := repro.PadToBlock(payload, s.BlockBits)
+			run, err := s.Run(x, repro.RunOptions{
+				TPolicy:   repro.RandomSchedule(p.C1, p.C2, rng.Int63n),
+				RPolicy:   repro.RandomSchedule(p.C1, p.C2, rng.Int63n),
+				Delay:     repro.RandomDelay(p.D, rng),
+				MaxTicks:  500_000_000,
+				MaxEvents: 50_000_000,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if repro.BitsToString(run.Writes()) != repro.BitsToString(x) {
+				t.Fatal("large transfer corrupted")
+			}
+			if v := s.Verify(run, x); len(v) != 0 {
+				t.Fatalf("not good: %v", v[0])
+			}
+			eff, _ := run.LastSendTime()
+			t.Logf("%s: %d bits in %d events, effort %.3f ticks/bit",
+				name, len(x), len(run.Trace), float64(eff)/float64(len(x)))
+		})
+	}
+}
