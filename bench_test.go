@@ -129,6 +129,10 @@ func BenchmarkE16Verification(b *testing.B) {
 	b.ReportMetric(metric(b, t, "states"), "states-row0")
 }
 
+func BenchmarkE17FaultSweep(b *testing.B) {
+	runExperiment(b, experiments.E17FaultSweep)
+}
+
 // Microbenchmarks: protocol throughput on the engine's hot path.
 
 func benchSolutionRun(b *testing.B, mk func(rstp.Params) (repro.Solution, error), p rstp.Params) {

@@ -1,0 +1,190 @@
+// Command rstpchaos chaos-tests the RSTP protocols: it runs a solution —
+// bare or hardened — under a seeded, time-windowed fault plan and reports
+// the channel watchdog's degradation verdict, the safety/liveness
+// outcome, and the recovery time after the faults heal.
+//
+// Usage:
+//
+//	rstpchaos -sweep                       # the E17 fault-sweep table
+//	rstpchaos -proto beta -loss 0.3        # one chaos run, hardened
+//	rstpchaos -proto gamma -blackout 100:400 -unhardened
+//	rstpchaos -proto alpha -corrupt 0.5 -fwindow 0:600 -seed 7
+//
+// Fault flags compose into a single plan: -loss/-dup/-corrupt apply over
+// the -fwindow send-time window, -blackout and -excess carve their own
+// windows. All randomness is seeded, so a given flag set reproduces the
+// same run byte for byte.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/chanmodel"
+	"repro/internal/experiments"
+	"repro/internal/faults"
+	"repro/internal/rstp"
+	"repro/internal/sim"
+	"repro/internal/timed"
+	"repro/internal/wire"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "rstpchaos:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("rstpchaos", flag.ContinueOnError)
+	var (
+		sweep      = fs.Bool("sweep", false, "print the E17 fault-sweep table and exit")
+		quick      = fs.Bool("quick", false, "smaller sweep workload")
+		proto      = fs.String("proto", "beta", "protocol: alpha, beta or gamma")
+		k          = fs.Int("k", 4, "packet alphabet size (beta/gamma)")
+		c1         = fs.Int64("c1", 2, "minimum step gap c1")
+		c2         = fs.Int64("c2", 3, "maximum step gap c2")
+		d          = fs.Int64("d", 12, "channel delay bound d")
+		n          = fs.Int("n", 12, "input length in blocks")
+		seed       = fs.Int64("seed", 1, "seed for the fault plan and input")
+		unhardened = fs.Bool("unhardened", false, "run the bare protocol instead of the hardened wrapper")
+		loss       = fs.Float64("loss", 0, "drop probability inside -fwindow")
+		dup        = fs.Float64("dup", 0, "duplication probability inside -fwindow")
+		corrupt    = fs.Float64("corrupt", 0, "corruption probability inside -fwindow")
+		fwindow    = fs.String("fwindow", "0:600", "send-time window from:to for -loss/-dup/-corrupt")
+		blackout   = fs.String("blackout", "", "blackout window from:to (empty = none)")
+		excess     = fs.Int64("excess", 0, "extra delay beyond d applied inside -fwindow")
+		maxTicks   = fs.Int64("maxticks", 1_000_000, "simulation tick cap")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *sweep {
+		table, err := experiments.E17FaultSweep(experiments.Config{Seed: *seed, Quick: *quick})
+		if err != nil {
+			return err
+		}
+		return table.Render(out)
+	}
+
+	p := rstp.Params{C1: *c1, C2: *c2, D: *d}
+	var (
+		s   rstp.Solution
+		err error
+	)
+	switch *proto {
+	case "alpha":
+		s, err = rstp.Alpha(p)
+	case "beta":
+		s, err = rstp.Beta(p, *k)
+	case "gamma":
+		s, err = rstp.Gamma(p, *k)
+	default:
+		return fmt.Errorf("unknown protocol %q (alpha, beta, gamma)", *proto)
+	}
+	if err != nil {
+		return err
+	}
+
+	var clauses []faults.Fault
+	if *loss > 0 || *dup > 0 || *corrupt > 0 || *excess > 0 {
+		from, to, err := parseWindow(*fwindow)
+		if err != nil {
+			return fmt.Errorf("-fwindow: %w", err)
+		}
+		clauses = append(clauses, faults.Fault{
+			From: from, To: to,
+			Drop: *loss, Dup: *dup, Corrupt: *corrupt, ExtraDelay: *excess,
+		})
+	}
+	if *blackout != "" {
+		from, to, err := parseWindow(*blackout)
+		if err != nil {
+			return fmt.Errorf("-blackout: %w", err)
+		}
+		clauses = append(clauses, faults.Fault{From: from, To: to, Blackout: true})
+	}
+	plan := faults.NewPlan(*seed, chanmodel.MaxDelay{D: p.D}, clauses...)
+
+	x := patternBits(*n * s.BlockBits)
+	opt := rstp.RunOptions{Delay: plan, MaxTicks: *maxTicks}
+
+	name := s.String()
+	hs := rstp.Harden(s, rstp.HardenOptions{})
+	var (
+		r      *sim.Run
+		runErr error
+	)
+	if *unhardened {
+		r, runErr = s.Run(x, opt)
+	} else {
+		name = hs.String()
+		r, runErr = hs.Run(x, opt)
+	}
+	if r == nil {
+		return runErr
+	}
+
+	fmt.Fprintf(out, "protocol:  %s\n", name)
+	fmt.Fprintf(out, "params:    c1=%d c2=%d d=%d, |X|=%d bits\n", p.C1, p.C2, p.D, len(x))
+	fmt.Fprintf(out, "plan:      %s\n", plan.Name())
+	affected, dropped, duplicated, corrupted, delayed := plan.Stats()
+	fmt.Fprintf(out, "injected:  %d affected, %d dropped, %d duplicated, %d corrupted, %d delayed\n",
+		affected, dropped, duplicated, corrupted, delayed)
+	if r.Degradation != nil {
+		fmt.Fprintf(out, "watchdog:  %s\n", r.Degradation)
+	}
+
+	safety := timed.PrefixInvariant(r.Trace, x, false)
+	complete := runErr == nil && len(timed.PrefixInvariant(r.Trace, x, true)) == 0
+	fmt.Fprintf(out, "safety:    %d prefix violations\n", len(safety))
+	fmt.Fprintf(out, "delivered: %d/%d bits (Y=X: %v)\n", r.WriteCount, len(x), complete)
+	if last, ok := r.LastWriteTime(); ok {
+		fmt.Fprintf(out, "last write: t=%d\n", last)
+		if complete && plan.End() > 0 && last > plan.End() {
+			fmt.Fprintf(out, "recovery:  %d ticks after the heal at t=%d\n", last-plan.End(), plan.End())
+		}
+	}
+	if runErr != nil {
+		fmt.Fprintf(out, "run ended early: %v\n", runErr)
+	}
+	if len(safety) > 0 {
+		return fmt.Errorf("output tape corrupted: %v", safety[0])
+	}
+	return nil
+}
+
+// parseWindow parses "from:to".
+func parseWindow(s string) (from, to int64, err error) {
+	parts := strings.SplitN(s, ":", 2)
+	if len(parts) != 2 {
+		return 0, 0, fmt.Errorf("want from:to, got %q", s)
+	}
+	if from, err = strconv.ParseInt(parts[0], 10, 64); err != nil {
+		return 0, 0, err
+	}
+	if to, err = strconv.ParseInt(parts[1], 10, 64); err != nil {
+		return 0, 0, err
+	}
+	if to <= from {
+		return 0, 0, fmt.Errorf("empty window %q", s)
+	}
+	return from, to, nil
+}
+
+// patternBits builds a fixed non-trivial bit pattern.
+func patternBits(n int) []wire.Bit {
+	x := make([]wire.Bit, n)
+	for i := range x {
+		if i%3 == 0 || i%7 == 2 {
+			x[i] = wire.One
+		}
+	}
+	return x
+}

@@ -1,0 +1,70 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunSweepDeterministic(t *testing.T) {
+	var a, b strings.Builder
+	if err := run([]string{"-sweep", "-quick", "-seed", "3"}, &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-sweep", "-quick", "-seed", "3"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatal("sweep output not deterministic for a fixed seed")
+	}
+	for _, want := range []string{"E17", "hardened(beta(k=4))", "blackout", "outcome"} {
+		if !strings.Contains(a.String(), want) {
+			t.Errorf("sweep output missing %q", want)
+		}
+	}
+}
+
+func TestRunHardenedSingle(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{"-proto", "beta", "-loss", "0.3", "-dup", "0.2", "-seed", "5"}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"hardened(beta(k=4))", "0 prefix violations", "Y=X: true", "DEGRADED"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunUnhardenedBlackoutCorrupts(t *testing.T) {
+	// Losing the middle bursts misaligns the decoder: the bare protocol
+	// both stalls and corrupts its tape, and the tool exits nonzero on
+	// the corruption.
+	var sb strings.Builder
+	err := run([]string{"-proto", "beta", "-unhardened", "-blackout", "60:240", "-maxticks", "20000"}, &sb)
+	if err == nil || !strings.Contains(err.Error(), "corrupted") {
+		t.Fatalf("expected a corrupted-output error, got %v", err)
+	}
+	out := sb.String()
+	for _, want := range []string{"beta(k=4)", "Y=X: false", "run ended early"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q in:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "hardened") {
+		t.Error("-unhardened run labelled hardened")
+	}
+}
+
+func TestRunBadFlags(t *testing.T) {
+	for _, args := range [][]string{
+		{"-proto", "delta"},
+		{"-fwindow", "nope", "-loss", "0.5"},
+		{"-blackout", "9:3"},
+	} {
+		if err := run(args, &strings.Builder{}); err == nil {
+			t.Errorf("args %v: expected an error", args)
+		}
+	}
+}

@@ -33,6 +33,31 @@ type DelayPolicy interface {
 	Arrivals(dirSeq int64, sendTime int64, dir wire.Dir, p wire.Packet) []int64
 }
 
+// Arrival is one delivery produced by a packet-mutating delay policy: an
+// arrival time paired with the packet as delivered, which corruption
+// faults may have altered from the packet that was sent.
+type Arrival struct {
+	// At is the absolute arrival time.
+	At int64
+	// P is the delivered packet.
+	P wire.Packet
+}
+
+// Mutator is the optional DelayPolicy extension for fault injection:
+// policies that can alter packets in flight (payload corruption) implement
+// it, and the simulator prefers it over Arrivals when present. A Mutator's
+// Arrivals and ArrivalsMut must describe the same delivery schedule.
+type Mutator interface {
+	DelayPolicy
+	// ArrivalsMut is Arrivals with the delivered packets made explicit.
+	ArrivalsMut(dirSeq int64, sendTime int64, dir wire.Dir, p wire.Packet) []Arrival
+}
+
+// defaultRand returns the fixed-seed source the random policies fall back
+// to when built without one: a zero-value policy stays deterministic and
+// usable instead of panicking on its first packet.
+func defaultRand() *rand.Rand { return rand.New(rand.NewSource(1)) }
+
 // Zero delivers every packet instantly (delay 0) — the fastest channel.
 type Zero struct{}
 
@@ -94,6 +119,9 @@ func (u *UniformRandom) Name() string { return fmt.Sprintf("uniform-random(%d)",
 
 // Arrivals returns one uniformly delayed arrival.
 func (u *UniformRandom) Arrivals(_ int64, sendTime int64, _ wire.Dir, _ wire.Packet) []int64 {
+	if u.Rand == nil {
+		u.Rand = defaultRand()
+	}
 	return []int64{sendTime + u.Rand.Int63n(u.D+1)}
 }
 
@@ -207,6 +235,9 @@ func (l *LossyDup) Name() string {
 
 // Arrivals drops, delivers, or double-delivers the packet.
 func (l *LossyDup) Arrivals(_ int64, sendTime int64, _ wire.Dir, _ wire.Packet) []int64 {
+	if l.Rand == nil {
+		l.Rand = defaultRand()
+	}
 	if l.Rand.Float64() < l.LossProb {
 		return nil
 	}
@@ -238,6 +269,9 @@ func (j *Jitter) Name() string { return fmt.Sprintf("jitter(base=%d±%d,d=%d)", 
 
 // Arrivals returns one jittered arrival within [sendTime, sendTime+D].
 func (j *Jitter) Arrivals(_ int64, sendTime int64, _ wire.Dir, _ wire.Packet) []int64 {
+	if j.Rand == nil {
+		j.Rand = defaultRand()
+	}
 	delay := j.Base
 	if j.Amp > 0 {
 		delay += j.Rand.Int63n(2*j.Amp+1) - j.Amp
@@ -301,6 +335,9 @@ func (u *UniformWindow) Name() string { return fmt.Sprintf("uniform-window(%d,%d
 
 // Arrivals returns one arrival delayed uniformly within the window.
 func (u *UniformWindow) Arrivals(_ int64, sendTime int64, _ wire.Dir, _ wire.Packet) []int64 {
+	if u.Rand == nil {
+		u.Rand = defaultRand()
+	}
 	if u.D2 <= u.D1 {
 		return []int64{sendTime + u.D1}
 	}
@@ -338,6 +375,9 @@ func (l *FIFOLossyDup) Name() string {
 func (l *FIFOLossyDup) Arrivals(_ int64, sendTime int64, dir wire.Dir, _ wire.Packet) []int64 {
 	if l.last == nil {
 		l.last = make(map[wire.Dir]int64)
+	}
+	if l.Rand == nil {
+		l.Rand = defaultRand()
 	}
 	if l.Rand.Float64() < l.LossProb {
 		return nil

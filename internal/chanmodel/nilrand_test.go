@@ -1,0 +1,58 @@
+package chanmodel
+
+import (
+	"testing"
+
+	"repro/internal/wire"
+)
+
+// TestNilRandDefaults: the random policies built without a Rand source
+// must fall back to a deterministic fixed-seed source instead of
+// panicking — the regression that motivated the guard was a zero-value
+// *LossyDup dereferencing a nil *rand.Rand on its first packet.
+func TestNilRandDefaults(t *testing.T) {
+	pkt := wire.DataPacket(1)
+	policies := []DelayPolicy{
+		&UniformRandom{D: 8},
+		&LossyDup{D: 8, LossProb: 0.5, DupProb: 0.5},
+		&FIFOLossyDup{D: 8, LossProb: 0.5, DupProb: 0.5},
+		&Jitter{D: 8, Base: 3, Amp: 2},
+		&UniformWindow{D1: 2, D2: 8},
+	}
+	for _, p := range policies {
+		t.Run(p.Name(), func(t *testing.T) {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("nil-Rand policy panicked: %v", r)
+				}
+			}()
+			for i := int64(0); i < 64; i++ {
+				for _, at := range p.Arrivals(i, i*3, wire.TtoR, pkt) {
+					if at < i*3 {
+						t.Fatalf("arrival %d precedes send time %d", at, i*3)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestNilRandDeterministic: two zero-value policies of the same shape
+// produce identical arrival schedules — the fallback is a fixed seed, not
+// global randomness.
+func TestNilRandDeterministic(t *testing.T) {
+	mk := func() DelayPolicy { return &LossyDup{D: 10, LossProb: 0.3, DupProb: 0.3} }
+	a, b := mk(), mk()
+	pkt := wire.DataPacket(0)
+	for i := int64(0); i < 200; i++ {
+		got, want := a.Arrivals(i, i, wire.TtoR, pkt), b.Arrivals(i, i, wire.TtoR, pkt)
+		if len(got) != len(want) {
+			t.Fatalf("packet %d: %d vs %d arrivals", i, len(got), len(want))
+		}
+		for j := range got {
+			if got[j] != want[j] {
+				t.Fatalf("packet %d arrival %d: %d vs %d", i, j, got[j], want[j])
+			}
+		}
+	}
+}

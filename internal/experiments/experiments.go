@@ -132,6 +132,7 @@ func Registry() map[string]Generator {
 		"e14": E14OrderedDecoder,
 		"e15": E15DelaySweep,
 		"e16": E16Verification,
+		"e17": E17FaultSweep,
 	}
 }
 

@@ -299,8 +299,8 @@ func TestE9Shape(t *testing.T) {
 
 func TestRegistryConsistent(t *testing.T) {
 	ids := IDs()
-	if len(ids) != 16 {
-		t.Fatalf("expected 16 experiments, got %d", len(ids))
+	if len(ids) != 17 {
+		t.Fatalf("expected 17 experiments, got %d", len(ids))
 	}
 	// Numeric order: e1 .. e12.
 	for i, id := range ids {

@@ -1,0 +1,159 @@
+package rstp
+
+// Failure-mode documentation for the UNHARDENED protocols outside the
+// model Δ(C(P)). The paper proves nothing there, and these tests pin
+// down exactly how each solution breaks — the behaviours the hardened
+// layer (hardened.go) exists to fix:
+//
+//   - Uniform excess delay preserves order, so all three still deliver
+//     Y = X; only the delay-bound validator notices. Degradation in the
+//     benign direction.
+//   - A delay fault over a window reorders traffic across burst
+//     boundaries: A^α writes out of order and A^β(k) decodes the wrong
+//     multisets — both silently corrupt the output tape. A^γ(k) is
+//     naturally immune because its ack clock stalls with the packets.
+//   - Corruption either crashes the run (a symbol outside {0..k-1}
+//     leaves the receiver's input signature) or silently corrupts Y.
+
+import (
+	"testing"
+
+	"repro/internal/chanmodel"
+	"repro/internal/faults"
+	"repro/internal/timed"
+)
+
+// TestUnhardenedUniformExcessDelay: a uniform delay of d + excess keeps
+// packet order, so every protocol still achieves Y = X; the only failures
+// are delay-bound violations, which both Verify and the runtime watchdog
+// report.
+func TestUnhardenedUniformExcessDelay(t *testing.T) {
+	p := chaosParams()
+	for _, s := range chaosSolutions(t) {
+		t.Run(s.String(), func(t *testing.T) {
+			x := chaosInput(s, 4)
+			run, err := s.Run(x, RunOptions{
+				Delay:    chanmodel.ExceedBound{D: p.D, Excess: 6},
+				MaxTicks: 200_000,
+			})
+			if err != nil {
+				t.Fatalf("order-preserving excess stalled the run: %v", err)
+			}
+			if v := timed.PrefixInvariant(run.Trace, x, true); len(v) > 0 {
+				t.Fatalf("uniform excess corrupted the output: %v", v[0])
+			}
+			v := s.Verify(run, x)
+			if len(v) == 0 {
+				t.Fatal("Verify missed the exceeded delay bound")
+			}
+			for _, each := range v {
+				if each.Rule != "delay" {
+					t.Fatalf("unexpected violation class %q: %v", each.Rule, each)
+				}
+			}
+			if run.Degradation == nil || run.Degradation.Late == 0 {
+				t.Fatalf("watchdog missed the late deliveries: %v", run.Degradation)
+			}
+		})
+	}
+}
+
+// windowedDelayPlan delays only the first burst's worth of sends far
+// beyond d, making them arrive interleaved with the next burst. The plan
+// is probability-free, so the seed is irrelevant.
+func windowedDelayPlan(p Params) *faults.Plan {
+	return faults.NewPlan(1, chanmodel.Zero{},
+		faults.Fault{From: 0, To: 20, ExtraDelay: 48})
+}
+
+// TestUnhardenedWindowedDelayCorruptsPassive: the reordering corrupts
+// both r-passive protocols silently — the run completes, the validators
+// alone reveal that Y is not a prefix of X.
+func TestUnhardenedWindowedDelayCorruptsPassive(t *testing.T) {
+	p := chaosParams()
+	for _, mk := range []func() (Solution, error){
+		func() (Solution, error) { return Alpha(p) },
+		func() (Solution, error) { return Beta(p, 4) },
+	} {
+		s, err := mk()
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Run(s.String(), func(t *testing.T) {
+			x := chaosInput(s, 4)
+			run, err := s.Run(x, RunOptions{Delay: windowedDelayPlan(p), MaxTicks: 200_000})
+			if err != nil {
+				t.Fatalf("run did not complete: %v", err)
+			}
+			if v := timed.PrefixInvariant(run.Trace, x, false); len(v) == 0 {
+				t.Fatalf("%s survived cross-burst reordering — failure mode gone?", s)
+			}
+		})
+	}
+}
+
+// TestUnhardenedWindowedDelayGammaSafe: A^γ(k)'s ack clock stalls while
+// packets are in flight, so even the windowed delay cannot reorder its
+// bursts: the output stays correct, only the delay bound breaks.
+func TestUnhardenedWindowedDelayGammaSafe(t *testing.T) {
+	p := chaosParams()
+	s, err := Gamma(p, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := chaosInput(s, 4)
+	run, err := s.Run(x, RunOptions{Delay: windowedDelayPlan(p), MaxTicks: 200_000})
+	if err != nil {
+		t.Fatalf("gamma stalled: %v", err)
+	}
+	if v := timed.PrefixInvariant(run.Trace, x, true); len(v) > 0 {
+		t.Fatalf("gamma output corrupted: %v", v[0])
+	}
+	for _, each := range s.Verify(run, x) {
+		if each.Rule != "delay" {
+			t.Fatalf("unexpected violation class %q: %v", each.Rule, each)
+		}
+	}
+}
+
+// TestUnhardenedCorruptionBreaksRun: with every packet corrupted, each
+// unhardened protocol either crashes (the symbol leaves the encoded
+// receiver's input signature, killing the simulation) or silently writes
+// a wrong output. The hardened chaos matrix covers the fixed behaviour.
+func TestUnhardenedCorruptionBreaksRun(t *testing.T) {
+	p := chaosParams()
+	for _, s := range chaosSolutions(t) {
+		t.Run(s.String(), func(t *testing.T) {
+			x := chaosInput(s, 4)
+			plan := faults.NewPlan(2, chanmodel.MaxDelay{D: p.D},
+				faults.Fault{From: 0, To: 1 << 40, Corrupt: 1})
+			run, err := s.Run(x, RunOptions{Delay: plan, MaxTicks: 100_000})
+			if err != nil {
+				return // crashed out of the signature — documented failure mode
+			}
+			if v := timed.PrefixInvariant(run.Trace, x, false); len(v) == 0 {
+				t.Fatalf("%s shrugged off total corruption", s)
+			}
+		})
+	}
+}
+
+// TestHardenedFixesWindowedDelay closes the loop on the satellite: the
+// same plan that silently corrupts unhardened A^β(k) leaves the hardened
+// variant untouched — zero prefix violations and a complete output.
+func TestHardenedFixesWindowedDelay(t *testing.T) {
+	p := chaosParams()
+	s, err := Beta(p, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := Harden(s, HardenOptions{})
+	x := chaosInput(s, 4)
+	run, err := hs.Run(x, RunOptions{Delay: windowedDelayPlan(p), MaxTicks: 200_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := hs.VerifyComplete(run, x); len(v) > 0 {
+		t.Fatalf("hardened beta failed under the windowed delay: %v", v[0])
+	}
+}

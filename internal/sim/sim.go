@@ -167,6 +167,11 @@ type Run struct {
 	Now int64
 	// Reason says why the run stopped.
 	Reason StopReason
+	// Degradation is the channel watchdog's report: whether the channel
+	// stayed inside the Δ(C(P)) model during the run, and how it broke out
+	// if not. Populated whenever Config.D > 0 (on every exit path,
+	// including errors).
+	Degradation *Degradation
 }
 
 // Writes returns the written sequence Y.
@@ -248,6 +253,11 @@ func Simulate(cfg Config) (*Run, error) {
 		stepIdx   [2]int64
 		dirSeq    = map[wire.Dir]int64{wire.TtoR: 0, wire.RtoT: 0}
 	)
+	var watch *watchdog
+	if cfg.D > 0 {
+		watch = newWatchdog(cfg.D)
+		defer func() { run.Degradation = watch.finalize(run.Now) }()
+	}
 	push := func(e event) {
 		pushOrder++
 		if e.kind == kindStep {
@@ -292,6 +302,9 @@ func Simulate(cfg Config) (*Run, error) {
 				target = 0
 			}
 			act := wire.Recv{Dir: e.dir, P: e.pkt}
+			if watch != nil {
+				watch.onDeliver(e.pseq, e.time, e.pkt)
+			}
 			if err := procs[target].Auto.Apply(act); err != nil {
 				return &run, fmt.Errorf("sim: t=%d deliver %v to %s: %w", e.time, act, procs[target].Auto.Name(), err)
 			}
@@ -310,11 +323,27 @@ func Simulate(cfg Config) (*Run, error) {
 					pseqHere = packetSeq
 					ds := dirSeq[s.Dir]
 					dirSeq[s.Dir] = ds + 1
-					for _, at := range cfg.Delay.Arrivals(ds, e.time, s.Dir, s.P) {
-						if at < e.time {
-							at = e.time
+					if watch != nil {
+						watch.onSend(packetSeq, e.time, s.P)
+					}
+					// Packet-mutating policies (fault injection) deliver
+					// possibly altered packets; plain policies deliver the
+					// packet that was sent.
+					if mut, ok := cfg.Delay.(chanmodel.Mutator); ok {
+						for _, a := range mut.ArrivalsMut(ds, e.time, s.Dir, s.P) {
+							at := a.At
+							if at < e.time {
+								at = e.time
+							}
+							push(event{time: at, kind: kindDeliver, tie: packetSeq, dir: s.Dir, pkt: a.P, pseq: packetSeq})
 						}
-						push(event{time: at, kind: kindDeliver, tie: packetSeq, dir: s.Dir, pkt: s.P, pseq: packetSeq})
+					} else {
+						for _, at := range cfg.Delay.Arrivals(ds, e.time, s.Dir, s.P) {
+							if at < e.time {
+								at = e.time
+							}
+							push(event{time: at, kind: kindDeliver, tie: packetSeq, dir: s.Dir, pkt: s.P, pseq: packetSeq})
+						}
 					}
 				}
 				record(e.time, p.Auto.Name(), act, pseqHere)

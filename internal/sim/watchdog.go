@@ -1,0 +1,133 @@
+// The degradation watchdog: the runtime detector that flags when the
+// channel has left the paper's model. Every packet the engine forwards is
+// already sequence-numbered (PacketSeq — the watchdog's probes), and
+// Config.D supplies the Δ(C(P)) bound, so the watchdog can arm a d-tick
+// timer per send and classify every way the channel can break its
+// promise: late delivery, outright loss, duplication, and payload
+// corruption. The report rides on Run.Degradation; unlike the post-hoc
+// timed.Good validators it needs no trace scan and sees drops that never
+// produce a recv event.
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/wire"
+)
+
+// Degradation is a run's channel-health report: how far the channel
+// strayed from the Δ(C(P)) model during the run. A report with
+// ModelHolds() == true means every packet behaved; anything else means
+// the paper's guarantees were void for at least part of the run and only
+// a hardened protocol's safety survives.
+type Degradation struct {
+	// D is the delay bound the watchdog enforced.
+	D int64
+	// Sent counts packets handed to the channel.
+	Sent int
+	// Delivered counts delivery events (duplicates included).
+	Delivered int
+	// Late counts deliveries more than D ticks after their send.
+	Late int
+	// Lost counts packets never delivered although the run extended past
+	// their send time + D. Packets still inside their window at the end of
+	// the run are not counted.
+	Lost int
+	// Duplicated counts extra deliveries of an already-delivered packet.
+	Duplicated int
+	// Corrupted counts deliveries whose packet differs from what was sent.
+	Corrupted int
+	// FirstViolation and LastViolation bracket the observed fault window:
+	// the times at which the model was first and last seen broken (for a
+	// late or lost packet, the moment its deadline expired). Both are -1
+	// when the model held.
+	FirstViolation, LastViolation int64
+}
+
+// Violations returns the total number of model violations observed.
+func (g *Degradation) Violations() int {
+	return g.Late + g.Lost + g.Duplicated + g.Corrupted
+}
+
+// ModelHolds reports whether the channel stayed inside Δ(C(P)) for the
+// whole run.
+func (g *Degradation) ModelHolds() bool { return g.Violations() == 0 }
+
+// String renders the report on one line.
+func (g *Degradation) String() string {
+	if g.ModelHolds() {
+		return fmt.Sprintf("channel healthy: %d sent, %d delivered within d=%d", g.Sent, g.Delivered, g.D)
+	}
+	return fmt.Sprintf("channel DEGRADED: %d sent, %d delivered, %d late, %d lost, %d duplicated, %d corrupted (d=%d, fault window [%d, %d])",
+		g.Sent, g.Delivered, g.Late, g.Lost, g.Duplicated, g.Corrupted, g.D, g.FirstViolation, g.LastViolation)
+}
+
+// watchdog observes sends and deliveries during a run and builds the
+// Degradation report.
+type watchdog struct {
+	report   Degradation
+	inflight map[int64]*probe
+}
+
+// probe is one armed d-bound timer: a sent packet awaiting delivery.
+type probe struct {
+	sendTime   int64
+	pkt        wire.Packet
+	deliveries int
+}
+
+func newWatchdog(d int64) *watchdog {
+	return &watchdog{
+		report:   Degradation{D: d, FirstViolation: -1, LastViolation: -1},
+		inflight: make(map[int64]*probe),
+	}
+}
+
+func (w *watchdog) flag(at int64) {
+	if w.report.FirstViolation < 0 || at < w.report.FirstViolation {
+		w.report.FirstViolation = at
+	}
+	if at > w.report.LastViolation {
+		w.report.LastViolation = at
+	}
+}
+
+func (w *watchdog) onSend(pseq, at int64, pkt wire.Packet) {
+	w.report.Sent++
+	w.inflight[pseq] = &probe{sendTime: at, pkt: pkt}
+}
+
+func (w *watchdog) onDeliver(pseq, at int64, pkt wire.Packet) {
+	w.report.Delivered++
+	p, ok := w.inflight[pseq]
+	if !ok {
+		return // delivery the engine never announced; DelayBound catches it
+	}
+	p.deliveries++
+	if p.deliveries > 1 {
+		w.report.Duplicated++
+		w.flag(at)
+	}
+	if at-p.sendTime > w.report.D {
+		w.report.Late++
+		w.flag(p.sendTime + w.report.D)
+	}
+	if pkt != p.pkt {
+		w.report.Corrupted++
+		w.flag(at)
+	}
+}
+
+// finalize classifies the remaining in-flight packets: anything whose
+// deadline expired before the run ended is lost. Packets still inside
+// their window are indeterminate and not counted.
+func (w *watchdog) finalize(now int64) *Degradation {
+	for _, p := range w.inflight {
+		if p.deliveries == 0 && p.sendTime+w.report.D < now {
+			w.report.Lost++
+			w.flag(p.sendTime + w.report.D)
+		}
+	}
+	r := w.report
+	return &r
+}

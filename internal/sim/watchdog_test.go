@@ -1,0 +1,185 @@
+package sim
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/chanmodel"
+	"repro/internal/wire"
+)
+
+// mutatingDelay is a test Mutator: it delivers every packet instantly but
+// bumps the payload symbol of packets whose direction sequence number is
+// in the corrupt set.
+type mutatingDelay struct{ corrupt map[int64]bool }
+
+func (m mutatingDelay) Name() string { return "test-mutator" }
+
+func (m mutatingDelay) Arrivals(dirSeq int64, sendTime int64, dir wire.Dir, p wire.Packet) []int64 {
+	return []int64{sendTime}
+}
+
+func (m mutatingDelay) ArrivalsMut(dirSeq int64, sendTime int64, dir wire.Dir, p wire.Packet) []chanmodel.Arrival {
+	if m.corrupt[dirSeq] {
+		p.Symbol++
+	}
+	return []chanmodel.Arrival{{At: sendTime, P: p}}
+}
+
+func TestWatchdogHealthyRun(t *testing.T) {
+	run, err := Simulate(Config{
+		C1: 2, C2: 2, D: 6,
+		Transmitter: Process{Auto: newPinger(t, 5), Policy: FixedGap{C: 2}},
+		Receiver:    Process{Auto: newEchoSink(t), Policy: FixedGap{C: 2}},
+		Delay:       chanmodel.MaxDelay{D: 6},
+		Stop:        StopAfterWrites(5),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := run.Degradation
+	if g == nil {
+		t.Fatal("no degradation report on a D > 0 run")
+	}
+	if !g.ModelHolds() {
+		t.Fatalf("healthy channel reported degraded: %v", g)
+	}
+	if g.Sent != 5 || g.Delivered != 5 {
+		t.Fatalf("sent=%d delivered=%d", g.Sent, g.Delivered)
+	}
+	if g.FirstViolation != -1 || g.LastViolation != -1 {
+		t.Fatalf("violation window on healthy run: [%d, %d]", g.FirstViolation, g.LastViolation)
+	}
+	if !strings.Contains(g.String(), "healthy") {
+		t.Fatalf("report string: %s", g)
+	}
+}
+
+func TestWatchdogFlagsLateDeliveries(t *testing.T) {
+	run, err := Simulate(Config{
+		C1: 2, C2: 2, D: 6,
+		Transmitter: Process{Auto: newPinger(t, 4), Policy: FixedGap{C: 2}},
+		Receiver:    Process{Auto: newEchoSink(t), Policy: FixedGap{C: 2}},
+		Delay:       chanmodel.ExceedBound{D: 6, Excess: 5},
+		Stop:        StopAfterWrites(4),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := run.Degradation
+	if g.Late != 4 {
+		t.Fatalf("late = %d, want 4: %v", g.Late, g)
+	}
+	if g.ModelHolds() {
+		t.Fatal("exceed-bound channel reported healthy")
+	}
+	// The first packet (sent at 0) breaks its deadline at d = 6.
+	if g.FirstViolation != 6 {
+		t.Fatalf("first violation at %d, want 6", g.FirstViolation)
+	}
+}
+
+func TestWatchdogFlagsLossDupCorrupt(t *testing.T) {
+	// Packet 0 dropped, packet 1 duplicated, packet 2 corrupted, packet 3 clean.
+	drop := chanmodel.Func{
+		Label: "scripted-faults",
+		F: func(dirSeq int64, sendTime int64, _ wire.Dir, _ wire.Packet) []int64 {
+			switch dirSeq {
+			case 0:
+				return nil
+			case 1:
+				return []int64{sendTime, sendTime + 1}
+			default:
+				return []int64{sendTime}
+			}
+		},
+	}
+	// Layer the corruption on top via a Mutator wrapper around the script.
+	mut := scriptedMutator{inner: drop, corrupt: map[int64]bool{2: true}}
+	run, err := Simulate(Config{
+		C1: 2, C2: 2, D: 6,
+		Transmitter: Process{Auto: newPinger(t, 4), Policy: FixedGap{C: 2}},
+		Receiver:    Process{Auto: newEchoSink(t), Policy: FixedGap{C: 2}},
+		Delay:       mut,
+		Stop:        StopAfterWrites(4),
+		MaxTicks:    200,
+	})
+	// Only 4 deliveries for 4 sends minus the drop plus the dup = 4 writes,
+	// so the run completes; if it doesn't, the error still carries the run.
+	if err != nil && !errors.Is(err, ErrNoProgress) {
+		t.Fatal(err)
+	}
+	g := run.Degradation
+	if g.Lost != 1 {
+		t.Fatalf("lost = %d, want 1: %v", g.Lost, g)
+	}
+	if g.Duplicated != 1 {
+		t.Fatalf("duplicated = %d, want 1: %v", g.Duplicated, g)
+	}
+	if g.Corrupted != 1 {
+		t.Fatalf("corrupted = %d, want 1: %v", g.Corrupted, g)
+	}
+	if g.ModelHolds() {
+		t.Fatal("faulty channel reported healthy")
+	}
+	if !strings.Contains(g.String(), "DEGRADED") {
+		t.Fatalf("report string: %s", g)
+	}
+}
+
+// scriptedMutator composes an arbitrary inner policy with per-dirSeq
+// symbol corruption.
+type scriptedMutator struct {
+	inner   chanmodel.DelayPolicy
+	corrupt map[int64]bool
+}
+
+func (s scriptedMutator) Name() string { return "scripted-mutator" }
+
+func (s scriptedMutator) Arrivals(dirSeq int64, sendTime int64, dir wire.Dir, p wire.Packet) []int64 {
+	return s.inner.Arrivals(dirSeq, sendTime, dir, p)
+}
+
+func (s scriptedMutator) ArrivalsMut(dirSeq int64, sendTime int64, dir wire.Dir, p wire.Packet) []chanmodel.Arrival {
+	if s.corrupt[dirSeq] {
+		p.Symbol++
+	}
+	out := make([]chanmodel.Arrival, 0, 2)
+	for _, at := range s.inner.Arrivals(dirSeq, sendTime, dir, p) {
+		out = append(out, chanmodel.Arrival{At: at, P: p})
+	}
+	return out
+}
+
+func TestWatchdogMutatorDeliversAlteredPacket(t *testing.T) {
+	sink := newEchoSink(t)
+	_, err := Simulate(Config{
+		C1: 1, C2: 1, D: 4,
+		Transmitter: Process{Auto: newPinger(t, 2), Policy: FixedGap{C: 1}},
+		Receiver:    Process{Auto: sink, Policy: FixedGap{C: 1}},
+		Delay:       mutatingDelay{corrupt: map[int64]bool{1: true}},
+		Stop:        StopAfterWrites(2),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sink.received != 2 {
+		t.Fatalf("received %d packets", sink.received)
+	}
+}
+
+func TestWatchdogAbsentWithoutD(t *testing.T) {
+	run, err := Simulate(Config{
+		Transmitter: Process{Auto: newPinger(t, 1), Policy: FixedGap{C: 1}},
+		Receiver:    Process{Auto: newEchoSink(t), Policy: FixedGap{C: 1}},
+		Delay:       chanmodel.Zero{},
+		Stop:        StopAfterWrites(1),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.Degradation != nil {
+		t.Fatal("watchdog armed without a D bound")
+	}
+}

@@ -38,6 +38,7 @@ package repro
 
 import (
 	"repro/internal/chanmodel"
+	"repro/internal/faults"
 	"repro/internal/frame"
 	"repro/internal/rstp"
 	"repro/internal/rstpx"
@@ -170,6 +171,37 @@ func FrameMessages(payloads [][]byte) ([]Bit, error) { return frame.EncodeStream
 // UnframeMessages parses a complete framed bit stream (trailing padding
 // tolerated) back into payloads.
 func UnframeMessages(bits []Bit) ([][]byte, error) { return frame.DecodeStream(bits) }
+
+// Robustness outside the model: seeded fault injection, the runtime
+// degradation watchdog, and the hardened protocol wrapper (safety under
+// any fault plan, liveness once the faults heal — see internal/rstp's
+// hardened layer and internal/faults).
+type (
+	// Fault is one time-windowed fault clause: blackout, drop,
+	// duplication, corruption or excess delay over [From, To) send ticks.
+	Fault = faults.Fault
+	// FaultPlan is a seeded, reproducible fault schedule wrapped around
+	// any DelayPolicy; pass it as RunOptions.Delay.
+	FaultPlan = faults.Plan
+	// HardenedSolution is a Solution wrapped in the reliability layer
+	// (sequence numbers, checksum, cumulative acks, retransmission).
+	HardenedSolution = rstp.HardenedSolution
+	// HardenOptions tune the reliability layer (zero values take
+	// parameter-derived defaults).
+	HardenOptions = rstp.HardenOptions
+	// Degradation is a run's channel-health report, populated on
+	// Run.Degradation whenever the run has a delay bound d.
+	Degradation = sim.Degradation
+)
+
+// NewFaultPlan wraps a delay policy with seeded, time-windowed faults.
+func NewFaultPlan(seed int64, inner DelayPolicy, fs ...Fault) *FaultPlan {
+	return faults.NewPlan(seed, inner, fs...)
+}
+
+// Harden wraps a solution in the reliability layer: Y stays a prefix of X
+// under any fault plan, and Y = X once every fault window closes.
+func Harden(s Solution, opts HardenOptions) HardenedSolution { return rstp.Harden(s, opts) }
 
 // Section 7 extensions: the delivery-window model with per-process clocks
 // (see internal/rstpx for the full story).

@@ -54,3 +54,52 @@ func TestSoakLargeTransfers(t *testing.T) {
 		})
 	}
 }
+
+// TestSoakChaosHardened pushes 64 KiB through the hardened burst protocol
+// while a seeded fault plan drops, duplicates, corrupts and blacks out
+// the channel for the first stretch of the run. Every fault window
+// closes, so the guarantee split collapses to the strong form: zero
+// prefix violations AND a complete, byte-identical transfer. Skipped
+// under -short.
+func TestSoakChaosHardened(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test skipped in -short mode")
+	}
+	p := repro.Params{C1: 2, C2: 3, D: 12}
+	rng := rand.New(rand.NewSource(20260805))
+	payload := repro.RandomBits(64*1024, rng.Uint64)
+
+	s, err := repro.Beta(p, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := repro.Harden(s, repro.HardenOptions{})
+	x, _ := repro.PadToBlock(payload, s.BlockBits)
+
+	plan := repro.NewFaultPlan(99, repro.MaxDelay(p.D),
+		repro.Fault{From: 0, To: 30_000, Drop: 0.2, Dup: 0.2},
+		repro.Fault{From: 30_000, To: 60_000, Corrupt: 0.3},
+		repro.Fault{From: 70_000, To: 78_000, Blackout: true},
+		repro.Fault{From: 78_000, To: 90_000, ExtraDelay: 3 * p.D},
+	)
+	run, err := hs.Run(x, repro.RunOptions{
+		Delay:     plan,
+		MaxTicks:  500_000_000,
+		MaxEvents: 50_000_000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := hs.VerifySafety(run, x); len(v) != 0 {
+		t.Fatalf("safety violated under chaos: %v", v[0])
+	}
+	if repro.BitsToString(run.Writes()) != repro.BitsToString(x) {
+		t.Fatal("hardened transfer did not recover to Y = X")
+	}
+	if run.Degradation == nil || run.Degradation.ModelHolds() {
+		t.Fatalf("fault plan injected nothing the watchdog saw: %v", run.Degradation)
+	}
+	last, _ := run.LastWriteTime()
+	t.Logf("hardened beta-k16: %d bits, %d events, %s; last write t=%d (heal t=%d)",
+		len(x), len(run.Trace), run.Degradation, last, plan.End())
+}
