@@ -133,6 +133,10 @@ func BenchmarkE17FaultSweep(b *testing.B) {
 	runExperiment(b, experiments.E17FaultSweep)
 }
 
+func BenchmarkE18CrashSweep(b *testing.B) {
+	runExperiment(b, experiments.E18CrashSweep)
+}
+
 // Microbenchmarks: protocol throughput on the engine's hot path.
 
 func benchSolutionRun(b *testing.B, mk func(rstp.Params) (repro.Solution, error), p rstp.Params) {

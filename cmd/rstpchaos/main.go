@@ -1,19 +1,27 @@
 // Command rstpchaos chaos-tests the RSTP protocols: it runs a solution —
-// bare or hardened — under a seeded, time-windowed fault plan and reports
-// the channel watchdog's degradation verdict, the safety/liveness
-// outcome, and the recovery time after the faults heal.
+// bare, hardened, and/or stabilized — under seeded, time-windowed channel
+// and process fault plans and reports the channel watchdog's degradation
+// verdict, the safety/liveness outcome, the per-run stabilization report,
+// and the recovery time after the faults heal.
 //
 // Usage:
 //
-//	rstpchaos -sweep                       # the E17 fault-sweep table
+//	rstpchaos -sweep                       # the E17 channel fault-sweep table
+//	rstpchaos -crashsweep                  # the E18 process crash-sweep table
 //	rstpchaos -proto beta -loss 0.3        # one chaos run, hardened
 //	rstpchaos -proto gamma -blackout 100:400 -unhardened
 //	rstpchaos -proto alpha -corrupt 0.5 -fwindow 0:600 -seed 7
+//	rstpchaos -proto beta -stabilize -procfaults t:crash:60:240,r:corrupt:150
+//	rstpchaos -proto beta -stabilize -loss 0.3 -procfaults r:crashcorrupt:80:240
 //
 // Fault flags compose into a single plan: -loss/-dup/-corrupt apply over
 // the -fwindow send-time window, -blackout and -excess carve their own
-// windows. All randomness is seeded, so a given flag set reproduces the
-// same run byte for byte.
+// windows. -procfaults adds process faults (crash, crash+checkpoint
+// corruption, live corruption, step-rate stretch); -stabilize wraps the
+// stack in the self-stabilizing recovery layer that absorbs them. All
+// randomness is seeded, so a given flag set reproduces the same run byte
+// for byte. The tool exits nonzero whenever the output tape violates the
+// prefix invariant.
 package main
 
 import (
@@ -44,6 +52,7 @@ func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("rstpchaos", flag.ContinueOnError)
 	var (
 		sweep      = fs.Bool("sweep", false, "print the E17 fault-sweep table and exit")
+		crashSweep = fs.Bool("crashsweep", false, "print the E18 crash-sweep table and exit")
 		quick      = fs.Bool("quick", false, "smaller sweep workload")
 		proto      = fs.String("proto", "beta", "protocol: alpha, beta or gamma")
 		k          = fs.Int("k", 4, "packet alphabet size (beta/gamma)")
@@ -59,6 +68,8 @@ func run(args []string, out io.Writer) error {
 		fwindow    = fs.String("fwindow", "0:600", "send-time window from:to for -loss/-dup/-corrupt")
 		blackout   = fs.String("blackout", "", "blackout window from:to (empty = none)")
 		excess     = fs.Int64("excess", 0, "extra delay beyond d applied inside -fwindow")
+		procFaults = fs.String("procfaults", "", "process fault clauses proc:kind:from[:to], comma-separated (kinds: crash, crashcorrupt, corrupt, rateN)")
+		stabilize  = fs.Bool("stabilize", false, "wrap the stack in the stabilizing recovery layer")
 		maxTicks   = fs.Int64("maxticks", 1_000_000, "simulation tick cap")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -67,6 +78,13 @@ func run(args []string, out io.Writer) error {
 
 	if *sweep {
 		table, err := experiments.E17FaultSweep(experiments.Config{Seed: *seed, Quick: *quick})
+		if err != nil {
+			return err
+		}
+		return table.Render(out)
+	}
+	if *crashSweep {
+		table, err := experiments.E18CrashSweep(experiments.Config{Seed: *seed, Quick: *quick})
 		if err != nil {
 			return err
 		}
@@ -112,8 +130,20 @@ func run(args []string, out io.Writer) error {
 	}
 	plan := faults.NewPlan(*seed, chanmodel.MaxDelay{D: p.D}, clauses...)
 
+	var procPlan *faults.ProcPlan
+	if *procFaults != "" {
+		pcs, err := parseProcFaults(*procFaults)
+		if err != nil {
+			return fmt.Errorf("-procfaults: %w", err)
+		}
+		procPlan = faults.NewProcPlan(*seed, pcs...)
+	}
+
 	x := patternBits(*n * s.BlockBits)
 	opt := rstp.RunOptions{Delay: plan, MaxTicks: *maxTicks}
+	if procPlan != nil {
+		opt.ProcFaults = procPlan
+	}
 
 	name := s.String()
 	hs := rstp.Harden(s, rstp.HardenOptions{})
@@ -121,9 +151,18 @@ func run(args []string, out io.Writer) error {
 		r      *sim.Run
 		runErr error
 	)
-	if *unhardened {
+	switch {
+	case *stabilize && *unhardened:
+		ss := rstp.Stabilize(s, rstp.StabilizeOptions{})
+		name = ss.String()
+		r, runErr = ss.Run(x, opt)
+	case *stabilize:
+		ss := rstp.StabilizeHardened(hs, rstp.StabilizeOptions{})
+		name = ss.String()
+		r, runErr = ss.Run(x, opt)
+	case *unhardened:
 		r, runErr = s.Run(x, opt)
-	} else {
+	default:
 		name = hs.String()
 		r, runErr = hs.Run(x, opt)
 	}
@@ -139,6 +178,9 @@ func run(args []string, out io.Writer) error {
 		affected, dropped, duplicated, corrupted, delayed)
 	if r.Degradation != nil {
 		fmt.Fprintf(out, "watchdog:  %s\n", r.Degradation)
+	}
+	if r.Stabilization != nil {
+		fmt.Fprintf(out, "processes: %s\n", r.Stabilization)
 	}
 
 	safety := timed.PrefixInvariant(r.Trace, x, false)
@@ -158,6 +200,71 @@ func run(args []string, out io.Writer) error {
 		return fmt.Errorf("output tape corrupted: %v", safety[0])
 	}
 	return nil
+}
+
+// parseProcFaults parses the -procfaults grammar: comma-separated clauses
+// of the form proc:kind:from[:to] with proc ∈ {t, r} and kind one of
+// crash (restarts at to; omitted to = crash forever), crashcorrupt (crash
+// whose checkpoint is corrupted just before the restart), corrupt (live
+// state corruption at from), or rateN (step gaps stretched ×N over
+// [from,to)).
+func parseProcFaults(spec string) ([]faults.ProcFault, error) {
+	var out []faults.ProcFault
+	for _, clause := range strings.Split(spec, ",") {
+		parts := strings.Split(strings.TrimSpace(clause), ":")
+		if len(parts) < 3 {
+			return nil, fmt.Errorf("clause %q: want proc:kind:from[:to]", clause)
+		}
+		var f faults.ProcFault
+		switch parts[0] {
+		case "t":
+			f.Proc = sim.ProcTransmitter
+		case "r":
+			f.Proc = sim.ProcReceiver
+		default:
+			return nil, fmt.Errorf("clause %q: process %q (want t or r)", clause, parts[0])
+		}
+		from, err := strconv.ParseInt(parts[2], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("clause %q: from: %w", clause, err)
+		}
+		f.From = from
+		if len(parts) > 3 {
+			to, err := strconv.ParseInt(parts[3], 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("clause %q: to: %w", clause, err)
+			}
+			if to <= from {
+				return nil, fmt.Errorf("clause %q: empty window", clause)
+			}
+			f.To = to
+		}
+		kind := parts[1]
+		switch {
+		case kind == "crash":
+			f.Crash = true
+		case kind == "crashcorrupt":
+			f.Crash, f.Corrupt = true, true
+			if f.To == 0 {
+				return nil, fmt.Errorf("clause %q: crashcorrupt needs a restart time (the corruption hits the checkpoint before the restart)", clause)
+			}
+		case kind == "corrupt":
+			f.Corrupt = true
+		case strings.HasPrefix(kind, "rate"):
+			n, err := strconv.ParseInt(kind[len("rate"):], 10, 64)
+			if err != nil || n < 2 {
+				return nil, fmt.Errorf("clause %q: rate factor %q (want rateN with N ≥ 2)", clause, kind)
+			}
+			if f.To == 0 {
+				return nil, fmt.Errorf("clause %q: rate window needs from:to", clause)
+			}
+			f.RateFactor = n
+		default:
+			return nil, fmt.Errorf("clause %q: kind %q (crash, crashcorrupt, corrupt, rateN)", clause, kind)
+		}
+		out = append(out, f)
+	}
+	return out, nil
 }
 
 // parseWindow parses "from:to".

@@ -68,3 +68,89 @@ func TestRunBadFlags(t *testing.T) {
 		}
 	}
 }
+
+func TestRunCrashSweepDeterministic(t *testing.T) {
+	var a, b strings.Builder
+	if err := run([]string{"-crashsweep", "-quick", "-seed", "3"}, &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-crashsweep", "-quick", "-seed", "3"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatal("crash-sweep output not deterministic for a fixed seed")
+	}
+	for _, want := range []string{"E18", "stabilized(beta(k=4))", "crash", "outcome"} {
+		if !strings.Contains(a.String(), want) {
+			t.Errorf("crash-sweep output missing %q", want)
+		}
+	}
+}
+
+func TestRunStabilizedProcFaults(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{"-proto", "beta", "-stabilize",
+		"-procfaults", "t:crash:60:240,r:crashcorrupt:260:420", "-seed", "5"}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"stabilized(hardened(beta(k=4)))", "STABILIZED",
+		"0 prefix violations", "Y=X: true", "2 crashes", "1 corruptions",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunStabilizedUnhardenedBare(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{"-proto", "beta", "-stabilize", "-unhardened",
+		"-procfaults", "r:corrupt:150", "-seed", "2"}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "stabilized(beta(k=4))") || strings.Contains(out, "hardened") {
+		t.Errorf("wrapping labels wrong in:\n%s", out)
+	}
+}
+
+func TestRunUnwrappedCrashCorrupts(t *testing.T) {
+	// A receiver crash loses mid-burst packets: the bare decoder misaligns,
+	// writes wrong bits, and the tool exits nonzero on the corruption.
+	var sb strings.Builder
+	err := run([]string{"-proto", "beta", "-unhardened",
+		"-procfaults", "r:crash:60:240", "-maxticks", "20000"}, &sb)
+	if err == nil || !strings.Contains(err.Error(), "corrupted") {
+		t.Fatalf("expected a corrupted-output error, got %v", err)
+	}
+	if !strings.Contains(sb.String(), "NOT stabilized") {
+		t.Errorf("output missing the stabilization verdict:\n%s", sb.String())
+	}
+}
+
+func TestParseProcFaultsErrors(t *testing.T) {
+	for _, spec := range []string{
+		"x:crash:10:20",  // unknown process
+		"t:crash",        // missing times
+		"t:boom:10:20",   // unknown kind
+		"t:rate1:10:20",  // factor below 2
+		"t:rate4:10",     // rate without a window
+		"t:crash:30:20",  // empty window
+		"r:crashcorrupt:10", // checkpoint corruption needs a restart
+	} {
+		if _, err := parseProcFaults(spec); err == nil {
+			t.Errorf("spec %q: expected an error", spec)
+		}
+	}
+	got, err := parseProcFaults("t:crash:60:240, r:rate3:10:50, r:crash:300")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || !got[0].Crash || got[1].RateFactor != 3 || got[2].To != 0 {
+		t.Fatalf("parsed %+v", got)
+	}
+}

@@ -1,0 +1,12 @@
+package main
+
+import "testing"
+
+// TestRun smoke-tests the lower-bound construction demo end to end: it
+// must still find the colliding inputs and the β protocol must still
+// survive the same adversary.
+func TestRun(t *testing.T) {
+	if err := run(); err != nil {
+		t.Fatal(err)
+	}
+}

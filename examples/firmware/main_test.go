@@ -1,0 +1,11 @@
+package main
+
+import "testing"
+
+// TestRun smoke-tests the example end to end; the β-vs-γ crossover demo
+// must keep compiling and completing as the library evolves.
+func TestRun(t *testing.T) {
+	if err := run(); err != nil {
+		t.Fatal(err)
+	}
+}

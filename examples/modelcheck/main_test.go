@@ -1,0 +1,21 @@
+package main
+
+import "testing"
+
+// TestChecks smoke-tests every stage of the exhaustive-verification demo:
+// the two positive checks must still pass and the two deliberately broken
+// setups must still produce counterexamples.
+func TestChecks(t *testing.T) {
+	for name, f := range map[string]func() error{
+		"betaTimed":              betaTimed,
+		"gammaUntimed":           gammaUntimed,
+		"gammaDupCounterexample": gammaDupCounterexample,
+		"zeroWaitCounterexample": zeroWaitCounterexample,
+	} {
+		t.Run(name, func(t *testing.T) {
+			if err := f(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}

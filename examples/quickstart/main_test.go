@@ -1,0 +1,11 @@
+package main
+
+import "testing"
+
+// TestRun smoke-tests the example end to end: the demo must keep working
+// as the library evolves, since README points newcomers at it first.
+func TestRun(t *testing.T) {
+	if err := run(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,140 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/faults"
+	"repro/internal/rstp"
+	"repro/internal/sim"
+	"repro/internal/timed"
+	"repro/internal/wire"
+)
+
+// E18CrashSweep runs A^β(4) — bare and wrapped in the stabilizing layer —
+// across a grid of seeded process-fault plans (crash/restart of either
+// endpoint, checkpoint corruption during a crash, live state corruption,
+// step-rate violation) and tabulates the guarantee split: the bare
+// protocol wedges or writes wrong bits the moment a process leaves the
+// model, while the stabilized variant reports zero prefix violations on
+// every plan and, because every fault heals, converges to Y = X within a
+// bounded settle time of the heal.
+func E18CrashSweep(cfg Config) (Table, error) {
+	t := Table{
+		ID:     "E18",
+		Title:  "crash sweep: bare vs stabilized A^β(4) under process faults",
+		Source: "self-stabilizing recovery outside the paper's immortal-process model",
+		Header: []string{"plan", "protocol", "crashes", "down", "lost in crash", "safety viol", "Y=X", "settle", "sends after heal", "outcome"},
+	}
+	p := rstp.Params{C1: 2, C2: 3, D: 12}
+	s, err := rstp.Beta(p, 4)
+	if err != nil {
+		return Table{}, err
+	}
+	ss := rstp.Stabilize(s, rstp.StabilizeOptions{})
+
+	blocks := cfg.blocks() / 2
+	if blocks < 12 {
+		blocks = 12
+	}
+	x := make([]wire.Bit, blocks*s.BlockBits)
+	for i := range x {
+		if i%3 == 0 || i%5 == 1 {
+			x[i] = wire.One
+		}
+	}
+
+	type planSpec struct {
+		name string
+		cs   []faults.ProcFault
+	}
+	specs := []planSpec{
+		{"none", nil},
+		{"crash t [60,240)", []faults.ProcFault{
+			{Proc: sim.ProcTransmitter, From: 60, To: 240, Crash: true}}},
+		{"crash r [60,240)", []faults.ProcFault{
+			{Proc: sim.ProcReceiver, From: 60, To: 240, Crash: true}}},
+		{"crash both", []faults.ProcFault{
+			{Proc: sim.ProcTransmitter, From: 60, To: 200, Crash: true},
+			{Proc: sim.ProcReceiver, From: 260, To: 420, Crash: true}}},
+		{"crash t + ckpt corrupt", []faults.ProcFault{
+			{Proc: sim.ProcTransmitter, From: 80, To: 240, Crash: true, Corrupt: true}}},
+		{"crash r + ckpt corrupt", []faults.ProcFault{
+			{Proc: sim.ProcReceiver, From: 80, To: 240, Crash: true, Corrupt: true}}},
+		{"live corrupt t @150", []faults.ProcFault{
+			{Proc: sim.ProcTransmitter, From: 150, Corrupt: true}}},
+		{"live corrupt r @150", []faults.ProcFault{
+			{Proc: sim.ProcReceiver, From: 150, Corrupt: true}}},
+		{"rate ×4 t [60,300)", []faults.ProcFault{
+			{Proc: sim.ProcTransmitter, From: 60, To: 300, RateFactor: 4}}},
+	}
+
+	run := func(stabilized bool, spec planSpec, seed int64) ([]string, error) {
+		plan := faults.NewProcPlan(seed, spec.cs...)
+		opt := rstp.RunOptions{ProcFaults: plan, MaxTicks: 200_000}
+		var (
+			r       *sim.Run
+			runErr  error
+			protoID string
+		)
+		if stabilized {
+			protoID = ss.String()
+			r, runErr = ss.Run(x, opt)
+		} else {
+			protoID = s.String()
+			r, runErr = s.Run(x, opt)
+		}
+		if r == nil {
+			return nil, fmt.Errorf("plan %q (%s): no run: %w", spec.name, protoID, runErr)
+		}
+		safety := len(timed.PrefixInvariant(r.Trace, x, false))
+		complete := runErr == nil && len(timed.PrefixInvariant(r.Trace, x, true)) == 0
+		outcome := "ok"
+		switch {
+		case runErr != nil && errors.Is(runErr, sim.ErrNoProgress):
+			outcome = "stalled"
+		case runErr != nil:
+			outcome = "wedged"
+		case safety > 0:
+			outcome = "corrupted output"
+		}
+		if stabilized && safety > 0 {
+			return nil, fmt.Errorf("plan %q: stabilized run violated safety", spec.name)
+		}
+		crashes, down, lost := "-", "-", "-"
+		settle, sendsAfter := "-", "-"
+		if st := r.Stabilization; st != nil {
+			crashes = d(st.Crashes)
+			down = d64(st.DownTicks[0] + st.DownTicks[1])
+			lost = d(st.LostWhileDown)
+			if st.Stabilized {
+				settle = d64(st.SettleTicks)
+				sendsAfter = d(st.ConvergenceSends)
+			}
+		}
+		return []string{
+			spec.name, protoID, crashes, down, lost,
+			d(safety), yesNo(complete), settle, sendsAfter, outcome,
+		}, nil
+	}
+
+	for i, spec := range specs {
+		seed := cfg.Seed + int64(200+i)
+		bare, err := run(false, spec, seed)
+		if err != nil {
+			return Table{}, err
+		}
+		stab, err := run(true, spec, seed)
+		if err != nil {
+			return Table{}, err
+		}
+		t.Rows = append(t.Rows, bare, stab)
+	}
+	t.Notes = append(t.Notes,
+		"c1=2, c2=3, d=12 on the model channel; every plan heals, so stabilized rows must end Y=X",
+		"bare automata implement no crash interfaces: a crash pauses them but deliveries into the window are lost, and corruption is a no-op",
+		"settle = last write − heal of the last fault window; sends after heal = message cost of re-establishing the session and draining",
+		"the stabilized wrapper checkpoints (epoch, cursor) with a checksum and falls back to the RESYNC/REPORT/REWIND/READY handshake when state is missing or corrupt",
+	)
+	return t, nil
+}

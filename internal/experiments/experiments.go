@@ -133,6 +133,7 @@ func Registry() map[string]Generator {
 		"e15": E15DelaySweep,
 		"e16": E16Verification,
 		"e17": E17FaultSweep,
+		"e18": E18CrashSweep,
 	}
 }
 

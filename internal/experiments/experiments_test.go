@@ -299,8 +299,8 @@ func TestE9Shape(t *testing.T) {
 
 func TestRegistryConsistent(t *testing.T) {
 	ids := IDs()
-	if len(ids) != 17 {
-		t.Fatalf("expected 17 experiments, got %d", len(ids))
+	if len(ids) != 18 {
+		t.Fatalf("expected 18 experiments, got %d", len(ids))
 	}
 	// Numeric order: e1 .. e12.
 	for i, id := range ids {
@@ -453,5 +453,39 @@ func TestE12BurstAblationShape(t *testing.T) {
 	}
 	if r := cellF(t, tb, byBurst["1"], "vs δ1 burst"); r < 1.5 {
 		t.Errorf("burst 1 should be markedly worse, got %.2f", r)
+	}
+}
+
+// TestE18CrashSweepSplit pins the guarantee split of the crash sweep: the
+// stabilized rows all end Y = X with zero safety violations, while at
+// least one bare row wedges or corrupts its output under the same plan.
+func TestE18CrashSweepSplit(t *testing.T) {
+	tb, err := E18CrashSweep(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) == 0 || len(tb.Rows)%2 != 0 {
+		t.Fatalf("want bare/stabilized row pairs, got %d rows", len(tb.Rows))
+	}
+	bareFailures := 0
+	for i, row := range tb.Rows {
+		proto, safety, complete, outcome := row[1], row[5], row[6], row[9]
+		stabilized := strings.Contains(proto, "stabilized")
+		if i%2 == 1 != stabilized {
+			t.Fatalf("row %d: protocol %q out of bare/stabilized order", i, proto)
+		}
+		if stabilized {
+			if safety != "0" || complete != "yes" || outcome != "ok" {
+				t.Errorf("stabilized row %q: safety=%s Y=X=%s outcome=%s", row[0], safety, complete, outcome)
+			}
+			if row[7] == "" {
+				t.Errorf("stabilized row %q missing settle cell", row[0])
+			}
+		} else if complete != "yes" || safety != "0" {
+			bareFailures++
+		}
+	}
+	if bareFailures < 3 {
+		t.Errorf("only %d bare rows failed; the sweep should show the bare protocol breaking under crash plans", bareFailures)
 	}
 }

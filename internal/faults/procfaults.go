@@ -1,0 +1,152 @@
+// Process-targeted fault plans: the second half of the chaos middleware.
+// Plan (faults.go) breaks the *channel's* promises; ProcPlan breaks the
+// *processes'* — the paper's implicit assumption that the transmitter and
+// receiver never stop stepping and their state is incorruptible. A
+// ProcPlan schedules crashes (with or without a later restart), transient
+// state corruption, and step-rate violation windows, all deterministic
+// functions of the plan's seed and clauses, and hands them to the engine
+// through sim.Config.ProcFaults.
+package faults
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/sim"
+)
+
+// ProcFault is one process-fault clause.
+//
+// A clause with Crash set takes the process down at From and restarts it
+// at To; To <= From means the process never comes back (the plan then
+// never heals and liveness is forfeit by construction). Corrupt combined
+// with Crash mutates the process's persisted state just before the
+// restart — the "checkpoint damaged while the process was down" scenario;
+// Corrupt alone mutates live state at From — the paper-adjacent transient
+// fault of the self-stabilization literature. RateFactor > 1 stretches
+// every step gap chosen inside [From, To) by that factor, violating the
+// c2 bound without stopping the process.
+type ProcFault struct {
+	// Proc targets the transmitter or the receiver.
+	Proc sim.ProcID
+	// From and To bound the clause window in ticks.
+	From, To int64
+	// Crash takes the process down for the window.
+	Crash bool
+	// Corrupt mutates process state: at restart when Crash is set, live at
+	// From otherwise.
+	Corrupt bool
+	// RateFactor, when > 1, multiplies step gaps chosen inside the window.
+	RateFactor int64
+}
+
+// String renders the clause compactly, e.g. "t[100,300) crash+corrupt".
+func (f ProcFault) String() string {
+	var parts []string
+	if f.Crash {
+		if f.To > f.From {
+			parts = append(parts, "crash")
+		} else {
+			parts = append(parts, "crash-forever")
+		}
+	}
+	if f.Corrupt {
+		parts = append(parts, "corrupt")
+	}
+	if f.RateFactor > 1 {
+		parts = append(parts, fmt.Sprintf("rate×%d", f.RateFactor))
+	}
+	if len(parts) == 0 {
+		parts = append(parts, "noop")
+	}
+	return fmt.Sprintf("%v[%d,%d) %s", f.Proc, f.From, f.To, strings.Join(parts, "+"))
+}
+
+// ProcPlan is a seeded process-fault schedule. It implements
+// sim.ProcSchedule; pass it as sim.Config.ProcFaults (or
+// rstp.RunOptions.ProcFaults).
+type ProcPlan struct {
+	seed    int64
+	clauses []ProcFault
+}
+
+var _ sim.ProcSchedule = (*ProcPlan)(nil)
+
+// NewProcPlan builds a plan from the given clauses. seed drives the
+// randomness handed to corruption faults, so a given (seed, clauses) pair
+// reproduces the same damage byte for byte.
+func NewProcPlan(seed int64, clauses ...ProcFault) *ProcPlan {
+	return &ProcPlan{seed: seed, clauses: append([]ProcFault(nil), clauses...)}
+}
+
+// Name renders the plan.
+func (p *ProcPlan) Name() string {
+	cs := make([]string, len(p.clauses))
+	for i, c := range p.clauses {
+		cs[i] = c.String()
+	}
+	return fmt.Sprintf("procfaults(seed=%d; %s)", p.seed, strings.Join(cs, "; "))
+}
+
+// Events expands the clauses into the engine's timed fault events, sorted
+// by time. For a crash-with-corruption clause the corrupt event precedes
+// the restart at the same tick, so the process reloads the already
+// damaged checkpoint — the scenario rstp.Stabilize's checksum exists for.
+func (p *ProcPlan) Events() []sim.ProcEvent {
+	var out []sim.ProcEvent
+	for i, c := range p.clauses {
+		seed := p.seed*1000003 + int64(i)*7919
+		if c.Crash {
+			out = append(out, sim.ProcEvent{At: c.From, Proc: c.Proc, Kind: sim.ProcCrash})
+			if c.To > c.From {
+				if c.Corrupt {
+					out = append(out, sim.ProcEvent{At: c.To, Proc: c.Proc, Kind: sim.ProcCorrupt, Seed: seed})
+				}
+				out = append(out, sim.ProcEvent{At: c.To, Proc: c.Proc, Kind: sim.ProcRestart})
+			}
+		} else if c.Corrupt {
+			out = append(out, sim.ProcEvent{At: c.From, Proc: c.Proc, Kind: sim.ProcCorrupt, Seed: seed})
+		}
+	}
+	// Stable insertion sort by time keeps the intra-tick clause order
+	// (corrupt before restart) that the engine's tie-break preserves.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j].At < out[j-1].At; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// GapScale returns the product of the rate factors of every clause window
+// covering time t for the process — compounding overlapping violations,
+// mirroring how channel fault clauses compose.
+func (p *ProcPlan) GapScale(who sim.ProcID, t int64) int64 {
+	scale := int64(1)
+	for _, c := range p.clauses {
+		if c.Proc == who && c.RateFactor > 1 && t >= c.From && t < c.To {
+			scale *= c.RateFactor
+		}
+	}
+	return scale
+}
+
+// End returns the heal time: the close of the last clause window. A
+// crash that never restarts contributes its crash time — the plan is
+// inert afterwards, but the process stays down and liveness is forfeit.
+func (p *ProcPlan) End() int64 {
+	var end int64
+	for _, c := range p.clauses {
+		at := c.To
+		if at <= c.From {
+			at = c.From
+		}
+		if at > end {
+			end = at
+		}
+	}
+	return end
+}
+
+// Clauses returns a copy of the plan's clauses, for reports.
+func (p *ProcPlan) Clauses() []ProcFault { return append([]ProcFault(nil), p.clauses...) }

@@ -394,10 +394,14 @@ func (hs HardenedSolution) Run(x []wire.Bit, opt RunOptions) (*sim.Run, error) {
 		Transmitter: sim.Process{Auto: t, Policy: opt.TPolicy},
 		Receiver:    sim.Process{Auto: r, Policy: opt.RPolicy},
 		Delay:       opt.Delay,
+		ProcFaults:  opt.ProcFaults,
 		Stop:        sim.StopAfterWrites(len(x)),
 		MaxTicks:    opt.MaxTicks,
 		MaxEvents:   opt.MaxEvents,
 	})
+	if run != nil {
+		run.MeasureStabilization(x)
+	}
 	if err != nil {
 		return run, fmt.Errorf("rstp: %s run: %w", hs, err)
 	}

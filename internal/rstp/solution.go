@@ -141,6 +141,9 @@ type RunOptions struct {
 	RPolicy sim.StepPolicy
 	// Delay is the channel adversary (default max-delay(d)).
 	Delay chanmodel.DelayPolicy
+	// ProcFaults schedules process crashes, restarts and state corruption
+	// (default none). Runs with a schedule carry a Stabilization report.
+	ProcFaults sim.ProcSchedule
 	// MaxTicks and MaxEvents cap the run (0 = simulator defaults).
 	MaxTicks  int64
 	MaxEvents int
@@ -175,10 +178,14 @@ func (s Solution) Run(x []wire.Bit, opt RunOptions) (*sim.Run, error) {
 		Transmitter: sim.Process{Auto: t, Policy: opt.TPolicy},
 		Receiver:    sim.Process{Auto: r, Policy: opt.RPolicy},
 		Delay:       opt.Delay,
+		ProcFaults:  opt.ProcFaults,
 		Stop:        sim.StopAfterWrites(len(x)),
 		MaxTicks:    opt.MaxTicks,
 		MaxEvents:   opt.MaxEvents,
 	})
+	if run != nil {
+		run.MeasureStabilization(x)
+	}
 	if err != nil {
 		return run, fmt.Errorf("rstp: %s run: %w", s, err)
 	}

@@ -1,0 +1,218 @@
+// Process-level fault machinery: the engine-side half of the crash/
+// restart/corruption story. The channel watchdog (watchdog.go) covers the
+// ways the *channel* can leave the model; this file covers the ways a
+// *process* can — it stops taking steps (crash), comes back after a delay
+// (restart), has its state mutated by a transient fault (corruption), or
+// violates its own step-rate bound (gaps stretched past c2).
+//
+// The engine stays protocol-agnostic: Config.ProcFaults supplies a timed
+// schedule of fault events (implemented by faults.ProcPlan), and two
+// optional automaton interfaces let a protocol stack opt into real crash
+// semantics. An automaton that implements neither merely freezes for the
+// crash window — a "pause" fault: its state survives, only its steps and
+// its incoming deliveries are lost. An automaton implementing Restartable
+// models volatile state: Crash wipes it, Restart reloads whatever the
+// protocol persisted (see rstp.Stabilize). StateCorruptible additionally
+// lets a corruption fault flip a bit of that persisted or live state.
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/timed"
+	"repro/internal/wire"
+)
+
+// ProcID identifies one of the two processes of a run.
+type ProcID int
+
+const (
+	// ProcTransmitter is the transmitter process.
+	ProcTransmitter ProcID = 0
+	// ProcReceiver is the receiver process.
+	ProcReceiver ProcID = 1
+)
+
+// String renders the process id as "t" or "r".
+func (p ProcID) String() string {
+	switch p {
+	case ProcTransmitter:
+		return "t"
+	case ProcReceiver:
+		return "r"
+	default:
+		return fmt.Sprintf("proc(%d)", int(p))
+	}
+}
+
+// ProcFaultKind names one process-fault event.
+type ProcFaultKind int
+
+const (
+	// ProcCrash halts the process: no local steps are taken and every
+	// packet delivered to it is discarded until the matching restart.
+	ProcCrash ProcFaultKind = iota + 1
+	// ProcRestart brings a crashed process back up.
+	ProcRestart
+	// ProcCorrupt mutates the process's state in place (a transient
+	// fault), via the StateCorruptible interface when implemented.
+	ProcCorrupt
+)
+
+// String renders the kind.
+func (k ProcFaultKind) String() string {
+	switch k {
+	case ProcCrash:
+		return "crash"
+	case ProcRestart:
+		return "restart"
+	case ProcCorrupt:
+		return "corrupt"
+	default:
+		return fmt.Sprintf("fault(%d)", int(k))
+	}
+}
+
+// ProcEvent is one scheduled process-fault event.
+type ProcEvent struct {
+	// At is the tick at which the fault fires.
+	At int64
+	// Proc is the targeted process.
+	Proc ProcID
+	// Kind is the fault applied.
+	Kind ProcFaultKind
+	// Seed drives the randomness of a ProcCorrupt event (the engine hands
+	// the target a rand.Rand built from it, keeping runs reproducible).
+	Seed int64
+}
+
+// ProcSchedule is a process-fault plan: a deterministic timed schedule of
+// crash/restart/corruption events plus step-rate distortion windows.
+// faults.ProcPlan is the canonical implementation.
+type ProcSchedule interface {
+	// Name identifies the plan in reports.
+	Name() string
+	// Events returns the fault events, sorted by At; events at the same
+	// tick fire in slice order (a plan that corrupts a checkpoint "during"
+	// a crash emits the corrupt event before the restart).
+	Events() []ProcEvent
+	// GapScale returns the multiplier applied to the process's step gap
+	// chosen at time t. 1 means the schedule is honoured; a larger factor
+	// is a step-rate violation window (gaps pushed past c2).
+	GapScale(p ProcID, t int64) int64
+	// End returns the heal time: the close of the last fault window.
+	// After End the plan is inert and a self-stabilizing protocol must
+	// converge. Plans with a crash that never restarts report the crash
+	// time here and forfeit liveness.
+	End() int64
+}
+
+// Restartable is implemented by automata that model genuine crash
+// semantics: Crash wipes volatile state, Restart reconstructs from
+// whatever the protocol persisted. Automata without it freeze through
+// crash windows and resume unchanged — a pause, not a crash.
+type Restartable interface {
+	// Crash tells the automaton its process halted at the given tick.
+	Crash(now int64)
+	// Restart tells the automaton its process came back at the given tick.
+	Restart(now int64)
+}
+
+// StateCorruptible is implemented by automata that expose their state to
+// transient corruption faults. CorruptState must mutate a single field or
+// bit, drawing any choices from r, and return a short description of the
+// damage for the Stabilization report.
+type StateCorruptible interface {
+	CorruptState(r *rand.Rand) string
+}
+
+// Stabilization is a run's process-fault report: what the plan did to the
+// processes, and — once MeasureStabilization has seen the input X — how
+// quickly the system converged back to the prefix invariant after the
+// last fault healed. Populated on Run.Stabilization whenever
+// Config.ProcFaults is set (on every exit path, including errors).
+type Stabilization struct {
+	// Plan names the schedule that was applied.
+	Plan string
+	// Crashes, Restarts and Corruptions count the fault events executed.
+	Crashes, Restarts, Corruptions int
+	// DownTicks accumulates, per process, the total time spent crashed.
+	DownTicks [2]int64
+	// LostWhileDown counts packets the channel delivered to a crashed
+	// process — discarded at the process boundary, invisible to the
+	// channel watchdog's loss counter (the channel kept its promise).
+	LostWhileDown int
+	// HealAt is the plan's End(): the close of the last fault window.
+	HealAt int64
+	// CorruptionNotes describe each corruption applied, for debugging.
+	CorruptionNotes []string
+
+	// The convergence verdict, filled in by Run.MeasureStabilization.
+
+	// Measured reports whether MeasureStabilization has run.
+	Measured bool
+	// LastViolationAt is the time of the last write that violated the
+	// prefix invariant, -1 if the output tape stayed clean.
+	LastViolationAt int64
+	// Stabilized reports the self-stabilization outcome: Y = X at the end
+	// of the run and no prefix violation after the heal.
+	Stabilized bool
+	// SettleTicks is the convergence time: last write minus HealAt, when
+	// the run stabilized and its final write landed after the heal.
+	SettleTicks int64
+	// ConvergenceSends counts packets sent after the heal — the message
+	// cost of re-establishing and finishing the transfer.
+	ConvergenceSends int
+}
+
+// String renders the report on one line.
+func (s *Stabilization) String() string {
+	b := fmt.Sprintf("proc faults [%s]: %d crashes, %d restarts, %d corruptions; down t=%d r=%d ticks; %d deliveries lost while down; heal t=%d",
+		s.Plan, s.Crashes, s.Restarts, s.Corruptions, s.DownTicks[0], s.DownTicks[1], s.LostWhileDown, s.HealAt)
+	if !s.Measured {
+		return b
+	}
+	if s.Stabilized {
+		return b + fmt.Sprintf("; STABILIZED in %d ticks (%d sends after heal)", s.SettleTicks, s.ConvergenceSends)
+	}
+	return b + fmt.Sprintf("; NOT stabilized (last prefix violation t=%d)", s.LastViolationAt)
+}
+
+// Faults returns the total number of fault events executed.
+func (s *Stabilization) Faults() int { return s.Crashes + s.Restarts + s.Corruptions }
+
+// MeasureStabilization fills the convergence half of the Stabilization
+// report against the intended input X and returns it (nil when the run
+// had no process-fault schedule). Stabilized means the paper's
+// correctness condition was re-established: Y = X at the end of the run
+// with no prefix violation after the plan's heal time — the
+// self-stabilization contract of rstp.Stabilize.
+func (r *Run) MeasureStabilization(x []wire.Bit) *Stabilization {
+	s := r.Stabilization
+	if s == nil {
+		return nil
+	}
+	s.Measured = true
+	s.LastViolationAt = -1
+	for _, v := range timed.PrefixInvariant(r.Trace, x, false) {
+		if v.Index >= 0 && v.Index < len(r.Trace) {
+			if t := r.Trace[v.Index].Time; t > s.LastViolationAt {
+				s.LastViolationAt = t
+			}
+		}
+	}
+	complete := len(timed.PrefixInvariant(r.Trace, x, true)) == 0
+	s.Stabilized = complete && s.LastViolationAt <= s.HealAt
+	s.SettleTicks = 0
+	if last, ok := timed.LastWriteTime(r.Trace); ok && s.Stabilized && last > s.HealAt {
+		s.SettleTicks = last - s.HealAt
+	}
+	s.ConvergenceSends = 0
+	for _, ev := range r.Trace {
+		if ev.Action.Kind() == wire.KindSend && ev.Time > s.HealAt {
+			s.ConvergenceSends++
+		}
+	}
+	return s
+}

@@ -1,0 +1,220 @@
+package sim
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/chanmodel"
+)
+
+// stubSchedule is a minimal ProcSchedule for engine tests (the canonical
+// implementation lives in internal/faults; sim cannot import it).
+type stubSchedule struct {
+	events []ProcEvent
+	scale  func(p ProcID, t int64) int64
+	end    int64
+}
+
+func (s stubSchedule) Name() string        { return "stub" }
+func (s stubSchedule) Events() []ProcEvent { return s.events }
+func (s stubSchedule) End() int64          { return s.end }
+func (s stubSchedule) GapScale(p ProcID, t int64) int64 {
+	if s.scale == nil {
+		return 1
+	}
+	return s.scale(p, t)
+}
+
+// TestProcCrashPausesPlainAutomaton: an automaton that implements neither
+// crash interface freezes through the window — no steps, state intact —
+// and resumes afterwards, so the run still completes.
+func TestProcCrashPausesPlainAutomaton(t *testing.T) {
+	run, err := Simulate(Config{
+		C1: 2, C2: 2, D: 6,
+		Transmitter: Process{Auto: newPinger(t, 5), Policy: FixedGap{C: 2}},
+		Receiver:    Process{Auto: newEchoSink(t), Policy: FixedGap{C: 2}},
+		Delay:       chanmodel.MaxDelay{D: 6},
+		ProcFaults: stubSchedule{
+			events: []ProcEvent{
+				{At: 4, Proc: ProcTransmitter, Kind: ProcCrash},
+				{At: 40, Proc: ProcTransmitter, Kind: ProcRestart},
+			},
+			end: 40,
+		},
+		Stop:     StopAfterWrites(5),
+		MaxTicks: 2000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := run.Stabilization
+	if s == nil {
+		t.Fatal("no Stabilization report on a run with ProcFaults")
+	}
+	if s.Crashes != 1 || s.Restarts != 1 || s.DownTicks[0] != 36 {
+		t.Fatalf("crashes=%d restarts=%d downT=%d, want 1/1/36", s.Crashes, s.Restarts, s.DownTicks[0])
+	}
+	// No transmitter action may fall inside the crash window.
+	for _, ev := range run.Trace {
+		if ev.Actor == "t" && ev.Time >= 4 && ev.Time < 40 {
+			t.Fatalf("transmitter acted at %d inside crash window [4,40)", ev.Time)
+		}
+	}
+	if got := len(run.Writes()); got != 5 {
+		t.Fatalf("writes = %d, want 5 after the pause", got)
+	}
+}
+
+// TestProcCrashDiscardsDeliveries: packets delivered to a crashed process
+// vanish at the process boundary — the channel watchdog still credits the
+// delivery, the Stabilization report counts the loss.
+func TestProcCrashDiscardsDeliveries(t *testing.T) {
+	sink := newEchoSink(t)
+	run, err := Simulate(Config{
+		C1: 2, C2: 2, D: 6,
+		Transmitter: Process{Auto: newPinger(t, 5), Policy: FixedGap{C: 2}},
+		Receiver:    Process{Auto: sink, Policy: FixedGap{C: 2}},
+		Delay:       chanmodel.MaxDelay{D: 6},
+		ProcFaults: stubSchedule{
+			events: []ProcEvent{{At: 0, Proc: ProcReceiver, Kind: ProcCrash}},
+			end:    0,
+		},
+		Stop:     StopAfterWrites(5),
+		MaxTicks: 100,
+	})
+	if err == nil {
+		t.Fatal("run completed with the receiver down forever")
+	}
+	s := run.Stabilization
+	if s.LostWhileDown != 5 {
+		t.Fatalf("lost while down = %d, want all 5", s.LostWhileDown)
+	}
+	if sink.received != 0 {
+		t.Fatalf("crashed receiver saw %d packets", sink.received)
+	}
+	if run.Degradation != nil && run.Degradation.Lost != 0 {
+		t.Fatalf("watchdog blamed the channel for process loss: %v", run.Degradation)
+	}
+}
+
+// crashRecorder is a Restartable + StateCorruptible wrapper around a
+// plain automaton, recording the hook calls the engine makes.
+type crashRecorder struct {
+	*echoSink
+	crashes, restarts []int64
+	corrupted         int
+}
+
+func (c *crashRecorder) Crash(now int64)   { c.crashes = append(c.crashes, now) }
+func (c *crashRecorder) Restart(now int64) { c.restarts = append(c.restarts, now) }
+func (c *crashRecorder) CorruptState(r *rand.Rand) string {
+	c.corrupted++
+	return "flipped bit " + string(rune('0'+r.Intn(10)))
+}
+
+// TestProcFaultHooks: Restartable and StateCorruptible hooks fire at the
+// scheduled ticks with the corrupt event of a restart tick first, and the
+// corruption notes land in the report.
+func TestProcFaultHooks(t *testing.T) {
+	rec := &crashRecorder{echoSink: newEchoSink(t)}
+	run, err := Simulate(Config{
+		C1: 2, C2: 2, D: 6,
+		Transmitter: Process{Auto: newPinger(t, 8), Policy: FixedGap{C: 2}},
+		Receiver:    Process{Auto: rec, Policy: FixedGap{C: 2}},
+		Delay:       chanmodel.MaxDelay{D: 6},
+		ProcFaults: stubSchedule{
+			events: []ProcEvent{
+				{At: 10, Proc: ProcReceiver, Kind: ProcCrash},
+				{At: 20, Proc: ProcReceiver, Kind: ProcCorrupt, Seed: 3},
+				{At: 20, Proc: ProcReceiver, Kind: ProcRestart},
+			},
+			end: 20,
+		},
+		Stop: func(r *Run) bool { // run past the window; lost deliveries make a write count unreliable
+			return len(r.Trace) > 0 && r.Trace[len(r.Trace)-1].Time >= 60
+		},
+		MaxTicks: 2000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.crashes) != 1 || rec.crashes[0] != 10 {
+		t.Fatalf("crash hooks: %v", rec.crashes)
+	}
+	if len(rec.restarts) != 1 || rec.restarts[0] != 20 {
+		t.Fatalf("restart hooks: %v", rec.restarts)
+	}
+	if rec.corrupted != 1 {
+		t.Fatalf("corrupt hook called %d times", rec.corrupted)
+	}
+	s := run.Stabilization
+	if s.Corruptions != 1 || len(s.CorruptionNotes) != 1 || !strings.Contains(s.CorruptionNotes[0], "flipped bit") {
+		t.Fatalf("corruption report: %d notes=%v", s.Corruptions, s.CorruptionNotes)
+	}
+	if s.Faults() != 3 {
+		t.Fatalf("Faults() = %d, want 3", s.Faults())
+	}
+}
+
+// TestProcGapScale: a rate-violation window stretches the step gaps the
+// policy chooses, so the stretched run takes strictly longer than the
+// clean one.
+func TestProcGapScale(t *testing.T) {
+	lastSend := func(scale func(ProcID, int64) int64) int64 {
+		run, err := Simulate(Config{
+			C1: 2, C2: 2, D: 6,
+			Transmitter: Process{Auto: newPinger(t, 6), Policy: FixedGap{C: 2}},
+			Receiver:    Process{Auto: newEchoSink(t), Policy: FixedGap{C: 2}},
+			Delay:       chanmodel.MaxDelay{D: 6},
+			ProcFaults:  stubSchedule{scale: scale, end: 100},
+			Stop:        StopAfterWrites(6),
+			MaxTicks:    5000,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		at, ok := run.LastSendTime()
+		if !ok {
+			t.Fatal("no sends")
+		}
+		return at
+	}
+	clean := lastSend(nil)
+	slow := lastSend(func(p ProcID, at int64) int64 {
+		if p == ProcTransmitter && at < 100 {
+			return 5
+		}
+		return 1
+	})
+	if slow <= clean {
+		t.Fatalf("rate window did not slow the run: clean=%d scaled=%d", clean, slow)
+	}
+}
+
+// TestStabilizationString covers both halves of the report rendering.
+func TestStabilizationString(t *testing.T) {
+	s := &Stabilization{Plan: "p", Crashes: 1, Restarts: 1, HealAt: 40}
+	if got := s.String(); !strings.Contains(got, "1 crashes") || strings.Contains(got, "STABILIZED") {
+		t.Fatalf("unmeasured: %s", got)
+	}
+	s.Measured, s.Stabilized, s.SettleTicks = true, true, 7
+	if got := s.String(); !strings.Contains(got, "STABILIZED in 7 ticks") {
+		t.Fatalf("measured: %s", got)
+	}
+	s.Stabilized = false
+	s.LastViolationAt = 99
+	if got := s.String(); !strings.Contains(got, "NOT stabilized") || !strings.Contains(got, "99") {
+		t.Fatalf("failed verdict: %s", got)
+	}
+}
+
+// TestProcIDAndKindStrings pins the tiny label helpers.
+func TestProcIDAndKindStrings(t *testing.T) {
+	if ProcTransmitter.String() != "t" || ProcReceiver.String() != "r" || ProcID(9).String() != "proc(9)" {
+		t.Fatal("ProcID labels")
+	}
+	if ProcCrash.String() != "crash" || ProcRestart.String() != "restart" || ProcCorrupt.String() != "corrupt" {
+		t.Fatal("kind labels")
+	}
+}

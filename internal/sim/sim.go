@@ -14,6 +14,7 @@ import (
 	"container/heap"
 	"errors"
 	"fmt"
+	"math/rand"
 
 	"repro/internal/chanmodel"
 	"repro/internal/ioa"
@@ -131,6 +132,10 @@ type Config struct {
 	Transmitter, Receiver Process
 	// Delay is the channel's delivery adversary.
 	Delay chanmodel.DelayPolicy
+	// ProcFaults schedules process-level faults: crash/restart windows,
+	// state corruption and step-rate violations (see procfault.go). Nil
+	// means both processes are immortal, the paper's implicit assumption.
+	ProcFaults ProcSchedule
 	// Stop ends the run when it returns true (checked after every recorded
 	// event). Nil means run until MaxTicks/MaxEvents.
 	Stop func(r *Run) bool
@@ -172,6 +177,10 @@ type Run struct {
 	// if not. Populated whenever Config.D > 0 (on every exit path,
 	// including errors).
 	Degradation *Degradation
+	// Stabilization is the process-fault report: what Config.ProcFaults
+	// did and (after MeasureStabilization) how fast the system converged.
+	// Populated whenever Config.ProcFaults is set (on every exit path).
+	Stabilization *Stabilization
 }
 
 // Writes returns the written sequence Y.
@@ -192,20 +201,25 @@ func StopAfterWrites(n int) func(*Run) bool {
 // stop condition.
 var ErrNoProgress = errors.New("sim: run hit its cap before the stop condition")
 
-// event kinds, ordered: deliveries before steps at the same tick.
+// event kinds, ordered: process faults fire first at a tick (a crash at t
+// suppresses that tick's deliveries and steps), then deliveries, then steps.
 const (
+	kindFault   = -1
 	kindDeliver = 0
 	kindStep    = 1
 )
 
 type event struct {
-	time int64
-	kind int
-	tie  int64 // packetSeq for deliveries, push order for steps
-	who  int   // step: 0 = transmitter, 1 = receiver
-	dir  wire.Dir
-	pkt  wire.Packet
-	pseq int64 // packet instance id
+	time  int64
+	kind  int
+	tie   int64 // packetSeq for deliveries, push order for steps, schedule order for faults
+	who   int   // step/fault: 0 = transmitter, 1 = receiver
+	dir   wire.Dir
+	pkt   wire.Packet
+	pseq  int64         // packet instance id
+	gen   int64         // step-chain generation; stale chains are dropped
+	fkind ProcFaultKind // fault events only
+	fseed int64         // corruption randomness seed
 }
 
 type eventHeap []event
@@ -258,6 +272,23 @@ func Simulate(cfg Config) (*Run, error) {
 		watch = newWatchdog(cfg.D)
 		defer func() { run.Degradation = watch.finalize(run.Now) }()
 	}
+	var (
+		stab      *Stabilization
+		down      [2]bool
+		downSince [2]int64
+		stepGen   [2]int64
+	)
+	if cfg.ProcFaults != nil {
+		stab = &Stabilization{Plan: cfg.ProcFaults.Name(), HealAt: cfg.ProcFaults.End()}
+		defer func() {
+			for w := range down {
+				if down[w] {
+					stab.DownTicks[w] += run.Now - downSince[w]
+				}
+			}
+			run.Stabilization = stab
+		}()
+	}
 	push := func(e event) {
 		pushOrder++
 		if e.kind == kindStep {
@@ -280,6 +311,15 @@ func Simulate(cfg Config) (*Run, error) {
 
 	push(event{time: 0, kind: kindStep, who: 0})
 	push(event{time: 0, kind: kindStep, who: 1})
+	if cfg.ProcFaults != nil {
+		for i, ev := range cfg.ProcFaults.Events() {
+			if ev.Proc != ProcTransmitter && ev.Proc != ProcReceiver {
+				return nil, fmt.Errorf("sim: proc fault #%d targets unknown process %v", i, ev.Proc)
+			}
+			heap.Push(&h, event{time: ev.At, kind: kindFault, tie: int64(i),
+				who: int(ev.Proc), fkind: ev.Kind, fseed: ev.Seed})
+		}
+	}
 
 	for len(h) > 0 {
 		if h.peekTime() > cfg.MaxTicks {
@@ -294,6 +334,38 @@ func Simulate(cfg Config) (*Run, error) {
 		run.Now = e.time
 
 		switch e.kind {
+		case kindFault:
+			p := procs[e.who]
+			switch e.fkind {
+			case ProcCrash:
+				if !down[e.who] {
+					down[e.who] = true
+					downSince[e.who] = e.time
+					stepGen[e.who]++ // orphan the live step chain
+					stab.Crashes++
+					if c, ok := p.Auto.(Restartable); ok {
+						c.Crash(e.time)
+					}
+				}
+			case ProcRestart:
+				if down[e.who] {
+					down[e.who] = false
+					stab.DownTicks[e.who] += e.time - downSince[e.who]
+					stab.Restarts++
+					if c, ok := p.Auto.(Restartable); ok {
+						c.Restart(e.time)
+					}
+					push(event{time: e.time, kind: kindStep, who: e.who, gen: stepGen[e.who]})
+				}
+			case ProcCorrupt:
+				stab.Corruptions++
+				if c, ok := p.Auto.(StateCorruptible); ok {
+					note := c.CorruptState(rand.New(rand.NewSource(e.fseed)))
+					stab.CorruptionNotes = append(stab.CorruptionNotes,
+						fmt.Sprintf("t=%d %s: %s", e.time, p.Auto.Name(), note))
+				}
+			}
+
 		case kindDeliver:
 			// recv(p) is the channel's output and an input of the
 			// destination process.
@@ -305,12 +377,21 @@ func Simulate(cfg Config) (*Run, error) {
 			if watch != nil {
 				watch.onDeliver(e.pseq, e.time, e.pkt)
 			}
+			if down[target] {
+				// The channel kept its promise; the crashed process wasn't
+				// there to hear it. No recv event enters the execution.
+				stab.LostWhileDown++
+				break
+			}
 			if err := procs[target].Auto.Apply(act); err != nil {
 				return &run, fmt.Errorf("sim: t=%d deliver %v to %s: %w", e.time, act, procs[target].Auto.Name(), err)
 			}
 			record(e.time, ChannelActor, act, e.pseq)
 
 		case kindStep:
+			if e.gen != stepGen[e.who] || down[e.who] {
+				break // orphaned chain of a crashed process
+			}
 			p := procs[e.who]
 			act, ok := p.Auto.NextLocal()
 			if ok {
@@ -356,7 +437,12 @@ func Simulate(cfg Config) (*Run, error) {
 			if gap < 1 {
 				gap = 1
 			}
-			push(event{time: e.time + gap, kind: kindStep, who: e.who})
+			if cfg.ProcFaults != nil {
+				if f := cfg.ProcFaults.GapScale(ProcID(e.who), e.time); f > 1 {
+					gap *= f // step-rate violation window: gap pushed past c2
+				}
+			}
+			push(event{time: e.time + gap, kind: kindStep, who: e.who, gen: e.gen})
 		}
 
 		if cfg.Stop != nil && cfg.Stop(&run) {

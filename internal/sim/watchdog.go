@@ -20,6 +20,15 @@ import (
 // ModelHolds() == true means every packet behaved; anything else means
 // the paper's guarantees were void for at least part of the run and only
 // a hardened protocol's safety survives.
+//
+// Counter units: Sent and Lost count packets; Delivered, Late and
+// Corrupted count delivery events; Duplicated counts delivery events
+// beyond a packet's first. The delivery-event categories are independent
+// — a single delivery that is both a late duplicate and carries a
+// mangled payload increments Late, Duplicated and Corrupted all at once
+// — so Violations() can exceed Delivered. Lost never overlaps them: a
+// packet is lost only if it had no delivery at all before its deadline
+// expired and the run outlived that deadline.
 type Degradation struct {
 	// D is the delay bound the watchdog enforced.
 	D int64
@@ -27,15 +36,18 @@ type Degradation struct {
 	Sent int
 	// Delivered counts delivery events (duplicates included).
 	Delivered int
-	// Late counts deliveries more than D ticks after their send.
+	// Late counts deliveries more than D ticks after their send; every
+	// late delivery counts, including duplicates.
 	Late int
 	// Lost counts packets never delivered although the run extended past
 	// their send time + D. Packets still inside their window at the end of
 	// the run are not counted.
 	Lost int
-	// Duplicated counts extra deliveries of an already-delivered packet.
+	// Duplicated counts extra deliveries of an already-delivered packet
+	// (n deliveries of one packet add n-1 here).
 	Duplicated int
-	// Corrupted counts deliveries whose packet differs from what was sent.
+	// Corrupted counts deliveries whose packet differs from what was
+	// sent; every mangled delivery counts, including duplicates.
 	Corrupted int
 	// FirstViolation and LastViolation bracket the observed fault window:
 	// the times at which the model was first and last seen broken (for a

@@ -152,6 +152,72 @@ func (s scriptedMutator) ArrivalsMut(dirSeq int64, sendTime int64, dir wire.Dir,
 	return out
 }
 
+// overlapDelay delivers the one packet of the run twice, both deliveries
+// past the d-bound, with the second delivery's payload mangled.
+type overlapDelay struct{}
+
+func (overlapDelay) Name() string { return "overlap-delay" }
+
+func (overlapDelay) Arrivals(dirSeq int64, sendTime int64, dir wire.Dir, p wire.Packet) []int64 {
+	return []int64{sendTime + 7, sendTime + 8}
+}
+
+func (overlapDelay) ArrivalsMut(dirSeq int64, sendTime int64, dir wire.Dir, p wire.Packet) []chanmodel.Arrival {
+	mangled := p
+	mangled.Symbol++
+	return []chanmodel.Arrival{
+		{At: sendTime + 7, P: p},
+		{At: sendTime + 8, P: mangled},
+	}
+}
+
+// TestWatchdogCounterSemantics pins the counting units down as a
+// regression contract: Late and Corrupted are per delivery event,
+// Duplicated is per delivery beyond a packet's first, Lost is per packet
+// and only when nothing at all arrived. A single delivery may fall into
+// several categories at once, so Violations() may exceed Delivered, and
+// a packet whose every delivery was late is NOT also counted lost.
+func TestWatchdogCounterSemantics(t *testing.T) {
+	// One packet, delivered twice past d=6 (at +7 and +8), second copy
+	// corrupted: Sent=1, Delivered=2, Late=2, Duplicated=1, Corrupted=1,
+	// Lost=0, Violations=4.
+	run, err := Simulate(Config{
+		C1: 2, C2: 2, D: 6,
+		Transmitter: Process{Auto: newPinger(t, 1), Policy: FixedGap{C: 2}},
+		Receiver:    Process{Auto: newEchoSink(t), Policy: FixedGap{C: 2}},
+		Delay:       overlapDelay{},
+		Stop:        StopAfterWrites(2),
+		MaxTicks:    100,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := run.Degradation
+	if g.Sent != 1 || g.Delivered != 2 {
+		t.Fatalf("sent=%d delivered=%d, want 1/2: %v", g.Sent, g.Delivered, g)
+	}
+	if g.Late != 2 {
+		t.Fatalf("late = %d, want 2 (both deliveries past d): %v", g.Late, g)
+	}
+	if g.Duplicated != 1 {
+		t.Fatalf("duplicated = %d, want 1 (second delivery only): %v", g.Duplicated, g)
+	}
+	if g.Corrupted != 1 {
+		t.Fatalf("corrupted = %d, want 1 (only the mangled copy): %v", g.Corrupted, g)
+	}
+	if g.Lost != 0 {
+		t.Fatalf("lost = %d, want 0 (late delivery is not loss): %v", g.Lost, g)
+	}
+	if got := g.Violations(); got != 4 {
+		t.Fatalf("violations = %d, want 4 (categories overlap per delivery): %v", got, g)
+	}
+	// Both violations stem from one packet sent at t=0: the late flags
+	// land on the deadline (t=6), the dup/corrupt flags on the deliveries.
+	if g.FirstViolation != 6 || g.LastViolation != 8 {
+		t.Fatalf("fault window [%d, %d], want [6, 8]", g.FirstViolation, g.LastViolation)
+	}
+}
+
 func TestWatchdogMutatorDeliversAlteredPacket(t *testing.T) {
 	sink := newEchoSink(t)
 	_, err := Simulate(Config{

@@ -203,6 +203,66 @@ func NewFaultPlan(seed int64, inner DelayPolicy, fs ...Fault) *FaultPlan {
 // under any fault plan, and Y = X once every fault window closes.
 func Harden(s Solution, opts HardenOptions) HardenedSolution { return rstp.Harden(s, opts) }
 
+// Process fault tolerance: crash/restart injection, state corruption, and
+// the self-stabilizing recovery layer (see internal/sim's process-fault
+// engine, internal/faults' ProcPlan and internal/rstp's stabilized layer).
+type (
+	// ProcFault is one process-fault clause: crash (with or without a
+	// restart), checkpoint or live state corruption, or a step-rate
+	// violation window.
+	ProcFault = faults.ProcFault
+	// ProcPlan is a seeded, reproducible process-fault schedule; pass it
+	// as RunOptions.ProcFaults.
+	ProcPlan = faults.ProcPlan
+	// ProcID targets a fault clause at the transmitter or the receiver.
+	ProcID = sim.ProcID
+	// Stabilization is a run's process-fault report — what the plan did
+	// and how quickly the system converged after the last fault healed —
+	// populated on Run.Stabilization whenever a ProcPlan is scheduled.
+	Stabilization = sim.Stabilization
+	// StabilizedSolution is a protocol stack wrapped in the stabilizing
+	// recovery layer at both endpoints (epoch-tagged sessions, checksummed
+	// checkpoints, resynchronization handshake).
+	StabilizedSolution = rstp.StabilizedSolution
+	// StabilizeOptions tune the stabilizing layer (zero values take
+	// parameter-derived defaults).
+	StabilizeOptions = rstp.StabilizeOptions
+	// StateStore persists wrapper checkpoints across process crashes.
+	StateStore = rstp.StateStore
+	// MemStore is the canonical in-memory StateStore.
+	MemStore = rstp.MemStore
+)
+
+// The two fault-targetable processes.
+const (
+	ProcTransmitter = sim.ProcTransmitter
+	ProcReceiver    = sim.ProcReceiver
+)
+
+// NewProcPlan builds a seeded process-fault schedule from clauses; pass
+// it as RunOptions.ProcFaults.
+func NewProcPlan(seed int64, clauses ...ProcFault) *ProcPlan {
+	return faults.NewProcPlan(seed, clauses...)
+}
+
+// NewMemStore returns an empty in-memory StateStore (the simulated stable
+// storage that survives a process crash).
+func NewMemStore() *MemStore { return rstp.NewMemStore() }
+
+// Stabilize wraps a bare solution in the self-stabilizing recovery layer:
+// Y stays a prefix of X across any crash/corruption schedule, and Y = X
+// once the faults stop (on a channel that honours the model).
+func Stabilize(s Solution, opts StabilizeOptions) StabilizedSolution {
+	return rstp.Stabilize(s, opts)
+}
+
+// StabilizeHardened stacks both robustness layers — the hardened layer
+// restores the channel's promises, the stabilizing layer the processes' —
+// the configuration that survives the full chaos matrix.
+func StabilizeHardened(hs HardenedSolution, opts StabilizeOptions) StabilizedSolution {
+	return rstp.StabilizeHardened(hs, opts)
+}
+
 // Section 7 extensions: the delivery-window model with per-process clocks
 // (see internal/rstpx for the full story).
 type (

@@ -107,6 +107,67 @@ func TestPublicGenAPI(t *testing.T) {
 	}
 }
 
+// TestPublicStabilizeAPI exercises the process-fault facade: NewProcPlan,
+// Stabilize / StabilizeHardened, NewMemStore, and the per-run
+// Stabilization report, all through the public surface only.
+func TestPublicStabilizeAPI(t *testing.T) {
+	p := repro.Params{C1: 2, C2: 3, D: 12}
+	s, err := repro.Beta(p, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, _ := repro.PadToBlock(repro.RandomBits(12*s.BlockBits, rand.New(rand.NewSource(3)).Uint64), s.BlockBits)
+
+	plan := repro.NewProcPlan(77,
+		repro.ProcFault{Proc: repro.ProcTransmitter, From: 60, To: 240, Crash: true},
+		repro.ProcFault{Proc: repro.ProcReceiver, From: 300, To: 460, Crash: true, Corrupt: true},
+	)
+	if plan.End() != 460 {
+		t.Fatalf("plan heals at %d, want 460", plan.End())
+	}
+
+	ss := repro.Stabilize(s, repro.StabilizeOptions{Store: repro.NewMemStore()})
+	run, err := ss.Run(x, repro.RunOptions{ProcFaults: plan, MaxTicks: 200_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := ss.VerifySafety(run, x); len(v) != 0 {
+		t.Fatalf("safety violated: %v", v[0])
+	}
+	if v := ss.VerifyComplete(run, x); len(v) != 0 {
+		t.Fatalf("incomplete: %v", v[0])
+	}
+	st := run.Stabilization
+	if st == nil || !st.Measured {
+		t.Fatalf("no stabilization report: %+v", st)
+	}
+	if !st.Stabilized {
+		t.Fatalf("did not stabilize: %s", st)
+	}
+	if st.Crashes != 2 || st.Corruptions != 1 {
+		t.Fatalf("report counts wrong: %s", st)
+	}
+
+	// The stacked form absorbs channel faults and process faults at once.
+	hs := repro.Harden(s, repro.HardenOptions{})
+	shs := repro.StabilizeHardened(hs, repro.StabilizeOptions{})
+	cplan := repro.NewFaultPlan(78, repro.MaxDelay(p.D),
+		repro.Fault{From: 0, To: 400, Drop: 0.2, Corrupt: 0.2})
+	run2, err := shs.Run(x, repro.RunOptions{Delay: cplan, ProcFaults: plan, MaxTicks: 400_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := shs.VerifySafety(run2, x); len(v) != 0 {
+		t.Fatalf("stacked safety violated: %v", v[0])
+	}
+	if v := shs.VerifyComplete(run2, x); len(v) != 0 {
+		t.Fatalf("stacked run incomplete: %v", v[0])
+	}
+	if run2.Stabilization == nil || !run2.Stabilization.Stabilized {
+		t.Fatalf("stacked run did not stabilize: %s", run2.Stabilization)
+	}
+}
+
 // TestPublicSchedulesAndDelays drives the exported schedule/adversary
 // constructors through a run.
 func TestPublicSchedulesAndDelays(t *testing.T) {

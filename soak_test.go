@@ -103,3 +103,63 @@ func TestSoakChaosHardened(t *testing.T) {
 	t.Logf("hardened beta-k16: %d bits, %d events, %s; last write t=%d (heal t=%d)",
 		len(x), len(run.Trace), run.Degradation, last, plan.End())
 }
+
+// TestSoakCrashChaos is the crash-era counterpart of TestSoakChaosHardened:
+// 16 KiB through the fully stacked protocol — stabilizing layer over the
+// hardened layer over beta — while the channel drops, duplicates and
+// corrupts AND both processes crash, restart with a corrupted checkpoint,
+// and suffer live state corruption mid-run. All fault windows close, so
+// the run must end with zero prefix violations, Y = X, and a Stabilization
+// report confirming convergence after the heal. Skipped under -short.
+func TestSoakCrashChaos(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test skipped in -short mode")
+	}
+	p := repro.Params{C1: 2, C2: 3, D: 12}
+	rng := rand.New(rand.NewSource(20260806))
+	payload := repro.RandomBits(16*1024, rng.Uint64)
+
+	s, err := repro.Beta(p, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stack := repro.StabilizeHardened(repro.Harden(s, repro.HardenOptions{}), repro.StabilizeOptions{})
+	x, _ := repro.PadToBlock(payload, s.BlockBits)
+
+	chanPlan := repro.NewFaultPlan(107, repro.MaxDelay(p.D),
+		repro.Fault{From: 0, To: 8_000, Drop: 0.2, Dup: 0.2},
+		repro.Fault{From: 8_000, To: 16_000, Corrupt: 0.3},
+		repro.Fault{From: 40_000, To: 44_000, Blackout: true},
+	)
+	procPlan := repro.NewProcPlan(108,
+		repro.ProcFault{Proc: repro.ProcTransmitter, From: 2_000, To: 6_000, Crash: true},
+		repro.ProcFault{Proc: repro.ProcReceiver, From: 12_000, To: 18_000, Crash: true, Corrupt: true},
+		repro.ProcFault{Proc: repro.ProcTransmitter, From: 24_000, Corrupt: true},
+		repro.ProcFault{Proc: repro.ProcReceiver, From: 30_000, To: 36_000, Crash: true},
+	)
+	run, err := stack.Run(x, repro.RunOptions{
+		Delay:      chanPlan,
+		ProcFaults: procPlan,
+		MaxTicks:   500_000_000,
+		MaxEvents:  50_000_000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := stack.VerifySafety(run, x); len(v) != 0 {
+		t.Fatalf("safety violated under crash chaos: %v", v[0])
+	}
+	if repro.BitsToString(run.Writes()) != repro.BitsToString(x) {
+		t.Fatal("stacked transfer did not recover to Y = X")
+	}
+	st := run.Stabilization
+	if st == nil || !st.Measured || !st.Stabilized {
+		t.Fatalf("run did not stabilize: %s", st)
+	}
+	if st.Crashes != 3 || st.Restarts != 3 || st.Corruptions != 2 {
+		t.Fatalf("fault plan executed unexpectedly: %s", st)
+	}
+	last, _ := run.LastWriteTime()
+	t.Logf("stabilized(hardened(beta-k16)): %d bits, %d events; %s; last write t=%d",
+		len(x), len(run.Trace), st, last)
+}
