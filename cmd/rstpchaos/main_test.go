@@ -134,12 +134,12 @@ func TestRunUnwrappedCrashCorrupts(t *testing.T) {
 
 func TestParseProcFaultsErrors(t *testing.T) {
 	for _, spec := range []string{
-		"x:crash:10:20",  // unknown process
-		"t:crash",        // missing times
-		"t:boom:10:20",   // unknown kind
-		"t:rate1:10:20",  // factor below 2
-		"t:rate4:10",     // rate without a window
-		"t:crash:30:20",  // empty window
+		"x:crash:10:20",     // unknown process
+		"t:crash",           // missing times
+		"t:boom:10:20",      // unknown kind
+		"t:rate1:10:20",     // factor below 2
+		"t:rate4:10",        // rate without a window
+		"t:crash:30:20",     // empty window
 		"r:crashcorrupt:10", // checkpoint corruption needs a restart
 	} {
 		if _, err := parseProcFaults(spec); err == nil {

@@ -1,0 +1,357 @@
+// Command rstpserve runs the concurrent session-serving subsystem: a
+// receiver-side server and a transmitter-side load generator in one
+// process, connected by an in-memory or UDP-loopback transport, running
+// many RSTP sessions at once off a shared real-time clock.
+//
+// Usage:
+//
+//	rstpserve -sessions 256 -proto beta -k 4      # 256 concurrent sessions
+//	rstpserve -transport udp -sessions 64         # over a UDP loopback pair
+//	rstpserve -sessions 128 -loss 0.2 -fwindow 0:2000 -harden
+//	rstpserve -bench -sessions 200                # emit BENCH_serve.json
+//
+// Every session's output tape is verified against its input: Y must be a
+// prefix of X throughout and equal to X at completion. The tool prints a
+// machine-readable JSON summary and exits nonzero if any session
+// violates the prefix invariant or fails to complete — the same
+// convention as rstpchaos.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/chanmodel"
+	"repro/internal/faults"
+	"repro/internal/rstp"
+	"repro/internal/session"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "rstpserve:", err)
+		os.Exit(1)
+	}
+}
+
+// summary is the machine-readable report printed after a run (and, in
+// -bench mode, written to the BENCH_*.json file). See EXPERIMENTS.md for
+// the schema note.
+type summary struct {
+	Schema         string  `json:"schema"`
+	Proto          string  `json:"proto"`
+	Transport      string  `json:"transport"`
+	Sessions       int     `json:"sessions"`
+	Completed      int     `json:"completed"`
+	Violations     int     `json:"violations"`
+	Incomplete     int     `json:"incomplete"`
+	Errors         int     `json:"errors"`
+	BitsPerSession int     `json:"bits_per_session"`
+	TickMicros     float64 `json:"tick_us"`
+	WallMS         float64 `json:"wall_ms"`
+	SessionsPerSec float64 `json:"sessions_per_sec"`
+	GoodputMsgSec  float64 `json:"goodput_msgs_per_sec"`
+	EffortMean     float64 `json:"effort_mean_ticks_per_msg"`
+	EffortMax      float64 `json:"effort_max_ticks_per_msg"`
+	EffortBound    float64 `json:"effort_bound_ticks_per_msg"`
+	Sends          int     `json:"sends"`
+	Deliveries     int     `json:"deliveries"`
+	Writes         int     `json:"writes"`
+	Refused        int     `json:"refused"`
+	Overflow       int     `json:"overflow"`
+	Stray          int     `json:"stray"`
+	Faults         string  `json:"faults,omitempty"`
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("rstpserve", flag.ContinueOnError)
+	var (
+		sessions  = fs.Int("sessions", 32, "number of sessions to transfer")
+		conc      = fs.Int("conc", 0, "max concurrent sessions (default min(sessions, 512))")
+		proto     = fs.String("proto", "beta", "protocol: alpha, beta or gamma")
+		k         = fs.Int("k", 4, "packet alphabet size (beta/gamma)")
+		c1        = fs.Int64("c1", 2, "minimum step gap c1")
+		c2        = fs.Int64("c2", 3, "maximum step gap c2")
+		d         = fs.Int64("d", 12, "channel delay bound d")
+		n         = fs.Int("n", 4, "input length per session, in blocks")
+		tick      = fs.Duration("tick", transport.DefaultTick, "wall-clock length of one model tick")
+		transName = fs.String("transport", "mem", "transport: mem or udp")
+		seed      = fs.Int64("seed", 1, "seed for inputs, delays and fault plans")
+		harden    = fs.Bool("harden", false, "wrap sessions in the hardened reliability layer")
+		stabilize = fs.Bool("stabilize", false, "wrap sessions in the stabilizing recovery layer")
+		idle      = fs.Int64("idle", -1, "server idle-eviction threshold in ticks (-1 = off; the load generator evicts each session explicitly)")
+		loss      = fs.Float64("loss", 0, "drop probability inside -fwindow (mem transport)")
+		dup       = fs.Float64("dup", 0, "duplication probability inside -fwindow")
+		corrupt   = fs.Float64("corrupt", 0, "corruption probability inside -fwindow")
+		fwindow   = fs.String("fwindow", "0:2000", "send-time window from:to for -loss/-dup/-corrupt")
+		blackout  = fs.String("blackout", "", "blackout window from:to (empty = none)")
+		excess    = fs.Int64("excess", 0, "extra delay beyond d inside -fwindow")
+		bench     = fs.Bool("bench", false, "benchmark mode: also write the summary to -benchout")
+		benchout  = fs.String("benchout", "BENCH_serve.json", "bench output file for -bench")
+		verbose   = fs.Bool("v", false, "print one line per session")
+		timeout   = fs.Duration("timeout", 2*time.Minute, "overall run deadline")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	p := rstp.Params{C1: *c1, C2: *c2, D: *d}
+	sol, blockBits, bound, err := buildSolution(*proto, p, *k, *harden, *stabilize)
+	if err != nil {
+		return err
+	}
+
+	clauses, err := faultClauses(*loss, *dup, *corrupt, *excess, *fwindow, *blackout)
+	if err != nil {
+		return err
+	}
+
+	clock := transport.NewClock(*tick)
+	var (
+		trans      transport.Transport
+		faultsDesc string
+	)
+	switch *transName {
+	case "mem":
+		var delay chanmodel.DelayPolicy = &chanmodel.UniformRandom{D: p.D, Rand: rand.New(rand.NewSource(*seed))}
+		if len(clauses) > 0 {
+			plan := faults.NewPlan(*seed, delay, clauses...)
+			faultsDesc = plan.Name()
+			delay = plan
+		}
+		trans = transport.NewMem(clock, transport.MemOptions{D: p.D, Delay: delay, Buffer: 1 << 15})
+	case "udp":
+		if len(clauses) > 0 {
+			return fmt.Errorf("fault injection requires -transport mem (UDP faults are the kernel's business)")
+		}
+		u, err := transport.NewUDPLoopback(1 << 14)
+		if err != nil {
+			return err
+		}
+		trans = u
+	default:
+		return fmt.Errorf("unknown transport %q (mem, udp)", *transName)
+	}
+
+	maxConc := *conc
+	if maxConc <= 0 {
+		maxConc = *sessions
+		if maxConc > 512 {
+			maxConc = 512
+		}
+	}
+	pipe, err := session.NewPipe(session.Config{
+		Solution:    sol,
+		Params:      p,
+		Transport:   trans,
+		Clock:       clock,
+		MaxSessions: maxConc,
+		IdleTicks:   *idle,
+	})
+	if err != nil {
+		trans.Close()
+		return err
+	}
+	defer pipe.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+
+	bits := *n * blockBits
+	rng := rand.New(rand.NewSource(*seed))
+	inputs := make([][]wire.Bit, *sessions)
+	for i := range inputs {
+		inputs[i] = wire.RandomBits(bits, rng.Uint64)
+	}
+
+	type outcome struct {
+		res session.TransferResult
+		err error
+	}
+	start := time.Now()
+	results := make([]outcome, *sessions)
+	var wg sync.WaitGroup
+	for i := 0; i < *sessions; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			res, err := pipe.Transfer(ctx, inputs[i])
+			results[i] = outcome{res: res, err: err}
+		}(i)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	sum := summary{
+		Schema:         "rstp-bench-serve/v1",
+		Proto:          sol.String(),
+		Transport:      trans.Name(),
+		Sessions:       *sessions,
+		BitsPerSession: bits,
+		TickMicros:     float64(clock.Tick()) / float64(time.Microsecond),
+		WallMS:         float64(wall) / float64(time.Millisecond),
+		EffortBound:    bound,
+		Faults:         faultsDesc,
+	}
+	for i, o := range results {
+		res := o.res
+		if o.err != nil {
+			sum.Errors++
+		}
+		if res.Violation != "" {
+			sum.Violations++
+		}
+		if res.Completed {
+			sum.Completed++
+		} else {
+			sum.Incomplete++
+		}
+		sum.Sends += res.TX.Sends + res.RX.Sends
+		sum.Deliveries += res.TX.Deliveries + res.RX.Deliveries
+		sum.Writes += res.RX.Writes
+		sum.Overflow += res.TX.Overflow + res.RX.Overflow
+		if e := res.Effort(); e > 0 {
+			sum.EffortMean += e
+			if e > sum.EffortMax {
+				sum.EffortMax = e
+			}
+		}
+		if *verbose {
+			fmt.Fprintf(out, "session %d: completed=%v writes=%d/%d effort=%.2f err=%v violation=%q\n",
+				res.ID, res.Completed, res.RX.Writes, len(inputs[i]), res.Effort(), o.err, res.Violation)
+		}
+	}
+	if sum.Completed > 0 {
+		sum.EffortMean /= float64(sum.Completed)
+	}
+	if secs := wall.Seconds(); secs > 0 {
+		sum.SessionsPerSec = float64(sum.Completed) / secs
+		sum.GoodputMsgSec = float64(sum.Writes) / secs
+	}
+	sum.Refused = pipe.Server.Refused()
+	sum.Stray = pipe.Dialer.Stray()
+
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(sum); err != nil {
+		return err
+	}
+	if *bench {
+		f, err := os.Create(*benchout)
+		if err != nil {
+			return err
+		}
+		benc := json.NewEncoder(f)
+		benc.SetIndent("", "  ")
+		err = benc.Encode(sum)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "wrote %s\n", *benchout)
+	}
+	if sum.Violations > 0 {
+		return fmt.Errorf("%d of %d sessions violated the prefix invariant", sum.Violations, *sessions)
+	}
+	if sum.Completed != *sessions {
+		return fmt.Errorf("%d of %d sessions did not complete (errors: %d)", sum.Incomplete, *sessions, sum.Errors)
+	}
+	return nil
+}
+
+// buildSolution assembles the protocol stack and reports its block size
+// and the paper's effort upper bound for the bare protocol.
+func buildSolution(proto string, p rstp.Params, k int, harden, stabilize bool) (session.PairBuilder, int, float64, error) {
+	var (
+		s     rstp.Solution
+		bound float64
+		err   error
+	)
+	switch proto {
+	case "alpha":
+		s, err = rstp.Alpha(p)
+		if err == nil {
+			bound = rstp.AlphaEffort(p)
+		}
+	case "beta":
+		s, err = rstp.Beta(p, k)
+		if err == nil {
+			bound = rstp.BetaUpperBound(p, k)
+		}
+	case "gamma":
+		s, err = rstp.Gamma(p, k)
+		if err == nil {
+			bound = rstp.GammaUpperBound(p, k)
+		}
+	default:
+		return nil, 0, 0, fmt.Errorf("unknown protocol %q (alpha, beta, gamma)", proto)
+	}
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	var sol session.PairBuilder = s
+	if harden && stabilize {
+		sol = rstp.StabilizeHardened(rstp.Harden(s, rstp.HardenOptions{}), rstp.StabilizeOptions{})
+	} else if harden {
+		sol = rstp.Harden(s, rstp.HardenOptions{})
+	} else if stabilize {
+		sol = rstp.Stabilize(s, rstp.StabilizeOptions{})
+	}
+	return sol, s.BlockBits, bound, nil
+}
+
+// faultClauses assembles the -loss/-dup/-corrupt/-excess/-blackout flags
+// into fault plan clauses, rstpchaos-style.
+func faultClauses(loss, dup, corrupt float64, excess int64, fwindow, blackout string) ([]faults.Fault, error) {
+	var clauses []faults.Fault
+	if loss > 0 || dup > 0 || corrupt > 0 || excess > 0 {
+		from, to, err := parseWindow(fwindow)
+		if err != nil {
+			return nil, fmt.Errorf("-fwindow: %w", err)
+		}
+		clauses = append(clauses, faults.Fault{
+			From: from, To: to,
+			Drop: loss, Dup: dup, Corrupt: corrupt, ExtraDelay: excess,
+		})
+	}
+	if blackout != "" {
+		from, to, err := parseWindow(blackout)
+		if err != nil {
+			return nil, fmt.Errorf("-blackout: %w", err)
+		}
+		clauses = append(clauses, faults.Fault{From: from, To: to, Blackout: true})
+	}
+	return clauses, nil
+}
+
+func parseWindow(s string) (int64, int64, error) {
+	parts := strings.SplitN(s, ":", 2)
+	if len(parts) != 2 {
+		return 0, 0, fmt.Errorf("window %q not in from:to form", s)
+	}
+	from, err := strconv.ParseInt(parts[0], 10, 64)
+	if err != nil {
+		return 0, 0, err
+	}
+	to, err := strconv.ParseInt(parts[1], 10, 64)
+	if err != nil {
+		return 0, 0, err
+	}
+	if to < from {
+		return 0, 0, fmt.Errorf("window %q ends before it starts", s)
+	}
+	return from, to, nil
+}

@@ -1,0 +1,93 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestServeBetaSmallRun(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-sessions", "8", "-proto", "beta", "-tick", "50us"}, &out)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	var sum summary
+	if err := json.Unmarshal([]byte(out.String()), &sum); err != nil {
+		t.Fatalf("summary is not valid JSON: %v\n%s", err, out.String())
+	}
+	if sum.Completed != 8 || sum.Violations != 0 {
+		t.Fatalf("expected 8 completed, 0 violations: %+v", sum)
+	}
+	if sum.Writes != 8*sum.BitsPerSession {
+		t.Errorf("writes = %d, want %d", sum.Writes, 8*sum.BitsPerSession)
+	}
+	if sum.EffortBound <= 0 {
+		t.Errorf("effort bound missing from summary: %+v", sum)
+	}
+}
+
+func TestServeAlphaAndGamma(t *testing.T) {
+	for _, proto := range []string{"alpha", "gamma"} {
+		var out strings.Builder
+		err := run([]string{"-sessions", "4", "-proto", proto, "-n", "2", "-tick", "50us"}, &out)
+		if err != nil {
+			t.Fatalf("%s: %v\n%s", proto, err, out.String())
+		}
+	}
+}
+
+func TestServeHardenedUnderFaults(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{
+		"-sessions", "6", "-proto", "beta", "-harden",
+		"-loss", "0.2", "-corrupt", "0.1", "-fwindow", "0:2000",
+		"-tick", "50us",
+	}, &out)
+	if err != nil {
+		t.Fatalf("hardened faulted run: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), `"faults"`) {
+		t.Errorf("summary should record the fault plan:\n%s", out.String())
+	}
+}
+
+func TestServeBenchWritesFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_serve.json")
+	var out strings.Builder
+	err := run([]string{"-sessions", "6", "-bench", "-benchout", path, "-tick", "50us"}, &out)
+	if err != nil {
+		t.Fatalf("bench run: %v\n%s", err, out.String())
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("bench file not written: %v", err)
+	}
+	var sum summary
+	if err := json.Unmarshal(raw, &sum); err != nil {
+		t.Fatalf("bench file is not valid JSON: %v", err)
+	}
+	if sum.Schema != "rstp-bench-serve/v1" {
+		t.Errorf("schema = %q", sum.Schema)
+	}
+	if sum.SessionsPerSec <= 0 {
+		t.Errorf("sessions_per_sec missing: %+v", sum)
+	}
+}
+
+func TestServeRejectsBadFlags(t *testing.T) {
+	cases := [][]string{
+		{"-proto", "delta"},
+		{"-transport", "carrier-pigeon"},
+		{"-fwindow", "backwards", "-loss", "0.5"},
+		{"-transport", "udp", "-loss", "0.5"},
+	}
+	for _, args := range cases {
+		var out strings.Builder
+		if err := run(args, &out); err == nil {
+			t.Errorf("run(%v) should have failed", args)
+		}
+	}
+}

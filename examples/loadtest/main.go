@@ -1,0 +1,121 @@
+// Loadtest: a thousand concurrent RSTP sessions through the in-process
+// serving subsystem, with a lossy fault window active for the first part
+// of the run. Each session transfers its own random input over the
+// hardened β(k=4) protocol; the in-memory transport enforces the paper's
+// channel axioms (delay ≤ d, arbitrary reorder) while the fault plan
+// drops and corrupts packets on top. Every session's output tape must
+// come back equal to its input — loss and corruption may cost effort,
+// never correctness.
+//
+//	go run ./examples/loadtest
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro"
+)
+
+func main() {
+	if err := run(1000); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(sessions int) error {
+	p := repro.Params{C1: 2, C2: 3, D: 12}
+	base, err := repro.Beta(p, 4)
+	if err != nil {
+		return err
+	}
+	// Hardened β: checksums + retransmission, so the fault plan below
+	// cannot break completion, only slow it down.
+	sol := repro.Harden(base, repro.HardenOptions{})
+
+	// Channel: uniform random delay within d, with a fault window over
+	// the first 4000 ticks dropping 15% and corrupting 5% of packets.
+	rnd := rand.New(rand.NewSource(7))
+	plan := repro.NewFaultPlan(7, repro.RandomDelay(p.D, rnd),
+		repro.Fault{From: 0, To: 4000, Drop: 0.15, Corrupt: 0.05})
+
+	clock := repro.NewClock(100 * time.Microsecond)
+	pipe, err := repro.NewPipe(repro.ServeConfig{
+		Solution:    sol,
+		Params:      p,
+		Transport:   repro.NewMemTransport(clock, repro.MemOptions{D: p.D, Delay: plan, Buffer: 1 << 15}),
+		Clock:       clock,
+		MaxSessions: 256, // backpressure: at most 256 sessions in flight
+		IdleTicks:   -1,  // transfers are evicted explicitly below
+	})
+	if err != nil {
+		return err
+	}
+	defer pipe.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+
+	rng := rand.New(rand.NewSource(42))
+	inputs := make([][]repro.Bit, sessions)
+	for i := range inputs {
+		inputs[i] = repro.RandomBits(4*base.BlockBits, rng.Uint64)
+	}
+
+	start := time.Now()
+	var (
+		wg        sync.WaitGroup
+		mu        sync.Mutex
+		completed int
+		failures  []string
+	)
+	for i := 0; i < sessions; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			res, err := pipe.Transfer(ctx, inputs[i])
+			mu.Lock()
+			defer mu.Unlock()
+			switch {
+			case err != nil:
+				failures = append(failures, fmt.Sprintf("session %d: %v", res.ID, err))
+			case res.Violation != "":
+				failures = append(failures, fmt.Sprintf("session %d: %s", res.ID, res.Violation))
+			case !res.Completed:
+				failures = append(failures, fmt.Sprintf("session %d: only %d/%d messages written",
+					res.ID, res.RX.Writes, len(inputs[i])))
+			default:
+				completed++
+			}
+		}(i)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	agg := pipe.Server.Aggregate()
+	affected, dropped, _, corrupted, _ := plan.Stats()
+	fmt.Printf("loadtest: %d sessions of %d bits over %s via %s\n",
+		sessions, 4*base.BlockBits, sol, agg.Transport)
+	fmt.Printf("faults: %d packets affected, %d dropped, %d corrupted\n",
+		affected, dropped, corrupted)
+	fmt.Printf("completed %d/%d in %v (%.0f sessions/sec), server writes=%d refused=%d\n",
+		completed, sessions, wall.Round(time.Millisecond),
+		float64(completed)/wall.Seconds(), agg.Writes, agg.Refused)
+
+	if len(failures) > 0 {
+		for i, f := range failures {
+			if i == 5 {
+				fmt.Printf("... and %d more\n", len(failures)-5)
+				break
+			}
+			fmt.Println(f)
+		}
+		return fmt.Errorf("%d of %d sessions failed", len(failures), sessions)
+	}
+	fmt.Println("every session's output equals its input: faults cost effort, not correctness")
+	return nil
+}

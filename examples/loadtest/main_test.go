@@ -1,0 +1,12 @@
+package main
+
+import "testing"
+
+// TestRun smoke-tests the load-test demo end to end with a smaller
+// session count, so `go test ./...` stays fast while still exercising
+// the full serving path (mux, backpressure, fault plan, verification).
+func TestRun(t *testing.T) {
+	if err := run(64); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,180 @@
+package session
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/wire"
+)
+
+// Dialer is the transmitter side of the mux: Start opens a session —
+// blocking on the MaxSessions semaphore for backpressure — and drives a
+// fresh transmitter automaton over the shared transport. r->t frames
+// (acks, control traffic) are demultiplexed back to their session.
+type Dialer struct {
+	cfg    Config
+	sem    chan struct{}
+	done   chan struct{}
+	wg     sync.WaitGroup
+	seq    atomic.Int64
+	nextID atomic.Uint32
+
+	mu        sync.Mutex
+	active    map[uint32]*endpoint
+	finished  map[uint32]Report
+	stray     int // r->t frames with no active session
+	closeOnce sync.Once
+}
+
+// NewDialer validates the config and starts the r->t demux loop.
+func NewDialer(cfg Config) (*Dialer, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	d := &Dialer{
+		cfg:      cfg,
+		sem:      make(chan struct{}, cfg.MaxSessions),
+		done:     make(chan struct{}),
+		active:   make(map[uint32]*endpoint),
+		finished: make(map[uint32]Report),
+	}
+	d.wg.Add(1)
+	go d.demux()
+	return d, nil
+}
+
+func (d *Dialer) demux() {
+	defer d.wg.Done()
+	del := d.cfg.Transport.Deliveries(wire.RtoT)
+	for {
+		select {
+		case <-d.done:
+			return
+		case f, ok := <-del:
+			if !ok {
+				return
+			}
+			d.mu.Lock()
+			ep := d.active[f.Session]
+			if ep == nil {
+				d.stray++
+			}
+			d.mu.Unlock()
+			if ep != nil {
+				ep.deliver(f)
+			}
+		}
+	}
+}
+
+// Conn is one open transmitter-side session.
+type Conn struct {
+	d  *Dialer
+	ep *endpoint
+	x  []wire.Bit
+}
+
+// ID returns the session ID carried in every frame.
+func (c *Conn) ID() uint32 { return c.ep.id }
+
+// X returns the session's input sequence.
+func (c *Conn) X() []wire.Bit { return append([]wire.Bit(nil), c.x...) }
+
+// Report snapshots the transmitter endpoint.
+func (c *Conn) Report() Report { return c.ep.snapshot(true) }
+
+// Close stops the session's loop, waits for it to exit and releases its
+// backpressure slot. Idempotent.
+func (c *Conn) Close() {
+	c.ep.halt()
+	select {
+	case <-c.ep.stopped:
+	case <-c.d.done:
+	}
+}
+
+// Start opens a new session for input x. It blocks while MaxSessions
+// sessions are already open — the backpressure contract — until a slot
+// frees, the context is done, or the dialer closes.
+func (d *Dialer) Start(ctx context.Context, x []wire.Bit) (*Conn, error) {
+	select {
+	case d.sem <- struct{}{}:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	case <-d.done:
+		return nil, fmt.Errorf("session: dialer closed")
+	}
+	t, _, err := d.cfg.Solution.NewPair(x)
+	if err != nil {
+		<-d.sem
+		return nil, err
+	}
+	id := d.nextID.Add(1)
+	ep := newEndpoint(d.cfg, id, "transmitter", t, &d.seq, 1)
+	d.mu.Lock()
+	d.active[id] = ep
+	d.mu.Unlock()
+	d.wg.Add(1)
+	go func() {
+		defer d.wg.Done()
+		ep.loop(d.done, false)
+		ep.markFinished()
+		rep := ep.snapshot(true)
+		d.mu.Lock()
+		delete(d.active, id)
+		d.finished[id] = rep
+		d.mu.Unlock()
+		<-d.sem
+	}()
+	return &Conn{d: d, ep: ep, x: append([]wire.Bit(nil), x...)}, nil
+}
+
+// InFlight returns the number of currently open sessions.
+func (d *Dialer) InFlight() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.active)
+}
+
+// Stray counts r->t frames that arrived for no active session.
+func (d *Dialer) Stray() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.stray
+}
+
+// Reports returns a report per session the dialer has ever opened.
+func (d *Dialer) Reports() []Report {
+	d.mu.Lock()
+	eps := make([]*endpoint, 0, len(d.active))
+	out := make([]Report, 0, len(d.finished)+len(d.active))
+	for _, rep := range d.finished {
+		out = append(out, rep)
+	}
+	for _, ep := range d.active {
+		eps = append(eps, ep)
+	}
+	d.mu.Unlock()
+	for _, ep := range eps {
+		out = append(out, ep.snapshot(true))
+	}
+	return out
+}
+
+// Aggregate sums counters across every session opened so far.
+func (d *Dialer) Aggregate() Aggregate {
+	return aggregate(d.cfg, d.Reports(), 0)
+}
+
+// Close stops the demux loop and every open session, then waits for
+// them. It does not close the transport (the caller owns it).
+func (d *Dialer) Close() error {
+	d.closeOnce.Do(func() {
+		close(d.done)
+		d.wg.Wait()
+	})
+	return nil
+}

@@ -1,0 +1,284 @@
+package session
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// Server is the receiver side of the mux: it demultiplexes t->r frames by
+// session ID, spawns a fresh receiver automaton per new session, drives
+// each off the shared clock, and evicts sessions that go idle.
+type Server struct {
+	cfg  Config
+	done chan struct{}
+	wg   sync.WaitGroup
+	seq  atomic.Int64
+
+	mu        sync.Mutex
+	active    map[uint32]*endpoint
+	finished  map[uint32]Report
+	refused   int // frames of new sessions dropped at the MaxSessions cap
+	closeOnce sync.Once
+}
+
+// NewServer validates the config and starts the demux loop.
+func NewServer(cfg Config) (*Server, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		cfg:      cfg,
+		done:     make(chan struct{}),
+		active:   make(map[uint32]*endpoint),
+		finished: make(map[uint32]Report),
+	}
+	s.wg.Add(1)
+	go s.demux()
+	return s, nil
+}
+
+// demux routes every delivered t->r frame to its session's inbox,
+// spawning receiver sessions on first contact.
+func (s *Server) demux() {
+	defer s.wg.Done()
+	del := s.cfg.Transport.Deliveries(wire.TtoR)
+	for {
+		select {
+		case <-s.done:
+			return
+		case f, ok := <-del:
+			if !ok {
+				return
+			}
+			s.route(f)
+		}
+	}
+}
+
+func (s *Server) route(f wire.Frame) {
+	s.mu.Lock()
+	ep := s.active[f.Session]
+	if ep == nil {
+		if len(s.active) >= s.cfg.MaxSessions {
+			s.refused++
+			s.mu.Unlock()
+			return
+		}
+		var err error
+		ep, err = s.spawnLocked(f.Session)
+		if err != nil {
+			s.refused++
+			s.mu.Unlock()
+			return
+		}
+	}
+	s.mu.Unlock()
+	ep.deliver(f)
+}
+
+// spawnLocked builds a receiver endpoint for a new session and starts its
+// loop. Callers hold s.mu.
+func (s *Server) spawnLocked(id uint32) (*endpoint, error) {
+	// The pair builder needs an input only for the transmitter half,
+	// which the server discards; the receiver starts empty.
+	_, r, err := s.cfg.Solution.NewPair(nil)
+	if err != nil {
+		return nil, fmt.Errorf("session: server pair for session %d: %w", id, err)
+	}
+	ep := newEndpoint(s.cfg, id, "receiver", r, &s.seq, 0)
+	s.active[id] = ep
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		ep.loop(s.done, true)
+		ep.markFinished()
+		s.retire(ep)
+	}()
+	return ep, nil
+}
+
+// retire moves an exited session from the active map to the finished
+// reports.
+func (s *Server) retire(ep *endpoint) {
+	rep := ep.snapshot(true)
+	s.mu.Lock()
+	delete(s.active, ep.id)
+	s.finished[ep.id] = rep
+	s.mu.Unlock()
+}
+
+// lookup returns the active endpoint for a session, if any.
+func (s *Server) lookup(id uint32) *endpoint {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.active[id]
+}
+
+// Snapshot returns the current report for a session — active or finished.
+func (s *Server) Snapshot(id uint32) (Report, bool) {
+	if ep := s.lookup(id); ep != nil {
+		return ep.snapshot(true), true
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rep, ok := s.finished[id]
+	return rep, ok
+}
+
+// Reports returns a report per session the server has ever run, finished
+// sessions first.
+func (s *Server) Reports() []Report {
+	s.mu.Lock()
+	eps := make([]*endpoint, 0, len(s.active))
+	out := make([]Report, 0, len(s.finished)+len(s.active))
+	for _, rep := range s.finished {
+		out = append(out, rep)
+	}
+	for _, ep := range s.active {
+		eps = append(eps, ep)
+	}
+	s.mu.Unlock()
+	for _, ep := range eps {
+		out = append(out, ep.snapshot(true))
+	}
+	return out
+}
+
+// Refused counts frames dropped because a new session would have
+// exceeded MaxSessions (or its pair could not be built).
+func (s *Server) Refused() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.refused
+}
+
+// WaitWrites blocks until session id has written at least n messages,
+// returning its light report. It tolerates the session not existing yet
+// (frames may still be in flight).
+func (s *Server) WaitWrites(ctx context.Context, id uint32, n int) (Report, error) {
+	poll := time.NewTicker(2 * time.Millisecond)
+	defer poll.Stop()
+	for {
+		var (
+			rep    Report
+			known  bool
+			notify chan struct{}
+		)
+		if ep := s.lookup(id); ep != nil {
+			rep = ep.snapshot(false)
+			known = true
+			notify = ep.notify
+		} else if r, ok := func() (Report, bool) {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			r, ok := s.finished[id]
+			return r, ok
+		}(); ok {
+			rep = r
+			known = true
+		}
+		if known && rep.Writes >= n {
+			return rep, nil
+		}
+		if known && rep.Finished {
+			return rep, fmt.Errorf("session: session %d ended with %d of %d writes", id, rep.Writes, n)
+		}
+		if notify == nil {
+			notify = make(chan struct{}) // unknown session: pure polling
+		}
+		select {
+		case <-ctx.Done():
+			return rep, ctx.Err()
+		case <-s.done:
+			return rep, fmt.Errorf("session: server closed waiting on session %d", id)
+		case <-notify:
+		case <-poll.C:
+		}
+	}
+}
+
+// Evict stops a session's endpoint (if active) and waits for it to
+// retire, returning its final report.
+func (s *Server) Evict(id uint32) (Report, bool) {
+	ep := s.lookup(id)
+	if ep == nil {
+		s.mu.Lock()
+		rep, ok := s.finished[id]
+		s.mu.Unlock()
+		return rep, ok
+	}
+	ep.halt()
+	select {
+	case <-ep.stopped:
+	case <-s.done:
+	}
+	s.mu.Lock()
+	rep, ok := s.finished[id]
+	s.mu.Unlock()
+	if !ok {
+		// Retirement may still be in flight; fall back to a live snapshot.
+		return ep.snapshot(true), true
+	}
+	return rep, ok
+}
+
+// Aggregate sums counters across every session seen so far.
+func (s *Server) Aggregate() Aggregate {
+	return aggregate(s.cfg, s.Reports(), s.Refused())
+}
+
+// Close stops the demux loop and every session goroutine, then waits for
+// them. It does not close the transport (the caller owns it).
+func (s *Server) Close() error {
+	s.closeOnce.Do(func() {
+		close(s.done)
+		s.wg.Wait()
+	})
+	return nil
+}
+
+// Aggregate sums per-session counters into one serving-side view.
+type Aggregate struct {
+	// Proto and Transport label the stack.
+	Proto, Transport string
+	// Sessions counts sessions ever seen; Active those still live;
+	// Evicted those torn down idle.
+	Sessions, Active, Evicted int
+	// Refused counts new-session frames dropped at the MaxSessions cap.
+	Refused int
+	// Sends, Deliveries, Writes, Rejected and Overflow sum the endpoint
+	// counters.
+	Sends, Deliveries, Writes, Rejected, Overflow int
+}
+
+func aggregate(cfg Config, reports []Report, refused int) Aggregate {
+	agg := Aggregate{Proto: cfg.Solution.String(), Transport: cfg.Transport.Name(), Refused: refused}
+	for _, r := range reports {
+		agg.Sessions++
+		if !r.Finished {
+			agg.Active++
+		}
+		if r.Evicted {
+			agg.Evicted++
+		}
+		agg.Sends += r.Sends
+		agg.Deliveries += r.Deliveries
+		agg.Writes += r.Writes
+		agg.Rejected += r.Rejected
+		agg.Overflow += r.Overflow
+	}
+	return agg
+}
+
+// String renders the aggregate as one report line.
+func (a Aggregate) String() string {
+	return fmt.Sprintf("%s over %s: %d sessions (%d active, %d evicted, %d refused), %d sends, %d deliveries, %d writes, %d rejected, %d overflow",
+		a.Proto, a.Transport, a.Sessions, a.Active, a.Evicted, a.Refused,
+		a.Sends, a.Deliveries, a.Writes, a.Rejected, a.Overflow)
+}

@@ -1,0 +1,393 @@
+// Package session runs many RSTP transfers concurrently over one
+// transport: the serving layer the simulator does not have.
+//
+// Each transfer is a *session*: a fresh protocol pair (bare, hardened or
+// stabilized — anything exposing NewPair) whose transmitter automaton
+// lives in a Dialer and whose receiver automaton lives in a Server,
+// connected by a shared transport.Transport that frames every packet
+// with the session ID (wire.Frame). Both ends are driven off one shared
+// real-time Clock: every endpoint takes one local protocol step each
+// StepGap ticks, with C1 <= StepGap <= C2, so the paper's step-bound
+// assumption Σ(At, Ar) is honored by construction (up to OS scheduler
+// jitter, which can only stretch gaps — see DESIGN.md).
+//
+// Concurrency layout, kept deliberately simple so it is race-clean under
+// `go test -race`:
+//
+//   - one demux goroutine per Server/Dialer, routing delivered frames to
+//     per-session inboxes;
+//   - one goroutine per session endpoint, owning its automaton: all
+//     Apply/NextLocal calls happen there, serialised with incoming frames
+//     through a select loop;
+//   - counters and traces guarded by a per-endpoint mutex, snapshotted
+//     into immutable Reports for readers.
+//
+// Backpressure is a Dialer-side semaphore of MaxSessions slots (Start
+// blocks until a slot frees or the context is done); the Server
+// additionally refuses to spawn receiver state beyond its own
+// MaxSessions, dropping frames of over-limit sessions. Idle receiver
+// sessions are evicted after IdleTicks without traffic.
+package session
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/ioa"
+	"repro/internal/rstp"
+	"repro/internal/timed"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// PairBuilder constructs fresh protocol pairs: rstp.Solution,
+// rstp.HardenedSolution and rstp.StabilizedSolution all satisfy it.
+type PairBuilder interface {
+	// NewPair builds a transmitter/receiver pair for input x.
+	NewPair(x []wire.Bit) (t, r ioa.Automaton, err error)
+	// String names the protocol stack, e.g. "hardened(beta(k=4))".
+	String() string
+}
+
+// Config configures a Server, a Dialer, or a Pipe (which shares one
+// Config across both). Transport, Clock, Solution and Params are
+// required; everything else has serving defaults.
+type Config struct {
+	// Solution builds each session's protocol pair.
+	Solution PairBuilder
+	// Params are the timing constants; StepGap and delay bounds are
+	// interpreted against them.
+	Params rstp.Params
+	// Transport carries the frames.
+	Transport transport.Transport
+	// Clock is the shared tick source.
+	Clock *transport.Clock
+	// StepGap is the tick gap between consecutive local protocol steps,
+	// clamped into [C1, C2]. Default C2 (the slowest legal schedule, the
+	// one the effort bounds quantify over).
+	StepGap int64
+	// MaxSessions bounds concurrently live sessions per side (default
+	// 1024). Dial blocks on it; the Server refuses receiver state past it.
+	MaxSessions int
+	// IdleTicks evicts a receiver session after this many ticks without
+	// traffic (default 64·D; <0 disables eviction).
+	IdleTicks int64
+	// Buffer is the per-session inbox capacity (default 64). A full inbox
+	// drops frames — the mux never blocks its demux loop on one session.
+	Buffer int
+	// TraceLimit caps the per-session recorded event trace used for
+	// per-session statistics (default 8192 events; <0 disables tracing).
+	// Events past the cap are counted, not recorded.
+	TraceLimit int
+}
+
+func (c Config) withDefaults() (Config, error) {
+	if c.Solution == nil {
+		return c, fmt.Errorf("session: Config.Solution required")
+	}
+	if c.Transport == nil {
+		return c, fmt.Errorf("session: Config.Transport required")
+	}
+	if c.Clock == nil {
+		return c, fmt.Errorf("session: Config.Clock required")
+	}
+	if err := c.Params.Validate(); err != nil {
+		return c, err
+	}
+	if c.StepGap == 0 {
+		c.StepGap = c.Params.C2
+	}
+	if c.StepGap < c.Params.C1 {
+		c.StepGap = c.Params.C1
+	}
+	if c.StepGap > c.Params.C2 {
+		c.StepGap = c.Params.C2
+	}
+	if c.MaxSessions <= 0 {
+		c.MaxSessions = 1024
+	}
+	if c.IdleTicks == 0 {
+		c.IdleTicks = 64 * c.Params.D
+	}
+	if c.Buffer <= 0 {
+		c.Buffer = 64
+	}
+	if c.TraceLimit == 0 {
+		c.TraceLimit = 8192
+	}
+	return c, nil
+}
+
+// eventSeq orders recorded trace events across all endpoints, so merged
+// per-session traces sort causally (a recv is always recorded after its
+// send).
+var eventSeq atomic.Int64
+
+// Report is an immutable snapshot of one session endpoint.
+type Report struct {
+	// ID is the session ID.
+	ID uint32
+	// Role is "transmitter" or "receiver".
+	Role string
+	// Start is the tick the endpoint was created.
+	Start int64
+	// Sends, Deliveries and Writes count protocol events so far; Rejected
+	// counts delivered frames the automaton's signature refused and
+	// Overflow frames dropped on a full inbox.
+	Sends, Deliveries, Writes int
+	Rejected, Overflow        int
+	// LastSend and LastWrite are absolute ticks (0 if none).
+	LastSend, LastWrite int64
+	// Y is the written output tape (receiver endpoints).
+	Y []wire.Bit
+	// Evicted reports the endpoint was torn down by the idle monitor.
+	Evicted bool
+	// Finished reports the endpoint's goroutine has exited.
+	Finished bool
+	// Trace is the recorded event trace (nil for light snapshots or when
+	// tracing is disabled); TraceDropped counts events past TraceLimit.
+	Trace        []timed.Event
+	TraceDropped int
+}
+
+// Effort is the endpoint-local effort estimate (LastSend-Start)/Writes —
+// meaningful on merged transmitter+receiver views; see Pipe.
+func (r Report) Effort() float64 {
+	if r.Writes == 0 || r.LastSend == 0 {
+		return 0
+	}
+	return float64(r.LastSend-r.Start) / float64(r.Writes)
+}
+
+// PrefixCheck compares an output tape y against the input x: it returns
+// "" when y is a prefix of x, else a description of the first violation.
+func PrefixCheck(x, y []wire.Bit) string {
+	if len(y) > len(x) {
+		return fmt.Sprintf("output has %d messages, input only %d", len(y), len(x))
+	}
+	for i := range y {
+		if y[i] != x[i] {
+			return fmt.Sprintf("output[%d] = %v, want %v", i, y[i], x[i])
+		}
+	}
+	return ""
+}
+
+// endpoint is one side of one session: an automaton, its inbox, and its
+// counters. The loop goroutine owns the automaton; the mutex guards only
+// the counters and trace.
+type endpoint struct {
+	id   uint32
+	role string
+	auto ioa.Automaton
+	cfg  Config
+	seq  *atomic.Int64 // shared per-side packet sequence source
+	side int64         // 0 = transmitter side (odd seqs), 1 = receiver (even)
+
+	in      chan wire.Frame
+	stop    chan struct{}
+	stopped chan struct{} // closed when the loop has exited
+	notify  chan struct{} // pulsed on every write
+	stopOne sync.Once
+
+	mu           sync.Mutex
+	start        int64
+	sends        int
+	deliveries   int
+	writes       int
+	rejected     int
+	overflow     int
+	lastSend     int64
+	lastWrite    int64
+	lastActivity int64
+	y            []wire.Bit
+	trace        []timed.Event
+	traceDropped int
+	evicted      bool
+	finished     bool
+}
+
+func newEndpoint(cfg Config, id uint32, role string, auto ioa.Automaton, seq *atomic.Int64, side int64) *endpoint {
+	now := cfg.Clock.Now()
+	return &endpoint{
+		id:      id,
+		role:    role,
+		auto:    auto,
+		cfg:     cfg,
+		seq:     seq,
+		side:    side,
+		in:      make(chan wire.Frame, cfg.Buffer),
+		stop:    make(chan struct{}),
+		stopped: make(chan struct{}),
+		notify:  make(chan struct{}, 1),
+		mu:      sync.Mutex{},
+		start:   now, lastActivity: now,
+	}
+}
+
+// halt asks the loop to exit; idempotent.
+func (e *endpoint) halt() { e.stopOne.Do(func() { close(e.stop) }) }
+
+// deliver routes a frame into the inbox without ever blocking the caller.
+func (e *endpoint) deliver(f wire.Frame) {
+	select {
+	case e.in <- f:
+	default:
+		e.mu.Lock()
+		e.overflow++
+		e.mu.Unlock()
+	}
+}
+
+// record appends a trace event under the configured cap. Callers hold e.mu.
+func (e *endpoint) record(t int64, actor string, act ioa.Action, pktSeq int64) {
+	if e.cfg.TraceLimit < 0 {
+		return
+	}
+	if len(e.trace) >= e.cfg.TraceLimit {
+		e.traceDropped++
+		return
+	}
+	e.trace = append(e.trace, timed.Event{
+		Time: t, Seq: eventSeq.Add(1), Actor: actor, Action: act, PacketSeq: pktSeq,
+	})
+}
+
+// loop drives the endpoint: one local protocol step per StepGap ticks,
+// frames applied as they arrive, idle eviction for receivers. ownerDone
+// is the owning Server/Dialer's shutdown signal.
+func (e *endpoint) loop(ownerDone <-chan struct{}, evictIdle bool) {
+	defer close(e.stopped)
+	ticker := time.NewTicker(e.cfg.Clock.Ticks(e.cfg.StepGap))
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ownerDone:
+			return
+		case <-e.stop:
+			return
+		case f := <-e.in:
+			e.onFrame(f)
+		case <-ticker.C:
+			if !e.step() {
+				return
+			}
+			if evictIdle && e.cfg.IdleTicks > 0 {
+				now := e.cfg.Clock.Now()
+				e.mu.Lock()
+				idle := now-e.lastActivity > e.cfg.IdleTicks
+				if idle {
+					e.evicted = true
+				}
+				e.mu.Unlock()
+				if idle {
+					return
+				}
+			}
+		}
+	}
+}
+
+// onFrame applies one delivered frame as a recv input, if the automaton's
+// signature accepts it.
+func (e *endpoint) onFrame(f wire.Frame) {
+	now := e.cfg.Clock.Now()
+	act := wire.Recv{Dir: f.Dir, P: f.P}
+	e.mu.Lock()
+	e.lastActivity = now
+	if e.auto.Classify(act) != ioa.ClassInput {
+		e.rejected++
+		e.mu.Unlock()
+		return
+	}
+	e.mu.Unlock()
+	if err := e.auto.Apply(act); err != nil {
+		e.mu.Lock()
+		e.rejected++
+		e.mu.Unlock()
+		return
+	}
+	e.mu.Lock()
+	e.deliveries++
+	e.record(now, "chan", act, f.Seq)
+	e.mu.Unlock()
+}
+
+// step applies one local protocol action and performs its side effects
+// (transport sends, output-tape writes). It returns false when the
+// endpoint cannot make progress anymore (transport closed).
+func (e *endpoint) step() bool {
+	act, ok := e.auto.NextLocal()
+	if !ok {
+		return true // terminated protocol: keep serving recvs until stopped
+	}
+	if err := e.auto.Apply(act); err != nil {
+		// A race between precondition and Apply cannot happen — the loop
+		// goroutine owns the automaton — so treat this as a protocol bug
+		// surfaced in counters rather than a crash.
+		e.mu.Lock()
+		e.rejected++
+		e.mu.Unlock()
+		return true
+	}
+	now := e.cfg.Clock.Now()
+	switch a := act.(type) {
+	case wire.Send:
+		pktSeq := e.seq.Add(1)*2 + e.side // disjoint seq ranges per side
+		err := e.cfg.Transport.Send(wire.Frame{Session: e.id, Dir: a.Dir, Seq: pktSeq, P: a.P})
+		e.mu.Lock()
+		e.sends++
+		e.lastSend = now
+		e.record(now, e.auto.Name(), act, pktSeq)
+		e.mu.Unlock()
+		if err != nil {
+			return false
+		}
+	case wire.Write:
+		e.mu.Lock()
+		e.y = append(e.y, a.M)
+		e.writes++
+		e.lastWrite = now
+		e.record(now, e.auto.Name(), act, 0)
+		e.mu.Unlock()
+		select {
+		case e.notify <- struct{}{}:
+		default:
+		}
+	default:
+		e.mu.Lock()
+		e.record(now, e.auto.Name(), act, 0)
+		e.mu.Unlock()
+	}
+	return true
+}
+
+// snapshot captures the endpoint's counters; withTrace also copies the
+// recorded trace and output tape.
+func (e *endpoint) snapshot(withTrace bool) Report {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	r := Report{
+		ID: e.id, Role: e.role, Start: e.start,
+		Sends: e.sends, Deliveries: e.deliveries, Writes: e.writes,
+		Rejected: e.rejected, Overflow: e.overflow,
+		LastSend: e.lastSend, LastWrite: e.lastWrite,
+		Evicted: e.evicted, Finished: e.finished,
+		TraceDropped: e.traceDropped,
+	}
+	r.Y = append([]wire.Bit(nil), e.y...)
+	if withTrace {
+		r.Trace = append([]timed.Event(nil), e.trace...)
+	}
+	return r
+}
+
+// markFinished flags the endpoint's loop as exited (set by the owner
+// right after the goroutine returns).
+func (e *endpoint) markFinished() {
+	e.mu.Lock()
+	e.finished = true
+	e.mu.Unlock()
+}

@@ -1,6 +1,7 @@
 package wire
 
 import (
+	"encoding/binary"
 	"testing"
 )
 
@@ -23,6 +24,49 @@ func FuzzParseBits(f *testing.F) {
 			if !b.Valid() {
 				t.Fatalf("parsed invalid bit %d", b)
 			}
+		}
+	})
+}
+
+// FuzzParseFrame: ParseFrame must never panic on arbitrary bytes, and
+// every accepted frame must re-encode to exactly the input buffer.
+func FuzzParseFrame(f *testing.F) {
+	// Valid frames.
+	for _, fr := range []Frame{
+		{Session: 1, Dir: TtoR, Seq: 1, P: DataPacket(3)},
+		{Session: 9, Dir: RtoT, Seq: 7, P: AckPacket()},
+		{Session: 2, Dir: TtoR, Seq: 2, P: DataPacket(0), Payload: []byte("xy")},
+	} {
+		buf, err := EncodeFrame(fr)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf)
+	}
+	// Regression seed: declared payload length exceeds the buffered bytes.
+	// Before length validation this class of input hit a slice-bounds
+	// panic; it must now be rejected as a parse error.
+	over, err := EncodeFrame(Frame{Session: 1, Dir: TtoR, Seq: 1, P: DataPacket(2), Payload: []byte{1, 2, 3}})
+	if err != nil {
+		f.Fatal(err)
+	}
+	binary.BigEndian.PutUint16(over[32:34], 60000)
+	f.Add(over)
+	// Truncated header and junk.
+	f.Add([]byte{})
+	f.Add([]byte{'R', 1, 0, 0})
+	f.Add([]byte("not a frame at all, just bytes"))
+	f.Fuzz(func(t *testing.T, buf []byte) {
+		fr, err := ParseFrame(buf)
+		if err != nil {
+			return
+		}
+		out, err := EncodeFrame(fr)
+		if err != nil {
+			t.Fatalf("accepted frame %v failed to re-encode: %v", fr, err)
+		}
+		if string(out) != string(buf) {
+			t.Fatalf("round trip mismatch:\n in %x\nout %x", buf, out)
 		}
 	})
 }

@@ -37,13 +37,17 @@
 package repro
 
 import (
+	"time"
+
 	"repro/internal/chanmodel"
 	"repro/internal/faults"
 	"repro/internal/frame"
 	"repro/internal/rstp"
 	"repro/internal/rstpx"
+	"repro/internal/session"
 	"repro/internal/sim"
 	"repro/internal/timed"
+	"repro/internal/transport"
 	"repro/internal/wire"
 )
 
@@ -314,3 +318,58 @@ func (w *windowDelay) Arrivals(_ int64, sendTime int64, _ wire.Dir, _ wire.Packe
 	}
 	return []int64{sendTime + w.d1 + w.rnd.Int63n(w.d2-w.d1+1)}
 }
+
+// Serving mode: real-time, multi-session transfers over concurrent
+// transports. See cmd/rstpserve for the CLI harness and DESIGN.md
+// ("Serving subsystem") for the mapping from each Transport to the
+// paper's channel axioms.
+type (
+	// Transport moves session-framed packets between a transmitter side
+	// and a receiver side in real time.
+	Transport = transport.Transport
+	// Clock maps model ticks onto wall time for real-time runs.
+	Clock = transport.Clock
+	// MemOptions configures the in-memory transport (delay policy, fault
+	// plan reuse, channel buffering).
+	MemOptions = transport.MemOptions
+	// ServeConfig configures a Server, Dialer or Pipe.
+	ServeConfig = session.Config
+	// Server is the receiver-side session multiplexer.
+	Server = session.Server
+	// Dialer is the transmitter-side session initiator.
+	Dialer = session.Dialer
+	// SessionConn is one live transmitter-side session.
+	SessionConn = session.Conn
+	// Pipe bundles a Server and Dialer over one transport in-process.
+	Pipe = session.Pipe
+	// SessionReport is one endpoint's final accounting.
+	SessionReport = session.Report
+	// TransferResult reports one end-to-end served session.
+	TransferResult = session.TransferResult
+	// ServeAggregate is a server- or dialer-wide counter roll-up.
+	ServeAggregate = session.Aggregate
+)
+
+// NewClock starts a real-time clock with the given tick length (use
+// transport.DefaultTick via NewClock(0)).
+func NewClock(tick time.Duration) *Clock { return transport.NewClock(tick) }
+
+// NewMemTransport returns the in-memory transport: the only Transport
+// that *enforces* the paper's channel axioms (delay ≤ d, no spurious
+// packets, loss/duplication only under an explicit fault plan).
+func NewMemTransport(clock *Clock, opts MemOptions) Transport {
+	return transport.NewMem(clock, opts)
+}
+
+// NewUDPLoopback returns a UDP loopback transport pair on 127.0.0.1.
+func NewUDPLoopback(buffer int) (Transport, error) { return transport.NewUDPLoopback(buffer) }
+
+// Serve starts a receiver-side session server on cfg.Transport.
+func Serve(cfg ServeConfig) (*Server, error) { return session.NewServer(cfg) }
+
+// Dial starts a transmitter-side session dialer on cfg.Transport.
+func Dial(cfg ServeConfig) (*Dialer, error) { return session.NewDialer(cfg) }
+
+// NewPipe starts a Server and a Dialer sharing one transport — the
+// in-process serving harness used by cmd/rstpserve.
+func NewPipe(cfg ServeConfig) (*Pipe, error) { return session.NewPipe(cfg) }
