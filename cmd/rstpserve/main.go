@@ -66,9 +66,11 @@ type summary struct {
 	EffortMax      float64 `json:"effort_max_ticks_per_msg"`
 	EffortBound    float64 `json:"effort_bound_ticks_per_msg"`
 	Sends          int     `json:"sends"`
+	SendErrors     int     `json:"send_errors"`
 	Deliveries     int     `json:"deliveries"`
 	Writes         int     `json:"writes"`
 	Refused        int     `json:"refused"`
+	Late           int     `json:"late"`
 	Overflow       int     `json:"overflow"`
 	Stray          int     `json:"stray"`
 	Faults         string  `json:"faults,omitempty"`
@@ -180,6 +182,7 @@ func run(args []string, out io.Writer) error {
 		err error
 	}
 	start := time.Now()
+	effortN := 0
 	results := make([]outcome, *sessions)
 	var wg sync.WaitGroup
 	for i := 0; i < *sessions; i++ {
@@ -221,8 +224,13 @@ func run(args []string, out io.Writer) error {
 		sum.Deliveries += res.TX.Deliveries + res.RX.Deliveries
 		sum.Writes += res.RX.Writes
 		sum.Overflow += res.TX.Overflow + res.RX.Overflow
-		if e := res.Effort(); e > 0 {
+		sum.SendErrors += res.TX.SendErrors + res.RX.SendErrors
+		// Effort statistics are over completed sessions only (the schema's
+		// documented population): an incomplete session's last send tick
+		// says nothing about the per-message cost the bound quantifies.
+		if e := res.Effort(); e > 0 && res.Completed {
 			sum.EffortMean += e
+			effortN++
 			if e > sum.EffortMax {
 				sum.EffortMax = e
 			}
@@ -232,14 +240,15 @@ func run(args []string, out io.Writer) error {
 				res.ID, res.Completed, res.RX.Writes, len(inputs[i]), res.Effort(), o.err, res.Violation)
 		}
 	}
-	if sum.Completed > 0 {
-		sum.EffortMean /= float64(sum.Completed)
+	if effortN > 0 {
+		sum.EffortMean /= float64(effortN)
 	}
 	if secs := wall.Seconds(); secs > 0 {
 		sum.SessionsPerSec = float64(sum.Completed) / secs
 		sum.GoodputMsgSec = float64(sum.Writes) / secs
 	}
 	sum.Refused = pipe.Server.Refused()
+	sum.Late = pipe.Server.Late()
 	sum.Stray = pipe.Dialer.Stray()
 
 	enc := json.NewEncoder(out)

@@ -113,7 +113,7 @@ func (d *Dialer) Start(ctx context.Context, x []wire.Bit) (*Conn, error) {
 		return nil, err
 	}
 	id := d.nextID.Add(1)
-	ep := newEndpoint(d.cfg, id, "transmitter", t, &d.seq, 1)
+	ep := newEndpoint(d.cfg, id, "transmitter", t, &d.seq)
 	d.mu.Lock()
 	d.active[id] = ep
 	d.mu.Unlock()
@@ -166,7 +166,7 @@ func (d *Dialer) Reports() []Report {
 
 // Aggregate sums counters across every session opened so far.
 func (d *Dialer) Aggregate() Aggregate {
-	return aggregate(d.cfg, d.Reports(), 0)
+	return aggregate(d.cfg, d.Reports(), 0, 0)
 }
 
 // Close stops the demux loop and every open session, then waits for

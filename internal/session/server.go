@@ -23,6 +23,7 @@ type Server struct {
 	active    map[uint32]*endpoint
 	finished  map[uint32]Report
 	refused   int // frames of new sessions dropped at the MaxSessions cap
+	late      int // frames of already-finished sessions dropped at the tombstone
 	closeOnce sync.Once
 }
 
@@ -65,6 +66,17 @@ func (s *Server) route(f wire.Frame) {
 	s.mu.Lock()
 	ep := s.active[f.Session]
 	if ep == nil {
+		// The finished map doubles as a tombstone set: frames of a
+		// retired session can still be in flight (retransmissions up to D
+		// ticks behind the eviction) and must not re-spawn a ghost
+		// receiver under the same ID — a ghost would pin a MaxSessions
+		// slot until idle eviction (forever with IdleTicks disabled) and
+		// shadow the real session's report.
+		if _, done := s.finished[f.Session]; done {
+			s.late++
+			s.mu.Unlock()
+			return
+		}
 		if len(s.active) >= s.cfg.MaxSessions {
 			s.refused++
 			s.mu.Unlock()
@@ -91,7 +103,7 @@ func (s *Server) spawnLocked(id uint32) (*endpoint, error) {
 	if err != nil {
 		return nil, fmt.Errorf("session: server pair for session %d: %w", id, err)
 	}
-	ep := newEndpoint(s.cfg, id, "receiver", r, &s.seq, 0)
+	ep := newEndpoint(s.cfg, id, "receiver", r, &s.seq)
 	s.active[id] = ep
 	s.wg.Add(1)
 	go func() {
@@ -104,12 +116,15 @@ func (s *Server) spawnLocked(id uint32) (*endpoint, error) {
 }
 
 // retire moves an exited session from the active map to the finished
-// reports.
+// reports. An already-recorded report for the ID is never overwritten —
+// the first retirement under an ID is the authoritative one.
 func (s *Server) retire(ep *endpoint) {
 	rep := ep.snapshot(true)
 	s.mu.Lock()
 	delete(s.active, ep.id)
-	s.finished[ep.id] = rep
+	if _, ok := s.finished[ep.id]; !ok {
+		s.finished[ep.id] = rep
+	}
 	s.mu.Unlock()
 }
 
@@ -156,6 +171,14 @@ func (s *Server) Refused() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.refused
+}
+
+// Late counts frames dropped because their session had already finished
+// — in-flight stragglers of retired sessions, never respawned.
+func (s *Server) Late() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.late
 }
 
 // WaitWrites blocks until session id has written at least n messages,
@@ -230,7 +253,7 @@ func (s *Server) Evict(id uint32) (Report, bool) {
 
 // Aggregate sums counters across every session seen so far.
 func (s *Server) Aggregate() Aggregate {
-	return aggregate(s.cfg, s.Reports(), s.Refused())
+	return aggregate(s.cfg, s.Reports(), s.Refused(), s.Late())
 }
 
 // Close stops the demux loop and every session goroutine, then waits for
@@ -250,15 +273,17 @@ type Aggregate struct {
 	// Sessions counts sessions ever seen; Active those still live;
 	// Evicted those torn down idle.
 	Sessions, Active, Evicted int
-	// Refused counts new-session frames dropped at the MaxSessions cap.
-	Refused int
-	// Sends, Deliveries, Writes, Rejected and Overflow sum the endpoint
-	// counters.
-	Sends, Deliveries, Writes, Rejected, Overflow int
+	// Refused counts new-session frames dropped at the MaxSessions cap;
+	// Late counts in-flight frames of already-finished sessions dropped
+	// at the tombstone (server side only).
+	Refused, Late int
+	// Sends, Deliveries, Writes, Rejected, Overflow and SendErrors sum
+	// the endpoint counters.
+	Sends, Deliveries, Writes, Rejected, Overflow, SendErrors int
 }
 
-func aggregate(cfg Config, reports []Report, refused int) Aggregate {
-	agg := Aggregate{Proto: cfg.Solution.String(), Transport: cfg.Transport.Name(), Refused: refused}
+func aggregate(cfg Config, reports []Report, refused, late int) Aggregate {
+	agg := Aggregate{Proto: cfg.Solution.String(), Transport: cfg.Transport.Name(), Refused: refused, Late: late}
 	for _, r := range reports {
 		agg.Sessions++
 		if !r.Finished {
@@ -272,13 +297,14 @@ func aggregate(cfg Config, reports []Report, refused int) Aggregate {
 		agg.Writes += r.Writes
 		agg.Rejected += r.Rejected
 		agg.Overflow += r.Overflow
+		agg.SendErrors += r.SendErrors
 	}
 	return agg
 }
 
 // String renders the aggregate as one report line.
 func (a Aggregate) String() string {
-	return fmt.Sprintf("%s over %s: %d sessions (%d active, %d evicted, %d refused), %d sends, %d deliveries, %d writes, %d rejected, %d overflow",
-		a.Proto, a.Transport, a.Sessions, a.Active, a.Evicted, a.Refused,
-		a.Sends, a.Deliveries, a.Writes, a.Rejected, a.Overflow)
+	return fmt.Sprintf("%s over %s: %d sessions (%d active, %d evicted, %d refused, %d late), %d sends (%d errored), %d deliveries, %d writes, %d rejected, %d overflow",
+		a.Proto, a.Transport, a.Sessions, a.Active, a.Evicted, a.Refused, a.Late,
+		a.Sends, a.SendErrors, a.Deliveries, a.Writes, a.Rejected, a.Overflow)
 }

@@ -30,6 +30,7 @@
 package session
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -138,6 +139,12 @@ type Report struct {
 	// Overflow frames dropped on a full inbox.
 	Sends, Deliveries, Writes int
 	Rejected, Overflow        int
+	// SendErrors counts Transport.Send failures. They are non-fatal — a
+	// failed send is channel loss, which the protocols retransmit around —
+	// except transport.ErrClosed, which stops the endpoint.
+	SendErrors int
+	// Err is the most recent send error, "" if none.
+	Err string
 	// LastSend and LastWrite are absolute ticks (0 if none).
 	LastSend, LastWrite int64
 	// Y is the written output tape (receiver endpoints).
@@ -184,7 +191,7 @@ type endpoint struct {
 	auto ioa.Automaton
 	cfg  Config
 	seq  *atomic.Int64 // shared per-side packet sequence source
-	side int64         // 0 = transmitter side (odd seqs), 1 = receiver (even)
+	side int64         // seq parity: 1 = transmitter side (odd seqs), 0 = receiver (even)
 
 	in      chan wire.Frame
 	stop    chan struct{}
@@ -199,6 +206,8 @@ type endpoint struct {
 	writes       int
 	rejected     int
 	overflow     int
+	sendErrs     int
+	lastErr      error
 	lastSend     int64
 	lastWrite    int64
 	lastActivity int64
@@ -209,7 +218,14 @@ type endpoint struct {
 	finished     bool
 }
 
-func newEndpoint(cfg Config, id uint32, role string, auto ioa.Automaton, seq *atomic.Int64, side int64) *endpoint {
+func newEndpoint(cfg Config, id uint32, role string, auto ioa.Automaton, seq *atomic.Int64) *endpoint {
+	// The seq parity is derived from the role rather than passed in, so
+	// the disjointness invariant (transmitter frames odd, receiver frames
+	// even) cannot be miswired by a caller.
+	var side int64
+	if role == "transmitter" {
+		side = 1
+	}
 	now := cfg.Clock.Now()
 	return &endpoint{
 		id:      id,
@@ -340,9 +356,17 @@ func (e *endpoint) step() bool {
 		e.mu.Lock()
 		e.sends++
 		e.lastSend = now
+		if err != nil {
+			e.sendErrs++
+			e.lastErr = err
+		}
 		e.record(now, e.auto.Name(), act, pktSeq)
 		e.mu.Unlock()
-		if err != nil {
+		// Only a closed transport is terminal. Anything else (e.g. a
+		// transient ENOBUFS/EMSGSIZE from the UDP socket) drops this frame
+		// exactly like channel loss — the protocols already retransmit —
+		// so the endpoint counts it and keeps stepping.
+		if err != nil && errors.Is(err, transport.ErrClosed) {
 			return false
 		}
 	case wire.Write:
@@ -373,9 +397,13 @@ func (e *endpoint) snapshot(withTrace bool) Report {
 		ID: e.id, Role: e.role, Start: e.start,
 		Sends: e.sends, Deliveries: e.deliveries, Writes: e.writes,
 		Rejected: e.rejected, Overflow: e.overflow,
-		LastSend: e.lastSend, LastWrite: e.lastWrite,
+		SendErrors: e.sendErrs,
+		LastSend:   e.lastSend, LastWrite: e.lastWrite,
 		Evicted: e.evicted, Finished: e.finished,
 		TraceDropped: e.traceDropped,
+	}
+	if e.lastErr != nil {
+		r.Err = e.lastErr.Error()
 	}
 	r.Y = append([]wire.Bit(nil), e.y...)
 	if withTrace {

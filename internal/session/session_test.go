@@ -2,7 +2,9 @@ package session
 
 import (
 	"context"
+	"fmt"
 	"math/rand"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -364,6 +366,90 @@ func TestTransferOverUDP(t *testing.T) {
 		if err := <-done; err != nil {
 			t.Fatalf("udp transfer: %v", err)
 		}
+	}
+}
+
+// TestLateFrameDoesNotRespawnFinishedSession pins the tombstone: after a
+// session retires, in-flight stragglers under its ID (retransmissions up
+// to D ticks behind the eviction) must be dropped, not spawn a ghost
+// receiver that would pin a MaxSessions slot (forever, with idle
+// eviction disabled) and shadow the real session's finished report.
+func TestLateFrameDoesNotRespawnFinishedSession(t *testing.T) {
+	sol := mustBeta(t, 4)
+	cfg, _ := memConfig(t, sol, nil)
+	cfg.IdleTicks = -1 // the rstpserve/loadtest setting: a ghost would never be torn down
+	pipe, err := NewPipe(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pipe.Close()
+	x := inputFor(t, sol, 1, 9)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	res, err := pipe.Transfer(ctx, x)
+	if err != nil || !res.Completed {
+		t.Fatalf("transfer: %v (completed=%v)", err, res.Completed)
+	}
+	// A straggler frame for the finished session arrives after eviction.
+	pipe.Server.route(wire.Frame{Session: res.ID, Dir: wire.TtoR, Seq: 9999, P: wire.DataPacket(1)})
+	if ep := pipe.Server.lookup(res.ID); ep != nil {
+		t.Fatal("late frame respawned a ghost receiver for a finished session")
+	}
+	if got := pipe.Server.Late(); got != 1 {
+		t.Fatalf("late counter %d, want 1", got)
+	}
+	rep, ok := pipe.Server.Snapshot(res.ID)
+	if !ok || rep.Writes != len(x) {
+		t.Fatalf("finished report corrupted: ok=%v writes=%d, want %d", ok, rep.Writes, len(x))
+	}
+}
+
+// flakySend wraps a Transport, failing the first `remaining` sends with a
+// transient (non-ErrClosed) error — the shape of a kernel ENOBUFS on the
+// UDP transport.
+type flakySend struct {
+	transport.Transport
+	remaining atomic.Int64
+}
+
+func (f *flakySend) Send(fr wire.Frame) error {
+	if f.remaining.Add(-1) >= 0 {
+		return fmt.Errorf("transient kernel send failure")
+	}
+	return f.Transport.Send(fr)
+}
+
+// TestTransientSendErrorsAreNotFatal pins the send-error contract: a
+// transient Transport.Send failure is channel loss (counted, recorded),
+// not a reason to kill the endpoint loop — only transport.ErrClosed is
+// terminal. The hardened wrapper retransmits through the lost frames.
+func TestTransientSendErrorsAreNotFatal(t *testing.T) {
+	hs := rstp.Harden(mustBeta(t, 4), rstp.HardenOptions{})
+	cfg, _ := memConfig(t, hs, nil)
+	fl := &flakySend{Transport: cfg.Transport}
+	fl.remaining.Store(5)
+	cfg.Transport = fl
+	pipe, err := NewPipe(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pipe.Close()
+	x := randomBits(2*mustBeta(t, 4).BlockBits, 13)
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	res, err := pipe.Transfer(ctx, x)
+	if err != nil {
+		t.Fatalf("transfer: %v", err)
+	}
+	if !res.Completed {
+		t.Fatalf("transfer killed by transient send errors: writes=%d of %d, violation=%q",
+			res.RX.Writes, len(x), res.Violation)
+	}
+	if res.TX.SendErrors+res.RX.SendErrors == 0 {
+		t.Fatal("transient send failures not counted in SendErrors")
+	}
+	if res.TX.Err == "" && res.RX.Err == "" {
+		t.Error("last send error not recorded in either report")
 	}
 }
 

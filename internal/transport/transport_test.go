@@ -262,3 +262,27 @@ func TestUDPMalformedDatagramIgnored(t *testing.T) {
 		t.Fatalf("malformed datagrams not counted: %d", u.Malformed())
 	}
 }
+
+// TestUDPSendRejectsOversizedPayload pins the datagram bound: a frame
+// whose header+payload cannot fit one IPv4 UDP datagram (65,507 payload
+// bytes) is rejected up front with a clear error instead of failing in
+// the kernel with EMSGSIZE, while the exact bound still sends.
+func TestUDPSendRejectsOversizedPayload(t *testing.T) {
+	u, err := NewUDPLoopback(16)
+	if err != nil {
+		t.Skipf("udp loopback unavailable: %v", err)
+	}
+	defer u.Close()
+	f := wire.Frame{Session: 1, Dir: wire.TtoR, Seq: 1, P: wire.DataPacket(1), Payload: make([]byte, MaxUDPPayload+1)}
+	if err := u.Send(f); err == nil {
+		t.Fatal("frame over the datagram bound accepted")
+	}
+	f.Payload = make([]byte, MaxUDPPayload)
+	if err := u.Send(f); err != nil {
+		t.Fatalf("max-size frame rejected: %v", err)
+	}
+	got := collect(t, u.Deliveries(wire.TtoR), 1, 5*time.Second)
+	if len(got[0].Payload) != MaxUDPPayload {
+		t.Fatalf("max-size payload truncated to %d bytes", len(got[0].Payload))
+	}
+}

@@ -35,8 +35,17 @@ type UDP struct {
 
 var _ Transport = (*UDP)(nil)
 
-// maxDatagram bounds one frame datagram: header plus max payload.
-const maxDatagram = wire.FrameHeaderLen + wire.MaxFramePayload
+// maxDatagram is the largest IPv4 UDP payload: 65535 (IP total length)
+// minus the 20-byte IP header and 8-byte UDP header. A frame must encode
+// within it to be sendable as one datagram — wire.MaxFramePayload alone
+// does not guarantee that (header + max payload is 65,569 bytes, 62 over
+// the limit), so Send enforces MaxUDPPayload up front instead of letting
+// the kernel fail the write with EMSGSIZE.
+const maxDatagram = 65507
+
+// MaxUDPPayload is the largest frame payload the UDP transport accepts:
+// wire.FrameHeaderLen + MaxUDPPayload == maxDatagram.
+const MaxUDPPayload = maxDatagram - wire.FrameHeaderLen
 
 // NewUDPLoopback binds two UDP sockets on 127.0.0.1 — one per side — and
 // starts their reader goroutines. buffer is the per-direction delivery
@@ -78,12 +87,17 @@ func (u *UDP) Name() string {
 }
 
 // Send encodes the frame and writes it as one datagram from its source
-// side's socket to the destination side's socket.
+// side's socket to the destination side's socket. Frames whose payload
+// exceeds MaxUDPPayload are rejected — they could never fit one IPv4
+// datagram.
 func (u *UDP) Send(f wire.Frame) error {
 	select {
 	case <-u.done:
 		return ErrClosed
 	default:
+	}
+	if len(f.Payload) > MaxUDPPayload {
+		return fmt.Errorf("transport: udp payload %d bytes exceeds %d (frame must fit one datagram)", len(f.Payload), MaxUDPPayload)
 	}
 	buf, err := wire.EncodeFrame(f)
 	if err != nil {
