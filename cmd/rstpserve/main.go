@@ -8,6 +8,8 @@
 //	rstpserve -sessions 256 -proto beta -k 4      # 256 concurrent sessions
 //	rstpserve -transport udp -sessions 64         # over a UDP loopback pair
 //	rstpserve -sessions 128 -loss 0.2 -fwindow 0:2000 -harden
+//	rstpserve -transport udp -chaos -loss 0.12 -dup 0.05 -corrupt 0.03 -harden
+//	rstpserve -shed evict-oldest-idle -watchdog 4 # overload + wedge defense
 //	rstpserve -bench -sessions 200                # emit BENCH_serve.json
 //
 // Every session's output tape is verified against its input: Y must be a
@@ -74,6 +76,19 @@ type summary struct {
 	Overflow       int     `json:"overflow"`
 	Stray          int     `json:"stray"`
 	Faults         string  `json:"faults,omitempty"`
+	// Resilience-layer counters (PR 4; see EXPERIMENTS.md E20).
+	Wedged       int   `json:"wedged"`
+	Shed         int   `json:"shed"`
+	Resyncs      int   `json:"resyncs"`
+	BreakerOpens int64 `json:"breaker_opens"`
+	Retransmits  int64 `json:"retransmits"`
+	UDPMalformed int64 `json:"udp_malformed"`
+	UDPDropped   int64 `json:"udp_dropped"`
+	// Chaos middleware injection counters, when -chaos is set.
+	ChaosDropped    int `json:"chaos_dropped,omitempty"`
+	ChaosDuplicated int `json:"chaos_duplicated,omitempty"`
+	ChaosCorrupted  int `json:"chaos_corrupted,omitempty"`
+	ChaosDelayed    int `json:"chaos_delayed,omitempty"`
 }
 
 func run(args []string, out io.Writer) error {
@@ -99,6 +114,10 @@ func run(args []string, out io.Writer) error {
 		fwindow   = fs.String("fwindow", "0:2000", "send-time window from:to for -loss/-dup/-corrupt")
 		blackout  = fs.String("blackout", "", "blackout window from:to (empty = none)")
 		excess    = fs.Int64("excess", 0, "extra delay beyond d inside -fwindow")
+		chaos     = fs.Bool("chaos", false, "inject the fault flags through the transport.Chaos middleware (works over any transport, including udp)")
+		resilient = fs.Bool("resilient", false, "wrap the transport in the transport.Resilient retransmission/breaker layer")
+		shed      = fs.String("shed", "refuse", "overload policy at the -conc cap: refuse or evict-oldest-idle")
+		watchdog  = fs.Int("watchdog", 0, "progress watchdog multiplier k: wedge a session after k*delta1*c2 ticks without output growth (0 = off)")
 		bench     = fs.Bool("bench", false, "benchmark mode: also write the summary to -benchout")
 		benchout  = fs.String("benchout", "BENCH_serve.json", "bench output file for -bench")
 		verbose   = fs.Bool("v", false, "print one line per session")
@@ -119,31 +138,59 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 
+	shedPolicy, err := parseShed(*shed)
+	if err != nil {
+		return err
+	}
+	if *watchdog < 0 {
+		return fmt.Errorf("-watchdog %d: the multiplier must be >= 0 (0 disables the watchdog)", *watchdog)
+	}
+
 	clock := transport.NewClock(*tick)
 	var (
 		trans      transport.Transport
+		udpT       *transport.UDP
+		chaosT     *transport.Chaos
+		resT       *transport.Resilient
 		faultsDesc string
 	)
 	switch *transName {
 	case "mem":
 		var delay chanmodel.DelayPolicy = &chanmodel.UniformRandom{D: p.D, Rand: rand.New(rand.NewSource(*seed))}
-		if len(clauses) > 0 {
+		if len(clauses) > 0 && !*chaos {
 			plan := faults.NewPlan(*seed, delay, clauses...)
 			faultsDesc = plan.Name()
 			delay = plan
 		}
 		trans = transport.NewMem(clock, transport.MemOptions{D: p.D, Delay: delay, Buffer: 1 << 15})
 	case "udp":
-		if len(clauses) > 0 {
-			return fmt.Errorf("fault injection requires -transport mem (UDP faults are the kernel's business)")
+		if len(clauses) > 0 && !*chaos {
+			return fmt.Errorf("fault injection over udp needs -chaos (the middleware injects in front of the socket; bare UDP faults are the kernel's business)")
 		}
 		u, err := transport.NewUDPLoopback(1 << 14)
 		if err != nil {
 			return err
 		}
+		udpT = u
 		trans = u
 	default:
 		return fmt.Errorf("unknown transport %q (mem, udp)", *transName)
+	}
+	if *chaos {
+		if len(clauses) == 0 {
+			return fmt.Errorf("-chaos without fault flags injects nothing: set -loss/-dup/-corrupt/-excess/-blackout")
+		}
+		// The plan wraps the zero delay policy: the middleware adds only
+		// the *extra* chaos on top of whatever latency the inner transport
+		// already has, instead of double-counting a base delay.
+		plan := faults.NewPlan(*seed, chanmodel.Zero{}, clauses...)
+		faultsDesc = "chaos:" + plan.Name()
+		chaosT = transport.NewChaos(trans, clock, plan)
+		trans = chaosT
+	}
+	if *resilient {
+		resT = transport.NewResilient(trans, clock, transport.ResilientOptions{D: p.D, C1: p.C1, Seed: *seed})
+		trans = resT
 	}
 
 	maxConc := *conc
@@ -154,12 +201,15 @@ func run(args []string, out io.Writer) error {
 		}
 	}
 	pipe, err := session.NewPipe(session.Config{
-		Solution:    sol,
-		Params:      p,
-		Transport:   trans,
-		Clock:       clock,
-		MaxSessions: maxConc,
-		IdleTicks:   *idle,
+		Solution:       sol,
+		Params:         p,
+		Transport:      trans,
+		Clock:          clock,
+		MaxSessions:    maxConc,
+		IdleTicks:      *idle,
+		Shed:           shedPolicy,
+		WatchdogK:      *watchdog,
+		WatchdogResync: *stabilize,
 	})
 	if err != nil {
 		trans.Close()
@@ -250,6 +300,25 @@ func run(args []string, out io.Writer) error {
 	sum.Refused = pipe.Server.Refused()
 	sum.Late = pipe.Server.Late()
 	sum.Stray = pipe.Dialer.Stray()
+	srvAgg := pipe.Server.Aggregate()
+	sum.Wedged = srvAgg.Wedged
+	sum.Shed = pipe.Server.Shed()
+	sum.Resyncs = srvAgg.Resyncs
+	if udpT != nil {
+		sum.UDPMalformed = udpT.Malformed()
+		sum.UDPDropped = udpT.Dropped()
+	}
+	if chaosT != nil {
+		_, dropped, duplicated, corrupted, delayed := chaosT.Stats()
+		sum.ChaosDropped = dropped
+		sum.ChaosDuplicated = duplicated
+		sum.ChaosCorrupted = corrupted
+		sum.ChaosDelayed = delayed
+	}
+	if resT != nil {
+		sum.BreakerOpens = resT.BreakerOpens()
+		sum.Retransmits = resT.Retransmits()
+	}
 
 	enc := json.NewEncoder(out)
 	enc.SetIndent("", "  ")
@@ -344,6 +413,18 @@ func faultClauses(loss, dup, corrupt float64, excess int64, fwindow, blackout st
 		clauses = append(clauses, faults.Fault{From: from, To: to, Blackout: true})
 	}
 	return clauses, nil
+}
+
+// parseShed maps the -shed flag onto a session.ShedPolicy.
+func parseShed(s string) (session.ShedPolicy, error) {
+	switch s {
+	case "refuse", "":
+		return session.ShedRefuse, nil
+	case "evict-oldest-idle":
+		return session.ShedEvictOldestIdle, nil
+	default:
+		return 0, fmt.Errorf("unknown -shed policy %q (refuse, evict-oldest-idle)", s)
+	}
 }
 
 func parseWindow(s string) (int64, int64, error) {

@@ -2,8 +2,9 @@
 // serving subsystem, with a lossy fault window active for the first part
 // of the run. Each session transfers its own random input over the
 // hardened β(k=4) protocol; the in-memory transport enforces the paper's
-// channel axioms (delay ≤ d, arbitrary reorder) while the fault plan
-// drops and corrupts packets on top. Every session's output tape must
+// channel axioms (delay ≤ d, arbitrary reorder) while the chaos
+// middleware drops and corrupts packets on top. Every session's output
+// tape must
 // come back equal to its input — loss and corruption may cost effort,
 // never correctness.
 //
@@ -37,17 +38,19 @@ func run(sessions int) error {
 	// cannot break completion, only slow it down.
 	sol := repro.Harden(base, repro.HardenOptions{})
 
-	// Channel: uniform random delay within d, with a fault window over
-	// the first 4000 ticks dropping 15% and corrupting 5% of packets.
+	// Channel: a pure in-memory transport enforcing the axioms (uniform
+	// random delay within d), with the chaos middleware stacked on top —
+	// the same composition rstpserve uses — dropping 15% and corrupting
+	// 5% of packets over the first 4000 ticks.
 	rnd := rand.New(rand.NewSource(7))
-	plan := repro.NewFaultPlan(7, repro.RandomDelay(p.D, rnd),
-		repro.Fault{From: 0, To: 4000, Drop: 0.15, Corrupt: 0.05})
-
 	clock := repro.NewClock(100 * time.Microsecond)
+	mem := repro.NewMemTransport(clock, repro.MemOptions{D: p.D, Delay: repro.RandomDelay(p.D, rnd), Buffer: 1 << 15})
+	chaos := repro.NewChaosTransport(mem, clock, 7,
+		repro.Fault{From: 0, To: 4000, Drop: 0.15, Corrupt: 0.05})
 	pipe, err := repro.NewPipe(repro.ServeConfig{
 		Solution:    sol,
 		Params:      p,
-		Transport:   repro.NewMemTransport(clock, repro.MemOptions{D: p.D, Delay: plan, Buffer: 1 << 15}),
+		Transport:   chaos,
 		Clock:       clock,
 		MaxSessions: 256, // backpressure: at most 256 sessions in flight
 		IdleTicks:   -1,  // transfers are evicted explicitly below
@@ -97,10 +100,10 @@ func run(sessions int) error {
 	wall := time.Since(start)
 
 	agg := pipe.Server.Aggregate()
-	affected, dropped, _, corrupted, _ := plan.Stats()
+	affected, dropped, _, corrupted, _ := chaos.Stats()
 	fmt.Printf("loadtest: %d sessions of %d bits over %s via %s\n",
 		sessions, 4*base.BlockBits, sol, agg.Transport)
-	fmt.Printf("faults: %d packets affected, %d dropped, %d corrupted\n",
+	fmt.Printf("chaos: %d packets affected, %d dropped, %d corrupted\n",
 		affected, dropped, corrupted)
 	fmt.Printf("completed %d/%d in %v (%.0f sessions/sec), server writes=%d refused=%d\n",
 		completed, sessions, wall.Round(time.Millisecond),

@@ -420,6 +420,24 @@ func (e *stableEnd) idle() bool { return e.steps-e.lastLive >= stIdleRTOs*e.rto 
 // forceDue arms the control timer to fire at the next local step.
 func (e *stableEnd) forceDue() { e.lastCtrl = e.steps - e.rto }
 
+// ForceResync asks the endpoint to re-establish its session now instead
+// of waiting for a trigger of its own (mismatch run, quiet clock,
+// restart). The receiver volunteers a REPORT; the transmitter drops back
+// to unsynced and re-announces its REWIND. It is the hook an external
+// watchdog pulls when it believes a session is wedged for reasons the
+// layer cannot observe — e.g. a transport partition outlasting every
+// in-band timer. Forcing a resync on a healthy session costs one
+// idempotent handshake round and never safety.
+func (e *stableEnd) ForceResync() {
+	if e.role == roleR {
+		e.announce = true
+		e.mismatches = 0
+	} else if e.inner != nil {
+		e.synced = false
+	}
+	e.forceDue()
+}
+
 // NextLocal picks the layer's next action. While the session is being
 // re-established the handshake owns the step clock (paced control sends
 // with internal idle steps between them); in a live session the inner

@@ -166,7 +166,7 @@ func (d *Dialer) Reports() []Report {
 
 // Aggregate sums counters across every session opened so far.
 func (d *Dialer) Aggregate() Aggregate {
-	return aggregate(d.cfg, d.Reports(), 0, 0)
+	return aggregate(d.cfg, d.Reports(), 0, 0, 0)
 }
 
 // Close stops the demux loop and every open session, then waits for

@@ -22,8 +22,10 @@ type Server struct {
 	mu        sync.Mutex
 	active    map[uint32]*endpoint
 	finished  map[uint32]Report
-	refused   int // frames of new sessions dropped at the MaxSessions cap
-	late      int // frames of already-finished sessions dropped at the tombstone
+	retiring  map[uint32]bool // shed victims between slot release and retirement
+	refused   int             // frames of new sessions dropped at the MaxSessions cap
+	late      int             // frames of already-finished sessions dropped at the tombstone
+	shed      int             // sessions force-retired by the overload policy
 	closeOnce sync.Once
 }
 
@@ -38,6 +40,7 @@ func NewServer(cfg Config) (*Server, error) {
 		done:     make(chan struct{}),
 		active:   make(map[uint32]*endpoint),
 		finished: make(map[uint32]Report),
+		retiring: make(map[uint32]bool),
 	}
 	s.wg.Add(1)
 	go s.demux()
@@ -77,10 +80,21 @@ func (s *Server) route(f wire.Frame) {
 			s.mu.Unlock()
 			return
 		}
-		if len(s.active) >= s.cfg.MaxSessions {
-			s.refused++
+		// A shed victim's slot is already free but its report is not in
+		// finished yet (its goroutine is still winding down): without this
+		// check an in-flight frame would respawn a ghost under the same ID
+		// and shadow the real report.
+		if s.retiring[f.Session] {
+			s.late++
 			s.mu.Unlock()
 			return
+		}
+		if len(s.active) >= s.cfg.MaxSessions {
+			if s.cfg.Shed != ShedEvictOldestIdle || !s.shedOldestLocked() {
+				s.refused++
+				s.mu.Unlock()
+				return
+			}
 		}
 		var err error
 		ep, err = s.spawnLocked(f.Session)
@@ -122,10 +136,41 @@ func (s *Server) retire(ep *endpoint) {
 	rep := ep.snapshot(true)
 	s.mu.Lock()
 	delete(s.active, ep.id)
+	delete(s.retiring, ep.id)
 	if _, ok := s.finished[ep.id]; !ok {
 		s.finished[ep.id] = rep
 	}
 	s.mu.Unlock()
+}
+
+// shedOldestLocked force-retires the active session that has gone
+// longest without traffic, freeing its slot for a newcomer. Callers hold
+// s.mu; returns false when there is nothing safe to shed. The victim's
+// slot is released immediately — its goroutine retires it in the
+// background, with the retiring set holding the tombstone until the
+// report lands in finished.
+func (s *Server) shedOldestLocked() bool {
+	var (
+		victim *endpoint
+		oldest int64
+	)
+	for _, ep := range s.active {
+		ep.mu.Lock()
+		la := ep.lastActivity
+		ep.mu.Unlock()
+		if victim == nil || la < oldest {
+			victim, oldest = ep, la
+		}
+	}
+	if victim == nil {
+		return false
+	}
+	victim.markShed()
+	victim.halt()
+	delete(s.active, victim.id)
+	s.retiring[victim.id] = true
+	s.shed++
+	return true
 }
 
 // lookup returns the active endpoint for a session, if any.
@@ -179,6 +224,14 @@ func (s *Server) Late() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.late
+}
+
+// Shed counts sessions force-retired by the overload policy to admit
+// newcomers.
+func (s *Server) Shed() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.shed
 }
 
 // WaitWrites blocks until session id has written at least n messages,
@@ -253,7 +306,7 @@ func (s *Server) Evict(id uint32) (Report, bool) {
 
 // Aggregate sums counters across every session seen so far.
 func (s *Server) Aggregate() Aggregate {
-	return aggregate(s.cfg, s.Reports(), s.Refused(), s.Late())
+	return aggregate(s.cfg, s.Reports(), s.Refused(), s.Late(), s.Shed())
 }
 
 // Close stops the demux loop and every session goroutine, then waits for
@@ -271,19 +324,22 @@ type Aggregate struct {
 	// Proto and Transport label the stack.
 	Proto, Transport string
 	// Sessions counts sessions ever seen; Active those still live;
-	// Evicted those torn down idle.
-	Sessions, Active, Evicted int
+	// Evicted those torn down idle; Wedged those force-retired by the
+	// progress watchdog; SessionsShed those force-retired by the
+	// overload policy; Resyncs sums watchdog-forced resynchronizations.
+	Sessions, Active, Evicted, Wedged, SessionsShed, Resyncs int
 	// Refused counts new-session frames dropped at the MaxSessions cap;
 	// Late counts in-flight frames of already-finished sessions dropped
-	// at the tombstone (server side only).
-	Refused, Late int
+	// at the tombstone; Shed counts overload evictions performed (server
+	// side only).
+	Refused, Late, Shed int
 	// Sends, Deliveries, Writes, Rejected, Overflow and SendErrors sum
 	// the endpoint counters.
 	Sends, Deliveries, Writes, Rejected, Overflow, SendErrors int
 }
 
-func aggregate(cfg Config, reports []Report, refused, late int) Aggregate {
-	agg := Aggregate{Proto: cfg.Solution.String(), Transport: cfg.Transport.Name(), Refused: refused, Late: late}
+func aggregate(cfg Config, reports []Report, refused, late, shed int) Aggregate {
+	agg := Aggregate{Proto: cfg.Solution.String(), Transport: cfg.Transport.Name(), Refused: refused, Late: late, Shed: shed}
 	for _, r := range reports {
 		agg.Sessions++
 		if !r.Finished {
@@ -292,6 +348,13 @@ func aggregate(cfg Config, reports []Report, refused, late int) Aggregate {
 		if r.Evicted {
 			agg.Evicted++
 		}
+		if r.Wedged {
+			agg.Wedged++
+		}
+		if r.Shed {
+			agg.SessionsShed++
+		}
+		agg.Resyncs += r.Resyncs
 		agg.Sends += r.Sends
 		agg.Deliveries += r.Deliveries
 		agg.Writes += r.Writes
@@ -304,7 +367,7 @@ func aggregate(cfg Config, reports []Report, refused, late int) Aggregate {
 
 // String renders the aggregate as one report line.
 func (a Aggregate) String() string {
-	return fmt.Sprintf("%s over %s: %d sessions (%d active, %d evicted, %d refused, %d late), %d sends (%d errored), %d deliveries, %d writes, %d rejected, %d overflow",
-		a.Proto, a.Transport, a.Sessions, a.Active, a.Evicted, a.Refused, a.Late,
+	return fmt.Sprintf("%s over %s: %d sessions (%d active, %d evicted, %d wedged, %d shed, %d refused, %d late), %d sends (%d errored), %d deliveries, %d writes, %d rejected, %d overflow",
+		a.Proto, a.Transport, a.Sessions, a.Active, a.Evicted, a.Wedged, a.Shed, a.Refused, a.Late,
 		a.Sends, a.SendErrors, a.Deliveries, a.Writes, a.Rejected, a.Overflow)
 }

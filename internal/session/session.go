@@ -52,6 +52,44 @@ type PairBuilder interface {
 	String() string
 }
 
+// Resyncer is the optional resynchronization hook a session automaton
+// may expose (the stabilized layer's endpoints do): the watchdog pulls
+// it once before force-retiring a wedged session, giving the protocol a
+// chance to heal in place. The call happens on the endpoint's loop
+// goroutine, which owns the automaton, so implementations need no
+// locking of their own.
+type Resyncer interface {
+	ForceResync()
+}
+
+// ShedPolicy selects what the Server does with a brand-new session when
+// the active set already holds MaxSessions.
+type ShedPolicy int
+
+const (
+	// ShedRefuse drops the new session's frames (the pre-watchdog
+	// behavior): existing sessions keep their slots, newcomers wait for
+	// their own retransmissions to land after a slot frees.
+	ShedRefuse ShedPolicy = iota
+	// ShedEvictOldestIdle force-retires the active session that has gone
+	// longest without traffic and admits the newcomer into its slot. The
+	// victim's report is marked Shed; its in-flight frames are dropped as
+	// late at the tombstone.
+	ShedEvictOldestIdle
+)
+
+// String names the policy for flag values and summaries.
+func (p ShedPolicy) String() string {
+	switch p {
+	case ShedRefuse:
+		return "refuse"
+	case ShedEvictOldestIdle:
+		return "evict-oldest-idle"
+	default:
+		return fmt.Sprintf("shed(%d)", int(p))
+	}
+}
+
 // Config configures a Server, a Dialer, or a Pipe (which shares one
 // Config across both). Transport, Clock, Solution and Params are
 // required; everything else has serving defaults.
@@ -82,6 +120,25 @@ type Config struct {
 	// per-session statistics (default 8192 events; <0 disables tracing).
 	// Events past the cap are counted, not recorded.
 	TraceLimit int
+	// Shed selects the Server's overload policy at the MaxSessions
+	// high-water mark (default ShedRefuse).
+	Shed ShedPolicy
+	// WatchdogK enables the Server's per-session progress watchdog: a
+	// receiver session whose output tape grows by nothing for
+	// WatchdogK·δ1·c2 ticks is declared wedged and force-retired through
+	// the tombstone path. δ1·c2 is the paper's per-message effort bound —
+	// the longest a healthy session can legally take between consecutive
+	// writes — so k is "how many worst-case message times of silence
+	// before giving up". 0 disables the watchdog.
+	WatchdogK int
+	// WatchdogTicks overrides the derived k·δ1·c2 wedge window directly
+	// (takes precedence over WatchdogK when > 0).
+	WatchdogTicks int64
+	// WatchdogResync makes the watchdog pull the automaton's Resyncer
+	// hook (if implemented — the stabilized layer's endpoints do) once
+	// per session before force-retiring, giving the protocol one
+	// wedge-window-long chance to heal in place.
+	WatchdogResync bool
 }
 
 func (c Config) withDefaults() (Config, error) {
@@ -118,6 +175,9 @@ func (c Config) withDefaults() (Config, error) {
 	if c.TraceLimit == 0 {
 		c.TraceLimit = 8192
 	}
+	if c.WatchdogTicks <= 0 && c.WatchdogK > 0 {
+		c.WatchdogTicks = int64(c.WatchdogK) * int64(c.Params.Delta1()) * c.Params.C2
+	}
 	return c, nil
 }
 
@@ -151,6 +211,15 @@ type Report struct {
 	Y []wire.Bit
 	// Evicted reports the endpoint was torn down by the idle monitor.
 	Evicted bool
+	// Wedged reports the endpoint was force-retired by the progress
+	// watchdog: no output growth within the wedge window.
+	Wedged bool
+	// Shed reports the endpoint was force-retired by the overload
+	// policy to make room for a new session.
+	Shed bool
+	// Resyncs counts watchdog-triggered ForceResync calls into the
+	// automaton (at most one per session).
+	Resyncs int
 	// Finished reports the endpoint's goroutine has exited.
 	Finished bool
 	// Trace is the recorded event trace (nil for light snapshots or when
@@ -211,10 +280,14 @@ type endpoint struct {
 	lastSend     int64
 	lastWrite    int64
 	lastActivity int64
+	lastProgress int64 // tick of the last output write (watchdog clock)
 	y            []wire.Bit
 	trace        []timed.Event
 	traceDropped int
 	evicted      bool
+	wedged       bool
+	shed         bool
+	resyncs      int
 	finished     bool
 }
 
@@ -239,8 +312,16 @@ func newEndpoint(cfg Config, id uint32, role string, auto ioa.Automaton, seq *at
 		stopped: make(chan struct{}),
 		notify:  make(chan struct{}, 1),
 		mu:      sync.Mutex{},
-		start:   now, lastActivity: now,
+		start:   now, lastActivity: now, lastProgress: now,
 	}
+}
+
+// markShed flags the endpoint as an overload-policy victim before its
+// loop is halted, so retirement records the right cause.
+func (e *endpoint) markShed() {
+	e.mu.Lock()
+	e.shed = true
+	e.mu.Unlock()
 }
 
 // halt asks the loop to exit; idempotent.
@@ -302,8 +383,42 @@ func (e *endpoint) loop(ownerDone <-chan struct{}, evictIdle bool) {
 					return
 				}
 			}
+			if evictIdle && e.cfg.WatchdogTicks > 0 && !e.watchdog() {
+				return
+			}
 		}
 	}
+}
+
+// watchdog is the per-session progress check, run on the loop goroutine
+// each step for server-side endpoints: a session whose output tape grew
+// by nothing for WatchdogTicks is wedged. With WatchdogResync set and an
+// automaton that implements Resyncer, the first trip instead forces a
+// protocol resynchronization and re-arms the window, so a session the
+// stabilized layer can still heal gets exactly one wedge-window-long
+// chance before the force-retire. Returns false when the endpoint must
+// retire.
+func (e *endpoint) watchdog() bool {
+	now := e.cfg.Clock.Now()
+	e.mu.Lock()
+	if now-e.lastProgress <= e.cfg.WatchdogTicks {
+		e.mu.Unlock()
+		return true
+	}
+	if e.cfg.WatchdogResync && e.resyncs == 0 {
+		if rs, ok := e.auto.(Resyncer); ok {
+			e.resyncs++
+			e.lastProgress = now // re-arm: one full window to heal
+			e.mu.Unlock()
+			// The loop goroutine owns the automaton; calling in outside
+			// e.mu keeps the lock ordering trivial.
+			rs.ForceResync()
+			return true
+		}
+	}
+	e.wedged = true
+	e.mu.Unlock()
+	return false
 }
 
 // onFrame applies one delivered frame as a recv input, if the automaton's
@@ -374,6 +489,7 @@ func (e *endpoint) step() bool {
 		e.y = append(e.y, a.M)
 		e.writes++
 		e.lastWrite = now
+		e.lastProgress = now
 		e.record(now, e.auto.Name(), act, 0)
 		e.mu.Unlock()
 		select {
@@ -399,7 +515,8 @@ func (e *endpoint) snapshot(withTrace bool) Report {
 		Rejected: e.rejected, Overflow: e.overflow,
 		SendErrors: e.sendErrs,
 		LastSend:   e.lastSend, LastWrite: e.lastWrite,
-		Evicted: e.evicted, Finished: e.finished,
+		Evicted: e.evicted, Wedged: e.wedged, Shed: e.shed, Resyncs: e.resyncs,
+		Finished: e.finished,
 		TraceDropped: e.traceDropped,
 	}
 	if e.lastErr != nil {

@@ -1,0 +1,172 @@
+package transport
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/chanmodel"
+	"repro/internal/faults"
+	"repro/internal/wire"
+)
+
+// chaosPlan builds a middleware-style plan: zero base delay (the inner
+// transport supplies the latency), faults on top.
+func chaosPlan(seed int64, fs ...faults.Fault) *faults.Plan {
+	return faults.NewPlan(seed, chanmodel.Zero{}, fs...)
+}
+
+func TestChaosDropAndDupOverMem(t *testing.T) {
+	plan := chaosPlan(5, faults.Fault{From: 0, To: 1 << 50, Drop: 0.4, Dup: 0.3})
+	c := NewChaos(NewMem(testClock(), MemOptions{D: 4, Buffer: 4096}), testClock(), plan)
+	defer c.Close()
+	const n = 400
+	for i := 0; i < n; i++ {
+		if err := c.Send(wire.Frame{Session: 1, Dir: wire.TtoR, Seq: int64(i + 1), P: wire.DataPacket(1)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	affected, dropped, duplicated, _, _ := plan.Stats()
+	if affected != n {
+		t.Fatalf("plan saw %d of %d sends", affected, n)
+	}
+	if dropped == 0 || duplicated == 0 {
+		t.Fatalf("expected drops and dups at these rates, got dropped=%d duplicated=%d", dropped, duplicated)
+	}
+	want := n - dropped + duplicated
+	got := collect(t, c.Deliveries(wire.TtoR), want, 5*time.Second)
+	if len(got) != want {
+		t.Fatalf("deliveries %d, want %d", len(got), want)
+	}
+}
+
+// TestChaosDeterministicAcrossRuns pins the middleware's reproducibility:
+// two wrappers with the same seed and the same send schedule inject the
+// same faults (the rand stream is consumed per-sequence-number under one
+// lock, exactly like the simulator's use of the plan).
+func TestChaosDeterministicAcrossRuns(t *testing.T) {
+	run := func() (dropped, duplicated, corrupted int) {
+		plan := chaosPlan(11, faults.Fault{From: 0, To: 1 << 50, Drop: 0.3, Dup: 0.2, Corrupt: 0.1})
+		c := NewChaos(NewMem(testClock(), MemOptions{D: 2, Buffer: 4096}), testClock(), plan)
+		defer c.Close()
+		for i := 0; i < 300; i++ {
+			if err := c.Send(wire.Frame{Session: 1, Dir: wire.TtoR, Seq: int64(i + 1), P: wire.DataPacket(2)}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		_, dropped, duplicated, corrupted, _ = plan.Stats()
+		return
+	}
+	d1, u1, c1 := run()
+	d2, u2, c2 := run()
+	if d1 != d2 || u1 != u2 || c1 != c2 {
+		t.Fatalf("same seed diverged: (%d,%d,%d) vs (%d,%d,%d)", d1, u1, c1, d2, u2, c2)
+	}
+}
+
+// TestChaosCorruptionOverUDP is the chaos-over-a-real-socket case the
+// middleware exists for: corrupted symbols must ride real datagrams to
+// the far side without the codec or the reader ever failing.
+func TestChaosCorruptionOverUDP(t *testing.T) {
+	u, err := NewUDPLoopback(4096)
+	if err != nil {
+		t.Skipf("udp loopback unavailable: %v", err)
+	}
+	plan := chaosPlan(7, faults.Fault{From: 0, To: 1 << 50, Corrupt: 1.0})
+	c := NewChaos(u, testClock(), plan)
+	defer c.Close()
+	const n = 64
+	for i := 0; i < n; i++ {
+		if err := c.Send(wire.Frame{Session: 3, Dir: wire.TtoR, Seq: int64(i + 1), P: wire.DataPacket(0)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := collect(t, c.Deliveries(wire.TtoR), n, 5*time.Second)
+	_, _, _, corrupted, _ := plan.Stats()
+	if corrupted != n {
+		t.Fatalf("corrupted %d of %d frames at rate 1.0", corrupted, n)
+	}
+	mutated := 0
+	for _, f := range got {
+		if f.P.Symbol != 0 {
+			mutated++
+		}
+	}
+	if mutated != n {
+		t.Fatalf("%d of %d delivered frames carry the corrupted symbol", mutated, n)
+	}
+	if u.Malformed() != 0 {
+		t.Fatalf("symbol corruption produced %d malformed datagrams (frames must stay parseable)", u.Malformed())
+	}
+}
+
+// TestChaosBlackoutWindow pins the partition clause: every frame sent
+// inside the window vanishes, frames after it flow again.
+func TestChaosBlackoutWindow(t *testing.T) {
+	clock := testClock()
+	now := clock.Now()
+	plan := chaosPlan(1, faults.Fault{From: now, To: now + 1<<40, Blackout: true})
+	c := NewChaos(NewMem(clock, MemOptions{D: 2}), clock, plan)
+	defer c.Close()
+	const n = 50
+	for i := 0; i < n; i++ {
+		if err := c.Send(wire.Frame{Session: 1, Dir: wire.TtoR, Seq: int64(i + 1), P: wire.DataPacket(1)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, dropped, _, _, _ := plan.Stats()
+	if dropped != n {
+		t.Fatalf("blackout dropped %d of %d frames", dropped, n)
+	}
+	select {
+	case f := <-c.Deliveries(wire.TtoR):
+		t.Fatalf("frame %v escaped the blackout", f)
+	case <-time.After(50 * time.Millisecond):
+	}
+}
+
+// TestChaosExtraDelayDelivers pins the latency-spike clause: delayed
+// frames are held by the wrapper's scheduler and still delivered.
+func TestChaosExtraDelayDelivers(t *testing.T) {
+	plan := chaosPlan(1, faults.Fault{From: 0, To: 1 << 50, ExtraDelay: 40})
+	c := NewChaos(NewMem(testClock(), MemOptions{D: 2}), testClock(), plan)
+	defer c.Close()
+	const n = 20
+	for i := 0; i < n; i++ {
+		if err := c.Send(wire.Frame{Session: 1, Dir: wire.TtoR, Seq: int64(i + 1), P: wire.DataPacket(1)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := collect(t, c.Deliveries(wire.TtoR), n, 5*time.Second)
+	if len(got) != n {
+		t.Fatalf("delayed deliveries %d, want %d", len(got), n)
+	}
+	_, _, _, _, delayed := plan.Stats()
+	if delayed != n {
+		t.Fatalf("delayed %d of %d frames", delayed, n)
+	}
+	if errs := c.SendErrors(); errs != 0 {
+		t.Fatalf("scheduler hit %d inner send errors", errs)
+	}
+}
+
+func TestChaosCloseIdempotentAndTerminal(t *testing.T) {
+	plan := chaosPlan(1, faults.Fault{From: 0, To: 1 << 50, ExtraDelay: 1 << 20})
+	c := NewChaos(NewMem(testClock(), MemOptions{D: 2}), testClock(), plan)
+	// Park a frame in the delay scheduler, then close underneath it.
+	if err := c.Send(wire.Frame{Session: 1, Dir: wire.TtoR, Seq: 1, P: wire.DataPacket(1)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatalf("second close: %v", err)
+	}
+	if err := c.Send(wire.Frame{Session: 1, Dir: wire.TtoR, Seq: 2, P: wire.DataPacket(1)}); err != ErrClosed {
+		t.Fatalf("send after close: %v, want ErrClosed", err)
+	}
+	// The inner transport must be closed too (the wrapper owns it).
+	if _, ok := <-c.Deliveries(wire.TtoR); ok {
+		t.Fatal("inner deliveries still open after chaos close")
+	}
+}

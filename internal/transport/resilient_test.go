@@ -1,0 +1,275 @@
+package transport
+
+import (
+	"errors"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// flaky is a scriptable inner transport: it fails the first failN Sends
+// with errTransient (or errClosed when dieInstead is set), then delivers
+// every accepted frame straight to its channels.
+type flaky struct {
+	mu         sync.Mutex
+	failN      int
+	dieInstead bool
+	accepted   int
+	attempts   int
+	closed     bool
+
+	del map[wire.Dir]chan wire.Frame
+}
+
+var errTransient = errors.New("transient socket error")
+
+func newFlaky(failN int, dieInstead bool) *flaky {
+	return &flaky{
+		failN:      failN,
+		dieInstead: dieInstead,
+		del: map[wire.Dir]chan wire.Frame{
+			wire.TtoR: make(chan wire.Frame, 1024),
+			wire.RtoT: make(chan wire.Frame, 1024),
+		},
+	}
+}
+
+func (f *flaky) Name() string { return "flaky" }
+
+func (f *flaky) Send(fr wire.Frame) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return ErrClosed
+	}
+	f.attempts++
+	if f.failN != 0 {
+		if f.failN > 0 {
+			f.failN--
+		}
+		if f.dieInstead {
+			return ErrClosed
+		}
+		return errTransient
+	}
+	f.accepted++
+	f.del[fr.Dir] <- fr
+	return nil
+}
+
+func (f *flaky) Deliveries(dir wire.Dir) <-chan wire.Frame { return f.del[dir] }
+
+func (f *flaky) Close() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if !f.closed {
+		f.closed = true
+		close(f.del[wire.TtoR])
+		close(f.del[wire.RtoT])
+	}
+	return nil
+}
+
+func (f *flaky) heal() {
+	f.mu.Lock()
+	f.failN = 0
+	f.mu.Unlock()
+}
+
+func (f *flaky) stats() (attempts, accepted int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.attempts, f.accepted
+}
+
+func testFrame(seq int64) wire.Frame {
+	return wire.Frame{Session: 1, Dir: wire.TtoR, Seq: seq, P: wire.DataPacket(1)}
+}
+
+func TestResilientPassThrough(t *testing.T) {
+	r := NewResilient(NewMem(testClock(), MemOptions{D: 2}), testClock(), ResilientOptions{D: 12, C1: 2})
+	defer r.Close()
+	const n = 32
+	for i := 0; i < n; i++ {
+		if err := r.Send(testFrame(int64(i + 1))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := collect(t, r.Deliveries(wire.TtoR), n, 5*time.Second)
+	if len(got) != n {
+		t.Fatalf("deliveries %d, want %d", len(got), n)
+	}
+	if r.Retransmits() != 0 || r.BreakerOpens() != 0 {
+		t.Fatalf("healthy path counted retransmits=%d breakerOpens=%d", r.Retransmits(), r.BreakerOpens())
+	}
+}
+
+// TestResilientRetriesTransientFailure pins the bounded retransmission:
+// an inner transport that fails twice then heals costs retries, not a
+// lost frame, and the retry count shows in the counter.
+func TestResilientRetriesTransientFailure(t *testing.T) {
+	inner := newFlaky(2, false)
+	r := NewResilient(inner, testClock(), ResilientOptions{D: 12, C1: 2})
+	defer r.Close()
+	if err := r.Send(testFrame(1)); err != nil {
+		t.Fatalf("send with 2 transient failures and budget 6: %v", err)
+	}
+	attempts, accepted := inner.stats()
+	if attempts != 3 || accepted != 1 {
+		t.Fatalf("attempts=%d accepted=%d, want 3 attempts with 1 accepted", attempts, accepted)
+	}
+	if r.Retransmits() != 2 {
+		t.Fatalf("retransmits = %d, want 2", r.Retransmits())
+	}
+	got := collect(t, r.Deliveries(wire.TtoR), 1, 5*time.Second)
+	if got[0].Seq != 1 {
+		t.Fatalf("delivered %v", got[0])
+	}
+}
+
+// TestResilientRetryBudgetIsDeadlineBounded pins the cap: against an
+// inner transport that never heals, one Send gives up after at most
+// δ1 retries and d ticks of cumulative backoff — it must not hang.
+func TestResilientRetryBudgetIsDeadlineBounded(t *testing.T) {
+	inner := newFlaky(-1, false) // fail forever
+	r := NewResilient(inner, testClock(), ResilientOptions{D: 12, C1: 2, BreakerThreshold: 1000})
+	defer r.Close()
+	start := time.Now()
+	err := r.Send(testFrame(1))
+	if err == nil {
+		t.Fatal("send against a dead path succeeded")
+	}
+	if errors.Is(err, ErrClosed) {
+		t.Fatalf("transient failure escalated to ErrClosed: %v", err)
+	}
+	// Backoff 1+2+4 = 7 ticks ≤ d = 12; the next doubling would overflow
+	// the deadline, so exactly 3 retries happen.
+	if r.Retransmits() != 3 {
+		t.Fatalf("retransmits = %d, want 3 (deadline-capped)", r.Retransmits())
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("deadline-bounded retry took %v", elapsed)
+	}
+}
+
+// TestResilientBreakerOpensAndRecovers drives the breaker's full cycle:
+// consecutive failures open it, opens shed fast, the probe after
+// ProbeTicks closes it once the inner transport heals.
+func TestResilientBreakerOpensAndRecovers(t *testing.T) {
+	inner := newFlaky(-1, false)
+	clock := testClock()
+	r := NewResilient(inner, clock, ResilientOptions{D: 4, C1: 4, BreakerThreshold: 3, ProbeTicks: 20})
+	defer r.Close()
+	for i := 0; i < 3; i++ {
+		if err := r.Send(testFrame(int64(i + 1))); err == nil {
+			t.Fatal("send on a dead path succeeded")
+		}
+	}
+	if r.BreakerOpens() != 1 {
+		t.Fatalf("breaker opens = %d, want 1 after threshold", r.BreakerOpens())
+	}
+	if err := r.Send(testFrame(4)); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("send with open breaker: %v, want ErrBreakerOpen", err)
+	}
+	if r.FastFails() == 0 {
+		t.Fatal("open breaker shed nothing")
+	}
+	inner.heal()
+	// Wait out the probe window, then the next Send is the probe.
+	time.Sleep(clock.Ticks(25))
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		err := r.Send(testFrame(5))
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("breaker never recovered: %v", err)
+		}
+		time.Sleep(clock.Ticks(25))
+	}
+	// Closed again: subsequent sends flow without fast-fails.
+	if err := r.Send(testFrame(6)); err != nil {
+		t.Fatalf("send after recovery: %v", err)
+	}
+}
+
+// TestResilientRedialsDeadTransport pins the reconnect path: when the
+// inner transport dies (ErrClosed), the wrapper redials, swaps in the
+// fresh transport, and both send and receive paths keep working.
+func TestResilientRedialsDeadTransport(t *testing.T) {
+	clock := testClock()
+	first := newFlaky(1, true) // first Send reports the transport dead
+	second := newFlaky(0, false)
+	r := NewResilient(first, clock, ResilientOptions{
+		D: 4, C1: 4,
+		Redial: func() (Transport, error) { return second, nil },
+	})
+	defer r.Close()
+	if err := r.Send(testFrame(1)); err != nil {
+		t.Fatalf("send across a redial: %v", err)
+	}
+	if r.Reconnects() != 1 {
+		t.Fatalf("reconnects = %d, want 1", r.Reconnects())
+	}
+	got := collect(t, r.Deliveries(wire.TtoR), 1, 5*time.Second)
+	if got[0].Seq != 1 {
+		t.Fatalf("delivered %v", got[0])
+	}
+	if _, accepted := second.stats(); accepted != 1 {
+		t.Fatalf("fresh transport accepted %d frames, want 1", accepted)
+	}
+}
+
+// TestResilientRedialExhaustionIsTerminal pins the bounded reconnect: a
+// Redial that never succeeds marks the transport dead after MaxRedials,
+// and Send reports ErrClosed from then on.
+func TestResilientRedialExhaustionIsTerminal(t *testing.T) {
+	inner := newFlaky(-1, true)
+	r := NewResilient(inner, testClock(), ResilientOptions{
+		D: 2, C1: 2, MaxRedials: 2,
+		Redial: func() (Transport, error) { return nil, errTransient },
+	})
+	defer r.Close()
+	if err := r.Send(testFrame(1)); !errors.Is(err, ErrClosed) {
+		t.Fatalf("send after redial exhaustion: %v, want ErrClosed", err)
+	}
+	if err := r.Send(testFrame(2)); !errors.Is(err, ErrClosed) {
+		t.Fatalf("second send after exhaustion: %v, want ErrClosed", err)
+	}
+}
+
+// TestResilientGoroutineBudget is the leak test the issue asks for:
+// drive the wrapper through breaker opens and a close, then require the
+// goroutine count back within a small budget of the baseline.
+func TestResilientGoroutineBudget(t *testing.T) {
+	before := runtime.NumGoroutine()
+	for i := 0; i < 8; i++ {
+		inner := newFlaky(-1, false)
+		r := NewResilient(inner, testClock(), ResilientOptions{D: 4, C1: 4, BreakerThreshold: 2})
+		for s := 0; s < 3; s++ {
+			_ = r.Send(testFrame(int64(s + 1)))
+		}
+		if err := r.Close(); err != nil {
+			t.Fatal(err)
+		}
+		// Close must be terminal and idempotent.
+		if err := r.Send(testFrame(99)); !errors.Is(err, ErrClosed) {
+			t.Fatalf("send after close: %v", err)
+		}
+		if err := r.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before+3 && time.Now().Before(deadline) {
+		runtime.GC()
+		time.Sleep(10 * time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > before+3 {
+		t.Fatalf("goroutines %d after close, baseline %d: leak", n, before)
+	}
+}

@@ -56,6 +56,22 @@ func FuzzParseFrame(f *testing.F) {
 	f.Add([]byte{})
 	f.Add([]byte{'R', 1, 0, 0})
 	f.Add([]byte("not a frame at all, just bytes"))
+	// Chaos-style datagram corruption: a well-formed frame with one byte
+	// flipped at every offset. The faults layer corrupts symbols *before*
+	// encoding (those frames stay parseable — see the checked-in
+	// chaos-corrupted-* corpus under testdata), but a hostile channel can
+	// flip any wire byte; every such mutation must parse or error, never
+	// panic. Flips in magic, version, dir, kind, or the length field land
+	// in the malformed bucket.
+	base, err := EncodeFrame(Frame{Session: 9, Dir: TtoR, Seq: 4, P: DataPacket(2), Payload: []byte("chaos payload")})
+	if err != nil {
+		f.Fatal(err)
+	}
+	for i := range base {
+		mut := append([]byte(nil), base...)
+		mut[i] ^= 0x41
+		f.Add(mut)
+	}
 	f.Fuzz(func(t *testing.T, buf []byte) {
 		fr, err := ParseFrame(buf)
 		if err != nil {

@@ -350,6 +350,53 @@ type (
 	ServeAggregate = session.Aggregate
 )
 
+// Resilience layer for the serving stack (PR 4): fault-injecting chaos
+// middleware, deadline-aware retransmission with a circuit breaker, and
+// the server-side overload/watchdog knobs on ServeConfig (Shed,
+// WatchdogK, WatchdogResync). See DESIGN.md ("Surviving a bad network").
+type (
+	// ChaosTransport applies a seeded fault plan to any inner Transport —
+	// the chaos matrix over a real network path.
+	ChaosTransport = transport.Chaos
+	// ResilientTransport adds bounded retransmission, a circuit breaker
+	// and jittered reconnect on top of any inner Transport.
+	ResilientTransport = transport.Resilient
+	// ResilientOptions tune the resilient wrapper (zero values take
+	// deadline-derived defaults).
+	ResilientOptions = transport.ResilientOptions
+	// ShedPolicy selects the server's overload behavior at the
+	// MaxSessions high-water mark.
+	ShedPolicy = session.ShedPolicy
+)
+
+// The server overload policies.
+const (
+	// ShedRefuse drops frames of new sessions at the cap (default).
+	ShedRefuse = session.ShedRefuse
+	// ShedEvictOldestIdle force-retires the longest-quiet session to
+	// admit the newcomer.
+	ShedEvictOldestIdle = session.ShedEvictOldestIdle
+)
+
+// ErrBreakerOpen is returned by a ResilientTransport's Send while its
+// circuit breaker is open (a transient shed, not a closed transport).
+var ErrBreakerOpen = transport.ErrBreakerOpen
+
+// NewChaosTransport wraps inner with a seeded fault plan applied at the
+// transport layer: drop, duplication, corruption, excess delay and
+// blackouts hit every frame before inner sees it. The plan's delays are
+// *extra* — they ride on top of the inner transport's own latency.
+func NewChaosTransport(inner Transport, clock *Clock, seed int64, fs ...Fault) *ChaosTransport {
+	return transport.NewChaos(inner, clock, faults.NewPlan(seed, chanmodel.Zero{}, fs...))
+}
+
+// NewResilientTransport wraps inner with bounded retransmission (budget
+// δ1 = ⌊d/c1⌋, backoff capped at d ticks), a circuit breaker and
+// jittered reconnect.
+func NewResilientTransport(inner Transport, clock *Clock, opts ResilientOptions) *ResilientTransport {
+	return transport.NewResilient(inner, clock, opts)
+}
+
 // NewClock starts a real-time clock with the given tick length (use
 // transport.DefaultTick via NewClock(0)).
 func NewClock(tick time.Duration) *Clock { return transport.NewClock(tick) }
