@@ -25,20 +25,29 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"math/rand"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
 	"sync"
+	"syscall"
 	"time"
 
 	"repro/internal/chanmodel"
 	"repro/internal/faults"
+	"repro/internal/obs"
 	"repro/internal/rstp"
 	"repro/internal/session"
 	"repro/internal/transport"
 	"repro/internal/wire"
 )
+
+// metricsReady, when non-nil, is called with the bound metrics address
+// once the -metrics-addr listener is up. Tests hook it to scrape the
+// endpoint of an in-process run without racing the listener.
+var metricsReady func(addr string)
 
 func main() {
 	if err := run(os.Args[1:], os.Stdout); err != nil {
@@ -89,46 +98,67 @@ type summary struct {
 	ChaosDuplicated int `json:"chaos_duplicated,omitempty"`
 	ChaosCorrupted  int `json:"chaos_corrupted,omitempty"`
 	ChaosDelayed    int `json:"chaos_delayed,omitempty"`
+	// Observability keys (PR 5; see EXPERIMENTS.md E21). EffortLowerBound
+	// is the paper's per-protocol lower bound (Thm 5.3 r-passive, Thm 5.6
+	// active); EffortGapMeanTicks is the mean of the live effort-gap
+	// histogram (measured inter-write gap minus that bound). Interrupted
+	// marks a summary flushed on SIGINT/SIGTERM rather than at completion.
+	EffortLowerBound  float64 `json:"effort_lower_bound_ticks_per_msg"`
+	EffortGapMean     float64 `json:"effort_gap_mean_ticks,omitempty"`
+	DeadlineMarginP99 int64   `json:"deadline_margin_p99_ticks,omitempty"`
+	Interrupted       bool    `json:"interrupted,omitempty"`
+	MetricsAddr       string  `json:"metrics_addr,omitempty"`
+	TraceDropped      int64   `json:"trace_dropped,omitempty"`
 }
 
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("rstpserve", flag.ContinueOnError)
 	var (
-		sessions  = fs.Int("sessions", 32, "number of sessions to transfer")
-		conc      = fs.Int("conc", 0, "max concurrent sessions (default min(sessions, 512))")
-		proto     = fs.String("proto", "beta", "protocol: alpha, beta or gamma")
-		k         = fs.Int("k", 4, "packet alphabet size (beta/gamma)")
-		c1        = fs.Int64("c1", 2, "minimum step gap c1")
-		c2        = fs.Int64("c2", 3, "maximum step gap c2")
-		d         = fs.Int64("d", 12, "channel delay bound d")
-		n         = fs.Int("n", 4, "input length per session, in blocks")
-		tick      = fs.Duration("tick", transport.DefaultTick, "wall-clock length of one model tick")
-		transName = fs.String("transport", "mem", "transport: mem or udp")
-		seed      = fs.Int64("seed", 1, "seed for inputs, delays and fault plans")
-		harden    = fs.Bool("harden", false, "wrap sessions in the hardened reliability layer")
-		stabilize = fs.Bool("stabilize", false, "wrap sessions in the stabilizing recovery layer")
-		idle      = fs.Int64("idle", -1, "server idle-eviction threshold in ticks (-1 = off; the load generator evicts each session explicitly)")
-		loss      = fs.Float64("loss", 0, "drop probability inside -fwindow (mem transport)")
-		dup       = fs.Float64("dup", 0, "duplication probability inside -fwindow")
-		corrupt   = fs.Float64("corrupt", 0, "corruption probability inside -fwindow")
-		fwindow   = fs.String("fwindow", "0:2000", "send-time window from:to for -loss/-dup/-corrupt")
-		blackout  = fs.String("blackout", "", "blackout window from:to (empty = none)")
-		excess    = fs.Int64("excess", 0, "extra delay beyond d inside -fwindow")
-		chaos     = fs.Bool("chaos", false, "inject the fault flags through the transport.Chaos middleware (works over any transport, including udp)")
-		resilient = fs.Bool("resilient", false, "wrap the transport in the transport.Resilient retransmission/breaker layer")
-		shed      = fs.String("shed", "refuse", "overload policy at the -conc cap: refuse or evict-oldest-idle")
-		watchdog  = fs.Int("watchdog", 0, "progress watchdog multiplier k: wedge a session after k*delta1*c2 ticks without output growth (0 = off)")
-		bench     = fs.Bool("bench", false, "benchmark mode: also write the summary to -benchout")
-		benchout  = fs.String("benchout", "BENCH_serve.json", "bench output file for -bench")
-		verbose   = fs.Bool("v", false, "print one line per session")
-		timeout   = fs.Duration("timeout", 2*time.Minute, "overall run deadline")
+		sessions    = fs.Int("sessions", 32, "number of sessions to transfer")
+		conc        = fs.Int("conc", 0, "max concurrent sessions (default min(sessions, 512))")
+		proto       = fs.String("proto", "beta", "protocol: alpha, beta or gamma")
+		k           = fs.Int("k", 4, "packet alphabet size (beta/gamma)")
+		c1          = fs.Int64("c1", 2, "minimum step gap c1")
+		c2          = fs.Int64("c2", 3, "maximum step gap c2")
+		d           = fs.Int64("d", 12, "channel delay bound d")
+		n           = fs.Int("n", 4, "input length per session, in blocks")
+		tick        = fs.Duration("tick", transport.DefaultTick, "wall-clock length of one model tick")
+		transName   = fs.String("transport", "mem", "transport: mem or udp")
+		seed        = fs.Int64("seed", 1, "seed for inputs, delays and fault plans")
+		harden      = fs.Bool("harden", false, "wrap sessions in the hardened reliability layer")
+		stabilize   = fs.Bool("stabilize", false, "wrap sessions in the stabilizing recovery layer")
+		idle        = fs.Int64("idle", -1, "server idle-eviction threshold in ticks (-1 = off; the load generator evicts each session explicitly)")
+		loss        = fs.Float64("loss", 0, "drop probability inside -fwindow (mem transport)")
+		dup         = fs.Float64("dup", 0, "duplication probability inside -fwindow")
+		corrupt     = fs.Float64("corrupt", 0, "corruption probability inside -fwindow")
+		fwindow     = fs.String("fwindow", "0:2000", "send-time window from:to for -loss/-dup/-corrupt")
+		blackout    = fs.String("blackout", "", "blackout window from:to (empty = none)")
+		excess      = fs.Int64("excess", 0, "extra delay beyond d inside -fwindow")
+		chaos       = fs.Bool("chaos", false, "inject the fault flags through the transport.Chaos middleware (works over any transport, including udp)")
+		resilient   = fs.Bool("resilient", false, "wrap the transport in the transport.Resilient retransmission/breaker layer")
+		shed        = fs.String("shed", "refuse", "overload policy at the -conc cap: refuse or evict-oldest-idle")
+		watchdog    = fs.Int("watchdog", 0, "progress watchdog multiplier k: wedge a session after k*delta1*c2 ticks without output growth (0 = off)")
+		bench       = fs.Bool("bench", false, "benchmark mode: also write the summary to -benchout")
+		benchout    = fs.String("benchout", "BENCH_serve.json", "bench output file for -bench")
+		verbose     = fs.Bool("v", false, "print one line per session")
+		timeout     = fs.Duration("timeout", 2*time.Minute, "overall run deadline")
+		metricsAddr = fs.String("metrics-addr", "", "serve /metrics (Prometheus text), /metrics.json (snapshot with live session table) and /debug/pprof on this address (empty = off)")
+		trace       = fs.Bool("trace", false, "record per-session protocol event traces into bounded ring buffers (visible in the JSON snapshot)")
+		flush       = fs.Duration("flush", 0, "print a one-line observability summary at this interval while the run is in flight (0 = off)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
+	// The registry always exists — with no -metrics-addr/-trace it costs a
+	// handful of atomics on the hot path and nothing is ever scraped.
+	reg := obs.NewRegistry()
+	if *trace {
+		reg.Tracer().Enable(512, 1024)
+	}
+
 	p := rstp.Params{C1: *c1, C2: *c2, D: *d}
-	sol, blockBits, bound, err := buildSolution(*proto, p, *k, *harden, *stabilize)
+	sol, blockBits, bound, lower, err := buildSolution(*proto, p, *k, *harden, *stabilize, rstp.ObsObserver(reg))
 	if err != nil {
 		return err
 	}
@@ -192,6 +222,10 @@ func run(args []string, out io.Writer) error {
 		resT = transport.NewResilient(trans, clock, transport.ResilientOptions{D: p.D, C1: p.C1, Seed: *seed})
 		trans = resT
 	}
+	// Instrument the assembled stack outside-in: every layer (resilient,
+	// chaos, mem/udp) registers its counters, and Mem starts feeding the
+	// delivery-latency histogram.
+	transport.Instrument(reg, trans)
 
 	maxConc := *conc
 	if maxConc <= 0 {
@@ -201,15 +235,17 @@ func run(args []string, out io.Writer) error {
 		}
 	}
 	pipe, err := session.NewPipe(session.Config{
-		Solution:       sol,
-		Params:         p,
-		Transport:      trans,
-		Clock:          clock,
-		MaxSessions:    maxConc,
-		IdleTicks:      *idle,
-		Shed:           shedPolicy,
-		WatchdogK:      *watchdog,
-		WatchdogResync: *stabilize,
+		Solution:         sol,
+		Params:           p,
+		Transport:        trans,
+		Clock:            clock,
+		MaxSessions:      maxConc,
+		IdleTicks:        *idle,
+		Shed:             shedPolicy,
+		WatchdogK:        *watchdog,
+		WatchdogResync:   *stabilize,
+		Obs:              reg,
+		EffortLowerBound: lower,
 	})
 	if err != nil {
 		trans.Close()
@@ -219,6 +255,34 @@ func run(args []string, out io.Writer) error {
 
 	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
 	defer cancel()
+	// SIGINT/SIGTERM cancel the in-flight transfers; the summary below is
+	// still computed and flushed, marked "interrupted": true. Installed
+	// before metricsReady fires so a test may signal as soon as it is told
+	// the run is up.
+	ctx, stop := signal.NotifyContext(ctx, os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	var boundAddr string
+	if *metricsAddr != "" {
+		msrv, err := reg.Serve(*metricsAddr)
+		if err != nil {
+			return fmt.Errorf("-metrics-addr: %w", err)
+		}
+		defer msrv.Close()
+		boundAddr = msrv.Addr()
+		fmt.Fprintf(out, "metrics listening on http://%s/metrics\n", boundAddr)
+		if metricsReady != nil {
+			metricsReady(boundAddr)
+		}
+	}
+
+	stopFlush := make(chan struct{})
+	flushDone := make(chan struct{})
+	if *flush > 0 {
+		go flushLoop(ctx, stopFlush, reg, out, *flush, flushDone)
+	} else {
+		close(flushDone)
+	}
 
 	bits := *n * blockBits
 	rng := rand.New(rand.NewSource(*seed))
@@ -245,6 +309,11 @@ func run(args []string, out io.Writer) error {
 	}
 	wg.Wait()
 	wall := time.Since(start)
+	// Quiesce the flusher before anything else writes to out: the summary
+	// must not interleave with a flush line.
+	close(stopFlush)
+	<-flushDone
+	interrupted := ctx.Err() == context.Canceled // signal, not the -timeout deadline
 
 	sum := summary{
 		Schema:         "rstp-bench-serve/v1",
@@ -319,6 +388,19 @@ func run(args []string, out io.Writer) error {
 		sum.BreakerOpens = resT.BreakerOpens()
 		sum.Retransmits = resT.Retransmits()
 	}
+	sum.EffortLowerBound = lower
+	sum.Interrupted = interrupted
+	sum.MetricsAddr = boundAddr
+	snap := reg.Snapshot()
+	if h, ok := snap.Histograms["rstp_effort_gap_ticks"]; ok && h.Count > 0 {
+		sum.EffortGapMean = h.Mean
+	}
+	if h, ok := snap.Histograms["rstp_deadline_margin_ticks"]; ok {
+		sum.DeadlineMarginP99 = bucketQuantile(h, 0.99)
+	}
+	if *trace {
+		sum.TraceDropped = reg.Tracer().Dropped()
+	}
 
 	enc := json.NewEncoder(out)
 	enc.SetIndent("", "  ")
@@ -345,17 +427,69 @@ func run(args []string, out io.Writer) error {
 		return fmt.Errorf("%d of %d sessions violated the prefix invariant", sum.Violations, *sessions)
 	}
 	if sum.Completed != *sessions {
+		if interrupted {
+			// Operator-initiated shutdown: the summary above is the flush;
+			// incomplete sessions are expected, not a failure.
+			return nil
+		}
 		return fmt.Errorf("%d of %d sessions did not complete (errors: %d)", sum.Incomplete, *sessions, sum.Errors)
 	}
 	return nil
 }
 
-// buildSolution assembles the protocol stack and reports its block size
-// and the paper's effort upper bound for the bare protocol.
-func buildSolution(proto string, p rstp.Params, k int, harden, stabilize bool) (session.PairBuilder, int, float64, error) {
+// flushLoop prints a compact observability line every interval until the
+// run finishes (stop) or is cancelled, then signals done. It is the only
+// goroutine writing to out while transfers are in flight.
+func flushLoop(ctx context.Context, stop <-chan struct{}, reg *obs.Registry, out io.Writer, interval time.Duration, done chan<- struct{}) {
+	defer close(done)
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-stop:
+			return
+		case <-t.C:
+			s := reg.Snapshot()
+			fmt.Fprintf(out, "obs: active=%d writes=%d sends=%d deliveries=%d retransmits=%d shed=%d wedged=%d\n",
+				s.Gauges["rstp_server_sessions_active"],
+				s.Counters["rstp_session_writes_total"],
+				s.Counters["rstp_session_sends_total"],
+				s.Counters["rstp_session_deliveries_total"],
+				s.Counters["rstp_resilient_retransmits_total"],
+				s.Counters["rstp_sessions_shed_total"],
+				s.Counters["rstp_sessions_wedged_total"])
+		}
+	}
+}
+
+// bucketQuantile returns the smallest finite bucket bound covering
+// fraction q of the histogram's observations, or 0 when the histogram is
+// empty or the quantile lands in the +Inf bucket.
+func bucketQuantile(h obs.HistogramSnapshot, q float64) int64 {
+	if h.Count == 0 {
+		return 0
+	}
+	need := int64(math.Ceil(q * float64(h.Count)))
+	for _, b := range h.Buckets {
+		if !b.Inf && b.Count >= need {
+			return b.LE
+		}
+	}
+	return 0
+}
+
+// buildSolution assembles the protocol stack and reports its block size,
+// the paper's effort upper bound for the bare protocol, and the matching
+// effort lower bound (Theorem 5.3 for the r-passive alpha/beta, Theorem
+// 5.6 for the active gamma) that the live effort-gap metric is measured
+// against. lo is shared by every session endpoint the wrappers build.
+func buildSolution(proto string, p rstp.Params, k int, harden, stabilize bool, lo rstp.LayerObserver) (session.PairBuilder, int, float64, float64, error) {
 	var (
 		s     rstp.Solution
 		bound float64
+		lower float64
 		err   error
 	)
 	switch proto {
@@ -363,32 +497,39 @@ func buildSolution(proto string, p rstp.Params, k int, harden, stabilize bool) (
 		s, err = rstp.Alpha(p)
 		if err == nil {
 			bound = rstp.AlphaEffort(p)
+			// Alpha's transmitter alphabet is binary: one bit per packet.
+			lower = rstp.PassiveLowerBound(p, 2)
 		}
 	case "beta":
 		s, err = rstp.Beta(p, k)
 		if err == nil {
 			bound = rstp.BetaUpperBound(p, k)
+			lower = rstp.PassiveLowerBound(p, k)
 		}
 	case "gamma":
 		s, err = rstp.Gamma(p, k)
 		if err == nil {
 			bound = rstp.GammaUpperBound(p, k)
+			lower = rstp.ActiveLowerBound(p, k)
 		}
 	default:
-		return nil, 0, 0, fmt.Errorf("unknown protocol %q (alpha, beta, gamma)", proto)
+		return nil, 0, 0, 0, fmt.Errorf("unknown protocol %q (alpha, beta, gamma)", proto)
 	}
 	if err != nil {
-		return nil, 0, 0, err
+		return nil, 0, 0, 0, err
+	}
+	if math.IsInf(lower, 1) || math.IsNaN(lower) {
+		lower = 0 // degenerate alphabet: disable the gap metric
 	}
 	var sol session.PairBuilder = s
 	if harden && stabilize {
-		sol = rstp.StabilizeHardened(rstp.Harden(s, rstp.HardenOptions{}), rstp.StabilizeOptions{})
+		sol = rstp.StabilizeHardened(rstp.Harden(s, rstp.HardenOptions{Observer: lo}), rstp.StabilizeOptions{Observer: lo})
 	} else if harden {
-		sol = rstp.Harden(s, rstp.HardenOptions{})
+		sol = rstp.Harden(s, rstp.HardenOptions{Observer: lo})
 	} else if stabilize {
-		sol = rstp.Stabilize(s, rstp.StabilizeOptions{})
+		sol = rstp.Stabilize(s, rstp.StabilizeOptions{Observer: lo})
 	}
-	return sol, s.BlockBits, bound, nil
+	return sol, s.BlockBits, bound, lower, nil
 }
 
 // faultClauses assembles the -loss/-dup/-corrupt/-excess/-blackout flags

@@ -2,11 +2,48 @@ package main
 
 import (
 	"encoding/json"
+	"io"
+	"net/http"
 	"os"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"testing"
+	"time"
 )
+
+// summaryFrom extracts the trailing JSON summary from a run's output,
+// skipping any "metrics listening" / "obs:" lines printed before it.
+func summaryFrom(t *testing.T, out string) summary {
+	t.Helper()
+	i := strings.Index(out, "{")
+	if i < 0 {
+		t.Fatalf("no JSON summary in output:\n%s", out)
+	}
+	var sum summary
+	if err := json.Unmarshal([]byte(strings.TrimSpace(out[i:])), &sum); err != nil {
+		t.Fatalf("summary is not valid JSON: %v\n%s", err, out)
+	}
+	return sum
+}
+
+// scrape GETs one path off the in-process metrics endpoint.
+func scrape(t *testing.T, addr, path string) string {
+	t.Helper()
+	resp, err := http.Get("http://" + addr + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+	}
+	return string(body)
+}
 
 func TestServeBetaSmallRun(t *testing.T) {
 	var out strings.Builder
@@ -150,6 +187,142 @@ func TestServeShedEvictOldestIdle(t *testing.T) {
 	}
 	if sum.Completed != 8 || sum.Shed != 0 {
 		t.Fatalf("healthy generator-paced run: %+v", sum)
+	}
+}
+
+// TestServeMetricsEndpoint runs a transfer with the introspection
+// endpoint up and scrapes it mid-flight: the Prometheus exposition, the
+// JSON snapshot with its live session table, and the trace rings must all
+// serve while sessions are moving.
+func TestServeMetricsEndpoint(t *testing.T) {
+	ready := make(chan string, 1)
+	metricsReady = func(addr string) { ready <- addr }
+	defer func() { metricsReady = nil }()
+
+	var out strings.Builder
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{
+			"-sessions", "4", "-n", "64", "-tick", "200us",
+			"-metrics-addr", "127.0.0.1:0", "-trace",
+			"-timeout", "60s",
+		}, &out)
+	}()
+	addr := <-ready
+
+	// Wait until at least one output write is on the board, then scrape.
+	deadline := time.Now().Add(20 * time.Second)
+	for {
+		if strings.Contains(scrape(t, addr, "/metrics"), "rstp_session_writes_total") &&
+			!strings.Contains(scrape(t, addr, "/metrics"), "rstp_session_writes_total 0\n") {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no writes observed on /metrics within 20s")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	expo := scrape(t, addr, "/metrics")
+	for _, want := range []string{
+		"rstp_server_sessions_active",
+		"rstp_deadline_ticks 18",
+		"rstp_effort_bound_ticks",
+		"rstp_interwrite_ticks_bucket",
+		"rstp_deadline_margin_ticks_bucket",
+		"rstp_effort_gap_ticks_bucket",
+		"rstp_mem_sends_total",
+		"rstp_transport_delivery_ticks_bucket",
+	} {
+		if !strings.Contains(expo, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+	var snap struct {
+		Counters map[string]int64 `json:"counters"`
+		Live     map[string]any   `json:"live"`
+	}
+	if err := json.Unmarshal([]byte(scrape(t, addr, "/metrics.json")), &snap); err != nil {
+		t.Fatalf("/metrics.json is not valid JSON: %v", err)
+	}
+	if snap.Counters["rstp_session_sends_total"] == 0 {
+		t.Error("/metrics.json shows no sends mid-transfer")
+	}
+	if _, ok := snap.Live["server_sessions"]; !ok {
+		t.Error("/metrics.json missing the live session table")
+	}
+	if body := scrape(t, addr, "/trace"); !strings.Contains(body, `"kind"`) && body != "[]\n" && body != "null\n" {
+		t.Errorf("/trace returned neither events nor an empty ring:\n%.200s", body)
+	}
+
+	if err := <-done; err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	sum := summaryFrom(t, out.String())
+	if sum.MetricsAddr != addr {
+		t.Errorf("summary metrics_addr = %q, want %q", sum.MetricsAddr, addr)
+	}
+	if sum.EffortLowerBound <= 0 {
+		t.Errorf("summary missing the effort lower bound: %+v", sum)
+	}
+	if sum.EffortGapMean == 0 {
+		t.Errorf("summary missing the effort-gap mean: %+v", sum)
+	}
+}
+
+// TestServeSigintFlushesSummary pins the shutdown path: a SIGINT mid-run
+// must cancel the transfers, still flush the JSON summary (marked
+// interrupted), and exit cleanly rather than reporting failure.
+func TestServeSigintFlushesSummary(t *testing.T) {
+	ready := make(chan string, 1)
+	metricsReady = func(addr string) { ready <- addr }
+	defer func() { metricsReady = nil }()
+
+	var out strings.Builder
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{
+			// A long, slow run: 200 blocks per session at 500us/tick keeps
+			// the transfers in flight for seconds — the signal lands first.
+			"-sessions", "4", "-n", "200", "-tick", "500us",
+			"-metrics-addr", "127.0.0.1:0",
+			"-timeout", "5m",
+		}, &out)
+	}()
+	addr := <-ready // signal handler is installed before metricsReady fires
+
+	// Let the sessions establish and write a little before interrupting.
+	deadline := time.Now().Add(20 * time.Second)
+	for !strings.Contains(scrape(t, addr, "/metrics.json"), `"rstp_session_writes_total": `) ||
+		strings.Contains(scrape(t, addr, "/metrics.json"), `"rstp_session_writes_total": 0`) {
+		if time.Now().After(deadline) {
+			t.Fatal("no writes before the interrupt within 20s")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if err := syscall.Kill(os.Getpid(), syscall.SIGINT); err != nil {
+		t.Fatal(err)
+	}
+
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("interrupted run should flush and exit clean: %v\n%s", err, out.String())
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("run did not return within 30s of SIGINT")
+	}
+	sum := summaryFrom(t, out.String())
+	if !sum.Interrupted {
+		t.Errorf("summary not marked interrupted: %+v", sum)
+	}
+	if sum.Completed == 4 {
+		t.Errorf("all sessions completed — the signal landed too late to test anything: %+v", sum)
+	}
+	if sum.Violations != 0 {
+		t.Errorf("interrupt must never corrupt a tape: %+v", sum)
+	}
+	if sum.Writes == 0 {
+		t.Errorf("summary should carry the partial progress: %+v", sum)
 	}
 }
 

@@ -1,0 +1,125 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders every registered metric in the Prometheus text
+// exposition format (version 0.0.4 — the stable subset every scraper
+// accepts): # HELP / # TYPE headers, cumulative histogram buckets with
+// `le` labels, counters with their monotonic semantics. Funcs are
+// evaluated at write time.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, e := range r.sorted() {
+		if e.help != "" {
+			fmt.Fprintf(bw, "# HELP %s %s\n", e.name, sanitizeHelp(e.help))
+		}
+		switch e.kind {
+		case kindCounter:
+			fmt.Fprintf(bw, "# TYPE %s counter\n%s %d\n", e.name, e.name, e.counter.Value())
+		case kindCounterFunc:
+			fmt.Fprintf(bw, "# TYPE %s counter\n%s %d\n", e.name, e.name, e.intFn())
+		case kindGauge:
+			fmt.Fprintf(bw, "# TYPE %s gauge\n%s %d\n", e.name, e.name, e.gauge.Value())
+		case kindGaugeFunc:
+			fmt.Fprintf(bw, "# TYPE %s gauge\n%s %d\n", e.name, e.name, e.intFn())
+		case kindFloat:
+			fmt.Fprintf(bw, "# TYPE %s gauge\n%s %s\n", e.name, e.name, formatFloat(e.float.Value()))
+		case kindFloatFunc:
+			fmt.Fprintf(bw, "# TYPE %s gauge\n%s %s\n", e.name, e.name, formatFloat(e.floatFn()))
+		case kindHistogram:
+			fmt.Fprintf(bw, "# TYPE %s histogram\n", e.name)
+			for _, b := range e.hist.snapshotBuckets() {
+				le := "+Inf"
+				if !b.Inf {
+					le = strconv.FormatInt(b.LE, 10)
+				}
+				fmt.Fprintf(bw, "%s_bucket{le=%q} %d\n", e.name, le, b.Count)
+			}
+			fmt.Fprintf(bw, "%s_sum %d\n", e.name, e.hist.Sum())
+			fmt.Fprintf(bw, "%s_count %d\n", e.name, e.hist.Count())
+		}
+	}
+	return bw.Flush()
+}
+
+// sanitizeHelp keeps HELP lines single-line.
+func sanitizeHelp(s string) string {
+	return strings.NewReplacer("\n", " ", "\\", `\\`).Replace(s)
+}
+
+// formatFloat renders a float the way Prometheus clients do.
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// HistogramSnapshot is one histogram in a JSON snapshot.
+type HistogramSnapshot struct {
+	Buckets []HistogramBucket `json:"buckets"`
+	Sum     int64             `json:"sum"`
+	Count   int64             `json:"count"`
+	Mean    float64           `json:"mean"`
+}
+
+// Snapshot is the JSON view of a registry at one instant: flat metric
+// maps plus the live per-session introspection section.
+type Snapshot struct {
+	Counters   map[string]int64             `json:"counters"`
+	Gauges     map[string]int64             `json:"gauges"`
+	Floats     map[string]float64           `json:"floats"`
+	Histograms map[string]HistogramSnapshot `json:"histograms"`
+	// Live holds the per-session hooks (session tables, effort gaps) —
+	// data too high-cardinality for the Prometheus exposition.
+	Live map[string]any `json:"live,omitempty"`
+}
+
+// Snapshot evaluates every metric and live hook now.
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{
+		Counters:   make(map[string]int64),
+		Gauges:     make(map[string]int64),
+		Floats:     make(map[string]float64),
+		Histograms: make(map[string]HistogramSnapshot),
+	}
+	for _, e := range r.sorted() {
+		switch e.kind {
+		case kindCounter:
+			s.Counters[e.name] = e.counter.Value()
+		case kindCounterFunc:
+			s.Counters[e.name] = e.intFn()
+		case kindGauge:
+			s.Gauges[e.name] = e.gauge.Value()
+		case kindGaugeFunc:
+			s.Gauges[e.name] = e.intFn()
+		case kindFloat:
+			s.Floats[e.name] = e.float.Value()
+		case kindFloatFunc:
+			s.Floats[e.name] = e.floatFn()
+		case kindHistogram:
+			s.Histograms[e.name] = HistogramSnapshot{
+				Buckets: e.hist.snapshotBuckets(),
+				Sum:     e.hist.Sum(),
+				Count:   e.hist.Count(),
+				Mean:    e.hist.Mean(),
+			}
+		}
+	}
+	r.mu.RLock()
+	hooks := make(map[string]func() any, len(r.live))
+	for name, fn := range r.live {
+		hooks[name] = fn
+	}
+	r.mu.RUnlock()
+	if len(hooks) > 0 {
+		s.Live = make(map[string]any, len(hooks))
+		for name, fn := range hooks {
+			s.Live[name] = fn()
+		}
+	}
+	return s
+}

@@ -110,6 +110,11 @@ type HardenOptions struct {
 	// layer probes a healed channel within a bounded delay instead of
 	// backing off forever.
 	BackoffCap int
+	// Observer receives the layer's protocol events (retransmits,
+	// checksum rejects, stale drops). Shared across every endpoint built
+	// from these options, so implementations must be concurrency-safe.
+	// nil disables the hooks.
+	Observer LayerObserver
 }
 
 func (o HardenOptions) withDefaults(p Params) HardenOptions {
@@ -161,6 +166,8 @@ type hardEnd struct {
 	// Diagnostics.
 	rejected int // checksum failures dropped
 	stale    int // duplicate/old payloads discarded
+
+	obs LayerObserver // nil disables the event hooks
 }
 
 var _ ioa.Automaton = (*hardEnd)(nil)
@@ -174,6 +181,7 @@ func newHardEnd(inner ioa.Automaton, outDir, inDir wire.Dir, o HardenOptions) *h
 		rtoBase:    o.RTOSteps,
 		backoffCap: o.BackoffCap,
 		buffer:     make(map[int64]wire.Packet),
+		obs:        o.Observer,
 	}
 }
 
@@ -290,6 +298,7 @@ func (h *hardEnd) onLocalSend(s wire.Send) error {
 			if h.outstanding[i].seq == val {
 				h.outstanding[i].lastSent = h.steps
 				h.outstanding[i].attempt++
+				emit(h.obs, LayerRetransmit)
 				return nil
 			}
 		}
@@ -315,6 +324,7 @@ func (h *hardEnd) onRecv(p wire.Packet) error {
 	val, ctrl, ok := hardDecode(p, h.inDir)
 	if !ok {
 		h.rejected++
+		emit(h.obs, LayerChecksumReject)
 		return nil
 	}
 	if ctrl {
@@ -328,6 +338,7 @@ func (h *hardEnd) onRecv(p wire.Packet) error {
 	h.ackPending = true
 	if val < h.expected {
 		h.stale++
+		emit(h.obs, LayerStaleDrop)
 		return nil
 	}
 	unwrapped := p

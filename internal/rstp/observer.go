@@ -1,0 +1,84 @@
+package rstp
+
+import "repro/internal/obs"
+
+// LayerEvent identifies one protocol-layer transition worth counting: the
+// hardened layer's retransmission and integrity decisions, and the
+// stabilizing layer's epoch machinery.
+type LayerEvent int
+
+const (
+	// LayerRetransmit: the hardened layer re-sent an unacknowledged
+	// payload (the commit point in onLocalSend, once per wire attempt).
+	LayerRetransmit LayerEvent = iota
+	// LayerChecksumReject: a received packet failed the hardened layer's
+	// checksum and was dropped.
+	LayerChecksumReject
+	// LayerStaleDrop: a duplicate or out-of-date payload was discarded by
+	// the hardened layer's exactly-once reassembly.
+	LayerStaleDrop
+	// LayerResync: the stabilizing transmitter adopted a fresh epoch and
+	// rewound its input cursor (the resync commit point).
+	LayerResync
+	// LayerRewindAdopt: the stabilizing receiver adopted a REWIND's new
+	// epoch and rebuilt its inner stack.
+	LayerRewindAdopt
+	// LayerCtrlReject: a stabilizing-layer control packet failed its
+	// checksum and was dropped.
+	LayerCtrlReject
+	// LayerEpochDrop: a payload of a dead epoch (or of a session still
+	// being established) was discarded by the stabilizing layer.
+	LayerEpochDrop
+
+	numLayerEvents
+)
+
+// LayerObserver receives protocol-layer events from the hardened and
+// stabilizing wrappers. One observer is typically shared by every session
+// endpoint a mux runs, so implementations must be safe for concurrent
+// use and fast — the hooks sit on automaton transition paths.
+type LayerObserver interface {
+	LayerEvent(ev LayerEvent)
+}
+
+// emit forwards ev to o when an observer is configured.
+func emit(o LayerObserver, ev LayerEvent) {
+	if o != nil {
+		o.LayerEvent(ev)
+	}
+}
+
+// obsObserver counts layer events into an obs.Registry: one atomic
+// counter per event kind, resolved once at construction.
+type obsObserver struct {
+	counters [numLayerEvents]*obs.Counter
+}
+
+// ObsObserver returns a LayerObserver that counts every event into reg
+// under the rstp_layer_* names. Safe for concurrent use; each event costs
+// one atomic increment.
+func ObsObserver(reg *obs.Registry) LayerObserver {
+	o := &obsObserver{}
+	o.counters[LayerRetransmit] = reg.Counter("rstp_layer_retransmits_total",
+		"hardened-layer payload retransmissions")
+	o.counters[LayerChecksumReject] = reg.Counter("rstp_layer_checksum_rejects_total",
+		"packets dropped on a hardened-layer checksum failure")
+	o.counters[LayerStaleDrop] = reg.Counter("rstp_layer_stale_drops_total",
+		"duplicate or out-of-date payloads discarded by the hardened layer")
+	o.counters[LayerResync] = reg.Counter("rstp_layer_resyncs_total",
+		"stabilizing-layer epoch rewinds committed by the transmitter")
+	o.counters[LayerRewindAdopt] = reg.Counter("rstp_layer_rewind_adopts_total",
+		"REWIND epochs adopted by the stabilizing receiver")
+	o.counters[LayerCtrlReject] = reg.Counter("rstp_layer_ctrl_rejects_total",
+		"stabilizing-layer control packets dropped on checksum failure")
+	o.counters[LayerEpochDrop] = reg.Counter("rstp_layer_epoch_drops_total",
+		"dead-epoch payloads discarded by the stabilizing layer")
+	return o
+}
+
+// LayerEvent implements LayerObserver.
+func (o *obsObserver) LayerEvent(ev LayerEvent) {
+	if ev >= 0 && ev < numLayerEvents {
+		o.counters[ev].Inc()
+	}
+}

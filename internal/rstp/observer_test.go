@@ -1,0 +1,70 @@
+package rstp
+
+import (
+	"testing"
+
+	"repro/internal/chanmodel"
+	"repro/internal/faults"
+	"repro/internal/obs"
+	"repro/internal/sim"
+)
+
+// TestObserverCountsHardenedEvents pins the hardened layer's hooks: under
+// a dropping+corrupting plan the observer must see retransmits and
+// checksum rejects at exactly the layer's own diagnostic rates.
+func TestObserverCountsHardenedEvents(t *testing.T) {
+	p := chaosParams()
+	s, err := Beta(p, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	hs := Harden(s, HardenOptions{Observer: ObsObserver(reg)})
+	x := chaosInput(s, 6)
+	plan := faults.NewPlan(11, chanmodel.MaxDelay{D: p.D},
+		faults.Fault{From: 0, To: 600, Drop: 0.3, Corrupt: 0.2})
+	run, err := hs.Run(x, RunOptions{Delay: plan, MaxTicks: 500_000})
+	if err != nil {
+		t.Fatalf("hardened run: %v", err)
+	}
+	if v := hs.VerifyComplete(run, x); len(v) > 0 {
+		t.Fatalf("run did not complete cleanly: %v", v[0])
+	}
+	snap := reg.Snapshot()
+	if snap.Counters["rstp_layer_retransmits_total"] == 0 {
+		t.Error("no retransmits observed under a 30% drop plan")
+	}
+	if snap.Counters["rstp_layer_checksum_rejects_total"] == 0 {
+		t.Error("no checksum rejects observed under a 20% corruption plan")
+	}
+}
+
+// TestObserverCountsStabilizedEvents pins the stabilizing layer's hooks:
+// a transmitter crash forces the resync handshake, so the observer must
+// see at least one epoch rewind and one REWIND adoption.
+func TestObserverCountsStabilizedEvents(t *testing.T) {
+	p := chaosParams()
+	s, err := Beta(p, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	ss := Stabilize(s, StabilizeOptions{Observer: ObsObserver(reg)})
+	x := chaosInput(s, 12)
+	plan := faults.NewProcPlan(31,
+		faults.ProcFault{Proc: sim.ProcTransmitter, From: 100, To: 260, Crash: true})
+	run, err := ss.Run(x, RunOptions{ProcFaults: plan, MaxTicks: 500_000})
+	if err != nil {
+		t.Fatalf("stabilized run: %v", err)
+	}
+	if v := ss.VerifyComplete(run, x); len(v) > 0 {
+		t.Fatalf("run did not converge: %v", v[0])
+	}
+	snap := reg.Snapshot()
+	if snap.Counters["rstp_layer_resyncs_total"] == 0 {
+		t.Error("no epoch rewinds observed across a transmitter crash")
+	}
+	if snap.Counters["rstp_layer_rewind_adopts_total"] == 0 {
+		t.Error("no REWIND adoptions observed across a transmitter crash")
+	}
+}

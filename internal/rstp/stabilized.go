@@ -234,6 +234,11 @@ type StabilizeOptions struct {
 	// than any in-flight backlog a healing handshake leaves behind, so a
 	// working session never trips it.
 	MismatchLimit int
+	// Observer receives the layer's protocol events (epoch rewinds,
+	// rewind adoptions, control rejects, dead-epoch drops). Shared across
+	// every endpoint built from these options, so implementations must be
+	// concurrency-safe. nil disables the hooks.
+	Observer LayerObserver
 }
 
 func (o StabilizeOptions) withDefaults(p Params) StabilizeOptions {
@@ -297,6 +302,8 @@ type stableEnd struct {
 	rejected   int // control checksum failures dropped
 	staleDrops int // payloads from a dead epoch discarded
 	mismatches int // consecutive mismatches (r side trigger counter)
+
+	obs LayerObserver // nil disables the event hooks
 }
 
 var (
@@ -585,6 +592,7 @@ func (e *stableEnd) resync(reportedEpoch, reportedWrites int64) error {
 	e.synced = false
 	e.persist()
 	e.forceDue() // announce the REWIND immediately
+	emit(e.obs, LayerResync)
 	return nil
 }
 
@@ -597,6 +605,7 @@ func (e *stableEnd) onRecv(p wire.Packet) error {
 	if ctrl {
 		if !ok {
 			e.rejected++
+			emit(e.obs, LayerCtrlReject)
 			return nil
 		}
 		switch {
@@ -632,6 +641,7 @@ func (e *stableEnd) onRecv(p wire.Packet) error {
 				e.pending = true
 				e.lastLive = e.steps // fresh session: restart the quiet clock
 				e.persist()
+				emit(e.obs, LayerRewindAdopt)
 			case epoch == e.epoch:
 				e.pending = true // duplicate REWIND: re-ack
 				e.lastLive = e.steps
@@ -646,10 +656,12 @@ func (e *stableEnd) onRecv(p wire.Packet) error {
 	// Payload.
 	if e.inner == nil || (e.role == roleR && e.announce) || (e.role == roleT && !e.synced) {
 		e.staleDrops++
+		emit(e.obs, LayerEpochDrop)
 		return nil
 	}
 	if epoch != e.epoch&stPayloadEpochMask {
 		e.staleDrops++
+		emit(e.obs, LayerEpochDrop)
 		if e.role == roleR {
 			e.mismatches++
 			if e.mismatches >= e.mismatchLimit {
@@ -740,6 +752,7 @@ func (ss StabilizedSolution) NewPair(x []wire.Bit) (t, r ioa.Automaton, err erro
 			return nt, err
 		},
 		inner: it, epoch: 1, synced: true, lastCtrl: -opts.RTOSteps,
+		obs: opts.Observer,
 	}
 	re := &stableEnd{
 		role: roleR, name: ir.Name(), outDir: wire.RtoT, inDir: wire.TtoR,
@@ -750,6 +763,7 @@ func (ss StabilizedSolution) NewPair(x []wire.Bit) (t, r ioa.Automaton, err erro
 			return nr, err
 		},
 		inner: ir, epoch: 1, lastCtrl: -opts.RTOSteps,
+		obs: opts.Observer,
 	}
 	te.persist()
 	re.persist()

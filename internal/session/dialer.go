@@ -41,6 +41,7 @@ func NewDialer(cfg Config) (*Dialer, error) {
 		active:   make(map[uint32]*endpoint),
 		finished: make(map[uint32]Report),
 	}
+	d.instrument(cfg.metrics)
 	d.wg.Add(1)
 	go d.demux()
 	return d, nil

@@ -42,6 +42,7 @@ func NewServer(cfg Config) (*Server, error) {
 		finished: make(map[uint32]Report),
 		retiring: make(map[uint32]bool),
 	}
+	s.instrument(cfg.metrics)
 	s.wg.Add(1)
 	go s.demux()
 	return s, nil
@@ -78,6 +79,7 @@ func (s *Server) route(f wire.Frame) {
 		if _, done := s.finished[f.Session]; done {
 			s.late++
 			s.mu.Unlock()
+			s.cfg.metrics.onLate(s.cfg.Clock.Now(), f.Session)
 			return
 		}
 		// A shed victim's slot is already free but its report is not in
@@ -87,12 +89,14 @@ func (s *Server) route(f wire.Frame) {
 		if s.retiring[f.Session] {
 			s.late++
 			s.mu.Unlock()
+			s.cfg.metrics.onLate(s.cfg.Clock.Now(), f.Session)
 			return
 		}
 		if len(s.active) >= s.cfg.MaxSessions {
 			if s.cfg.Shed != ShedEvictOldestIdle || !s.shedOldestLocked() {
 				s.refused++
 				s.mu.Unlock()
+				s.cfg.metrics.onRefuse(s.cfg.Clock.Now(), f.Session)
 				return
 			}
 		}
@@ -101,6 +105,7 @@ func (s *Server) route(f wire.Frame) {
 		if err != nil {
 			s.refused++
 			s.mu.Unlock()
+			s.cfg.metrics.onRefuse(s.cfg.Clock.Now(), f.Session)
 			return
 		}
 	}

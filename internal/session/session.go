@@ -37,6 +37,7 @@ import (
 	"time"
 
 	"repro/internal/ioa"
+	"repro/internal/obs"
 	"repro/internal/rstp"
 	"repro/internal/timed"
 	"repro/internal/transport"
@@ -139,6 +140,21 @@ type Config struct {
 	// per session before force-retiring, giving the protocol one
 	// wedge-window-long chance to heal in place.
 	WatchdogResync bool
+	// Obs wires the mux into an observability registry: endpoint counters,
+	// the interwrite/deadline-margin/effort-gap histograms, protocol trace
+	// events, and the Server's live per-session introspection table. nil
+	// disables instrumentation entirely (the hot path pays one nil check).
+	Obs *obs.Registry
+	// EffortLowerBound is the paper's per-message effort lower bound in
+	// ticks for the configured protocol (δ1·c2/log2 ζ_k(δ1) r-passive,
+	// d/log2 ζ_k(δ2) active — Thms 5.3 and 5.6), supplied by the caller
+	// because it depends on the protocol's k. When > 0 it anchors the
+	// rstp_effort_gap_ticks histogram and the live effort-gap table;
+	// 0 leaves only the absolute effort visible.
+	EffortLowerBound float64
+
+	// metrics is built from Obs in withDefaults; nil disables every hook.
+	metrics *sessionMetrics
 }
 
 func (c Config) withDefaults() (Config, error) {
@@ -178,6 +194,7 @@ func (c Config) withDefaults() (Config, error) {
 	if c.WatchdogTicks <= 0 && c.WatchdogK > 0 {
 		c.WatchdogTicks = int64(c.WatchdogK) * int64(c.Params.Delta1()) * c.Params.C2
 	}
+	c.metrics = newSessionMetrics(c.Obs, c.Params, c.EffortLowerBound)
 	return c, nil
 }
 
@@ -322,6 +339,7 @@ func (e *endpoint) markShed() {
 	e.mu.Lock()
 	e.shed = true
 	e.mu.Unlock()
+	e.cfg.metrics.onShed(e.cfg.Clock.Now(), e.id)
 }
 
 // halt asks the loop to exit; idempotent.
@@ -335,6 +353,7 @@ func (e *endpoint) deliver(f wire.Frame) {
 		e.mu.Lock()
 		e.overflow++
 		e.mu.Unlock()
+		e.cfg.metrics.onOverflow()
 	}
 }
 
@@ -380,6 +399,7 @@ func (e *endpoint) loop(ownerDone <-chan struct{}, evictIdle bool) {
 				}
 				e.mu.Unlock()
 				if idle {
+					e.cfg.metrics.onEvict(now, e.id)
 					return
 				}
 			}
@@ -410,6 +430,7 @@ func (e *endpoint) watchdog() bool {
 			e.resyncs++
 			e.lastProgress = now // re-arm: one full window to heal
 			e.mu.Unlock()
+			e.cfg.metrics.onResync(now, e.id)
 			// The loop goroutine owns the automaton; calling in outside
 			// e.mu keeps the lock ordering trivial.
 			rs.ForceResync()
@@ -417,7 +438,9 @@ func (e *endpoint) watchdog() bool {
 		}
 	}
 	e.wedged = true
+	silent := now - e.lastProgress
 	e.mu.Unlock()
+	e.cfg.metrics.onWedge(now, e.id, silent)
 	return false
 }
 
@@ -431,6 +454,7 @@ func (e *endpoint) onFrame(f wire.Frame) {
 	if e.auto.Classify(act) != ioa.ClassInput {
 		e.rejected++
 		e.mu.Unlock()
+		e.cfg.metrics.onReject()
 		return
 	}
 	e.mu.Unlock()
@@ -438,12 +462,14 @@ func (e *endpoint) onFrame(f wire.Frame) {
 		e.mu.Lock()
 		e.rejected++
 		e.mu.Unlock()
+		e.cfg.metrics.onReject()
 		return
 	}
 	e.mu.Lock()
 	e.deliveries++
 	e.record(now, "chan", act, f.Seq)
 	e.mu.Unlock()
+	e.cfg.metrics.onRecv(now, e.id, f.Seq)
 }
 
 // step applies one local protocol action and performs its side effects
@@ -477,6 +503,10 @@ func (e *endpoint) step() bool {
 		}
 		e.record(now, e.auto.Name(), act, pktSeq)
 		e.mu.Unlock()
+		e.cfg.metrics.onSend(now, e.id, pktSeq)
+		if err != nil {
+			e.cfg.metrics.onSendErr()
+		}
 		// Only a closed transport is terminal. Anything else (e.g. a
 		// transient ENOBUFS/EMSGSIZE from the UDP socket) drops this frame
 		// exactly like channel loss — the protocols already retransmit —
@@ -486,12 +516,14 @@ func (e *endpoint) step() bool {
 		}
 	case wire.Write:
 		e.mu.Lock()
+		prevWrite := e.lastWrite
 		e.y = append(e.y, a.M)
 		e.writes++
 		e.lastWrite = now
 		e.lastProgress = now
 		e.record(now, e.auto.Name(), act, 0)
 		e.mu.Unlock()
+		e.cfg.metrics.onWrite(now, e.id, prevWrite, e.start)
 		select {
 		case e.notify <- struct{}{}:
 		default:
@@ -516,7 +548,7 @@ func (e *endpoint) snapshot(withTrace bool) Report {
 		SendErrors: e.sendErrs,
 		LastSend:   e.lastSend, LastWrite: e.lastWrite,
 		Evicted: e.evicted, Wedged: e.wedged, Shed: e.shed, Resyncs: e.resyncs,
-		Finished: e.finished,
+		Finished:     e.finished,
 		TraceDropped: e.traceDropped,
 	}
 	if e.lastErr != nil {

@@ -5,9 +5,11 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/chanmodel"
+	"repro/internal/obs"
 	"repro/internal/wire"
 )
 
@@ -45,9 +47,10 @@ func (o MemOptions) withDefaults() MemOptions {
 
 // pending is one scheduled delivery.
 type pending struct {
-	at  int64 // arrival tick
-	tie int64 // insertion order, breaking same-tick ties FIFO
-	f   wire.Frame
+	at   int64 // arrival tick
+	tie  int64 // insertion order, breaking same-tick ties FIFO
+	sent int64 // send tick, for delivery-latency observation
+	f    wire.Frame
 }
 
 type pendingHeap []pending
@@ -90,6 +93,12 @@ type Mem struct {
 	dead chan struct{} // closed when the scheduler has exited
 
 	del map[wire.Dir]chan wire.Frame
+
+	sends     atomic.Int64
+	delivered atomic.Int64
+	// latency is wired by Instrument after construction; atomic because
+	// the scheduler goroutine is already running by then.
+	latency atomic.Pointer[obs.Histogram]
 
 	closeOnce sync.Once
 }
@@ -144,10 +153,11 @@ func (m *Mem) Send(f wire.Frame) error {
 	for _, a := range arrivals {
 		df := f
 		df.P = a.P
-		heap.Push(&m.heap, pending{at: a.At, tie: m.nextTie, f: df})
+		heap.Push(&m.heap, pending{at: a.At, tie: m.nextTie, sent: sendTime, f: df})
 		m.nextTie++
 	}
 	m.mu.Unlock()
+	m.sends.Add(1)
 	select {
 	case m.wake <- struct{}{}:
 	default:
@@ -218,6 +228,10 @@ func (m *Mem) schedule() {
 		m.mu.Unlock()
 		select {
 		case m.del[e.f.Dir] <- e.f:
+			m.delivered.Add(1)
+			if h := m.latency.Load(); h != nil {
+				h.Observe(m.clock.Now() - e.sent)
+			}
 		case <-m.done:
 			return
 		}

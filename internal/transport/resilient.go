@@ -49,6 +49,12 @@ type ResilientOptions struct {
 	// Buffer is the per-direction capacity of the wrapper's delivery
 	// channels (default 1024).
 	Buffer int
+	// OnBreaker observes every circuit breaker state transition. It is
+	// invoked under the wrapper's mutex, so even with many concurrent
+	// senders the transitions arrive serialised in commit order;
+	// implementations must be fast and must not call back into the
+	// wrapper. nil disables the hook.
+	OnBreaker func(from, to BreakerState)
 }
 
 func (o ResilientOptions) withDefaults() ResilientOptions {
@@ -79,12 +85,32 @@ func (o ResilientOptions) withDefaults() ResilientOptions {
 	return o
 }
 
-// Breaker states.
+// BreakerState is the circuit breaker's state, exported so observability
+// hooks (ResilientOptions.OnBreaker, State) can report it.
+type BreakerState int32
+
 const (
-	breakerClosed = iota
-	breakerOpen
-	breakerHalfOpen
+	// BreakerClosed is the healthy state: sends flow to the inner transport.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen sheds sends fast with ErrBreakerOpen.
+	BreakerOpen
+	// BreakerHalfOpen lets exactly one probe send through.
+	BreakerHalfOpen
 )
+
+// String names the state for metrics and logs.
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	default:
+		return "unknown"
+	}
+}
 
 // Resilient composes three defenses onto any Transport:
 //
@@ -111,9 +137,9 @@ type Resilient struct {
 
 	mu        sync.Mutex
 	inner     Transport
-	gen       int // bumped on every successful redial
-	fails     int // consecutive Send failures
-	state     int // breaker state
+	gen       int          // bumped on every successful redial
+	fails     int          // consecutive Send failures
+	state     BreakerState // breaker state
 	probeAt   int64
 	innerDead bool // redial exhausted or impossible
 	closed    bool
@@ -184,15 +210,15 @@ func (r *Resilient) Send(f wire.Frame) error {
 		return ErrClosed
 	}
 	switch r.state {
-	case breakerOpen:
+	case BreakerOpen:
 		if r.clock.Now() < r.probeAt {
 			r.mu.Unlock()
 			r.fastFails.Add(1)
 			return ErrBreakerOpen
 		}
 		// This call becomes the half-open probe.
-		r.state = breakerHalfOpen
-	case breakerHalfOpen:
+		r.setStateLocked(BreakerHalfOpen)
+	case BreakerHalfOpen:
 		// One probe in flight at a time; shed everything else.
 		r.mu.Unlock()
 		r.fastFails.Add(1)
@@ -210,21 +236,42 @@ func (r *Resilient) Send(f wire.Frame) error {
 	}
 	if err == nil {
 		r.fails = 0
-		r.state = breakerClosed
+		r.setStateLocked(BreakerClosed)
 		return nil
 	}
 	if errors.Is(err, ErrClosed) {
 		return err // terminal: no redial left
 	}
 	r.fails++
-	if r.state == breakerHalfOpen || r.fails >= r.opt.BreakerThreshold {
-		if r.state != breakerOpen {
-			r.breakerOpens.Add(1)
-		}
-		r.state = breakerOpen
+	if r.state == BreakerHalfOpen || r.fails >= r.opt.BreakerThreshold {
+		r.setStateLocked(BreakerOpen)
 		r.probeAt = r.clock.Now() + r.opt.ProbeTicks
 	}
 	return err
+}
+
+// setStateLocked commits one breaker transition, counting entries into
+// the open state and notifying the OnBreaker hook. Callers hold r.mu, so
+// concurrent senders observe transitions in commit order.
+func (r *Resilient) setStateLocked(to BreakerState) {
+	if r.state == to {
+		return
+	}
+	from := r.state
+	r.state = to
+	if to == BreakerOpen {
+		r.breakerOpens.Add(1)
+	}
+	if r.opt.OnBreaker != nil {
+		r.opt.OnBreaker(from, to)
+	}
+}
+
+// State returns the breaker's current state.
+func (r *Resilient) State() BreakerState {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.state
 }
 
 // sendWithRetry performs the bounded, deadline-aware retry loop: up to

@@ -42,6 +42,7 @@ import (
 	"repro/internal/chanmodel"
 	"repro/internal/faults"
 	"repro/internal/frame"
+	"repro/internal/obs"
 	"repro/internal/rstp"
 	"repro/internal/rstpx"
 	"repro/internal/session"
@@ -410,6 +411,48 @@ func NewMemTransport(clock *Clock, opts MemOptions) Transport {
 
 // NewUDPLoopback returns a UDP loopback transport pair on 127.0.0.1.
 func NewUDPLoopback(buffer int) (Transport, error) { return transport.NewUDPLoopback(buffer) }
+
+// Observability (PR 5): a dependency-free metrics registry, bounded
+// per-session protocol event tracing, and live introspection over an
+// opt-in HTTP endpoint. The hot paths cost atomics only; nothing is
+// recorded unless a registry is configured. See DESIGN.md
+// ("Observability") and cmd/rstpserve's -metrics-addr/-trace flags.
+type (
+	// Metrics is the atomic counter/gauge/histogram registry. Set it as
+	// ServeConfig.Obs to instrument the session layer, and hand it to
+	// InstrumentTransport / NewLayerObserver for the other layers.
+	Metrics = obs.Registry
+	// MetricsSnapshot is the JSON view of a registry at one instant,
+	// including the live per-session table.
+	MetricsSnapshot = obs.Snapshot
+	// MetricsServer is a running HTTP introspection endpoint serving
+	// /metrics (Prometheus text), /metrics.json, /trace and /debug/pprof.
+	MetricsServer = obs.Server
+	// TraceEvent is one recorded protocol transition in a session's ring.
+	TraceEvent = obs.TraceEvent
+	// LayerObserver receives protocol events from the hardened and
+	// stabilizing wrappers (HardenOptions.Observer,
+	// StabilizeOptions.Observer).
+	LayerObserver = rstp.LayerObserver
+	// LiveSession is one row of a Server's live session table — per-session
+	// effort and effort-gap against the paper's lower bound.
+	LiveSession = session.LiveSession
+)
+
+// NewMetrics returns an empty observability registry.
+func NewMetrics() *Metrics { return obs.NewRegistry() }
+
+// InstrumentTransport walks a (possibly wrapped) transport stack and
+// registers every layer's metrics — resilient breaker and retransmission
+// counters, chaos injection counters, mem/udp delivery counters and the
+// delivery-latency histogram.
+func InstrumentTransport(reg *Metrics, t Transport) { transport.Instrument(reg, t) }
+
+// NewLayerObserver returns a LayerObserver that counts hardened- and
+// stabilizing-layer protocol events (retransmits, checksum rejects, epoch
+// rewinds, ...) into reg under the rstp_layer_* names. One observer may
+// be shared by every endpoint a server runs.
+func NewLayerObserver(reg *Metrics) LayerObserver { return rstp.ObsObserver(reg) }
 
 // Serve starts a receiver-side session server on cfg.Transport.
 func Serve(cfg ServeConfig) (*Server, error) { return session.NewServer(cfg) }
