@@ -11,6 +11,7 @@
 //	rstpserve -transport udp -chaos -loss 0.12 -dup 0.05 -corrupt 0.03 -harden
 //	rstpserve -shed evict-oldest-idle -watchdog 4 # overload + wedge defense
 //	rstpserve -bench -sessions 200                # emit BENCH_serve.json
+//	rstpserve -store-dir /tmp/rstp -sessions 64   # durable crash-restart serving
 //
 // Every session's output tape is verified against its input: Y must be a
 // prefix of X throughout and equal to X at completion. The tool prints a
@@ -37,6 +38,7 @@ import (
 
 	"repro/internal/chanmodel"
 	"repro/internal/faults"
+	"repro/internal/journal"
 	"repro/internal/obs"
 	"repro/internal/rstp"
 	"repro/internal/session"
@@ -109,6 +111,18 @@ type summary struct {
 	Interrupted       bool    `json:"interrupted,omitempty"`
 	MetricsAddr       string  `json:"metrics_addr,omitempty"`
 	TraceDropped      int64   `json:"trace_dropped,omitempty"`
+	// Durable-store keys (PR 6; see EXPERIMENTS.md E22), present only with
+	// -store-dir. Resumed counts sessions that restarted with a persisted
+	// output tape; the Journal* keys snapshot the checkpoint journal.
+	StoreDir           string `json:"store_dir,omitempty"`
+	Resumed            int64  `json:"resumed,omitempty"`
+	JournalSaves       int64  `json:"journal_saves,omitempty"`
+	JournalSaveErrors  int64  `json:"journal_save_errors,omitempty"`
+	JournalReplayed    int64  `json:"journal_replayed,omitempty"`
+	JournalTruncations int64  `json:"journal_truncations,omitempty"`
+	JournalCompactions int64  `json:"journal_compactions,omitempty"`
+	JournalSizeBytes   int64  `json:"journal_size_bytes,omitempty"`
+	JournalKeys        int64  `json:"journal_keys,omitempty"`
 }
 
 func run(args []string, out io.Writer) error {
@@ -127,6 +141,7 @@ func run(args []string, out io.Writer) error {
 		seed        = fs.Int64("seed", 1, "seed for inputs, delays and fault plans")
 		harden      = fs.Bool("harden", false, "wrap sessions in the hardened reliability layer")
 		stabilize   = fs.Bool("stabilize", false, "wrap sessions in the stabilizing recovery layer")
+		storeDir    = fs.String("store-dir", "", "persist session checkpoints and output tapes into a journal in this directory (implies -stabilize; restarting against the same directory with the same -seed resumes interrupted sessions)")
 		idle        = fs.Int64("idle", -1, "server idle-eviction threshold in ticks (-1 = off; the load generator evicts each session explicitly)")
 		loss        = fs.Float64("loss", 0, "drop probability inside -fwindow (mem transport)")
 		dup         = fs.Float64("dup", 0, "duplication probability inside -fwindow")
@@ -158,7 +173,22 @@ func run(args []string, out io.Writer) error {
 	}
 
 	p := rstp.Params{C1: *c1, C2: *c2, D: *d}
-	sol, blockBits, bound, lower, err := buildSolution(*proto, p, *k, *harden, *stabilize, rstp.ObsObserver(reg))
+	var store *journal.Store
+	if *storeDir != "" {
+		// Durable serving rides on the stabilized recovery layer: the
+		// journal holds its checkpoints and the sessions' output tapes, and
+		// Recover mode makes every (re)start load whatever the directory
+		// already holds — empty on a first run, a mid-transfer snapshot
+		// after a crash.
+		*stabilize = true
+		var jerr error
+		store, jerr = journal.Open(*storeDir, journal.Options{Obs: reg})
+		if jerr != nil {
+			return fmt.Errorf("-store-dir: %w", jerr)
+		}
+		defer store.Close()
+	}
+	sol, blockBits, bound, lower, err := buildSolution(*proto, p, *k, *harden, *stabilize, storeOrNil(store), rstp.ObsObserver(reg))
 	if err != nil {
 		return err
 	}
@@ -246,6 +276,7 @@ func run(args []string, out io.Writer) error {
 		WatchdogResync:   *stabilize,
 		Obs:              reg,
 		EffortLowerBound: lower,
+		Store:            storeOrNil(store),
 	})
 	if err != nil {
 		trans.Close()
@@ -303,7 +334,19 @@ func run(args []string, out io.Writer) error {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			res, err := pipe.Transfer(ctx, inputs[i])
+			var (
+				res session.TransferResult
+				err error
+			)
+			if store != nil {
+				// Durable runs pin session IDs to input indices: a restart
+				// against the same directory and -seed re-runs session i+1
+				// with the same input, so its persisted state is resumed
+				// instead of orphaned under a fresh ID.
+				res, err = pipe.TransferID(ctx, uint32(i+1), inputs[i])
+			} else {
+				res, err = pipe.Transfer(ctx, inputs[i])
+			}
 			results[i] = outcome{res: res, err: err}
 		}(i)
 	}
@@ -396,10 +439,22 @@ func run(args []string, out io.Writer) error {
 		sum.EffortGapMean = h.Mean
 	}
 	if h, ok := snap.Histograms["rstp_deadline_margin_ticks"]; ok {
-		sum.DeadlineMarginP99 = bucketQuantile(h, 0.99)
+		sum.DeadlineMarginP99 = obs.BucketQuantile(h, 0.99)
 	}
 	if *trace {
 		sum.TraceDropped = reg.Tracer().Dropped()
+	}
+	if store != nil {
+		st := store.Stats()
+		sum.StoreDir = *storeDir
+		sum.Resumed = snap.Counters["rstp_sessions_resumed_total"]
+		sum.JournalSaves = st.Saves
+		sum.JournalSaveErrors = st.SaveErrors
+		sum.JournalReplayed = st.Replayed
+		sum.JournalTruncations = st.Truncations
+		sum.JournalCompactions = st.Compactions
+		sum.JournalSizeBytes = st.Size
+		sum.JournalKeys = st.Keys
 	}
 
 	enc := json.NewEncoder(out)
@@ -464,28 +519,24 @@ func flushLoop(ctx context.Context, stop <-chan struct{}, reg *obs.Registry, out
 	}
 }
 
-// bucketQuantile returns the smallest finite bucket bound covering
-// fraction q of the histogram's observations, or 0 when the histogram is
-// empty or the quantile lands in the +Inf bucket.
-func bucketQuantile(h obs.HistogramSnapshot, q float64) int64 {
-	if h.Count == 0 {
-		return 0
+// storeOrNil converts a possibly-nil *journal.Store into an interface
+// value that is truly nil when the store is absent (a typed nil inside a
+// non-nil interface would defeat every `!= nil` gate downstream).
+func storeOrNil(s *journal.Store) rstp.StateStore {
+	if s == nil {
+		return nil
 	}
-	need := int64(math.Ceil(q * float64(h.Count)))
-	for _, b := range h.Buckets {
-		if !b.Inf && b.Count >= need {
-			return b.LE
-		}
-	}
-	return 0
+	return s
 }
 
 // buildSolution assembles the protocol stack and reports its block size,
 // the paper's effort upper bound for the bare protocol, and the matching
 // effort lower bound (Theorem 5.3 for the r-passive alpha/beta, Theorem
 // 5.6 for the active gamma) that the live effort-gap metric is measured
-// against. lo is shared by every session endpoint the wrappers build.
-func buildSolution(proto string, p rstp.Params, k int, harden, stabilize bool, lo rstp.LayerObserver) (session.PairBuilder, int, float64, float64, error) {
+// against. lo is shared by every session endpoint the wrappers build;
+// store, when non-nil, makes the stabilized layer checkpoint into it and
+// recover from it on construction.
+func buildSolution(proto string, p rstp.Params, k int, harden, stabilize bool, store rstp.StateStore, lo rstp.LayerObserver) (session.PairBuilder, int, float64, float64, error) {
 	var (
 		s     rstp.Solution
 		bound float64
@@ -521,13 +572,18 @@ func buildSolution(proto string, p rstp.Params, k int, harden, stabilize bool, l
 	if math.IsInf(lower, 1) || math.IsNaN(lower) {
 		lower = 0 // degenerate alphabet: disable the gap metric
 	}
+	sopts := rstp.StabilizeOptions{Observer: lo}
+	if store != nil {
+		sopts.Store = store
+		sopts.Recover = true
+	}
 	var sol session.PairBuilder = s
 	if harden && stabilize {
-		sol = rstp.StabilizeHardened(rstp.Harden(s, rstp.HardenOptions{Observer: lo}), rstp.StabilizeOptions{Observer: lo})
+		sol = rstp.StabilizeHardened(rstp.Harden(s, rstp.HardenOptions{Observer: lo}), sopts)
 	} else if harden {
 		sol = rstp.Harden(s, rstp.HardenOptions{Observer: lo})
 	} else if stabilize {
-		sol = rstp.Stabilize(s, rstp.StabilizeOptions{Observer: lo})
+		sol = rstp.Stabilize(s, sopts)
 	}
 	return sol, s.BlockBits, bound, lower, nil
 }

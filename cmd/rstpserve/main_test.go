@@ -5,6 +5,7 @@ import (
 	"io"
 	"net/http"
 	"os"
+	"os/exec"
 	"path/filepath"
 	"strings"
 	"syscall"
@@ -342,5 +343,107 @@ func TestServeRejectsBadFlags(t *testing.T) {
 		if err := run(args, &out); err == nil {
 			t.Errorf("run(%v) should have failed", args)
 		}
+	}
+}
+
+// TestServeStoreHelperProcess is not a test: it is the child body for
+// TestServeKillRestart, re-executing the test binary as an rstpserve
+// process that can be SIGKILLed for real.
+func TestServeStoreHelperProcess(t *testing.T) {
+	if os.Getenv("RSTPSERVE_HELPER") != "1" {
+		t.Skip("helper process for TestServeKillRestart")
+	}
+	if err := run(strings.Fields(os.Getenv("RSTPSERVE_ARGS")), os.Stdout); err != nil {
+		os.Exit(1)
+	}
+	os.Exit(0)
+}
+
+// TestServeKillRestart is the crash-restart smoke over a real process
+// boundary: a child rstpserve serving into -store-dir is SIGKILLed once
+// its journal shows durable progress, then the same run is repeated
+// in-process against the same directory. The restart must replay the
+// journal, resume at least one session's tape, and complete every
+// transfer with zero prefix violations.
+func TestServeKillRestart(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess kill-and-restart smoke")
+	}
+	dir := t.TempDir()
+	args := []string{
+		"-sessions", "4", "-n", "200", "-tick", "500us",
+		"-store-dir", dir, "-seed", "9", "-timeout", "5m",
+	}
+	child := exec.Command(os.Args[0], "-test.run=^TestServeStoreHelperProcess$")
+	child.Env = append(os.Environ(),
+		"RSTPSERVE_HELPER=1",
+		"RSTPSERVE_ARGS="+strings.Join(args, " "))
+	if err := child.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer child.Process.Kill()
+
+	// Wait for durable progress — the journal carries checkpoints and
+	// tape records once sessions are established and writing.
+	logPath := filepath.Join(dir, "journal.log")
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if fi, err := os.Stat(logPath); err == nil && fi.Size() > 4096 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("journal showed no progress within 30s")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if err := child.Process.Kill(); err != nil { // SIGKILL: no flush, no handler
+		t.Fatal(err)
+	}
+	child.Wait()
+
+	// Same directory, same seed, faster clock: the second incarnation
+	// must pick the sessions up where the journal says they were.
+	restart := []string{
+		"-sessions", "4", "-n", "200", "-tick", "50us",
+		"-store-dir", dir, "-seed", "9", "-timeout", "2m",
+	}
+	var out strings.Builder
+	if err := run(restart, &out); err != nil {
+		t.Fatalf("restarted run: %v\n%s", err, out.String())
+	}
+	sum := summaryFrom(t, out.String())
+	if sum.Completed != 4 || sum.Violations != 0 {
+		t.Fatalf("restart must complete all sessions violation-free: %+v", sum)
+	}
+	if sum.JournalReplayed == 0 {
+		t.Errorf("restart replayed no journal records: %+v", sum)
+	}
+	if sum.Resumed == 0 {
+		t.Errorf("restart resumed no session tapes: %+v", sum)
+	}
+}
+
+// TestServeStoreDirFreshRun pins the first-boot path: -store-dir against
+// an empty directory serves normally (recover mode with nothing to
+// recover) and reports the journal keys in the summary.
+func TestServeStoreDirFreshRun(t *testing.T) {
+	dir := t.TempDir()
+	var out strings.Builder
+	err := run([]string{"-sessions", "4", "-n", "2", "-tick", "50us", "-store-dir", dir}, &out)
+	if err != nil {
+		t.Fatalf("fresh -store-dir run: %v\n%s", err, out.String())
+	}
+	sum := summaryFrom(t, out.String())
+	if sum.Completed != 4 || sum.Violations != 0 {
+		t.Fatalf("fresh durable run: %+v", sum)
+	}
+	if sum.JournalSaves == 0 || sum.JournalKeys < 12 {
+		t.Errorf("journal shows no activity (want >= 3 keys per session): %+v", sum)
+	}
+	if sum.Resumed != 0 {
+		t.Errorf("nothing to resume on a fresh directory: %+v", sum)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "journal.log")); err != nil {
+		t.Errorf("journal file missing after durable run: %v", err)
 	}
 }

@@ -1,0 +1,10 @@
+package main
+
+import "testing"
+
+// TestRun smoke-tests the crash-recovery example end to end.
+func TestRun(t *testing.T) {
+	if err := run(t.TempDir()); err != nil {
+		t.Fatal(err)
+	}
+}

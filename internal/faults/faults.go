@@ -14,6 +14,12 @@
 // sim's watchdog detects (Run.Degradation), and rstp.Harden survives —
 // safety (Y a prefix of X) under any plan, liveness once the last fault
 // window closes.
+//
+// The same seeded-plan idiom recurs one layer down the storage stack:
+// journal.Plan drives a fault-injecting filesystem (short writes, fsync
+// errors, bit flips, crash-at-write-offset) under the durable checkpoint
+// journal, and ProcPlan (in this package) schedules the process-level
+// crashes those filesystem faults are the on-disk shadow of.
 package faults
 
 import (

@@ -1,0 +1,252 @@
+package journal
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+)
+
+// ErrCrashed is returned by every FaultFS operation after a planned
+// crash point fires: the simulated process is dead, the simulated disk
+// holds whatever prefix of the write stream made it out.
+var ErrCrashed = errors.New("journal: simulated crash")
+
+// ErrSyncFailed is the injected fsync failure.
+var ErrSyncFailed = errors.New("journal: simulated fsync failure")
+
+// ErrShortWrite is the error accompanying an injected short write (the
+// prefix that was "written" persists; the rest does not).
+var ErrShortWrite = errors.New("journal: simulated short write")
+
+// Plan is a seeded fault schedule for a FaultFS, in the style of
+// internal/faults: probabilities draw from one deterministic stream, so
+// the same Plan over the same operation sequence injects the same
+// faults.
+type Plan struct {
+	// Seed feeds the fault stream. Two FaultFS with equal Seeds and equal
+	// operation sequences make identical decisions.
+	Seed int64
+	// ShortWrite is the per-write probability that only a random strict
+	// prefix of the buffer persists and the write returns ErrShortWrite.
+	ShortWrite float64
+	// SyncErr is the per-Sync probability of returning ErrSyncFailed
+	// (the flush is also suppressed — buffered bytes may be lost on a
+	// later crash, though this wrapper persists them; the error is the
+	// observable fault).
+	SyncErr float64
+	// BitFlip is the per-write probability that one random bit of the
+	// buffer is silently flipped before persisting — the write still
+	// reports success. This is the "stable storage may hold damaged
+	// state" failure the CRC exists to catch.
+	BitFlip float64
+	// CrashAtByte, when >= 0, crashes the filesystem once the cumulative
+	// bytes written through it (journal appends and compaction snapshots
+	// alike) reach this offset: the in-flight write persists only up to
+	// the offset, returns ErrCrashed, and every later operation fails
+	// with ErrCrashed. Sweeping CrashAtByte over every offset of a save
+	// sequence visits every possible torn-write state. -1 (or the zero
+	// value left untouched via NeverCrash) never crashes.
+	CrashAtByte int64
+}
+
+// NeverCrash is the CrashAtByte value for plans that only inject
+// probabilistic faults.
+const NeverCrash int64 = -1
+
+// FaultFS wraps an FS and injects the faults its Plan describes. It is
+// safe for concurrent use; the fault stream is serialized under one
+// lock, so determinism holds whenever the operation ORDER is
+// deterministic (single-goroutine tests, or sweeps that tolerate any
+// interleaving).
+type FaultFS struct {
+	mu      sync.Mutex
+	inner   FS
+	plan    Plan
+	rng     *rand.Rand
+	written int64 // cumulative bytes persisted through this FS
+	crashed bool
+	faults  int64 // injected faults of any kind
+}
+
+// NewFaultFS wraps inner with the given plan.
+func NewFaultFS(inner FS, plan Plan) *FaultFS {
+	return &FaultFS{
+		inner: inner,
+		plan:  plan,
+		rng:   rand.New(rand.NewSource(plan.Seed)),
+	}
+}
+
+// Crashed reports whether the crash point has fired.
+func (f *FaultFS) Crashed() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.crashed
+}
+
+// Written returns the cumulative bytes persisted through this FS —
+// the coordinate system CrashAtByte lives in.
+func (f *FaultFS) Written() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.written
+}
+
+// Faults returns how many faults (of any kind) have been injected.
+func (f *FaultFS) Faults() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.faults
+}
+
+func (f *FaultFS) check() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.crashed {
+		return ErrCrashed
+	}
+	return nil
+}
+
+// OpenRead implements FS. Reads are not a fault surface (replay reads
+// whatever the faulted writes left behind), but a crashed FS stays dead.
+func (f *FaultFS) OpenRead(name string) (File, error) {
+	if err := f.check(); err != nil {
+		return nil, err
+	}
+	return f.inner.OpenRead(name)
+}
+
+// OpenAppend implements FS.
+func (f *FaultFS) OpenAppend(name string) (File, error) {
+	if err := f.check(); err != nil {
+		return nil, err
+	}
+	inner, err := f.inner.OpenAppend(name)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{fs: f, inner: inner}, nil
+}
+
+// Create implements FS.
+func (f *FaultFS) Create(name string) (File, error) {
+	if err := f.check(); err != nil {
+		return nil, err
+	}
+	inner, err := f.inner.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{fs: f, inner: inner}, nil
+}
+
+// Rename implements FS.
+func (f *FaultFS) Rename(oldname, newname string) error {
+	if err := f.check(); err != nil {
+		return err
+	}
+	return f.inner.Rename(oldname, newname)
+}
+
+// Remove implements FS.
+func (f *FaultFS) Remove(name string) error {
+	if err := f.check(); err != nil {
+		return err
+	}
+	return f.inner.Remove(name)
+}
+
+// Truncate implements FS.
+func (f *FaultFS) Truncate(name string, size int64) error {
+	if err := f.check(); err != nil {
+		return err
+	}
+	return f.inner.Truncate(name, size)
+}
+
+// MkdirAll implements FS.
+func (f *FaultFS) MkdirAll(dir string) error {
+	if err := f.check(); err != nil {
+		return err
+	}
+	return f.inner.MkdirAll(dir)
+}
+
+// faultFile intercepts writes and syncs; everything else passes through.
+type faultFile struct {
+	fs    *FaultFS
+	inner File
+}
+
+func (ff *faultFile) Read(p []byte) (int, error) { return ff.inner.Read(p) }
+func (ff *faultFile) Close() error               { return ff.inner.Close() }
+
+// Write applies the plan: maybe crash mid-buffer, maybe persist a short
+// prefix, maybe flip one bit. Exactly one fault fires per write, crash
+// taking precedence, so sweeps stay interpretable.
+func (ff *faultFile) Write(p []byte) (int, error) {
+	f := ff.fs
+	f.mu.Lock()
+	if f.crashed {
+		f.mu.Unlock()
+		return 0, ErrCrashed
+	}
+	// Crash point: does this buffer cross CrashAtByte?
+	if f.plan.CrashAtByte >= 0 && f.written+int64(len(p)) > f.plan.CrashAtByte {
+		keep := f.plan.CrashAtByte - f.written
+		if keep < 0 {
+			keep = 0
+		}
+		f.crashed = true
+		f.faults++
+		f.written += keep
+		f.mu.Unlock()
+		if keep > 0 {
+			ff.inner.Write(p[:keep])
+		}
+		ff.inner.Sync()
+		return int(keep), ErrCrashed
+	}
+	// Short write: persist a random strict prefix, report the error.
+	if f.plan.ShortWrite > 0 && len(p) > 0 && f.rng.Float64() < f.plan.ShortWrite {
+		keep := f.rng.Intn(len(p)) // 0..len-1: always strictly short
+		f.faults++
+		f.written += int64(keep)
+		f.mu.Unlock()
+		if keep > 0 {
+			ff.inner.Write(p[:keep])
+		}
+		return keep, ErrShortWrite
+	}
+	// Bit flip: silently corrupt one bit, report success.
+	if f.plan.BitFlip > 0 && len(p) > 0 && f.rng.Float64() < f.plan.BitFlip {
+		q := append([]byte(nil), p...)
+		bit := f.rng.Intn(len(q) * 8)
+		q[bit/8] ^= 1 << (bit % 8)
+		f.faults++
+		f.written += int64(len(q))
+		f.mu.Unlock()
+		return ff.inner.Write(q)
+	}
+	f.written += int64(len(p))
+	f.mu.Unlock()
+	return ff.inner.Write(p)
+}
+
+// Sync applies the SyncErr probability; a crashed FS always fails.
+func (ff *faultFile) Sync() error {
+	f := ff.fs
+	f.mu.Lock()
+	if f.crashed {
+		f.mu.Unlock()
+		return ErrCrashed
+	}
+	if f.plan.SyncErr > 0 && f.rng.Float64() < f.plan.SyncErr {
+		f.faults++
+		f.mu.Unlock()
+		return ErrSyncFailed
+	}
+	f.mu.Unlock()
+	return ff.inner.Sync()
+}

@@ -1,0 +1,157 @@
+package journal
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestFaultFSDeterministic: two FaultFS with the same plan over the
+// same operation sequence make identical decisions — the property every
+// sweep's reproducibility rests on.
+func TestFaultFSDeterministic(t *testing.T) {
+	run := func() (faults int64, contents []byte) {
+		dir := t.TempDir()
+		ffs := NewFaultFS(DiskFS{NoSync: true}, Plan{Seed: 42, ShortWrite: 0.4, BitFlip: 0.2, CrashAtByte: NeverCrash})
+		f, err := ffs.OpenAppend(filepath.Join(dir, "f"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 50; i++ {
+			f.Write([]byte("the quick brown fox"))
+		}
+		f.Close()
+		data, err := os.ReadFile(filepath.Join(dir, "f"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ffs.Faults(), data
+	}
+	f1, c1 := run()
+	f2, c2 := run()
+	if f1 != f2 || !bytes.Equal(c1, c2) {
+		t.Fatalf("same plan diverged: %d/%d faults, %d/%d bytes", f1, f2, len(c1), len(c2))
+	}
+	if f1 == 0 {
+		t.Fatal("plan injected nothing")
+	}
+}
+
+// TestFaultFSCrashTearsWrite: the crash point persists exactly the
+// prefix up to CrashAtByte and kills every later operation.
+func TestFaultFSCrashTearsWrite(t *testing.T) {
+	dir := t.TempDir()
+	ffs := NewFaultFS(DiskFS{NoSync: true}, Plan{CrashAtByte: 10})
+	path := filepath.Join(dir, "f")
+	f, err := ffs.OpenAppend(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, err := f.Write([]byte("12345678")); n != 8 || err != nil {
+		t.Fatalf("pre-crash write: %d, %v", n, err)
+	}
+	n, err := f.Write([]byte("abcdefgh")) // crosses byte 10: 2 bytes land
+	if !errors.Is(err, ErrCrashed) {
+		t.Fatalf("crossing write: err = %v, want ErrCrashed", err)
+	}
+	if n != 2 {
+		t.Fatalf("crossing write persisted %d bytes, want 2", n)
+	}
+	if !ffs.Crashed() {
+		t.Fatal("Crashed() false after crash")
+	}
+	if _, err := f.Write([]byte("x")); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash write: %v", err)
+	}
+	if _, err := ffs.OpenRead(path); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash open: %v", err)
+	}
+	if err := ffs.Rename(path, path+"2"); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash rename: %v", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "12345678ab" {
+		t.Fatalf("disk holds %q, want the exact 10-byte prefix", data)
+	}
+}
+
+// TestFaultFSBitFlip: a flipped write reports success but the disk
+// differs from the buffer in exactly one bit.
+func TestFaultFSBitFlip(t *testing.T) {
+	dir := t.TempDir()
+	ffs := NewFaultFS(DiskFS{NoSync: true}, Plan{Seed: 7, BitFlip: 1.0, CrashAtByte: NeverCrash})
+	path := filepath.Join(dir, "f")
+	f, err := ffs.OpenAppend(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := []byte("silent corruption test")
+	if n, err := f.Write(buf); n != len(buf) || err != nil {
+		t.Fatalf("flipped write must report success: %d, %v", n, err)
+	}
+	f.Close()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diff := 0
+	for i := range buf {
+		x := buf[i] ^ data[i]
+		for x != 0 {
+			diff++
+			x &= x - 1
+		}
+	}
+	if diff != 1 {
+		t.Fatalf("%d bits differ, want exactly 1", diff)
+	}
+}
+
+// TestFaultFSShortWrite: a short write persists a strict prefix and
+// returns ErrShortWrite with the persisted count.
+func TestFaultFSShortWrite(t *testing.T) {
+	dir := t.TempDir()
+	ffs := NewFaultFS(DiskFS{NoSync: true}, Plan{Seed: 5, ShortWrite: 1.0, CrashAtByte: NeverCrash})
+	f, err := ffs.OpenAppend(filepath.Join(dir, "f"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := []byte("will be cut short")
+	n, werr := f.Write(buf)
+	if !errors.Is(werr, ErrShortWrite) {
+		t.Fatalf("err = %v, want ErrShortWrite", werr)
+	}
+	if n >= len(buf) || n < 0 {
+		t.Fatalf("short write persisted %d of %d bytes — not a strict prefix", n, len(buf))
+	}
+	f.Close()
+	data, err := os.ReadFile(filepath.Join(dir, "f"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, buf[:n]) {
+		t.Fatalf("disk holds %q, want the reported prefix %q", data, buf[:n])
+	}
+}
+
+// TestFaultFSSyncErr: Sync fails with ErrSyncFailed when planned.
+func TestFaultFSSyncErr(t *testing.T) {
+	dir := t.TempDir()
+	ffs := NewFaultFS(DiskFS{NoSync: true}, Plan{Seed: 1, SyncErr: 1.0, CrashAtByte: NeverCrash})
+	f, err := ffs.Create(filepath.Join(dir, "f"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := f.Sync(); !errors.Is(err, ErrSyncFailed) {
+		t.Fatalf("Sync: %v, want ErrSyncFailed", err)
+	}
+	if ffs.Faults() != 1 {
+		t.Fatalf("Faults = %d, want 1", ffs.Faults())
+	}
+}

@@ -1,0 +1,86 @@
+package journal
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// FS is the filesystem surface the journal needs — deliberately minimal,
+// so a fault-injecting wrapper (FaultFS) can sit between the store and
+// the disk and break every promise one at a time. All paths are passed
+// through verbatim; implementations do not resolve or sandbox them.
+type FS interface {
+	// OpenRead opens name for reading. A missing file returns an error
+	// satisfying os.IsNotExist / errors.Is(err, fs.ErrNotExist).
+	OpenRead(name string) (File, error)
+	// OpenAppend opens name for appending, creating it if missing. The
+	// returned handle has O_SYNC semantics unless the implementation says
+	// otherwise: when Write returns, the bytes are on stable storage.
+	OpenAppend(name string) (File, error)
+	// Create opens name for writing from scratch, truncating any previous
+	// contents — the compaction snapshot path. Durability comes from an
+	// explicit Sync before Close, not from O_SYNC.
+	Create(name string) (File, error)
+	// Rename atomically replaces newname with oldname — the commit point
+	// of a compaction.
+	Rename(oldname, newname string) error
+	// Remove deletes name (stale compaction temporaries).
+	Remove(name string) error
+	// Truncate cuts name to size bytes — the torn-tail repair.
+	Truncate(name string, size int64) error
+	// MkdirAll ensures the directory exists.
+	MkdirAll(dir string) error
+}
+
+// File is one open journal file.
+type File interface {
+	io.Reader
+	io.Writer
+	io.Closer
+	// Sync flushes buffered writes to stable storage.
+	Sync() error
+}
+
+// DiskFS is the real filesystem. The zero value opens append handles
+// with O_SYNC, which is what the durability story rests on: an append
+// that returned has hit the platter (or the device's equivalent), so a
+// process crash can only tear the record being written, never one that
+// was acknowledged.
+type DiskFS struct {
+	// NoSync drops the O_SYNC flag from append handles. Only for tests
+	// and benchmarks where the filesystem itself is the fault surface (a
+	// FaultFS decides what persists) or where measured fsync cost would
+	// drown the signal — never for serving.
+	NoSync bool
+}
+
+// OpenRead implements FS.
+func (d DiskFS) OpenRead(name string) (File, error) { return os.Open(name) }
+
+// OpenAppend implements FS.
+func (d DiskFS) OpenAppend(name string) (File, error) {
+	flags := os.O_WRONLY | os.O_CREATE | os.O_APPEND
+	if !d.NoSync {
+		flags |= os.O_SYNC
+	}
+	return os.OpenFile(name, flags, 0o644)
+}
+
+// Create implements FS.
+func (d DiskFS) Create(name string) (File, error) { return os.Create(name) }
+
+// Rename implements FS.
+func (d DiskFS) Rename(oldname, newname string) error { return os.Rename(oldname, newname) }
+
+// Remove implements FS.
+func (d DiskFS) Remove(name string) error { return os.Remove(name) }
+
+// Truncate implements FS.
+func (d DiskFS) Truncate(name string, size int64) error { return os.Truncate(name, size) }
+
+// MkdirAll implements FS.
+func (d DiskFS) MkdirAll(dir string) error { return os.MkdirAll(dir, 0o755) }
+
+// join builds a path inside the store directory.
+func join(dir, name string) string { return filepath.Join(dir, name) }

@@ -1,0 +1,505 @@
+// Package journal is the durable half of the self-stabilization story: a
+// file-backed rstp.StateStore whose contents survive a real process
+// crash, the way MemStore survives only a simulated one.
+//
+// The paper (and the stabilized layer reproducing it) assumes stable
+// storage with one property: it may LOSE recent state, and it may hold
+// DAMAGED state, but whatever a reader gets back must be detectable as
+// one or the other — the RESYNC/REWIND handshake then rebuilds the
+// session from whatever survived. The journal makes that contract
+// operational on a filesystem:
+//
+//   - Appends are length-prefixed, CRC-32-checksummed records on a file
+//     opened with O_SYNC: a Save that returned is on stable storage, and
+//     a crash can only tear the record being written, never an
+//     acknowledged one.
+//   - Replay-on-open walks the file and truncates at the FIRST record
+//     that is short or fails its checksum. A torn or bit-flipped tail
+//     reads as "missing", exactly the failure the stabilized layer's
+//     checkpoint checksums were designed to absorb; it is never
+//     "repaired" into a plausible lie.
+//   - Compaction rewrites the live key set into a temporary snapshot and
+//     commits it with one atomic rename, so a crash at any byte of a
+//     compaction leaves either the old journal or the new one — never a
+//     mix.
+//
+// Every failure mode in that write path — short writes, fsync errors,
+// silent bit flips, a crash at an exact byte offset — is injectable
+// through FaultFS (faultfs.go), seeded and deterministic in the style of
+// internal/faults, which is how the crash-restart sweeps prove the
+// replay logic truncates rather than trusts every damaged tail.
+package journal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// File names inside a store directory. The temporary is adjacent to the
+// journal so Rename stays within one filesystem (atomicity).
+const (
+	journalName = "journal.log"
+	tmpName     = "journal.tmp"
+)
+
+// Record layout: a 4-byte big-endian payload length, a 4-byte CRC-32
+// (IEEE) of the payload, then the payload — a 2-byte key length, the
+// key, and the value. The CRC covers only the payload; a damaged length
+// prefix shows up as a short or absurd record, which replay treats the
+// same way as a failed checksum.
+const (
+	recHeader  = 8         // length + CRC
+	maxPayload = 1 << 26   // 64 MiB: larger lengths are corruption, not data
+	maxKey     = 1<<16 - 1 // key length must fit its 2-byte prefix
+)
+
+// Options tune a Store. The zero value is the serving default: real
+// filesystem, O_SYNC appends, 1 MiB compaction threshold, no metrics.
+type Options struct {
+	// FS is the filesystem; nil means DiskFS{} (O_SYNC appends).
+	FS FS
+	// CompactBytes is the journal size past which a compaction is
+	// considered (default 1 MiB; it still waits for the live fraction to
+	// drop below half, so a journal of mostly-live data is never churned).
+	CompactBytes int64
+	// Obs registers the journal's counters, size gauges and the
+	// fsync-latency histogram into a registry. nil disables metrics.
+	Obs *obs.Registry
+}
+
+func (o Options) withDefaults() Options {
+	if o.FS == nil {
+		o.FS = DiskFS{}
+	}
+	if o.CompactBytes <= 0 {
+		o.CompactBytes = 1 << 20
+	}
+	return o
+}
+
+// Stats is a snapshot of a store's lifetime counters.
+type Stats struct {
+	// Saves counts Save calls; SaveErrors those whose append failed (the
+	// value stays readable in memory but may not have reached the disk).
+	Saves, SaveErrors int64
+	// Replayed counts records recovered by the last Open; Truncations
+	// counts torn/corrupt tails cut off (at open and after failed
+	// appends), TruncatedBytes the bytes discarded by open-time cuts.
+	Replayed, Truncations, TruncatedBytes int64
+	// Compactions counts snapshot+rename cycles; CompactErrors failed
+	// attempts (the old journal stays authoritative).
+	Compactions, CompactErrors int64
+	// Size is the journal file's current byte length; Live the bytes of
+	// records holding each key's latest value. Size grows with every
+	// Save; compaction collapses it back to Live.
+	Size, Live int64
+	// Keys is the number of distinct keys currently stored.
+	Keys int64
+}
+
+// Store is a file-backed rstp.StateStore: an append-only, O_SYNC,
+// CRC-checksummed journal with replay-on-open and rename-based
+// compaction. It is safe for concurrent use by every session goroutine
+// of a serving process.
+//
+// Save never reports an error (the StateStore contract has no channel
+// for one, deliberately — the stabilized layer treats storage as lossy).
+// A failed append is counted in Stats and the store keeps serving the
+// value from memory; what reaches a LATER process is whatever prefix of
+// the journal survived, which the recovery handshake absorbs.
+type Store struct {
+	mu   sync.Mutex
+	fs   FS
+	dir  string
+	opts Options
+
+	f         File              // append handle; nil after an unrepairable error
+	size      int64             // bytes of journal known good (last record boundary)
+	mem       map[string][]byte // latest value per key
+	live      map[string]int64  // record bytes backing each key's latest value
+	liveBytes int64
+
+	lastErr error
+	stats   Stats
+
+	fsyncHist *obs.Histogram // nil without Options.Obs
+}
+
+// Open replays the journal in dir (creating the directory and an empty
+// journal as needed) and returns a ready store. A torn or corrupt tail
+// is truncated — recovery never fails on damaged contents, only on I/O
+// errors from the filesystem itself.
+func Open(dir string, opts Options) (*Store, error) {
+	opts = opts.withDefaults()
+	s := &Store{
+		fs:   opts.FS,
+		dir:  dir,
+		opts: opts,
+		mem:  make(map[string][]byte),
+		live: make(map[string]int64),
+	}
+	if err := s.fs.MkdirAll(dir); err != nil {
+		return nil, fmt.Errorf("journal: mkdir %s: %w", dir, err)
+	}
+	// A stale compaction temporary is a crash artifact from a previous
+	// incarnation that never reached its rename: the journal is still
+	// authoritative, the temporary is garbage.
+	_ = s.fs.Remove(join(dir, tmpName))
+	if err := s.replay(); err != nil {
+		return nil, err
+	}
+	f, err := s.fs.OpenAppend(join(dir, journalName))
+	if err != nil {
+		return nil, fmt.Errorf("journal: open %s for append: %w", journalName, err)
+	}
+	s.f = f
+	if opts.Obs != nil {
+		s.register(opts.Obs)
+	}
+	return s, nil
+}
+
+// replay loads the journal's longest valid prefix into memory and cuts
+// the file back to it.
+func (s *Store) replay() error {
+	path := join(s.dir, journalName)
+	f, err := s.fs.OpenRead(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil // fresh store
+		}
+		return fmt.Errorf("journal: open %s: %w", journalName, err)
+	}
+	data, err := io.ReadAll(f)
+	cerr := f.Close()
+	if err != nil {
+		return fmt.Errorf("journal: read %s: %w", journalName, err)
+	}
+	if cerr != nil {
+		return fmt.Errorf("journal: close %s: %w", journalName, cerr)
+	}
+	recs, validOff := scanRecords(data)
+	for _, r := range recs {
+		s.applyRecord(r.key, r.val, int64(recHeader+2+len(r.key)+len(r.val)))
+		s.stats.Replayed++
+	}
+	s.size = int64(validOff)
+	if validOff < len(data) {
+		// Damaged tail: cut it off rather than trust it. The caller's
+		// checkpoints above the cut read as "missing" — the stabilized
+		// layer's handshake was built for exactly that.
+		if err := s.fs.Truncate(path, int64(validOff)); err != nil {
+			return fmt.Errorf("journal: truncate torn tail of %s at %d: %w", journalName, validOff, err)
+		}
+		s.stats.Truncations++
+		s.stats.TruncatedBytes += int64(len(data) - validOff)
+	}
+	return nil
+}
+
+// applyRecord folds one decoded record into the in-memory state,
+// maintaining the live-bytes accounting.
+func (s *Store) applyRecord(key string, val []byte, recBytes int64) {
+	if prev, ok := s.live[key]; ok {
+		s.liveBytes -= prev
+	}
+	s.mem[key] = val
+	s.live[key] = recBytes
+	s.liveBytes += recBytes
+}
+
+// record is one decoded journal entry.
+type record struct {
+	key string
+	val []byte
+}
+
+// scanRecords walks data and returns the records of the longest valid
+// prefix plus that prefix's byte length. It never panics on arbitrary
+// input — FuzzJournalReplay holds it to that — and it never returns a
+// record whose checksum or framing fails.
+func scanRecords(data []byte) ([]record, int) {
+	var recs []record
+	off := 0
+	for {
+		if off+recHeader > len(data) {
+			return recs, off // short header: end (possibly torn)
+		}
+		plen := int(binary.BigEndian.Uint32(data[off:]))
+		sum := binary.BigEndian.Uint32(data[off+4:])
+		if plen < 2 || plen > maxPayload || off+recHeader+plen > len(data) {
+			return recs, off // absurd length or torn payload
+		}
+		payload := data[off+recHeader : off+recHeader+plen]
+		if crc32.ChecksumIEEE(payload) != sum {
+			return recs, off // bit rot or a torn rewrite
+		}
+		klen := int(binary.BigEndian.Uint16(payload))
+		if 2+klen > plen {
+			return recs, off // CRC-valid but malformed framing: distrust it
+		}
+		key := string(payload[2 : 2+klen])
+		val := append([]byte(nil), payload[2+klen:]...)
+		recs = append(recs, record{key: key, val: val})
+		off += recHeader + plen
+	}
+}
+
+// encodeRecord frames one Save as a journal record.
+func encodeRecord(key string, val []byte) []byte {
+	payload := make([]byte, 2+len(key)+len(val))
+	binary.BigEndian.PutUint16(payload, uint16(len(key)))
+	copy(payload[2:], key)
+	copy(payload[2+len(key):], val)
+	return encodeRecordRaw(payload)
+}
+
+// encodeRecordRaw frames an arbitrary payload with a correct length and
+// CRC header — also the test hook for building journals whose payloads
+// are checksummed correctly but structurally malformed.
+func encodeRecordRaw(payload []byte) []byte {
+	buf := make([]byte, recHeader+len(payload))
+	binary.BigEndian.PutUint32(buf, uint32(len(payload)))
+	binary.BigEndian.PutUint32(buf[4:], crc32.ChecksumIEEE(payload))
+	copy(buf[recHeader:], payload)
+	return buf
+}
+
+// Save implements rstp.StateStore: append one record, durably. Errors
+// are absorbed into Stats (see the type comment); the in-memory view
+// always reflects the latest Save so the CURRENT process never reads
+// stale state — durability only matters to the next one.
+func (s *Store) Save(key string, data []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.stats.Saves++
+	val := append([]byte(nil), data...)
+	if len(key) > maxKey || 2+len(key)+len(val) > maxPayload {
+		s.stats.SaveErrors++
+		s.lastErr = fmt.Errorf("journal: record for key %.32q exceeds limits", key)
+		s.mem[key] = val
+		return
+	}
+	rec := encodeRecord(key, val)
+	s.applyRecord(key, val, int64(len(rec)))
+	if s.f == nil && !s.reopenLocked() {
+		s.stats.SaveErrors++
+		return
+	}
+	start := time.Now()
+	n, err := s.f.Write(rec)
+	if s.fsyncHist != nil {
+		s.fsyncHist.Observe(time.Since(start).Microseconds())
+	}
+	if err != nil || n != len(rec) {
+		s.stats.SaveErrors++
+		if err != nil {
+			s.lastErr = err
+		} else {
+			s.lastErr = fmt.Errorf("journal: short append: %d of %d bytes", n, len(rec))
+		}
+		// The tail may now be torn mid-record. Roll the file back to the
+		// last record boundary so later successful appends are not
+		// stranded behind a corrupt record at the next replay.
+		s.repairTailLocked()
+		return
+	}
+	s.size += int64(n)
+	if s.size >= s.opts.CompactBytes && s.size > 2*s.liveBytes {
+		s.compactLocked()
+	}
+}
+
+// repairTailLocked truncates the journal back to s.size (the last known
+// record boundary). If even that fails, the append handle is dropped;
+// the next Save retries the reopen-and-truncate path.
+func (s *Store) repairTailLocked() {
+	if err := s.fs.Truncate(join(s.dir, journalName), s.size); err != nil {
+		s.lastErr = err
+		if s.f != nil {
+			s.f.Close()
+			s.f = nil
+		}
+		return
+	}
+	s.stats.Truncations++
+}
+
+// reopenLocked re-establishes the append handle after a dropped one,
+// re-truncating to the last record boundary first.
+func (s *Store) reopenLocked() bool {
+	if err := s.fs.Truncate(join(s.dir, journalName), s.size); err != nil {
+		s.lastErr = err
+		return false
+	}
+	f, err := s.fs.OpenAppend(join(s.dir, journalName))
+	if err != nil {
+		s.lastErr = err
+		return false
+	}
+	s.f = f
+	s.stats.Truncations++
+	return true
+}
+
+// Load implements rstp.StateStore.
+func (s *Store) Load(key string) ([]byte, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	val, ok := s.mem[key]
+	if !ok {
+		return nil, false
+	}
+	return append([]byte(nil), val...), true
+}
+
+// compactLocked rewrites the live key set into a temporary snapshot and
+// atomically renames it over the journal. On any error the old journal
+// (and its append handle) stay authoritative.
+func (s *Store) compactLocked() {
+	tmp := join(s.dir, tmpName)
+	f, err := s.fs.Create(tmp)
+	if err != nil {
+		s.compactFailed(err)
+		return
+	}
+	var written int64
+	for key, val := range s.mem {
+		rec := encodeRecord(key, val)
+		n, werr := f.Write(rec)
+		if werr != nil || n != len(rec) {
+			f.Close()
+			_ = s.fs.Remove(tmp)
+			s.compactFailed(werr)
+			return
+		}
+		written += int64(n)
+	}
+	// One explicit barrier for the whole snapshot, then the atomic
+	// commit point: rename. A crash before the rename leaves the old
+	// journal; after it, the new one — never a mix.
+	if err := f.Sync(); err != nil {
+		f.Close()
+		_ = s.fs.Remove(tmp)
+		s.compactFailed(err)
+		return
+	}
+	if err := f.Close(); err != nil {
+		_ = s.fs.Remove(tmp)
+		s.compactFailed(err)
+		return
+	}
+	if err := s.fs.Rename(tmp, join(s.dir, journalName)); err != nil {
+		_ = s.fs.Remove(tmp)
+		s.compactFailed(err)
+		return
+	}
+	// The old handle points at the unlinked inode; appends to it would
+	// vanish silently. Swap it for a handle on the new file.
+	if s.f != nil {
+		s.f.Close()
+	}
+	nf, err := s.fs.OpenAppend(join(s.dir, journalName))
+	if err != nil {
+		// The snapshot committed but cannot be appended to: the store
+		// keeps serving from memory and retries the reopen on next Save.
+		s.f = nil
+		s.lastErr = err
+	} else {
+		s.f = nf
+	}
+	s.size = written
+	s.liveBytes = written
+	for key := range s.live {
+		if val, ok := s.mem[key]; ok {
+			s.live[key] = int64(recHeader + 2 + len(key) + len(val))
+		}
+	}
+	s.stats.Compactions++
+}
+
+func (s *Store) compactFailed(err error) {
+	s.stats.CompactErrors++
+	if err != nil {
+		s.lastErr = err
+	}
+}
+
+// Dump returns a copy of the store's current state — the comparison
+// surface for the crash sweeps.
+func (s *Store) Dump() map[string][]byte {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string][]byte, len(s.mem))
+	for k, v := range s.mem {
+		out[k] = append([]byte(nil), v...)
+	}
+	return out
+}
+
+// Stats snapshots the lifetime counters.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.stats
+	st.Size = s.size
+	st.Live = s.liveBytes
+	st.Keys = int64(len(s.mem))
+	return st
+}
+
+// LastErr returns the most recent write-path error, nil if none.
+func (s *Store) LastErr() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lastErr
+}
+
+// Dir returns the store directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Close releases the append handle. The store's in-memory view keeps
+// serving Loads; further Saves reopen the journal.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.f == nil {
+		return nil
+	}
+	err := s.f.Close()
+	s.f = nil
+	return err
+}
+
+// register wires the store's counters, gauges and the fsync-latency
+// histogram into an obs registry, following the serving stack's naming
+// conventions.
+func (s *Store) register(reg *obs.Registry) {
+	s.fsyncHist = reg.Histogram("rstp_journal_fsync_us",
+		"O_SYNC journal append latency (write + flush), in microseconds", obs.TickBuckets(20))
+	reg.CounterFunc("rstp_journal_saves_total", "checkpoint saves appended to the journal",
+		func() int64 { return s.Stats().Saves })
+	reg.CounterFunc("rstp_journal_save_errors_total", "journal appends that failed (value kept in memory only)",
+		func() int64 { return s.Stats().SaveErrors })
+	reg.CounterFunc("rstp_journal_replayed_records_total", "records recovered by replay at open",
+		func() int64 { return s.Stats().Replayed })
+	reg.CounterFunc("rstp_journal_truncations_total", "torn or corrupt journal tails cut off",
+		func() int64 { return s.Stats().Truncations })
+	reg.CounterFunc("rstp_journal_truncated_bytes_total", "bytes discarded by open-time tail truncation",
+		func() int64 { return s.Stats().TruncatedBytes })
+	reg.CounterFunc("rstp_journal_compactions_total", "snapshot-and-rename compaction cycles",
+		func() int64 { return s.Stats().Compactions })
+	reg.GaugeFunc("rstp_journal_size_bytes", "journal file size in bytes",
+		func() int64 { return s.Stats().Size })
+	reg.GaugeFunc("rstp_journal_live_bytes", "bytes of records holding each key's latest value",
+		func() int64 { return s.Stats().Live })
+	reg.GaugeFunc("rstp_journal_keys", "distinct keys in the store",
+		func() int64 { return s.Stats().Keys })
+}

@@ -1,0 +1,599 @@
+package journal
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/rstp"
+)
+
+// The journal is only useful if the stabilized layer can hold it.
+var _ rstp.StateStore = (*Store)(nil)
+
+// testOpts opens stores on the real filesystem without O_SYNC: the
+// tests' fault surface is FaultFS and hand-corrupted files, and paying
+// a disk flush per append would dominate the suite's runtime.
+func testOpts() Options { return Options{FS: DiskFS{NoSync: true}} }
+
+func mustOpen(t *testing.T, dir string, opts Options) *Store {
+	t.Helper()
+	s, err := Open(dir, opts)
+	if err != nil {
+		t.Fatalf("Open(%s): %v", dir, err)
+	}
+	return s
+}
+
+func journalBytes(t *testing.T, dir string) []byte {
+	t.Helper()
+	data, err := os.ReadFile(filepath.Join(dir, journalName))
+	if err != nil {
+		t.Fatalf("reading journal: %v", err)
+	}
+	return data
+}
+
+func TestJournalSaveLoadReopen(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, testOpts())
+	s.Save("s1/t", []byte("alpha"))
+	s.Save("s1/r", []byte("beta"))
+	s.Save("s1/t", []byte("gamma")) // overwrite: latest must win
+	if v, ok := s.Load("s1/t"); !ok || string(v) != "gamma" {
+		t.Fatalf("Load(s1/t) = %q, %v; want gamma", v, ok)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	s2 := mustOpen(t, dir, testOpts())
+	defer s2.Close()
+	if v, ok := s2.Load("s1/t"); !ok || string(v) != "gamma" {
+		t.Fatalf("after reopen Load(s1/t) = %q, %v; want gamma", v, ok)
+	}
+	if v, ok := s2.Load("s1/r"); !ok || string(v) != "beta" {
+		t.Fatalf("after reopen Load(s1/r) = %q, %v; want beta", v, ok)
+	}
+	if _, ok := s2.Load("nope"); ok {
+		t.Fatal("Load of unsaved key reported ok")
+	}
+	st := s2.Stats()
+	if st.Replayed != 3 {
+		t.Fatalf("Replayed = %d, want 3", st.Replayed)
+	}
+	if st.Keys != 2 {
+		t.Fatalf("Keys = %d, want 2", st.Keys)
+	}
+	if st.Truncations != 0 {
+		t.Fatalf("Truncations = %d on a clean journal, want 0", st.Truncations)
+	}
+}
+
+func TestJournalEmptyValueAndBinaryData(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, testOpts())
+	blob := make([]byte, 1024)
+	for i := range blob {
+		blob[i] = byte(i * 31)
+	}
+	s.Save("empty", nil)
+	s.Save("blob", blob)
+	s.Close()
+
+	s2 := mustOpen(t, dir, testOpts())
+	defer s2.Close()
+	if v, ok := s2.Load("empty"); !ok || len(v) != 0 {
+		t.Fatalf("Load(empty) = %v, %v; want empty value present", v, ok)
+	}
+	if v, ok := s2.Load("blob"); !ok || !bytes.Equal(v, blob) {
+		t.Fatalf("binary blob did not round-trip")
+	}
+}
+
+func TestJournalLoadReturnsCopy(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, testOpts())
+	defer s.Close()
+	s.Save("k", []byte("abc"))
+	v, _ := s.Load("k")
+	v[0] = 'X'
+	if w, _ := s.Load("k"); string(w) != "abc" {
+		t.Fatalf("mutating a Load result changed the store: %q", w)
+	}
+}
+
+// TestJournalTornTailTruncated cuts the journal mid-record and checks
+// replay keeps the good prefix, drops the torn record, and shrinks the
+// file so the damage cannot confuse a later open.
+func TestJournalTornTailTruncated(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, testOpts())
+	s.Save("a", []byte("first"))
+	goodLen := int64(len(journalBytes(t, dir)))
+	s.Save("b", []byte("second"))
+	s.Close()
+
+	// Tear the second record: keep its header and half its payload.
+	full := journalBytes(t, dir)
+	torn := full[:goodLen+recHeader+3]
+	if err := os.WriteFile(filepath.Join(dir, journalName), torn, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := mustOpen(t, dir, testOpts())
+	defer s2.Close()
+	if v, ok := s2.Load("a"); !ok || string(v) != "first" {
+		t.Fatalf("good prefix lost: Load(a) = %q, %v", v, ok)
+	}
+	if _, ok := s2.Load("b"); ok {
+		t.Fatal("torn record surfaced as present — damage must read as missing")
+	}
+	st := s2.Stats()
+	if st.Truncations != 1 || st.TruncatedBytes != int64(len(torn))-goodLen {
+		t.Fatalf("Truncations=%d TruncatedBytes=%d, want 1 and %d", st.Truncations, st.TruncatedBytes, int64(len(torn))-goodLen)
+	}
+	if got := int64(len(journalBytes(t, dir))); got != goodLen {
+		t.Fatalf("journal not cut back: %d bytes, want %d", got, goodLen)
+	}
+}
+
+// TestJournalBitFlipTruncates flips a single bit in each byte position
+// of a record and checks replay never surfaces the damaged record.
+func TestJournalBitFlipTruncates(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, testOpts())
+	s.Save("a", []byte("first"))
+	firstLen := len(journalBytes(t, dir))
+	s.Save("b", []byte("second"))
+	s.Close()
+	full := journalBytes(t, dir)
+
+	for pos := firstLen; pos < len(full); pos++ {
+		flipped := append([]byte(nil), full...)
+		flipped[pos] ^= 0x10
+		if err := os.WriteFile(filepath.Join(dir, journalName), flipped, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		s2 := mustOpen(t, dir, testOpts())
+		if v, ok := s2.Load("a"); !ok || string(v) != "first" {
+			t.Fatalf("pos %d: good prefix lost", pos)
+		}
+		if v, ok := s2.Load("b"); ok && string(v) != "second" {
+			t.Fatalf("pos %d: CRC missed a flipped bit: Load(b) = %q", pos, v)
+		}
+		if _, ok := s2.Load("b"); ok {
+			t.Fatalf("pos %d: damaged record surfaced as valid", pos)
+		}
+		s2.Close()
+	}
+}
+
+// TestJournalCompaction drives enough overwrites to trip the threshold
+// and checks the journal collapses to the live set without losing state.
+func TestJournalCompaction(t *testing.T) {
+	dir := t.TempDir()
+	opts := testOpts()
+	opts.CompactBytes = 512
+	s := mustOpen(t, dir, opts)
+	for i := 0; i < 200; i++ {
+		s.Save(fmt.Sprintf("k%d", i%4), []byte(fmt.Sprintf("value-%d", i)))
+	}
+	st := s.Stats()
+	if st.Compactions == 0 {
+		t.Fatalf("no compaction after 200 saves with CompactBytes=512 (size=%d live=%d)", st.Size, st.Live)
+	}
+	if st.Size > 2*st.Live+512 {
+		t.Fatalf("journal did not collapse: size=%d live=%d", st.Size, st.Live)
+	}
+	want := s.Dump()
+	s.Close()
+
+	s2 := mustOpen(t, dir, opts)
+	defer s2.Close()
+	got := s2.Dump()
+	if len(got) != len(want) {
+		t.Fatalf("reopen after compaction: %d keys, want %d", len(got), len(want))
+	}
+	for k, v := range want {
+		if g, ok := got[k]; !ok || !bytes.Equal(g, v) {
+			t.Fatalf("reopen after compaction: key %s = %q, want %q", k, g, v)
+		}
+	}
+	if _, err := os.Stat(filepath.Join(dir, tmpName)); !os.IsNotExist(err) {
+		t.Fatalf("compaction temporary left behind: %v", err)
+	}
+}
+
+// TestJournalStaleTmpRemoved plants a leftover compaction temporary (a
+// crash artifact) and checks Open discards it and trusts the journal.
+func TestJournalStaleTmpRemoved(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, testOpts())
+	s.Save("k", []byte("real"))
+	s.Close()
+	if err := os.WriteFile(filepath.Join(dir, tmpName), []byte("half-written snapshot"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s2 := mustOpen(t, dir, testOpts())
+	defer s2.Close()
+	if v, ok := s2.Load("k"); !ok || string(v) != "real" {
+		t.Fatalf("Load(k) = %q, %v", v, ok)
+	}
+	if _, err := os.Stat(filepath.Join(dir, tmpName)); !os.IsNotExist(err) {
+		t.Fatal("stale compaction temporary survived Open")
+	}
+}
+
+// saveSeq is the deterministic save sequence the crash sweeps replay:
+// interleaved overwrites across a few keys, values that encode their
+// position so a stale value is distinguishable from a fresh one.
+func saveSeq(n int) []record {
+	seq := make([]record, n)
+	for i := range seq {
+		seq[i] = record{
+			key: fmt.Sprintf("s%d/ckpt", i%3),
+			val: []byte(fmt.Sprintf("state-%04d-%s", i, strings.Repeat("x", i%7))),
+		}
+	}
+	return seq
+}
+
+// stateAfter folds the first n saves of seq into the map a correct
+// recovery should produce.
+func stateAfter(seq []record, n int) map[string]string {
+	m := make(map[string]string)
+	for _, r := range seq[:n] {
+		m[r.key] = string(r.val)
+	}
+	return m
+}
+
+// matchesSomePrefix reports whether got equals stateAfter(seq, n) for
+// some 0 <= n <= len(seq).
+func matchesSomePrefix(got map[string][]byte, seq []record) (int, bool) {
+	for n := len(seq); n >= 0; n-- {
+		want := stateAfter(seq, n)
+		if len(got) != len(want) {
+			continue
+		}
+		ok := true
+		for k, v := range want {
+			if g, has := got[k]; !has || string(g) != v {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return n, true
+		}
+	}
+	return -1, false
+}
+
+// TestJournalCrashAtEveryOffset is the core durability sweep: run a
+// fixed save sequence with the crash point at EVERY byte offset of the
+// write stream, reopen the directory with a clean filesystem, and
+// require the recovered state to equal the state after some prefix of
+// the sequence. Anything else — a torn record surfacing, a later save
+// visible while an earlier one is lost — is a lie the stabilized layer
+// cannot absorb.
+func TestJournalCrashAtEveryOffset(t *testing.T) {
+	const nSaves = 12
+	seq := saveSeq(nSaves)
+
+	// First, measure the fault-free write stream length.
+	probe := NewFaultFS(DiskFS{NoSync: true}, Plan{CrashAtByte: NeverCrash})
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{FS: probe})
+	for _, r := range seq {
+		s.Save(r.key, r.val)
+	}
+	s.Close()
+	total := probe.Written()
+	if total == 0 {
+		t.Fatal("probe wrote nothing")
+	}
+
+	step := int64(1)
+	if testing.Short() {
+		step = 17
+	}
+	for crash := int64(0); crash <= total; crash += step {
+		dir := t.TempDir()
+		ffs := NewFaultFS(DiskFS{NoSync: true}, Plan{CrashAtByte: crash})
+		s, err := Open(dir, Options{FS: ffs})
+		if err != nil {
+			t.Fatalf("crash@%d: Open: %v", crash, err)
+		}
+		for _, r := range seq {
+			s.Save(r.key, r.val)
+		}
+		s.Close()
+
+		// "Restart": a clean filesystem over the same directory.
+		s2 := mustOpen(t, dir, testOpts())
+		n, ok := matchesSomePrefix(s2.Dump(), seq)
+		if !ok {
+			t.Fatalf("crash@%d: recovered state matches no save prefix: %v", crash, dumpKeys(s2.Dump()))
+		}
+		s2.Close()
+		_ = n
+	}
+}
+
+// TestJournalCrashDuringCompaction crashes at every offset of a write
+// stream that includes a compaction; since compaction only rewrites
+// already-durable state behind an atomic rename, recovery must still
+// match a save prefix — the compaction itself must be invisible.
+func TestJournalCrashDuringCompaction(t *testing.T) {
+	const nSaves = 30
+	seq := saveSeq(nSaves)
+	opts := func(fs FS) Options { return Options{FS: fs, CompactBytes: 300} }
+
+	probe := NewFaultFS(DiskFS{NoSync: true}, Plan{CrashAtByte: NeverCrash})
+	{
+		dir := t.TempDir()
+		s := mustOpen(t, dir, opts(probe))
+		for _, r := range seq {
+			s.Save(r.key, r.val)
+		}
+		if s.Stats().Compactions == 0 {
+			t.Fatal("probe run never compacted; sweep would not cover compaction")
+		}
+		s.Close()
+	}
+	total := probe.Written()
+
+	step := int64(7)
+	if testing.Short() {
+		step = 61
+	}
+	for crash := int64(0); crash <= total; crash += step {
+		dir := t.TempDir()
+		ffs := NewFaultFS(DiskFS{NoSync: true}, Plan{CrashAtByte: crash})
+		s, err := Open(dir, opts(ffs))
+		if err != nil {
+			t.Fatalf("crash@%d: Open: %v", crash, err)
+		}
+		for _, r := range seq {
+			s.Save(r.key, r.val)
+		}
+		s.Close()
+
+		s2 := mustOpen(t, dir, testOpts())
+		if _, ok := matchesSomePrefix(s2.Dump(), seq); !ok {
+			t.Fatalf("crash@%d (compacting run): recovered state matches no save prefix: %v", crash, dumpKeys(s2.Dump()))
+		}
+		s2.Close()
+	}
+}
+
+func dumpKeys(m map[string][]byte) []string {
+	out := make([]string, 0, len(m))
+	for k, v := range m {
+		out = append(out, fmt.Sprintf("%s=%q", k, v))
+	}
+	return out
+}
+
+// TestJournalShortWriteRepair runs a save sequence under probabilistic
+// short writes and checks (a) the live store always serves the latest
+// value, (b) after reopen every surviving value is one that was
+// actually saved under its key — a torn append never invents data.
+func TestJournalShortWriteRepair(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		dir := t.TempDir()
+		ffs := NewFaultFS(DiskFS{NoSync: true}, Plan{Seed: seed, ShortWrite: 0.3, CrashAtByte: NeverCrash})
+		s := mustOpen(t, dir, Options{FS: ffs})
+		saved := map[string]map[string]bool{}
+		for i := 0; i < 40; i++ {
+			key := fmt.Sprintf("k%d", i%3)
+			val := fmt.Sprintf("v-%d-%d", seed, i)
+			s.Save(key, []byte(val))
+			if saved[key] == nil {
+				saved[key] = map[string]bool{}
+			}
+			saved[key][val] = true
+			if got, ok := s.Load(key); !ok || string(got) != val {
+				t.Fatalf("seed %d: live store stale after save %d: %q", seed, i, got)
+			}
+		}
+		if ffs.Faults() == 0 {
+			t.Fatalf("seed %d: plan injected no faults; test proves nothing", seed)
+		}
+		if s.Stats().SaveErrors == 0 {
+			t.Fatalf("seed %d: short writes not surfaced in SaveErrors", seed)
+		}
+		if s.LastErr() == nil {
+			t.Fatalf("seed %d: LastErr nil despite injected faults", seed)
+		}
+		s.Close()
+
+		s2 := mustOpen(t, dir, testOpts())
+		for key, val := range s2.Dump() {
+			if !saved[key][string(val)] {
+				t.Fatalf("seed %d: recovered %s=%q which was never saved", seed, key, val)
+			}
+		}
+		s2.Close()
+	}
+}
+
+// TestJournalBitFlipFaultNeverSurfaces writes through a bit-flipping
+// filesystem and checks replay never returns a corrupted value: every
+// recovered value must be one that was actually saved.
+func TestJournalBitFlipFaultNeverSurfaces(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		dir := t.TempDir()
+		ffs := NewFaultFS(DiskFS{NoSync: true}, Plan{Seed: seed, BitFlip: 0.25, CrashAtByte: NeverCrash})
+		s := mustOpen(t, dir, Options{FS: ffs})
+		saved := map[string]map[string]bool{}
+		for i := 0; i < 40; i++ {
+			key := fmt.Sprintf("k%d", i%3)
+			val := fmt.Sprintf("v-%d-%d", seed, i)
+			s.Save(key, []byte(val))
+			if saved[key] == nil {
+				saved[key] = map[string]bool{}
+			}
+			saved[key][val] = true
+		}
+		if ffs.Faults() == 0 {
+			t.Fatalf("seed %d: plan injected no faults", seed)
+		}
+		s.Close()
+
+		s2 := mustOpen(t, dir, testOpts())
+		for key, val := range s2.Dump() {
+			if !saved[key][string(val)] {
+				t.Fatalf("seed %d: recovered corrupted value %s=%q", seed, key, val)
+			}
+		}
+		s2.Close()
+	}
+}
+
+// TestJournalSyncErrLeavesStateIntact injects fsync failures into the
+// compaction path; failed compactions must leave the journal
+// authoritative and recoverable.
+func TestJournalSyncErrLeavesStateIntact(t *testing.T) {
+	dir := t.TempDir()
+	ffs := NewFaultFS(DiskFS{NoSync: true}, Plan{Seed: 3, SyncErr: 1.0, CrashAtByte: NeverCrash})
+	opts := Options{FS: ffs, CompactBytes: 300}
+	s := mustOpen(t, dir, opts)
+	for i := 0; i < 60; i++ {
+		s.Save(fmt.Sprintf("k%d", i%3), []byte(fmt.Sprintf("v%d", i)))
+	}
+	st := s.Stats()
+	if st.CompactErrors == 0 {
+		t.Fatal("SyncErr=1.0 but no compaction failed; threshold never reached?")
+	}
+	if st.Compactions != 0 {
+		t.Fatalf("compaction succeeded despite failing Sync: %d", st.Compactions)
+	}
+	want := s.Dump()
+	s.Close()
+
+	s2 := mustOpen(t, dir, testOpts())
+	defer s2.Close()
+	got := s2.Dump()
+	for k, v := range want {
+		if g, ok := got[k]; !ok || !bytes.Equal(g, v) {
+			t.Fatalf("key %s lost across failed compactions: %q vs %q", k, g, v)
+		}
+	}
+}
+
+// TestJournalConcurrentSaveLoad is the -race guard for the serving
+// configuration: many session goroutines sharing one store.
+func TestJournalConcurrentSaveLoad(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, testOpts())
+	defer s.Close()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			key := fmt.Sprintf("s%d/ckpt", g%4)
+			for i := 0; i < 300; i++ {
+				s.Save(key, []byte(fmt.Sprintf("g%d-i%d", g, i)))
+				if _, ok := s.Load(key); !ok {
+					t.Errorf("goroutine %d: key vanished", g)
+					return
+				}
+				s.Stats()
+			}
+		}(g)
+	}
+	wg.Wait()
+	if s.LastErr() != nil {
+		t.Fatalf("LastErr after clean concurrent run: %v", s.LastErr())
+	}
+}
+
+// TestJournalOversizeRecordRejected checks limits are enforced without
+// poisoning the journal: the oversize value stays readable in memory
+// and everything else survives a reopen.
+func TestJournalOversizeRecordRejected(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, testOpts())
+	s.Save("ok", []byte("fine"))
+	huge := make([]byte, maxPayload)
+	s.Save("huge", huge)
+	if s.Stats().SaveErrors != 1 {
+		t.Fatalf("SaveErrors = %d, want 1", s.Stats().SaveErrors)
+	}
+	if v, ok := s.Load("huge"); !ok || len(v) != len(huge) {
+		t.Fatal("oversize value not served from memory")
+	}
+	s.Close()
+	s2 := mustOpen(t, dir, testOpts())
+	defer s2.Close()
+	if _, ok := s2.Load("huge"); ok {
+		t.Fatal("oversize value persisted despite rejection")
+	}
+	if v, ok := s2.Load("ok"); !ok || string(v) != "fine" {
+		t.Fatalf("sibling key damaged: %q, %v", v, ok)
+	}
+}
+
+// TestJournalObsMetrics checks the registry wiring end to end through
+// both exporters.
+func TestJournalObsMetrics(t *testing.T) {
+	dir := t.TempDir()
+	reg := obs.NewRegistry()
+	opts := testOpts()
+	opts.Obs = reg
+	s := mustOpen(t, dir, opts)
+	defer s.Close()
+	s.Save("a", []byte("one"))
+	s.Save("b", []byte("two"))
+
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	for _, want := range []string{
+		"rstp_journal_saves_total 2",
+		"rstp_journal_keys 2",
+		"rstp_journal_fsync_us_count 2",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("Prometheus export missing %q:\n%s", want, text)
+		}
+	}
+	snap := reg.Snapshot()
+	if snap.Counters["rstp_journal_saves_total"] != 2 {
+		t.Fatalf("JSON snapshot rstp_journal_saves_total = %d, want 2", snap.Counters["rstp_journal_saves_total"])
+	}
+	if snap.Gauges["rstp_journal_keys"] != 2 {
+		t.Fatalf("JSON snapshot rstp_journal_keys = %d, want 2", snap.Gauges["rstp_journal_keys"])
+	}
+}
+
+// TestScanRecordsRejectsMalformedFraming covers the CRC-valid but
+// structurally bogus payload: a key length pointing past the payload.
+func TestScanRecordsRejectsMalformedFraming(t *testing.T) {
+	// Build a record whose payload is too short for its declared keyLen.
+	payload := []byte{0xFF, 0xFF, 'x'} // keyLen=65535, 1 byte of key
+	rec := make([]byte, recHeader+len(payload))
+	putRecord(rec, payload)
+	recs, off := scanRecords(rec)
+	if len(recs) != 0 || off != 0 {
+		t.Fatalf("malformed framing accepted: %d recs, off %d", len(recs), off)
+	}
+}
+
+// putRecord frames payload with a correct length and CRC (test helper
+// for hand-built corrupt journals).
+func putRecord(dst, payload []byte) {
+	r := encodeRecordRaw(payload)
+	copy(dst, r)
+}

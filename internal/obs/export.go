@@ -43,6 +43,11 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 			}
 			fmt.Fprintf(bw, "%s_sum %d\n", e.name, e.hist.Sum())
 			fmt.Fprintf(bw, "%s_count %d\n", e.name, e.hist.Count())
+			// Precomputed quantile gauges, so dashboards stop recomputing
+			// them scrape-side. Separate series (not labels) because they
+			// are gauges derived from the histogram, not members of it.
+			fmt.Fprintf(bw, "# TYPE %s_p50 gauge\n%s_p50 %d\n", e.name, e.name, e.hist.Quantile(0.50))
+			fmt.Fprintf(bw, "# TYPE %s_p99 gauge\n%s_p99 %d\n", e.name, e.name, e.hist.Quantile(0.99))
 		}
 	}
 	return bw.Flush()
@@ -64,6 +69,10 @@ type HistogramSnapshot struct {
 	Sum     int64             `json:"sum"`
 	Count   int64             `json:"count"`
 	Mean    float64           `json:"mean"`
+	// P50 and P99 are bucket-resolution quantile bounds (BucketQuantile),
+	// precomputed so JSON consumers match the Prometheus _p50/_p99 series.
+	P50 int64 `json:"p50"`
+	P99 int64 `json:"p99"`
 }
 
 // Snapshot is the JSON view of a registry at one instant: flat metric
@@ -101,12 +110,15 @@ func (r *Registry) Snapshot() Snapshot {
 		case kindFloatFunc:
 			s.Floats[e.name] = e.floatFn()
 		case kindHistogram:
-			s.Histograms[e.name] = HistogramSnapshot{
+			hs := HistogramSnapshot{
 				Buckets: e.hist.snapshotBuckets(),
 				Sum:     e.hist.Sum(),
 				Count:   e.hist.Count(),
 				Mean:    e.hist.Mean(),
 			}
+			hs.P50 = BucketQuantile(hs, 0.50)
+			hs.P99 = BucketQuantile(hs, 0.99)
+			s.Histograms[e.name] = hs
 		}
 	}
 	r.mu.RLock()

@@ -1,6 +1,9 @@
 package obs
 
-import "sync/atomic"
+import (
+	"math"
+	"sync/atomic"
+)
 
 // Histogram is a fixed-bucket histogram over int64 samples (tick units
 // throughout the serving stack). Buckets are cumulative at export time —
@@ -77,6 +80,30 @@ func (h *Histogram) snapshotBuckets() []HistogramBucket {
 		out = append(out, b)
 	}
 	return out
+}
+
+// Quantile returns the smallest finite bucket bound covering fraction q
+// of the histogram's observations, or 0 when the histogram is empty or
+// the quantile lands in the +Inf bucket. It is a bucket-resolution upper
+// bound, not an interpolated estimate — good enough for dashboards, and
+// honest about what a fixed-bucket histogram actually knows.
+func (h *Histogram) Quantile(q float64) int64 {
+	return BucketQuantile(HistogramSnapshot{Buckets: h.snapshotBuckets(), Count: h.Count()}, q)
+}
+
+// BucketQuantile is Quantile over an exported snapshot, for consumers
+// that only hold the JSON view (bench summaries, dashboards).
+func BucketQuantile(h HistogramSnapshot, q float64) int64 {
+	if h.Count == 0 {
+		return 0
+	}
+	need := int64(math.Ceil(q * float64(h.Count)))
+	for _, b := range h.Buckets {
+		if !b.Inf && b.Count >= need {
+			return b.LE
+		}
+	}
+	return 0
 }
 
 // TickBuckets returns the default latency bucket bounds in ticks:

@@ -87,6 +87,85 @@ func TestBucketHelpers(t *testing.T) {
 	}
 }
 
+func TestBucketQuantile(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("rstp_q_ticks", "", []int64{1, 2, 4, 8})
+	// 100 samples: 50 at 1, 40 at 3 (le=4), 9 at 8, 1 at 100 (+Inf).
+	for i := 0; i < 50; i++ {
+		h.Observe(1)
+	}
+	for i := 0; i < 40; i++ {
+		h.Observe(3)
+	}
+	for i := 0; i < 9; i++ {
+		h.Observe(8)
+	}
+	h.Observe(100)
+	if got := h.Quantile(0.50); got != 1 {
+		t.Errorf("p50 = %d, want 1", got)
+	}
+	if got := h.Quantile(0.90); got != 4 {
+		t.Errorf("p90 = %d, want 4", got)
+	}
+	if got := h.Quantile(0.99); got != 8 {
+		t.Errorf("p99 = %d, want 8", got)
+	}
+	// The top percentile lands in +Inf: reported as 0, not a made-up bound.
+	if got := h.Quantile(1.0); got != 0 {
+		t.Errorf("p100 = %d, want 0 (+Inf bucket)", got)
+	}
+	// Empty histogram.
+	e := r.Histogram("rstp_q_empty_ticks", "", TickBuckets(3))
+	if got := e.Quantile(0.99); got != 0 {
+		t.Errorf("empty p99 = %d, want 0", got)
+	}
+	// Snapshot view agrees with the live histogram.
+	hs := r.Snapshot().Histograms["rstp_q_ticks"]
+	if hs.P50 != 1 || hs.P99 != 8 {
+		t.Errorf("snapshot P50/P99 = %d/%d, want 1/8", hs.P50, hs.P99)
+	}
+	if got := BucketQuantile(hs, 0.90); got != 4 {
+		t.Errorf("BucketQuantile(snapshot, 0.90) = %d, want 4", got)
+	}
+}
+
+// TestQuantileGaugesExported checks both exporters carry the
+// precomputed _p50/_p99 series, so dashboards and JSON consumers agree.
+func TestQuantileGaugesExported(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("rstp_qx_ticks", "", []int64{1, 2, 4})
+	for i := 0; i < 9; i++ {
+		h.Observe(1)
+	}
+	h.Observe(4)
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE rstp_qx_ticks_p50 gauge",
+		"rstp_qx_ticks_p50 1",
+		"# TYPE rstp_qx_ticks_p99 gauge",
+		"rstp_qx_ticks_p99 4",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	raw, err := json.Marshal(r.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if hs := back.Histograms["rstp_qx_ticks"]; hs.P50 != 1 || hs.P99 != 4 {
+		t.Errorf("JSON snapshot P50/P99 = %d/%d, want 1/4", hs.P50, hs.P99)
+	}
+}
+
 func TestPrometheusExposition(t *testing.T) {
 	r := NewRegistry()
 	r.Counter("rstp_sends_total", "frames sent").Add(3)

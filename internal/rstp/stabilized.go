@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math/rand"
+	"sync"
 
 	"repro/internal/ioa"
 	"repro/internal/sim"
@@ -59,8 +60,10 @@ import (
 
 // StateStore persists a wrapper's checkpoint across process crashes. A
 // store may lose or corrupt data (that is the point — the layer detects
-// it); implementations need not be concurrency-safe, the simulator is
-// single-threaded.
+// it). Implementations must be safe for concurrent use: the simulator is
+// single-threaded, but the serving layer (internal/session) shares one
+// store across every session goroutine, and internal/journal shares one
+// durable journal across a whole process.
 type StateStore interface {
 	// Save durably records data under key, replacing any previous value.
 	Save(key string, data []byte)
@@ -70,17 +73,27 @@ type StateStore interface {
 
 // MemStore is the canonical StateStore: an in-memory map, which in the
 // simulation plays the role of the stable storage that survives a process
-// crash (the simulated "disk").
-type MemStore struct{ m map[string][]byte }
+// crash (the simulated "disk"). For stable storage that survives a real
+// process crash, see internal/journal.
+type MemStore struct {
+	mu sync.Mutex
+	m  map[string][]byte
+}
 
 // NewMemStore returns an empty store.
 func NewMemStore() *MemStore { return &MemStore{m: make(map[string][]byte)} }
 
 // Save implements StateStore.
-func (s *MemStore) Save(key string, data []byte) { s.m[key] = append([]byte(nil), data...) }
+func (s *MemStore) Save(key string, data []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.m[key] = append([]byte(nil), data...)
+}
 
 // Load implements StateStore.
 func (s *MemStore) Load(key string) ([]byte, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	d, ok := s.m[key]
 	return append([]byte(nil), d...), ok
 }
@@ -239,6 +252,19 @@ type StabilizeOptions struct {
 	// every endpoint built from these options, so implementations must be
 	// concurrency-safe. nil disables the hooks.
 	Observer LayerObserver
+	// KeyPrefix namespaces the checkpoint keys ("t"/"r") inside Store, so
+	// many sessions can share one durable store — the serving layer
+	// prefixes each session's keys with "s<ID>/". Empty keeps the bare
+	// keys, the simulator's single-session layout.
+	KeyPrefix string
+	// Recover makes NewPair build endpoints that restart from the store
+	// instead of assuming a fresh session: each endpoint reloads its
+	// checkpoint (missing or corrupt reads as "know nothing") and enters
+	// the RESYNC/REPORT handshake, exactly as after a sim crash. This is
+	// the real-process restart path: a server reopening a journal store
+	// resumes its sessions where the checkpoints left them, paying one
+	// handshake round even when the store is empty.
+	Recover bool
 }
 
 func (o StabilizeOptions) withDefaults(p Params) StabilizeOptions {
@@ -372,6 +398,20 @@ func (e *stableEnd) Restart(int64) {
 	e.suppress = 0
 	e.mismatches = 0
 	e.announce = e.role == roleR
+}
+
+// ResumeTape informs a recovering receiver endpoint that the durable
+// output tape already holds n messages. The paper makes the output tape
+// itself stable storage — write(m) is irrevocable — so a restarted
+// process that reloads its tape must also restore the wrapper's view of
+// its length before the first REPORT, or the handshake would rewind the
+// transmitter to zero and duplicate every message already written. Call
+// it after construction (with Recover set) and before the first step;
+// it is a no-op on transmitter endpoints.
+func (e *stableEnd) ResumeTape(n int64) {
+	if e.role == roleR && n > e.writes {
+		e.writes = n
+	}
 }
 
 // CorruptState implements sim.StateCorruptible: a transient fault flips
@@ -723,9 +763,22 @@ func StabilizeHardened(hs HardenedSolution, opts StabilizeOptions) StabilizedSol
 // String renders e.g. "stabilized(hardened(beta(k=4)))".
 func (ss StabilizedSolution) String() string { return "stabilized(" + ss.inner.String() + ")" }
 
+// NewPairKeyed constructs a pair whose persisted state lives under
+// prefix inside the shared store: the checkpoint keys become
+// prefix+"t" and prefix+"r". This is the serving layer's entry point —
+// one journal store, many sessions, each namespaced by its session ID —
+// and it satisfies session.KeyedPairBuilder.
+func (ss StabilizedSolution) NewPairKeyed(prefix string, x []wire.Bit) (t, r ioa.Automaton, err error) {
+	ss.Opts.KeyPrefix = prefix
+	return ss.NewPair(x)
+}
+
 // NewPair constructs the wrapped transmitter and receiver for input x.
 // The two endpoints share one StateStore (Opts.Store, or a fresh MemStore)
-// under the keys "t" and "r"; construction writes the initial checkpoints.
+// under the keys "t" and "r" (prefixed by Opts.KeyPrefix); construction
+// writes the initial checkpoints — or, with Opts.Recover set, reloads
+// whatever checkpoints the store holds and starts both endpoints in the
+// resynchronization handshake instead.
 func (ss StabilizedSolution) NewPair(x []wire.Bit) (t, r ioa.Automaton, err error) {
 	if ss.BlockBits > 0 && len(x)%ss.BlockBits != 0 {
 		return nil, nil, fmt.Errorf("rstp: %s: input length %d not a multiple of block size %d", ss, len(x), ss.BlockBits)
@@ -745,7 +798,7 @@ func (ss StabilizedSolution) NewPair(x []wire.Bit) (t, r ioa.Automaton, err erro
 	}
 	te := &stableEnd{
 		role: roleT, name: it.Name(), outDir: wire.TtoR, inDir: wire.RtoT,
-		store: store, key: "t", rto: opts.RTOSteps, mismatchLimit: opts.MismatchLimit,
+		store: store, key: opts.KeyPrefix + "t", rto: opts.RTOSteps, mismatchLimit: opts.MismatchLimit,
 		blockBits: blockBits, x: x,
 		build: func(suffix []wire.Bit) (ioa.Automaton, error) {
 			nt, _, err := ss.inner.NewPair(suffix)
@@ -756,7 +809,7 @@ func (ss StabilizedSolution) NewPair(x []wire.Bit) (t, r ioa.Automaton, err erro
 	}
 	re := &stableEnd{
 		role: roleR, name: ir.Name(), outDir: wire.RtoT, inDir: wire.TtoR,
-		store: store, key: "r", rto: opts.RTOSteps, mismatchLimit: opts.MismatchLimit,
+		store: store, key: opts.KeyPrefix + "r", rto: opts.RTOSteps, mismatchLimit: opts.MismatchLimit,
 		blockBits: blockBits,
 		build: func([]wire.Bit) (ioa.Automaton, error) {
 			_, nr, err := ss.inner.NewPair(nil)
@@ -765,8 +818,17 @@ func (ss StabilizedSolution) NewPair(x []wire.Bit) (t, r ioa.Automaton, err erro
 		inner: ir, epoch: 1, lastCtrl: -opts.RTOSteps,
 		obs: opts.Observer,
 	}
-	te.persist()
-	re.persist()
+	if opts.Recover {
+		// Restart semantics, not fresh-session semantics: reload whatever
+		// the store holds (an empty store reads as "know nothing") and run
+		// the handshake. The initial checkpoints are NOT written here —
+		// that would overwrite the durable state being recovered.
+		te.Restart(0)
+		re.Restart(0)
+	} else {
+		te.persist()
+		re.persist()
+	}
 	return te, re, nil
 }
 

@@ -1,7 +1,9 @@
 package rstp
 
 import (
+	"fmt"
 	"strings"
+	"sync"
 	"testing"
 
 	"repro/internal/faults"
@@ -351,5 +353,136 @@ func TestStabilizedString(t *testing.T) {
 	bad := chaosInput(s, 1)[:1] // not a block multiple
 	if _, _, err := ss.NewPair(bad); err == nil && ss.BlockBits > 1 {
 		t.Fatal("NewPair accepted a non-block input")
+	}
+}
+
+// TestMemStoreConcurrentSaveLoad is the -race regression for the shared
+// serving store: one MemStore hammered by concurrent sessions (the
+// session.Server passes one store to every endpoint goroutine) must
+// never tear a checkpoint — every Load returns a value some Save wrote
+// in full, pinned by the checksum.
+func TestMemStoreConcurrentSaveLoad(t *testing.T) {
+	store := NewMemStore()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			// Two goroutines share each key: concurrent writers and
+			// readers on the same cell, the data-race shape.
+			key := fmt.Sprintf("s%d/t", g%4)
+			for i := 0; i < 2000; i++ {
+				store.Save(key, encodeCkpt(int64(i), int64(g)))
+				data, ok := store.Load(key)
+				if !ok {
+					t.Errorf("key %q vanished", key)
+					return
+				}
+				if _, ok := decodeCkpt(data, 2); !ok {
+					t.Errorf("key %q: torn checkpoint %x", key, data)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// TestStabilizedKeyedPair: NewPairKeyed namespaces the persisted keys by
+// the given prefix, so many sessions can share one store.
+func TestStabilizedKeyedPair(t *testing.T) {
+	p := chaosParams()
+	s, err := Beta(p, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := NewMemStore()
+	ss := Stabilize(s, StabilizeOptions{Store: store})
+	if _, _, err := ss.NewPairKeyed("s9/", chaosInput(s, 2)); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"s9/t", "s9/r"} {
+		if _, ok := store.Load(key); !ok {
+			t.Fatalf("no %q checkpoint after keyed construction", key)
+		}
+	}
+	if _, ok := store.Load("t"); ok {
+		t.Fatal("keyed construction leaked the bare \"t\" key")
+	}
+	if ss.Opts.KeyPrefix != "" {
+		t.Fatalf("NewPairKeyed mutated the receiver's options: %q", ss.Opts.KeyPrefix)
+	}
+}
+
+// TestStabilizedRecoverFromStore: with Recover set, NewPair reloads the
+// store's checkpoints instead of writing fresh ones — the transmitter
+// resumes its (epoch, cursor) and probes RESYNC, the receiver resumes
+// its epoch and volunteers REPORT, and ResumeTape restores the durable
+// output-tape length the REPORT must carry.
+func TestStabilizedRecoverFromStore(t *testing.T) {
+	p := chaosParams()
+	s, err := Beta(p, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := NewMemStore()
+	x := chaosInput(s, 3)
+	blockBits := int64(s.BlockBits)
+
+	// Plant mid-session checkpoints, as a crashed process would leave.
+	ss := Stabilize(s, StabilizeOptions{Store: store})
+	t0, r0, err := ss.NewPair(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	te0, re0 := t0.(*stableEnd), r0.(*stableEnd)
+	te0.epoch, te0.base = 5, blockBits
+	te0.persist()
+	re0.epoch = 5
+	re0.persist()
+
+	// A restarted process builds with Recover: checkpoints reload.
+	rec := Stabilize(s, StabilizeOptions{Store: store, Recover: true})
+	t1, r1, err := rec.NewPair(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	te, re := t1.(*stableEnd), r1.(*stableEnd)
+	if te.epoch != 5 || te.base != blockBits {
+		t.Fatalf("transmitter resumed (epoch=%d base=%d), want (5, %d)", te.epoch, te.base, blockBits)
+	}
+	if te.inner != nil || te.synced {
+		t.Fatal("recovering transmitter should be in the RESYNC handshake, not live")
+	}
+	if re.epoch != 5 || !re.announce {
+		t.Fatalf("receiver resumed (epoch=%d announce=%v), want (5, true)", re.epoch, re.announce)
+	}
+	re.ResumeTape(2 * blockBits)
+	if re.writes != 2*blockBits {
+		t.Fatalf("ResumeTape: writes = %d, want %d", re.writes, 2*blockBits)
+	}
+	te.ResumeTape(99)
+	if te.x == nil || te.writes == 99 {
+		t.Fatal("ResumeTape must be a no-op on the transmitter")
+	}
+
+	// The handshake the pair wakes up into must REPORT the resumed tape
+	// length and rewind to a block boundary at or below it.
+	if err := te.resync(re.epoch, re.writes); err != nil {
+		t.Fatal(err)
+	}
+	if te.base != 2*blockBits || te.epoch != 6 {
+		t.Fatalf("resync rewound to (epoch=%d base=%d), want (6, %d)", te.epoch, te.base, 2*blockBits)
+	}
+
+	// Recover against an EMPTY store must read as "know nothing" and
+	// still enter the handshake rather than fabricating a session.
+	empty := Stabilize(s, StabilizeOptions{Store: NewMemStore(), Recover: true})
+	t2, _, err := empty.NewPair(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if te2 := t2.(*stableEnd); te2.epoch != 0 || te2.inner != nil {
+		t.Fatalf("empty-store recovery: epoch=%d inner=%v, want epoch 0 in handshake", te2.epoch, te2.inner)
 	}
 }

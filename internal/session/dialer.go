@@ -101,6 +101,23 @@ func (c *Conn) Close() {
 // sessions are already open — the backpressure contract — until a slot
 // frees, the context is done, or the dialer closes.
 func (d *Dialer) Start(ctx context.Context, x []wire.Bit) (*Conn, error) {
+	return d.start(ctx, 0, x)
+}
+
+// StartID opens a session under a caller-chosen ID — the restart path:
+// a recovering process must reuse the IDs of the sessions it was
+// serving so their frames route to the same durable keys in
+// Config.Store. id must be nonzero and not currently open; the
+// automatic allocator is advanced past it so later Start calls never
+// collide with resumed sessions.
+func (d *Dialer) StartID(ctx context.Context, id uint32, x []wire.Bit) (*Conn, error) {
+	if id == 0 {
+		return nil, fmt.Errorf("session: StartID requires a nonzero session id")
+	}
+	return d.start(ctx, id, x)
+}
+
+func (d *Dialer) start(ctx context.Context, id uint32, x []wire.Bit) (*Conn, error) {
 	select {
 	case d.sem <- struct{}{}:
 	case <-ctx.Done():
@@ -108,12 +125,28 @@ func (d *Dialer) Start(ctx context.Context, x []wire.Bit) (*Conn, error) {
 	case <-d.done:
 		return nil, fmt.Errorf("session: dialer closed")
 	}
-	t, _, err := d.cfg.Solution.NewPair(x)
+	if id == 0 {
+		id = d.nextID.Add(1)
+	} else {
+		for {
+			cur := d.nextID.Load()
+			if cur >= id || d.nextID.CompareAndSwap(cur, id) {
+				break
+			}
+		}
+		d.mu.Lock()
+		_, open := d.active[id]
+		d.mu.Unlock()
+		if open {
+			<-d.sem
+			return nil, fmt.Errorf("session: session %d already open", id)
+		}
+	}
+	t, _, err := buildPair(d.cfg, id, x)
 	if err != nil {
 		<-d.sem
 		return nil, err
 	}
-	id := d.nextID.Add(1)
 	ep := newEndpoint(d.cfg, id, "transmitter", t, &d.seq)
 	d.mu.Lock()
 	d.active[id] = ep

@@ -29,6 +29,7 @@ type sessionMetrics struct {
 	resyncs    *obs.Counter
 	refused    *obs.Counter
 	late       *obs.Counter
+	resumed    *obs.Counter
 
 	// interwrite is the gap in ticks between consecutive output writes of
 	// one session — the live per-message effort. margin is the paper's
@@ -64,6 +65,7 @@ func newSessionMetrics(reg *obs.Registry, p rstp.Params, bound float64) *session
 		resyncs:    reg.Counter("rstp_session_resyncs_total", "watchdog-forced protocol resynchronizations"),
 		refused:    reg.Counter("rstp_server_frames_refused_total", "new-session frames dropped at the MaxSessions cap"),
 		late:       reg.Counter("rstp_server_frames_late_total", "in-flight frames of retired sessions dropped at the tombstone"),
+		resumed:    reg.Counter("rstp_sessions_resumed_total", "receiver sessions respawned with a persisted output tape"),
 
 		interwrite: reg.Histogram("rstp_interwrite_ticks", "gap between consecutive output writes, in ticks", obs.TickBuckets(0)),
 		margin:     reg.Histogram("rstp_deadline_margin_ticks", "per-message deadline δ1·c2 minus the interwrite gap (negative = miss)", obs.MarginBuckets(0)),
@@ -165,6 +167,13 @@ func (m *sessionMetrics) onResync(tick int64, id uint32) {
 	}
 	m.resyncs.Inc()
 	m.tracer.Record(tick, id, obs.EvResync, 0)
+}
+
+func (m *sessionMetrics) onResume() {
+	if m == nil {
+		return
+	}
+	m.resumed.Inc()
 }
 
 func (m *sessionMetrics) onRefuse(tick int64, id uint32) {

@@ -2,6 +2,7 @@ package session
 
 import (
 	"context"
+	"fmt"
 	"sort"
 
 	"repro/internal/sim"
@@ -69,8 +70,31 @@ func (r TransferResult) Effort() float64 {
 // result is returned even on error (with whatever state was reached), so
 // callers can still check safety after a cancellation.
 func (p *Pipe) Transfer(ctx context.Context, x []wire.Bit) (TransferResult, error) {
+	return p.transfer(ctx, 0, x)
+}
+
+// TransferID is Transfer under a caller-chosen session ID — the restart
+// path: re-running a transfer under the ID a previous process used
+// makes both sides resume that session's durable state from
+// Config.Store instead of starting over.
+func (p *Pipe) TransferID(ctx context.Context, id uint32, x []wire.Bit) (TransferResult, error) {
+	if id == 0 {
+		return TransferResult{X: append([]wire.Bit(nil), x...)}, fmt.Errorf("session: TransferID requires a nonzero session id")
+	}
+	return p.transfer(ctx, id, x)
+}
+
+func (p *Pipe) transfer(ctx context.Context, id uint32, x []wire.Bit) (TransferResult, error) {
 	res := TransferResult{X: append([]wire.Bit(nil), x...)}
-	conn, err := p.Dialer.Start(ctx, x)
+	var (
+		conn *Conn
+		err  error
+	)
+	if id == 0 {
+		conn, err = p.Dialer.Start(ctx, x)
+	} else {
+		conn, err = p.Dialer.StartID(ctx, id, x)
+	}
 	if err != nil {
 		return res, err
 	}

@@ -118,11 +118,22 @@ func (s *Server) route(f wire.Frame) {
 func (s *Server) spawnLocked(id uint32) (*endpoint, error) {
 	// The pair builder needs an input only for the transmitter half,
 	// which the server discards; the receiver starts empty.
-	_, r, err := s.cfg.Solution.NewPair(nil)
+	_, r, err := buildPair(s.cfg, id, nil)
 	if err != nil {
 		return nil, fmt.Errorf("session: server pair for session %d: %w", id, err)
 	}
 	ep := newEndpoint(s.cfg, id, "receiver", r, &s.seq)
+	if s.cfg.Store != nil {
+		ep.tapeKey = tapeKey(id)
+		// A persisted tape means a previous incarnation of this process
+		// already wrote a durable prefix of the session's output: resume
+		// it, so the recovery handshake reports the right count and the
+		// transmitter rewinds instead of resending delivered messages.
+		if data, ok := s.cfg.Store.Load(ep.tapeKey); ok && len(data) > 0 {
+			ep.resumeTape(decodeTape(data))
+			s.cfg.metrics.onResume()
+		}
+	}
 	s.active[id] = ep
 	s.wg.Add(1)
 	go func() {

@@ -53,6 +53,29 @@ type PairBuilder interface {
 	String() string
 }
 
+// KeyedPairBuilder is the durable flavor of PairBuilder: pairs whose
+// endpoints checkpoint themselves into a StateStore under a caller-
+// chosen key prefix. rstp.StabilizedSolution satisfies it; the mux uses
+// it (when Config.Store is set) to give every session its own key
+// namespace, "s<ID>/", so a restarted process can rebuild exactly the
+// sessions it was serving.
+type KeyedPairBuilder interface {
+	PairBuilder
+	// NewPairKeyed is NewPair with the endpoints' checkpoint keys
+	// namespaced under prefix.
+	NewPairKeyed(prefix string, x []wire.Bit) (t, r ioa.Automaton, err error)
+}
+
+// TapeResumer is the optional hook a receiver automaton may expose (the
+// stabilized layer's endpoints do) to learn, at spawn, how many
+// messages a previous incarnation already wrote durably: the REPORT it
+// sends during the recovery handshake must count those, or the
+// transmitter would resend messages the tape already holds. n only ever
+// raises the automaton's count — a checkpoint ahead of the tape wins.
+type TapeResumer interface {
+	ResumeTape(n int64)
+}
+
 // Resyncer is the optional resynchronization hook a session automaton
 // may expose (the stabilized layer's endpoints do): the watchdog pulls
 // it once before force-retiring a wedged session, giving the protocol a
@@ -145,6 +168,13 @@ type Config struct {
 	// events, and the Server's live per-session introspection table. nil
 	// disables instrumentation entirely (the hot path pays one nil check).
 	Obs *obs.Registry
+	// Store persists per-session recovery state: the pair's checkpoints
+	// (via KeyedPairBuilder, under "s<ID>/") and the receiver's output
+	// tape (under "s<ID>/y", one byte per message, saved on every write
+	// BEFORE the write is announced — the paper's irrevocable-write
+	// semantics). nil disables persistence. Implementations must be safe
+	// for concurrent use; internal/journal.Store is the durable one.
+	Store rstp.StateStore
 	// EffortLowerBound is the paper's per-message effort lower bound in
 	// ticks for the configured protocol (δ1·c2/log2 ζ_k(δ1) r-passive,
 	// d/log2 ζ_k(δ2) active — Thms 5.3 and 5.6), supplied by the caller
@@ -198,6 +228,42 @@ func (c Config) withDefaults() (Config, error) {
 	return c, nil
 }
 
+// sessionKeyPrefix is the per-session namespace inside Config.Store;
+// tapeKey is the receiver's durable output tape within it.
+func sessionKeyPrefix(id uint32) string { return fmt.Sprintf("s%d/", id) }
+func tapeKey(id uint32) string          { return sessionKeyPrefix(id) + "y" }
+
+// buildPair constructs one session's protocol pair, routing through the
+// keyed path when a store is configured and the solution supports it.
+func buildPair(cfg Config, id uint32, x []wire.Bit) (t, r ioa.Automaton, err error) {
+	if cfg.Store != nil {
+		if kb, ok := cfg.Solution.(KeyedPairBuilder); ok {
+			return kb.NewPairKeyed(sessionKeyPrefix(id), x)
+		}
+	}
+	return cfg.Solution.NewPair(x)
+}
+
+// encodeTape and decodeTape serialize an output tape one byte per
+// message. A truncated tape (a crash between tape save and checkpoint
+// save) is still a prefix of X, so recovery from it is safe — the
+// handshake retransmits the lost suffix.
+func encodeTape(y []wire.Bit) []byte {
+	b := make([]byte, len(y))
+	for i, m := range y {
+		b[i] = byte(m)
+	}
+	return b
+}
+
+func decodeTape(data []byte) []wire.Bit {
+	y := make([]wire.Bit, len(data))
+	for i, c := range data {
+		y[i] = wire.Bit(c & 1)
+	}
+	return y
+}
+
 // eventSeq orders recorded trace events across all endpoints, so merged
 // per-session traces sort causally (a recv is always recorded after its
 // send).
@@ -224,8 +290,12 @@ type Report struct {
 	Err string
 	// LastSend and LastWrite are absolute ticks (0 if none).
 	LastSend, LastWrite int64
-	// Y is the written output tape (receiver endpoints).
-	Y []wire.Bit
+	// Y is the written output tape (receiver endpoints). Resumed counts
+	// the messages of Y preloaded from a persisted tape at spawn — the
+	// durable work of a previous incarnation — rather than written by
+	// this endpoint; Writes includes them.
+	Y       []wire.Bit
+	Resumed int
 	// Evicted reports the endpoint was torn down by the idle monitor.
 	Evicted bool
 	// Wedged reports the endpoint was force-retired by the progress
@@ -272,12 +342,13 @@ func PrefixCheck(x, y []wire.Bit) string {
 // counters. The loop goroutine owns the automaton; the mutex guards only
 // the counters and trace.
 type endpoint struct {
-	id   uint32
-	role string
-	auto ioa.Automaton
-	cfg  Config
-	seq  *atomic.Int64 // shared per-side packet sequence source
-	side int64         // seq parity: 1 = transmitter side (odd seqs), 0 = receiver (even)
+	id      uint32
+	role    string
+	auto    ioa.Automaton
+	cfg     Config
+	seq     *atomic.Int64 // shared per-side packet sequence source
+	side    int64         // seq parity: 1 = transmitter side (odd seqs), 0 = receiver (even)
+	tapeKey string        // durable output-tape key; "" disables tape persistence
 
 	in      chan wire.Frame
 	stop    chan struct{}
@@ -299,6 +370,7 @@ type endpoint struct {
 	lastActivity int64
 	lastProgress int64 // tick of the last output write (watchdog clock)
 	y            []wire.Bit
+	resumed      int // messages preloaded from a persisted tape at spawn
 	trace        []timed.Event
 	traceDropped int
 	evicted      bool
@@ -330,6 +402,21 @@ func newEndpoint(cfg Config, id uint32, role string, auto ioa.Automaton, seq *at
 		notify:  make(chan struct{}, 1),
 		mu:      sync.Mutex{},
 		start:   now, lastActivity: now, lastProgress: now,
+	}
+}
+
+// resumeTape seeds a freshly spawned receiver endpoint with the output
+// tape a previous incarnation persisted, and tells the automaton (via
+// TapeResumer) how many messages are already durable so its recovery
+// REPORT counts them. Called before the loop goroutine starts.
+func (e *endpoint) resumeTape(y []wire.Bit) {
+	e.mu.Lock()
+	e.y = append([]wire.Bit(nil), y...)
+	e.writes = len(y)
+	e.resumed = len(y)
+	e.mu.Unlock()
+	if tr, ok := e.auto.(TapeResumer); ok {
+		tr.ResumeTape(int64(len(y)))
 	}
 }
 
@@ -522,7 +609,18 @@ func (e *endpoint) step() bool {
 		e.lastWrite = now
 		e.lastProgress = now
 		e.record(now, e.auto.Name(), act, 0)
+		var tape []byte
+		if e.tapeKey != "" {
+			tape = encodeTape(e.y)
+		}
 		e.mu.Unlock()
+		if tape != nil {
+			// Durable before observable: the tape reaches stable storage
+			// before the write is announced through notify/metrics, so a
+			// crash can lose an unannounced write but never expose one it
+			// might roll back — write(m) stays irrevocable.
+			e.cfg.Store.Save(e.tapeKey, tape)
+		}
 		e.cfg.metrics.onWrite(now, e.id, prevWrite, e.start)
 		select {
 		case e.notify <- struct{}{}:
@@ -547,6 +645,7 @@ func (e *endpoint) snapshot(withTrace bool) Report {
 		Rejected: e.rejected, Overflow: e.overflow,
 		SendErrors: e.sendErrs,
 		LastSend:   e.lastSend, LastWrite: e.lastWrite,
+		Resumed: e.resumed,
 		Evicted: e.evicted, Wedged: e.wedged, Shed: e.shed, Resyncs: e.resyncs,
 		Finished:     e.finished,
 		TraceDropped: e.traceDropped,

@@ -42,6 +42,7 @@ import (
 	"repro/internal/chanmodel"
 	"repro/internal/faults"
 	"repro/internal/frame"
+	"repro/internal/journal"
 	"repro/internal/obs"
 	"repro/internal/rstp"
 	"repro/internal/rstpx"
@@ -266,6 +267,37 @@ func Stabilize(s Solution, opts StabilizeOptions) StabilizedSolution {
 // the configuration that survives the full chaos matrix.
 func StabilizeHardened(hs HardenedSolution, opts StabilizeOptions) StabilizedSolution {
 	return rstp.StabilizeHardened(hs, opts)
+}
+
+type (
+	// Journal is the durable file-backed StateStore: an append-only,
+	// fsync'd, CRC-checksummed record log with replay-on-open (torn or
+	// corrupt tails truncate — damaged state reads as missing, never
+	// lies) and atomic rename-based compaction. Wire it into
+	// StabilizeOptions.Store and ServeConfig.Store for serving that
+	// survives a real process kill.
+	Journal = journal.Store
+	// JournalOptions tune a Journal (zero values take defaults).
+	JournalOptions = journal.Options
+	// JournalFS is the filesystem surface a Journal writes through;
+	// JournalFaults plans seeded filesystem fault injection (short
+	// writes, fsync errors, bit flips, crash-at-offset) over any
+	// JournalFS for crash testing.
+	JournalFS     = journal.FS
+	JournalFaults = journal.Plan
+)
+
+// OpenJournal opens (creating or replaying) the checkpoint journal in
+// dir. The returned store satisfies StateStore and is safe for
+// concurrent sessions.
+func OpenJournal(dir string, opts JournalOptions) (*Journal, error) {
+	return journal.Open(dir, opts)
+}
+
+// NewJournalFaultFS wraps a JournalFS in the seeded fault injector — the
+// crash-restart test harness's filesystem.
+func NewJournalFaultFS(inner JournalFS, plan JournalFaults) JournalFS {
+	return journal.NewFaultFS(inner, plan)
 }
 
 // Section 7 extensions: the delivery-window model with per-process clocks
