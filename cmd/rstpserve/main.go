@@ -10,6 +10,7 @@
 //	rstpserve -sessions 128 -loss 0.2 -fwindow 0:2000 -harden
 //	rstpserve -transport udp -chaos -loss 0.12 -dup 0.05 -corrupt 0.03 -harden
 //	rstpserve -shed evict-oldest-idle -watchdog 4 # overload + wedge defense
+//	rstpserve -adaptive -resilient -sessions 128  # closed-loop overload control
 //	rstpserve -bench -sessions 200                # emit BENCH_serve.json
 //	rstpserve -store-dir /tmp/rstp -sessions 64   # durable crash-restart serving
 //
@@ -37,6 +38,7 @@ import (
 	"time"
 
 	"repro/internal/chanmodel"
+	"repro/internal/control"
 	"repro/internal/faults"
 	"repro/internal/journal"
 	"repro/internal/obs"
@@ -114,6 +116,20 @@ type summary struct {
 	// Durable-store keys (PR 6; see EXPERIMENTS.md E22), present only with
 	// -store-dir. Resumed counts sessions that restarted with a persisted
 	// output tape; the Journal* keys snapshot the checkpoint journal.
+	// Adaptive-control keys (PR 7; see EXPERIMENTS.md E23), present only
+	// with -adaptive: the controller's final ladder level, intervention
+	// counters, the per-k admission histogram and the per-level dwell
+	// times in ticks.
+	ControlLevel      string           `json:"control_level,omitempty"`
+	ControlPaced      int64            `json:"control_paced,omitempty"`
+	ControlPaceTicks  int64            `json:"control_pace_ticks,omitempty"`
+	ControlGated      int64            `json:"control_gated,omitempty"`
+	ControlRefused    int64            `json:"control_refused,omitempty"`
+	ControlRTOChanges int64            `json:"control_rto_changes,omitempty"`
+	ControlEvictions  int64            `json:"control_evictions,omitempty"`
+	ControlRetires    int64            `json:"control_retires,omitempty"`
+	ControlKHist      map[string]int64 `json:"control_k_histogram,omitempty"`
+	ControlDwell      map[string]int64 `json:"control_level_dwell_ticks,omitempty"`
 	StoreDir           string `json:"store_dir,omitempty"`
 	Resumed            int64  `json:"resumed,omitempty"`
 	JournalSaves       int64  `json:"journal_saves,omitempty"`
@@ -152,6 +168,7 @@ func run(args []string, out io.Writer) error {
 		chaos       = fs.Bool("chaos", false, "inject the fault flags through the transport.Chaos middleware (works over any transport, including udp)")
 		resilient   = fs.Bool("resilient", false, "wrap the transport in the transport.Resilient retransmission/breaker layer")
 		shed        = fs.String("shed", "refuse", "overload policy at the -conc cap: refuse or evict-oldest-idle")
+		adaptive    = fs.Bool("adaptive", false, "run the closed-loop control plane: occupancy-gated/paced admission, per-session k-selection from the paper's bound tables (beta/gamma, off with -store-dir), RTO adaptation (needs -resilient) and the shed-escalation ladder")
 		watchdog    = fs.Int("watchdog", 0, "progress watchdog multiplier k: wedge a session after k*delta1*c2 ticks without output growth (0 = off)")
 		bench       = fs.Bool("bench", false, "benchmark mode: also write the summary to -benchout")
 		benchout    = fs.String("benchout", "BENCH_serve.json", "bench output file for -bench")
@@ -264,7 +281,27 @@ func run(args []string, out io.Writer) error {
 			maxConc = 512
 		}
 	}
-	pipe, err := session.NewPipe(session.Config{
+	// The adaptive control plane: built before the mux (it is the mux's
+	// Admission hook), bound to its actuators after (the Server and the
+	// resilient transport provide them).
+	var ctrl *control.Controller
+	kBlock := blockBits
+	if *adaptive {
+		builders, block := adaptiveBuilders(*proto, p, *k, *harden, *stabilize, storeOrNil(store), rstp.ObsObserver(reg), sol, blockBits)
+		kBlock = block
+		ctrl, err = control.New(control.Config{
+			Registry: reg, Clock: clock, Params: p, Proto: *proto,
+			Builders: builders, DefaultK: *k,
+			Seed:           *seed,
+			TargetSessions: maxConc,
+		})
+		if err != nil {
+			trans.Close()
+			return err
+		}
+	}
+
+	pipeCfg := session.Config{
 		Solution:         sol,
 		Params:           p,
 		Transport:        trans,
@@ -277,12 +314,30 @@ func run(args []string, out io.Writer) error {
 		Obs:              reg,
 		EffortLowerBound: lower,
 		Store:            storeOrNil(store),
-	})
+	}
+	if ctrl != nil {
+		pipeCfg.Admission = ctrl
+	}
+	pipe, err := session.NewPipe(pipeCfg)
 	if err != nil {
 		trans.Close()
 		return err
 	}
 	defer pipe.Close()
+
+	if ctrl != nil {
+		acts := control.Actuators{
+			Active:        func() int64 { return int64(pipe.Server.ActiveCount()) },
+			EvictOldest:   pipe.Server.ShedOldest,
+			RetireStalled: pipe.Server.RetireStalled,
+		}
+		if resT != nil {
+			acts.SetRTO = resT.SetRTO
+		}
+		ctrl.Bind(acts)
+		ctrl.Start()
+		defer ctrl.Stop()
+	}
 
 	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
 	defer cancel()
@@ -315,7 +370,9 @@ func run(args []string, out io.Writer) error {
 		close(flushDone)
 	}
 
-	bits := *n * blockBits
+	// With k-selection on, the input length is a block multiple of every
+	// candidate alphabet, so a retuned admission never rejects its input.
+	bits := *n * kBlock
 	rng := rand.New(rand.NewSource(*seed))
 	inputs := make([][]wire.Bit, *sessions)
 	for i := range inputs {
@@ -430,6 +487,19 @@ func run(args []string, out io.Writer) error {
 	if resT != nil {
 		sum.BreakerOpens = resT.BreakerOpens()
 		sum.Retransmits = resT.Retransmits()
+	}
+	if ctrl != nil {
+		cs := ctrl.State()
+		sum.ControlLevel = cs.Level
+		sum.ControlPaced = cs.Paced
+		sum.ControlPaceTicks = cs.PaceTicks
+		sum.ControlGated = cs.Gated
+		sum.ControlRefused = cs.DialRefused + cs.ServerRefused
+		sum.ControlRTOChanges = cs.RTOChanges
+		sum.ControlEvictions = cs.Evictions
+		sum.ControlRetires = cs.Retires
+		sum.ControlKHist = cs.KHistogram
+		sum.ControlDwell = cs.LevelDwellTicks
 	}
 	sum.EffortLowerBound = lower
 	sum.Interrupted = interrupted
@@ -586,6 +656,36 @@ func buildSolution(proto string, p rstp.Params, k int, harden, stabilize bool, s
 		sol = rstp.Stabilize(s, sopts)
 	}
 	return sol, s.BlockBits, bound, lower, nil
+}
+
+// adaptiveBuilders assembles the k-selection candidate set for
+// -adaptive: the configured k plus its doubling (effort falls with
+// log k, so one doubling is the meaningful escape hatch under
+// slowdown), each wrapped exactly like the base solution. It also
+// reports the lcm of the candidates' block sizes, which the input
+// length must be a multiple of. Selection is off — the map stays
+// single-entry — for alpha (a binary alphabet has no k to select) and
+// for durable runs (a resumed session must reconstruct under the k its
+// persisted state was written with, which the store does not record).
+func adaptiveBuilders(proto string, p rstp.Params, baseK int, harden, stabilize bool, store rstp.StateStore, lo rstp.LayerObserver, baseSol session.PairBuilder, baseBlock int) (map[int]session.PairBuilder, int) {
+	builders := map[int]session.PairBuilder{baseK: baseSol}
+	if proto == "alpha" || store != nil {
+		return builders, baseBlock
+	}
+	block := baseBlock
+	if sol, bb, _, _, err := buildSolution(proto, p, 2*baseK, harden, stabilize, store, lo); err == nil {
+		builders[2*baseK] = sol
+		block = lcmInt(block, bb)
+	}
+	return builders, block
+}
+
+func lcmInt(a, b int) int {
+	g, x := a, b
+	for x != 0 {
+		g, x = x, g%x
+	}
+	return a / g * b
 }
 
 // faultClauses assembles the -loss/-dup/-corrupt/-excess/-blackout flags

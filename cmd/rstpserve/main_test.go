@@ -447,3 +447,77 @@ func TestServeStoreDirFreshRun(t *testing.T) {
 		t.Errorf("journal file missing after durable run: %v", err)
 	}
 }
+
+// TestServeAdaptiveSmoke is the PR-time -adaptive smoke: a hardened
+// resilient run under the control plane must complete cleanly, report
+// the control_* summary keys, and serve the controller's state at
+// /control and its rstp_control_* series at /metrics.
+func TestServeAdaptiveSmoke(t *testing.T) {
+	ready := make(chan string, 1)
+	metricsReady = func(addr string) { ready <- addr }
+	defer func() { metricsReady = nil }()
+
+	var out strings.Builder
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{
+			"-sessions", "24", "-conc", "8", "-n", "16",
+			"-adaptive", "-resilient", "-harden", "-tick", "50us",
+			"-metrics-addr", "127.0.0.1:0",
+			"-timeout", "60s",
+		}, &out)
+	}()
+	addr := <-ready
+
+	deadline := time.Now().Add(20 * time.Second)
+	for {
+		if strings.Contains(scrape(t, addr, "/metrics"), "rstp_control_ticks_total") {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no rstp_control_* series on /metrics within 20s")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	expo := scrape(t, addr, "/metrics")
+	for _, want := range []string{
+		"rstp_control_level",
+		"rstp_control_pressure",
+		"rstp_control_k",
+		"rstp_control_rto_ticks",
+		"rstp_control_paced_total",
+		"rstp_control_gated_total",
+		"rstp_control_dwell_normal_ticks_total",
+	} {
+		if !strings.Contains(expo, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+	var live struct {
+		Level string `json:"level"`
+		K     int    `json:"k"`
+	}
+	if err := json.Unmarshal([]byte(scrape(t, addr, "/control")), &live); err != nil {
+		t.Fatalf("/control is not valid JSON: %v", err)
+	}
+	if live.Level == "" || live.K == 0 {
+		t.Errorf("/control state incomplete: %+v", live)
+	}
+
+	if err := <-done; err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	sum := summaryFrom(t, out.String())
+	if sum.Completed != 24 || sum.Violations != 0 {
+		t.Fatalf("expected 24 completed, 0 violations: %+v", sum)
+	}
+	if sum.ControlLevel == "" {
+		t.Errorf("summary missing control_level: %+v", sum)
+	}
+	if sum.ControlDwell == nil {
+		t.Errorf("summary missing control_level_dwell_ticks: %+v", sum)
+	}
+	if len(sum.ControlKHist) == 0 {
+		t.Errorf("summary missing control_k_histogram (k-selection never recorded an admission): %+v", sum)
+	}
+}

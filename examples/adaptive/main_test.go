@@ -1,0 +1,10 @@
+package main
+
+import "testing"
+
+// TestRun smoke-tests the adaptive overload-control example end to end.
+func TestRun(t *testing.T) {
+	if err := run(16); err != nil {
+		t.Fatal(err)
+	}
+}

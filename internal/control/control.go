@@ -1,0 +1,782 @@
+// Package control is the serving stack's adaptive overload control
+// plane: a seeded, deterministic loop that closes the circle the obs
+// layer opened. Each tick it windows the shared registry's sensors —
+// the deadline-margin histogram's miss tail, output-write stalls, the
+// server's refusal rate — folds them into one pressure scalar, runs it
+// through a hysteresis escalation ladder (pace → refuse → evict →
+// retire), and drives four actuators:
+//
+//   - admission pacing and refusal in the session mux, via the
+//     session.AdmissionController hooks — including an occupancy gate
+//     that parks new dials while the receiver side is at its session
+//     target, so waiting work queues silently instead of flooding the
+//     channel with frames that can only be refused;
+//   - per-session alphabet-size (k) selection at admit time, from the
+//     paper's effort bound tables (Thm 5.3/5.6 lower, Lemma 6.1/§6.2
+//     upper): the smallest k whose predicted per-message effort —
+//     scaled by the measured slowdown — still fits the δ1·c2 deadline;
+//   - RTO adaptation in transport.Resilient, shrinking the retry budget
+//     as the ladder climbs (retransmission amplifies overload), always
+//     clamped to the paper's [c1, d] arithmetic by SetRTO itself;
+//   - forced eviction/retirement of the least-productive sessions at
+//     the ladder's top rungs.
+//
+// Every decision is observable (rstp_control_* metrics and the
+// "control" live hook, served at /control) and every random choice
+// (pacing jitter) comes from a seeded RNG, so a run is reproducible
+// from its seed.
+package control
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/rstp"
+	"repro/internal/session"
+	"repro/internal/transport"
+)
+
+// Config assembles a Controller. Registry, Clock and Params are
+// required; actuators are late-bound with Bind because the mux that
+// provides them needs the controller at its own construction.
+type Config struct {
+	// Registry is the shared obs registry the controller both reads
+	// (sensors) and writes (its own rstp_control_* metrics).
+	Registry *obs.Registry
+	// Clock is the tick source shared with the transports and sessions.
+	Clock *transport.Clock
+	// Params are the timing constants; the deadline δ1·c2 and the RTO
+	// clamp [c1, d] derive from them.
+	Params rstp.Params
+	// Proto selects the bound formulas for the k table: "alpha", "beta"
+	// or "gamma" (default "beta").
+	Proto string
+	// Builders maps candidate alphabet sizes k to the builder realising
+	// them; k-selection picks among exactly these. Empty disables
+	// k-selection (every admission uses the mux's Config.Solution).
+	Builders map[int]session.PairBuilder
+	// DefaultK is the k the mux's default Solution uses — the selection
+	// starting point and the k reported before the first retune.
+	DefaultK int
+
+	// Interval is the control tick period in ticks (default 8·d).
+	Interval int64
+	// Dwell is the ladder's minimum gap between level changes, in ticks
+	// (default 4·Interval).
+	Dwell int64
+	// PaceTicks is the base admission delay at the pace level, in ticks
+	// (default d). The actual delay adds jitter in [0, PaceTicks].
+	PaceTicks int64
+	// Seed seeds the pacing jitter RNG (default 1).
+	Seed int64
+
+	// TargetSessions, when positive, turns on occupancy-gated admission:
+	// Admit holds new sessions (sleeping in jittered Interval-scale
+	// slices) while the bound Active() count is at or above the target,
+	// releasing them as slots free up. This is the cheapest form of
+	// admission control — a dialer that would otherwise burn its whole
+	// per-session budget waiting for a receiver slot instead queues
+	// before transmitting a single frame, keeping the channel clear for
+	// the sessions that do hold slots. Zero disables the gate.
+	TargetSessions int
+
+	// Enter/Exit override the ladder thresholds when any entry is
+	// nonzero. Defaults: enter 0.25/1/2/4, exit at half of enter.
+	Enter, Exit [numLevels - 1]float64
+	// RefuseScale normalises the windowed server-refusal count into
+	// pressure units: RefuseScale refused frames per window count as
+	// 1.0 pressure (default 64).
+	RefuseScale float64
+}
+
+// Actuators are the mux- and transport-side hooks the controller
+// drives. They are bound after construction (Bind) because the Server
+// and Resilient that provide them are themselves built with the
+// controller already in hand. Any nil hook disables that actuation.
+type Actuators struct {
+	// Active reports live receiver-session occupancy (Server.ActiveCount);
+	// nil disables stall detection, which needs to know work is pending.
+	Active func() int64
+	// SetRTO retunes the resilience layer's per-Send retry budget and
+	// returns the applied (clamped) value (transport.Resilient.SetRTO).
+	SetRTO func(ticks int64) int64
+	// EvictOldest force-retires the longest-idle receiver session
+	// (Server.ShedOldest); called once per tick at LevelEvict and above.
+	EvictOldest func() bool
+	// RetireStalled force-retires the receiver session with the least
+	// recent output progress (Server.RetireStalled); once per tick at
+	// LevelRetire.
+	RetireStalled func() bool
+}
+
+// maxTombstones bounds the forgotten-ID set that keeps late frames of a
+// k-selected session from respawning a receiver under the wrong k.
+const maxTombstones = 8192
+
+// refusePressureCap bounds the refusal-rate pressure component at a
+// value between the refuse and evict enter thresholds: a retransmission
+// storm from sessions queued at the capacity cap can push the ladder to
+// shedding *load* (pace, refuse) but never, on its own, to shedding
+// *sessions* — eviction needs evidence of actual service degradation
+// (deadline misses, stalls), not just a busy doorstep.
+const refusePressureCap = 1.5
+
+// missPressureWeight scales the windowed deadline-miss EXCESS — the
+// miss fraction above its slowly-adapting baseline — into pressure,
+// topping out (like the refusal component) between the refuse and
+// evict enter thresholds. Both symptoms mean "too much load for the
+// service to meet deadlines", and the remedy for load is shedding load
+// (pace, refuse). Killing admitted sessions does not reduce a shared
+// channel's load at all — the victims' transmitters keep
+// retransmitting to a tombstone — so the evict and retire rungs are
+// reserved for the one symptom load-shedding cannot fix: sessions
+// occupying slots while nothing progresses (the stall sensor, which
+// compounds without bound).
+const missPressureWeight = 1.5
+
+// missBaseAlpha is the EWMA weight for the miss-fraction baseline. The
+// absolute miss rate is platform-colored — at microsecond tick lengths
+// the δ1·c2 deadline sits below timer granularity and even a healthy
+// stack "misses" most writes by wall-clock jitter — so the sensor
+// scores degradation against what this deployment normally measures
+// (delay-gradient style), not against an absolute that only holds for
+// one tick scale. 1/8 per window: the baseline absorbs a regime change
+// in ~10 windows, slow enough that congestion onset registers at full
+// strength first.
+const missBaseAlpha = 0.125
+
+// missMinWindow is the minimum windowed write count for the miss
+// sensor: below it one late write swings the fraction by whole rungs.
+const missMinWindow = 4
+
+// Controller implements session.AdmissionController and runs the
+// control loop. Create with New, wire as Config.Admission on both mux
+// sides, Bind the actuators, then Start.
+type Controller struct {
+	cfg      Config
+	acts     Actuators
+	deadline int64 // δ1·c2
+	table    []rstp.EffortRow
+
+	marginHist *obs.Histogram
+	writes     *obs.Counter
+	refused    *obs.Counter
+
+	done    chan struct{}
+	wg      sync.WaitGroup
+	startMu sync.Mutex
+	started bool
+	stopped bool
+
+	mu       sync.Mutex
+	rng      *rand.Rand
+	ladder   Ladder
+	pressure float64
+	curK     int
+	rtoNow   int64
+
+	perSession  map[uint32]session.PairBuilder
+	tombstones  map[uint32]struct{}
+	tombstoneQ  []uint32
+	kHist       map[int]int64
+	prevMargin  obs.HistogramSnapshot
+	prevWrites  int64
+	prevRefused int64
+	missBase    float64 // EWMA of the windowed miss fraction; -1 until seeded
+	stallWins   int64
+	lastEvict   int64
+	lastRetire  int64
+
+	ticks, paced, paceTicks     int64
+	gated, gateTicks            int64
+	dialRefused, serverRefused  int64
+	rtoChanges, evicts, retires int64
+	levelTicks                  [numLevels]int64
+}
+
+// New validates the config, builds the bound table and registers the
+// controller's metrics. The controller is inert (and admits everything
+// unpaced at LevelNormal) until Start.
+func New(cfg Config) (*Controller, error) {
+	if cfg.Registry == nil {
+		return nil, fmt.Errorf("control: Config.Registry required")
+	}
+	if cfg.Clock == nil {
+		return nil, fmt.Errorf("control: Config.Clock required")
+	}
+	if err := cfg.Params.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Proto == "" {
+		cfg.Proto = "beta"
+	}
+	if cfg.Interval <= 0 {
+		cfg.Interval = 8 * cfg.Params.D
+	}
+	if cfg.Dwell <= 0 {
+		cfg.Dwell = 4 * cfg.Interval
+	}
+	if cfg.PaceTicks <= 0 {
+		cfg.PaceTicks = cfg.Params.D
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	if cfg.RefuseScale <= 0 {
+		cfg.RefuseScale = 64
+	}
+	enter := cfg.Enter
+	exit := cfg.Exit
+	if enter == ([numLevels - 1]float64{}) {
+		enter = [numLevels - 1]float64{0.25, 1, 2, 4}
+	}
+	if exit == ([numLevels - 1]float64{}) {
+		for i := range exit {
+			exit[i] = enter[i] / 2
+		}
+	}
+
+	ks := make([]int, 0, len(cfg.Builders))
+	for k := range cfg.Builders {
+		ks = append(ks, k)
+	}
+	table := rstp.EffortTable(cfg.Params, cfg.Proto, ks)
+	// Keep only rows a builder can realise: a bound without a builder is
+	// a prediction the controller cannot act on.
+	kept := table[:0]
+	for _, row := range table {
+		if _, ok := cfg.Builders[row.K]; ok {
+			kept = append(kept, row)
+		}
+	}
+	table = kept
+
+	c := &Controller{
+		cfg:        cfg,
+		deadline:   int64(cfg.Params.Delta1()) * cfg.Params.C2,
+		table:      table,
+		done:       make(chan struct{}),
+		rng:        rand.New(rand.NewSource(cfg.Seed)),
+		curK:       cfg.DefaultK,
+		rtoNow:     cfg.Params.D,
+		missBase:   -1,
+		perSession: make(map[uint32]session.PairBuilder),
+		tombstones: make(map[uint32]struct{}),
+		kHist:      make(map[int]int64),
+	}
+	c.ladder = Ladder{Enter: enter, Exit: exit, Dwell: cfg.Dwell}
+
+	// Sensor handles, via get-or-create: the session layer registers the
+	// same names with the same shapes, so both hold one instance.
+	c.marginHist = cfg.Registry.Histogram("rstp_deadline_margin_ticks",
+		"per-message deadline δ1·c2 minus the interwrite gap (negative = miss)", obs.MarginBuckets(0))
+	c.writes = cfg.Registry.Counter("rstp_session_writes_total",
+		"messages written to receiver output tapes")
+	c.refused = cfg.Registry.Counter("rstp_server_frames_refused_total",
+		"new-session frames dropped at the MaxSessions cap")
+
+	c.instrument(cfg.Registry)
+	return c, nil
+}
+
+// Bind installs the actuators. Call before Start; hooks left nil
+// disable the corresponding actuation.
+func (c *Controller) Bind(a Actuators) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.acts = a
+}
+
+// Start launches the control loop. Idempotent.
+func (c *Controller) Start() {
+	c.startMu.Lock()
+	defer c.startMu.Unlock()
+	if c.started {
+		return
+	}
+	c.started = true
+	c.wg.Add(1)
+	go c.loop()
+}
+
+// Stop halts the loop and releases any admission currently sleeping in
+// the pacer (it proceeds unpaced rather than wedging its dialer).
+// Idempotent; safe without a prior Start.
+func (c *Controller) Stop() {
+	c.startMu.Lock()
+	defer c.startMu.Unlock()
+	if c.stopped {
+		return
+	}
+	c.stopped = true
+	close(c.done)
+	c.wg.Wait()
+}
+
+func (c *Controller) loop() {
+	defer c.wg.Done()
+	t := time.NewTicker(c.cfg.Clock.Ticks(c.cfg.Interval))
+	defer t.Stop()
+	for {
+		select {
+		case <-c.done:
+			return
+		case <-t.C:
+			c.tick()
+		}
+	}
+}
+
+// tick is one control-loop iteration: sense, score, step the ladder,
+// actuate.
+func (c *Controller) tick() {
+	now := c.cfg.Clock.Now()
+	margin := c.marginHist.Snapshot()
+	writes := c.writes.Value()
+	refused := c.refused.Value()
+
+	c.mu.Lock()
+	var active int64
+	if c.acts.Active != nil {
+		active = c.acts.Active()
+	}
+	win := obs.DeltaSnapshot(c.prevMargin, margin)
+	dWrites := writes - c.prevWrites
+	dRefused := refused - c.prevRefused
+	c.prevMargin, c.prevWrites, c.prevRefused = margin, writes, refused
+
+	// Pressure is the WORST single symptom, not the sum: each sensor is
+	// scaled so the highest rung it can reach is the highest rung whose
+	// remedy addresses it, and summing would let two mild symptoms buy a
+	// remedy neither justifies (a busy doorstep plus a few late writes
+	// must not evict anyone).
+	//
+	// Symptom 1: the deadline-miss fraction of this window's writes,
+	// scored as the excess over its EWMA baseline. The margin
+	// histogram's zero bucket splits the distribution exactly at the
+	// deadline, so the cumulative count at LE=0 over the window count is
+	// the fraction of writes that missed δ1·c2; the baseline calibrates
+	// out the platform's steady-state miss rate (see missBaseAlpha) so
+	// only a *worsening* — congestion onset — registers.
+	pressure := 0.0
+	if win.Count >= missMinWindow {
+		var misses int64
+		for _, b := range win.Buckets {
+			if !b.Inf && b.LE == 0 {
+				misses = b.Count
+				break
+			}
+		}
+		frac := float64(misses) / float64(win.Count)
+		if c.missBase < 0 {
+			c.missBase = frac // first sample seeds the baseline
+		}
+		if mp := missPressureWeight * (frac - c.missBase); mp > pressure {
+			pressure = mp
+		}
+		c.missBase += missBaseAlpha * (frac - c.missBase)
+	}
+	// Symptom 2: refusal rate. Frames already being turned away at the
+	// server cap are overload by definition — capped below the evict
+	// threshold, because the remedy for a noisy doorstep is shedding
+	// load, never shedding admitted sessions.
+	if dRefused > 0 {
+		rp := float64(dRefused) / c.cfg.RefuseScale
+		if rp > refusePressureCap {
+			rp = refusePressureCap
+		}
+		if rp > pressure {
+			pressure = rp
+		}
+	}
+	// Symptom 3: stall. Live sessions with zero output growth compound
+	// each consecutive silent window without bound — total dead air is
+	// the one symptom allowed to climb all the way to forced retirement.
+	// Half a pressure unit per silent window: one quiet window under
+	// bursty congestion is noise (it paces); four in a row reach evict,
+	// eight force retirement.
+	if active > 0 && dWrites == 0 {
+		c.stallWins++
+		if sp := 0.5 * float64(c.stallWins); sp > pressure {
+			pressure = sp
+		}
+	} else {
+		c.stallWins = 0
+	}
+
+	level := c.ladder.Update(now, pressure)
+	c.pressure = pressure
+	c.ticks++
+	c.levelTicks[level] += c.cfg.Interval
+	c.retuneK(win)
+
+	// RTO descends with the ladder: a full d of cumulative retry at
+	// LevelNormal, a bare c1 (one attempt, effectively) at LevelRetire.
+	// SetRTO clamps to [c1, d] regardless, so the paper's delay bound
+	// arithmetic survives any target.
+	rtoTarget := c.rtoForLevel(level)
+	setRTO := c.acts.SetRTO
+	// The destructive actuators are rate-limited to one victim per dwell
+	// window: eviction exists to relieve pressure, and the ladder cannot
+	// even observe relief faster than its own dwell — killing a session
+	// per tick would shred goodput for no faster convergence.
+	var evict, retire func() bool
+	if level >= LevelEvict && c.acts.EvictOldest != nil && now-c.lastEvict >= c.cfg.Dwell {
+		c.lastEvict = now
+		evict = c.acts.EvictOldest
+	}
+	if level >= LevelRetire && c.acts.RetireStalled != nil && now-c.lastRetire >= c.cfg.Dwell {
+		c.lastRetire = now
+		retire = c.acts.RetireStalled
+	}
+	c.mu.Unlock()
+
+	var applied int64 = -1
+	if setRTO != nil {
+		applied = setRTO(rtoTarget)
+	}
+	evicted, retired := false, false
+	if evict != nil {
+		evicted = evict()
+	}
+	if retire != nil {
+		retired = retire()
+	}
+
+	c.mu.Lock()
+	if applied >= 0 && applied != c.rtoNow {
+		c.rtoNow = applied
+		c.rtoChanges++
+	}
+	if evicted {
+		c.evicts++
+	}
+	if retired {
+		c.retires++
+	}
+	c.mu.Unlock()
+}
+
+// rtoForLevel maps a ladder rung to a retry-budget target in ticks.
+func (c *Controller) rtoForLevel(l Level) int64 {
+	d := c.cfg.Params.D
+	switch l {
+	case LevelNormal, LevelPace:
+		return d
+	case LevelRefuse:
+		return 3 * d / 4
+	case LevelEvict:
+		return d / 2
+	default:
+		return c.cfg.Params.C1
+	}
+}
+
+// retuneK re-selects the admission-time alphabet size, holding c.mu.
+// The paper's upper bound Upper(k) predicts per-message effort under a
+// correct channel; the measured median gap over the current window,
+// divided by Upper(curK), is the live slowdown factor. The controller
+// picks the smallest k whose scaled prediction still fits the deadline
+// — smallest because packet size grows with k (§6) and the cheapest
+// alphabet that meets δ1·c2 is the efficient choice — falling back to
+// the largest candidate (cheapest effort) when nothing fits.
+func (c *Controller) retuneK(win obs.HistogramSnapshot) {
+	if len(c.table) == 0 {
+		return
+	}
+	slow := 1.0
+	if win.Count > 0 {
+		var curUpper float64
+		for _, row := range c.table {
+			if row.K == c.curK {
+				curUpper = row.Upper
+				break
+			}
+		}
+		if curUpper > 0 {
+			if med := float64(c.deadline - obs.BucketQuantile(win, 0.5)); med > curUpper {
+				slow = med / curUpper
+			}
+		}
+	}
+	pick := c.table[len(c.table)-1].K
+	for _, row := range c.table {
+		if slow*row.Upper <= float64(c.deadline) {
+			pick = row.K
+			break
+		}
+	}
+	c.curK = pick
+}
+
+// sleepTicks blocks for the given tick count. It reports stopped=true
+// when the controller shut down mid-sleep (callers admit rather than
+// wedge their dialer) and a non-nil err when the caller's context died.
+func (c *Controller) sleepTicks(ctx context.Context, ticks int64) (stopped bool, err error) {
+	t := time.NewTimer(c.cfg.Clock.Ticks(ticks))
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return false, ctx.Err()
+	case <-c.done:
+		return true, nil
+	case <-t.C:
+		return false, nil
+	}
+}
+
+// Admit implements session.AdmissionController: refuse at LevelRefuse+,
+// pace (with seeded jitter) at LevelPace, hold at the occupancy gate
+// while the receiver side is full (Config.TargetSessions), and record
+// the builder chosen for this ID so both mux sides construct the same
+// pair.
+func (c *Controller) Admit(ctx context.Context, id uint32) error {
+	c.mu.Lock()
+	level := c.ladder.Current()
+	if level >= LevelRefuse {
+		c.dialRefused++
+		c.mu.Unlock()
+		return session.ErrAdmissionRefused
+	}
+	var delay int64
+	if level >= LevelPace {
+		delay = c.cfg.PaceTicks + c.rng.Int63n(c.cfg.PaceTicks+1)
+		c.paced++
+		c.paceTicks += delay
+	}
+	c.mu.Unlock()
+
+	if delay > 0 {
+		if _, err := c.sleepTicks(ctx, delay); err != nil {
+			return err
+		}
+	}
+
+	// Occupancy gate: while the receiver side sits at its session target,
+	// park here instead of transmitting frames that can only be refused.
+	// Occupancy counts BOTH the live receiver sessions (Active) and this
+	// controller's own in-flight admissions (perSession): a dial released
+	// from the gate takes a whole channel round-trip to show up in
+	// Active, and gating on Active alone would release every waiter into
+	// that blind window at once. The ladder still applies while parked —
+	// an escalation to refuse turns the wait into a refusal.
+	if c.cfg.TargetSessions > 0 {
+		first := true
+		for {
+			c.mu.Lock()
+			act := c.acts.Active
+			inflight := int64(len(c.perSession))
+			if c.ladder.Current() >= LevelRefuse {
+				c.dialRefused++
+				c.mu.Unlock()
+				return session.ErrAdmissionRefused
+			}
+			c.mu.Unlock()
+			occ := inflight
+			if act != nil {
+				if a := act(); a > occ {
+					occ = a
+				}
+			}
+			if occ < int64(c.cfg.TargetSessions) {
+				break
+			}
+			c.mu.Lock()
+			if first {
+				c.gated++
+				first = false
+			}
+			wait := c.cfg.Interval/2 + c.rng.Int63n(c.cfg.Interval/2+1)
+			if wait < 1 {
+				wait = 1
+			}
+			c.gateTicks += wait
+			c.mu.Unlock()
+			stopped, err := c.sleepTicks(ctx, wait)
+			if err != nil {
+				return err
+			}
+			if stopped {
+				break
+			}
+		}
+	}
+
+	c.mu.Lock()
+	var b session.PairBuilder
+	if len(c.table) > 0 {
+		k := c.curK
+		if bk, ok := c.cfg.Builders[k]; ok {
+			b = bk
+			c.kHist[k]++
+		}
+	}
+	c.perSession[id] = b // recorded even when nil: marks the ID as admitted
+	delete(c.tombstones, id)
+	c.mu.Unlock()
+	return nil
+}
+
+// BuilderFor implements session.AdmissionController.
+func (c *Controller) BuilderFor(id uint32) session.PairBuilder {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.perSession[id]
+}
+
+// AdmitServer implements session.AdmissionController. Admitted IDs are
+// always accepted (their slot is spoken for), forgotten IDs always
+// refused (late frames of a retired k-selected session must not respawn
+// a receiver under the default k), and unknown IDs — a remote dialer
+// this controller never saw — track the ladder.
+func (c *Controller) AdmitServer(id uint32) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.perSession[id]; ok {
+		return true
+	}
+	if _, ok := c.tombstones[id]; ok {
+		return false
+	}
+	if c.ladder.Current() >= LevelRefuse {
+		c.serverRefused++
+		return false
+	}
+	return true
+}
+
+// Forget implements session.AdmissionController: the per-session record
+// moves into a bounded tombstone set.
+func (c *Controller) Forget(id uint32) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.perSession[id]; !ok {
+		return
+	}
+	delete(c.perSession, id)
+	if _, ok := c.tombstones[id]; ok {
+		return
+	}
+	c.tombstones[id] = struct{}{}
+	c.tombstoneQ = append(c.tombstoneQ, id)
+	if len(c.tombstoneQ) > maxTombstones {
+		delete(c.tombstones, c.tombstoneQ[0])
+		c.tombstoneQ = c.tombstoneQ[1:]
+	}
+}
+
+// State is the controller's introspection snapshot: the "control" live
+// hook renders it at /control and rstpserve folds it into the summary.
+type State struct {
+	Level           string           `json:"level"`
+	Pressure        float64          `json:"pressure"`
+	K               int              `json:"k"`
+	RTOTicks        int64            `json:"rto_ticks"`
+	Ticks           int64            `json:"ticks"`
+	Paced           int64            `json:"paced"`
+	PaceTicks       int64            `json:"pace_ticks"`
+	Gated           int64            `json:"gated"`
+	GateTicks       int64            `json:"gate_ticks"`
+	DialRefused     int64            `json:"dial_refused"`
+	ServerRefused   int64            `json:"server_refused"`
+	RTOChanges      int64            `json:"rto_changes"`
+	Evictions       int64            `json:"evictions"`
+	Retires         int64            `json:"retires"`
+	KHistogram      map[string]int64 `json:"k_histogram,omitempty"`
+	LevelDwellTicks map[string]int64 `json:"level_dwell_ticks"`
+	BoundTable      []rstp.EffortRow `json:"bound_table,omitempty"`
+}
+
+// State snapshots the controller.
+func (c *Controller) State() State {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := State{
+		Level:           c.ladder.Current().String(),
+		Pressure:        c.pressure,
+		K:               c.curK,
+		RTOTicks:        c.rtoNow,
+		Ticks:           c.ticks,
+		Paced:           c.paced,
+		PaceTicks:       c.paceTicks,
+		Gated:           c.gated,
+		GateTicks:       c.gateTicks,
+		DialRefused:     c.dialRefused,
+		ServerRefused:   c.serverRefused,
+		RTOChanges:      c.rtoChanges,
+		Evictions:       c.evicts,
+		Retires:         c.retires,
+		LevelDwellTicks: make(map[string]int64, numLevels),
+		BoundTable:      c.table,
+	}
+	if len(c.kHist) > 0 {
+		s.KHistogram = make(map[string]int64, len(c.kHist))
+		for k, n := range c.kHist {
+			s.KHistogram[fmt.Sprintf("%d", k)] = n
+		}
+	}
+	for i, ticks := range c.levelTicks {
+		s.LevelDwellTicks[Level(i).String()] = ticks
+	}
+	return s
+}
+
+// instrument registers the controller's own metrics: every decision the
+// loop makes is visible as an rstp_control_* series plus the "control"
+// live hook.
+func (c *Controller) instrument(reg *obs.Registry) {
+	locked := func(fn func() int64) func() int64 {
+		return func() int64 {
+			c.mu.Lock()
+			defer c.mu.Unlock()
+			return fn()
+		}
+	}
+	reg.GaugeFunc("rstp_control_level",
+		"escalation ladder level (0 normal … 4 retire)",
+		locked(func() int64 { return int64(c.ladder.Current()) }))
+	reg.FloatFunc("rstp_control_pressure",
+		"latest composite overload pressure (0 = healthy)", func() float64 {
+			c.mu.Lock()
+			defer c.mu.Unlock()
+			return c.pressure
+		})
+	reg.GaugeFunc("rstp_control_k",
+		"alphabet size the next admission will select",
+		locked(func() int64 { return int64(c.curK) }))
+	reg.GaugeFunc("rstp_control_rto_ticks",
+		"retry-budget target most recently applied to the transport",
+		locked(func() int64 { return c.rtoNow }))
+	reg.CounterFunc("rstp_control_ticks_total",
+		"control loop iterations", locked(func() int64 { return c.ticks }))
+	reg.CounterFunc("rstp_control_paced_total",
+		"admissions delayed by pacing", locked(func() int64 { return c.paced }))
+	reg.CounterFunc("rstp_control_pace_ticks_total",
+		"total admission delay injected, in ticks", locked(func() int64 { return c.paceTicks }))
+	reg.CounterFunc("rstp_control_gated_total",
+		"admissions held at the occupancy gate", locked(func() int64 { return c.gated }))
+	reg.CounterFunc("rstp_control_gate_ticks_total",
+		"total occupancy-gate wait injected, in ticks", locked(func() int64 { return c.gateTicks }))
+	reg.CounterFunc("rstp_control_dial_refused_total",
+		"dialer admissions refused by the ladder", locked(func() int64 { return c.dialRefused }))
+	reg.CounterFunc("rstp_control_server_refused_total",
+		"unknown server sessions refused by the ladder", locked(func() int64 { return c.serverRefused }))
+	reg.CounterFunc("rstp_control_rto_changes_total",
+		"control ticks whose RTO target differed from the applied value",
+		locked(func() int64 { return c.rtoChanges }))
+	reg.CounterFunc("rstp_control_evictions_total",
+		"forced evictions of the longest-idle session", locked(func() int64 { return c.evicts }))
+	reg.CounterFunc("rstp_control_retires_total",
+		"forced retirements of the least-progressed session", locked(func() int64 { return c.retires }))
+	for i := 0; i < numLevels; i++ {
+		lvl := Level(i)
+		reg.CounterFunc(fmt.Sprintf("rstp_control_dwell_%s_ticks_total", lvl),
+			fmt.Sprintf("ticks spent at ladder level %q", lvl),
+			locked(func() int64 { return c.levelTicks[lvl] }))
+	}
+	reg.Live("control", func() any { return c.State() })
+}

@@ -1,0 +1,310 @@
+package control
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/ioa"
+	"repro/internal/obs"
+	"repro/internal/rstp"
+	"repro/internal/session"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+func ctlParams() rstp.Params { return rstp.Params{C1: 2, C2: 3, D: 12} }
+
+// fakeBuilder is a named PairBuilder stand-in: k-selection tests only
+// need identity, never a working automaton pair.
+type fakeBuilder struct{ name string }
+
+func (f fakeBuilder) NewPair(x []wire.Bit) (ioa.Automaton, ioa.Automaton, error) {
+	return nil, nil, nil
+}
+func (f fakeBuilder) String() string { return f.name }
+
+func newCtl(t *testing.T, mut func(*Config)) *Controller {
+	t.Helper()
+	cfg := Config{
+		Registry: obs.NewRegistry(),
+		Clock:    transport.NewClock(time.Nanosecond),
+		Params:   ctlParams(),
+	}
+	if mut != nil {
+		mut(&cfg)
+	}
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func forceLevel(c *Controller, l Level) {
+	c.mu.Lock()
+	c.ladder.level = l
+	c.mu.Unlock()
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{Clock: transport.NewClock(0), Params: ctlParams()}); err == nil {
+		t.Error("nil Registry accepted")
+	}
+	if _, err := New(Config{Registry: obs.NewRegistry(), Params: ctlParams()}); err == nil {
+		t.Error("nil Clock accepted")
+	}
+	if _, err := New(Config{Registry: obs.NewRegistry(), Clock: transport.NewClock(0)}); err == nil {
+		t.Error("zero Params accepted")
+	}
+}
+
+// TestAdmitRecordsAndForgets walks one ID through the controller's
+// session-tracking life cycle: admitted → accepted server-side →
+// forgotten → tombstoned (late frames must not respawn it).
+func TestAdmitRecordsAndForgets(t *testing.T) {
+	c := newCtl(t, nil)
+	if err := c.Admit(context.Background(), 7); err != nil {
+		t.Fatalf("Admit at normal level: %v", err)
+	}
+	if !c.AdmitServer(7) {
+		t.Error("admitted ID refused server-side")
+	}
+	if b := c.BuilderFor(7); b != nil {
+		t.Errorf("BuilderFor with no candidate builders = %v, want nil", b)
+	}
+	if !c.AdmitServer(9) {
+		t.Error("unknown ID refused at LevelNormal")
+	}
+	c.Forget(7)
+	c.Forget(7) // idempotent
+	if c.AdmitServer(7) {
+		t.Error("forgotten ID re-admitted: a late frame could respawn a receiver under the wrong k")
+	}
+	// Re-admission under the same ID (the restart path) clears the stone.
+	if err := c.Admit(context.Background(), 7); err != nil {
+		t.Fatalf("re-Admit: %v", err)
+	}
+	if !c.AdmitServer(7) {
+		t.Error("re-admitted ID still tombstoned")
+	}
+}
+
+func TestRefuseLevel(t *testing.T) {
+	c := newCtl(t, nil)
+	forceLevel(c, LevelRefuse)
+	if err := c.Admit(context.Background(), 1); !errors.Is(err, session.ErrAdmissionRefused) {
+		t.Fatalf("Admit at refuse level: %v, want ErrAdmissionRefused", err)
+	}
+	if c.AdmitServer(2) {
+		t.Error("unknown server ID admitted at refuse level")
+	}
+	st := c.State()
+	if st.DialRefused != 1 || st.ServerRefused != 1 {
+		t.Errorf("refusal counters = %d/%d, want 1/1", st.DialRefused, st.ServerRefused)
+	}
+}
+
+// TestPacingSeededDeterminism: two controllers with the same seed inject
+// exactly the same jittered delays; the seed is the whole story.
+func TestPacingSeededDeterminism(t *testing.T) {
+	run := func(seed int64) int64 {
+		c := newCtl(t, func(cfg *Config) {
+			cfg.Seed = seed
+			cfg.PaceTicks = 64
+		})
+		forceLevel(c, LevelPace)
+		for id := uint32(1); id <= 100; id++ {
+			if err := c.Admit(context.Background(), id); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return c.State().PaceTicks
+	}
+	a, b := run(42), run(42)
+	if a != b {
+		t.Errorf("same seed, different total pace: %d vs %d ticks", a, b)
+	}
+	if a == 0 {
+		t.Error("pace level injected no delay")
+	}
+	if c := run(43); c == a {
+		t.Errorf("seeds 42 and 43 produced identical jitter (%d ticks over 100 admissions)", a)
+	}
+}
+
+// margins builds a windowed margin snapshot whose median lands exactly
+// on the given bucket bound.
+func margins(med int64, n int64) obs.HistogramSnapshot {
+	return obs.HistogramSnapshot{
+		Count:   n,
+		Buckets: []obs.HistogramBucket{{LE: med, Count: n}, {Inf: true, Count: n}},
+	}
+}
+
+// TestKSelection exercises retuneK against a synthetic bound table:
+// healthy windows pick the smallest k whose predicted effort fits the
+// δ1·c2 deadline; a measured slowdown scales the prediction and forces
+// a larger (cheaper-per-message) alphabet; recovery returns.
+func TestKSelection(t *testing.T) {
+	b2, b4, b8 := fakeBuilder{"k2"}, fakeBuilder{"k4"}, fakeBuilder{"k8"}
+	c := newCtl(t, func(cfg *Config) {
+		cfg.Builders = map[int]session.PairBuilder{2: b2, 4: b4, 8: b8}
+		cfg.DefaultK = 4
+	})
+	// Deadline δ1·c2 = 6·3 = 18. Synthetic predictions: k=2 never fits,
+	// k=4 fits at slowdown 1, only k=8 fits at slowdown 2.
+	c.mu.Lock()
+	c.table = []rstp.EffortRow{{K: 2, Upper: 30}, {K: 4, Upper: 16}, {K: 8, Upper: 9}}
+
+	c.retuneK(obs.HistogramSnapshot{}) // empty window: predictions alone
+	if c.curK != 4 {
+		c.mu.Unlock()
+		t.Fatalf("healthy k = %d, want 4 (smallest fitting the deadline)", c.curK)
+	}
+	// Median margin -14 → median gap 32 → slowdown 32/16 = 2: only
+	// 2·Upper(8) = 18 still fits.
+	c.retuneK(margins(-14, 10))
+	if c.curK != 8 {
+		c.mu.Unlock()
+		t.Fatalf("overloaded k = %d, want 8", c.curK)
+	}
+	// Healthy again (median gap 2 < Upper(8)): back to the smallest k.
+	c.retuneK(margins(16, 10))
+	if c.curK != 4 {
+		c.mu.Unlock()
+		t.Fatalf("recovered k = %d, want 4", c.curK)
+	}
+	c.mu.Unlock()
+
+	// Admissions hand out the selected builder and both sides see it.
+	if err := c.Admit(context.Background(), 3); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.BuilderFor(3); got != session.PairBuilder(b4) {
+		t.Errorf("BuilderFor(3) = %v, want the k=4 builder", got)
+	}
+	if st := c.State(); st.KHistogram["4"] != 1 {
+		t.Errorf("k histogram = %v, want one admission at k=4", st.KHistogram)
+	}
+}
+
+func TestRTOForLevel(t *testing.T) {
+	c := newCtl(t, nil)
+	want := map[Level]int64{
+		LevelNormal: 12, LevelPace: 12, LevelRefuse: 9, LevelEvict: 6, LevelRetire: 2,
+	}
+	for lvl, ticks := range want {
+		if got := c.rtoForLevel(lvl); got != ticks {
+			t.Errorf("rtoForLevel(%v) = %d, want %d", lvl, got, ticks)
+		}
+	}
+}
+
+// TestTickStallEscalation runs real ticks against an idle registry with
+// one live session: consecutive zero-write windows compound the stall
+// pressure and climb the ladder; resumed writes reset it and the ladder
+// descends.
+func TestTickStallEscalation(t *testing.T) {
+	c := newCtl(t, func(cfg *Config) {
+		cfg.Interval = 1
+		cfg.Dwell = 1
+	})
+	var rtoSeen []int64
+	c.Bind(Actuators{
+		Active: func() int64 { return 1 },
+		SetRTO: func(ticks int64) int64 { rtoSeen = append(rtoSeen, ticks); return ticks },
+	})
+	for i := 0; i < 6; i++ {
+		time.Sleep(time.Microsecond) // the 1ns-tick clock advances past any dwell
+		c.tick()
+	}
+	st := c.State()
+	if st.Ticks != 6 {
+		t.Fatalf("ticks = %d, want 6", st.Ticks)
+	}
+	if st.Level == LevelNormal.String() {
+		t.Fatalf("six stalled windows left the ladder at normal (pressure %v)", st.Pressure)
+	}
+	if st.Pressure < 3 {
+		t.Errorf("stall pressure %v after 6 silent windows, want compounding >= 3", st.Pressure)
+	}
+	if len(rtoSeen) != 6 {
+		t.Fatalf("SetRTO called %d times, want once per tick", len(rtoSeen))
+	}
+	if st.RTOChanges == 0 {
+		t.Error("escalation changed no RTO target")
+	}
+
+	// Output resumes: stall pressure resets and the ladder walks back.
+	for i := 0; i < 8; i++ {
+		c.writes.Inc()
+		time.Sleep(time.Microsecond)
+		c.tick()
+	}
+	if got := c.State(); got.Pressure != 0 || got.Level != LevelNormal.String() {
+		t.Errorf("after recovery: level %s pressure %v, want normal/0", got.Level, got.Pressure)
+	}
+}
+
+// TestStateAndMetricsExposed checks the introspection surface: the
+// "control" live hook and the rstp_control_* series rendered through
+// the registry's JSON snapshot.
+func TestStateAndMetricsExposed(t *testing.T) {
+	reg := obs.NewRegistry()
+	c := newCtl(t, func(cfg *Config) { cfg.Registry = reg })
+	_ = c.Admit(context.Background(), 1)
+	snap := reg.Snapshot()
+	found := map[string]bool{}
+	for name := range snap.Counters {
+		found[name] = true
+	}
+	for name := range snap.Gauges {
+		found[name] = true
+	}
+	for name := range snap.Floats {
+		found[name] = true
+	}
+	for _, name := range []string{
+		"rstp_control_level", "rstp_control_pressure", "rstp_control_k",
+		"rstp_control_rto_ticks", "rstp_control_ticks_total",
+		"rstp_control_paced_total", "rstp_control_pace_ticks_total",
+		"rstp_control_gated_total", "rstp_control_gate_ticks_total",
+		"rstp_control_dial_refused_total", "rstp_control_server_refused_total",
+		"rstp_control_rto_changes_total", "rstp_control_evictions_total",
+		"rstp_control_retires_total", "rstp_control_dwell_normal_ticks_total",
+		"rstp_control_dwell_retire_ticks_total",
+	} {
+		if !found[name] {
+			t.Errorf("metric %s not registered", name)
+		}
+	}
+	if _, ok := snap.Live["control"]; !ok {
+		t.Error("live hook \"control\" not registered")
+	}
+}
+
+// TestStartStopIdempotent: the lifecycle must survive double calls and
+// release a paced admission on Stop.
+func TestStartStopIdempotent(t *testing.T) {
+	c := newCtl(t, func(cfg *Config) { cfg.PaceTicks = 1 << 40 }) // pace would sleep ~forever
+	c.Start()
+	c.Start()
+	forceLevel(c, LevelPace)
+	done := make(chan error, 1)
+	go func() {
+		done <- c.Admit(context.Background(), 1)
+	}()
+	time.Sleep(10 * time.Millisecond)
+	c.Stop()
+	c.Stop()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("paced admission after Stop: %v, want released nil", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Stop left a paced admission sleeping")
+	}
+}

@@ -2,6 +2,7 @@ package rstp
 
 import (
 	"math"
+	"sort"
 
 	"repro/internal/multiset"
 )
@@ -88,6 +89,59 @@ func ActiveTightness(p Params, k int) float64 {
 		return math.NaN()
 	}
 	return ub / lb
+}
+
+// EffortRow pairs one transmitter alphabet size k with the paper's effort
+// bounds for it: the protocol-family upper bound (what A^β(k)/A^γ(k) is
+// guaranteed to achieve) and the matching lower bound (what Theorems 5.3
+// and 5.6 prove any solution of that family must spend). Rows are the
+// unit the adaptive control plane selects k from: effort falls like
+// 1/log k while the packet alphabet — and hence packet size — grows
+// with k, so "the right k" depends on how much effort the live system
+// can currently afford.
+type EffortRow struct {
+	// K is the transmitter packet alphabet size |P^tr|.
+	K int
+	// Lower is the per-message effort lower bound in ticks: Theorem 5.3
+	// (δ1·c2/log2 ζ_k(δ1)) for r-passive families, Theorem 5.6
+	// (d/log2 ζ_k(δ2)) for active ones.
+	Lower float64
+	// Upper is the per-message effort upper bound in ticks: Lemma 6.1 for
+	// A^β(k), the Section 6.2 analysis for A^γ(k), d·c2/c1 for A^α.
+	Upper float64
+}
+
+// EffortTable evaluates the Sections 5 and 6 bound formulas over a set of
+// candidate alphabet sizes for one protocol family ("alpha", "beta" or
+// "gamma"), in ascending k. Degenerate rows (k < 2, or a bound that is
+// infinite because the alphabet encodes nothing) are dropped rather than
+// returned as ±Inf, so callers can iterate the table without guarding.
+// Alpha ignores ks: its alphabet is binary and its single row is k = 2.
+func EffortTable(p Params, proto string, ks []int) []EffortRow {
+	if proto == "alpha" {
+		return []EffortRow{{K: 2, Lower: PassiveLowerBound(p, 2), Upper: AlphaEffort(p)}}
+	}
+	out := make([]EffortRow, 0, len(ks))
+	for _, k := range ks {
+		if k < 2 {
+			continue
+		}
+		var row EffortRow
+		switch proto {
+		case "beta":
+			row = EffortRow{K: k, Lower: PassiveLowerBound(p, k), Upper: BetaUpperBound(p, k)}
+		case "gamma":
+			row = EffortRow{K: k, Lower: ActiveLowerBound(p, k), Upper: GammaUpperBound(p, k)}
+		default:
+			return nil
+		}
+		if math.IsInf(row.Lower, 1) || math.IsInf(row.Upper, 1) || math.IsNaN(row.Lower) || math.IsNaN(row.Upper) {
+			continue
+		}
+		out = append(out, row)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].K < out[j].K })
+	return out
 }
 
 // MinRoundsPassive returns the Section 5.1 counting bound on the number of

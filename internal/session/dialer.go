@@ -142,6 +142,17 @@ func (d *Dialer) start(ctx context.Context, id uint32, x []wire.Bit) (*Conn, err
 			return nil, fmt.Errorf("session: session %d already open", id)
 		}
 	}
+	// The control plane sees every admission after its slot and ID are
+	// settled: Admit may sleep (pacing) or refuse, and it records the
+	// per-session builder BuilderFor serves to both sides below. Pacing
+	// while holding the slot is deliberate — a paced session is admitted
+	// work in flight, not a queue jump waiting to happen.
+	if d.cfg.Admission != nil {
+		if err := d.cfg.Admission.Admit(ctx, id); err != nil {
+			<-d.sem
+			return nil, err
+		}
+	}
 	t, _, err := buildPair(d.cfg, id, x)
 	if err != nil {
 		<-d.sem
@@ -161,6 +172,9 @@ func (d *Dialer) start(ctx context.Context, id uint32, x []wire.Bit) (*Conn, err
 		delete(d.active, id)
 		d.finished[id] = rep
 		d.mu.Unlock()
+		if d.cfg.Admission != nil {
+			d.cfg.Admission.Forget(id)
+		}
 		<-d.sem
 	}()
 	return &Conn{d: d, ep: ep, x: append([]wire.Bit(nil), x...)}, nil

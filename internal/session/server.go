@@ -92,6 +92,16 @@ func (s *Server) route(f wire.Frame) {
 			s.cfg.metrics.onLate(s.cfg.Clock.Now(), f.Session)
 			return
 		}
+		// The control plane's refuse gate runs before the capacity check:
+		// at the escalation ladder's refuse level and above, brand-new
+		// sessions are turned away even while slots remain, so the server
+		// sheds *load* before it ever has to shed *sessions*.
+		if s.cfg.Admission != nil && !s.cfg.Admission.AdmitServer(f.Session) {
+			s.refused++
+			s.mu.Unlock()
+			s.cfg.metrics.onRefuse(s.cfg.Clock.Now(), f.Session)
+			return
+		}
 		if len(s.active) >= s.cfg.MaxSessions {
 			if s.cfg.Shed != ShedEvictOldestIdle || !s.shedOldestLocked() {
 				s.refused++
@@ -157,6 +167,9 @@ func (s *Server) retire(ep *endpoint) {
 		s.finished[ep.id] = rep
 	}
 	s.mu.Unlock()
+	if s.cfg.Admission != nil {
+		s.cfg.Admission.Forget(ep.id)
+	}
 }
 
 // shedOldestLocked force-retires the active session that has gone
@@ -189,11 +202,61 @@ func (s *Server) shedOldestLocked() bool {
 	return true
 }
 
+// ShedOldest force-retires the longest-idle active session on demand —
+// the control plane's evict-oldest-idle escalation rung, the same move
+// ShedEvictOldestIdle makes at the MaxSessions high-water mark but
+// triggered by measured pressure instead of a full table. Returns false
+// when there is nothing to shed.
+func (s *Server) ShedOldest() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.shedOldestLocked()
+}
+
+// RetireStalled force-retires the active session whose output tape has
+// gone longest without growth — the control plane's last escalation rung,
+// a watchdog force-retire on demand. The victim is marked Wedged and its
+// slot released immediately; in-flight frames die at the retiring
+// tombstone. Returns false when no session is active.
+func (s *Server) RetireStalled() bool {
+	s.mu.Lock()
+	var (
+		victim *endpoint
+		oldest int64
+	)
+	for _, ep := range s.active {
+		ep.mu.Lock()
+		lp := ep.lastProgress
+		ep.mu.Unlock()
+		if victim == nil || lp < oldest {
+			victim, oldest = ep, lp
+		}
+	}
+	if victim == nil {
+		s.mu.Unlock()
+		return false
+	}
+	delete(s.active, victim.id)
+	s.retiring[victim.id] = true
+	s.mu.Unlock()
+	victim.markWedged()
+	victim.halt()
+	return true
+}
+
 // lookup returns the active endpoint for a session, if any.
 func (s *Server) lookup(id uint32) *endpoint {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.active[id]
+}
+
+// ActiveCount returns the number of currently live receiver sessions —
+// the control plane's occupancy sensor.
+func (s *Server) ActiveCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.active)
 }
 
 // Snapshot returns the current report for a session — active or finished.

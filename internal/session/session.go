@@ -30,6 +30,7 @@
 package session
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -84,6 +85,46 @@ type TapeResumer interface {
 // locking of their own.
 type Resyncer interface {
 	ForceResync()
+}
+
+// ErrAdmissionRefused is returned by Dialer.Start when the configured
+// AdmissionController refuses the new session outright (the escalation
+// ladder's refuse level and above). It is load shaping, not failure: the
+// caller should back off and retry, exactly as it would on a full
+// semaphore.
+var ErrAdmissionRefused = errors.New("session: admission refused by control plane")
+
+// AdmissionController is the control plane's hook into the mux: it paces
+// or refuses new sessions and selects per-session protocol parameters.
+// internal/control.Controller implements it; nil disables every hook.
+//
+// Both sides of a Pipe share one controller, which is what makes
+// per-session k-selection sound: the dialer records the builder it chose
+// for an ID at Admit time and the server's spawn asks BuilderFor the same
+// ID, so transmitter and receiver always construct matching automata. A
+// server fed by a remote dialer has no such record and BuilderFor returns
+// nil — the default Config.Solution — because the wire format does not
+// carry k (see DESIGN.md, control-plane section).
+type AdmissionController interface {
+	// Admit is consulted once per new transmitter-side session, after the
+	// backpressure slot is taken and the ID allocated, before any protocol
+	// state is built. It may sleep (admission pacing) and may return
+	// ErrAdmissionRefused; any error aborts the Start and releases the
+	// slot.
+	Admit(ctx context.Context, id uint32) error
+	// BuilderFor returns the protocol pair builder chosen for session id
+	// at Admit time, or nil for Config.Solution. Called by both the
+	// dialer's and the server's pair construction.
+	BuilderFor(id uint32) PairBuilder
+	// AdmitServer reports whether the server should spawn receiver state
+	// for a brand-new session id right now. Sessions the controller
+	// admitted dialer-side are always accepted (their slot is spoken
+	// for); unknown IDs are refused while the escalation ladder is at its
+	// refuse level or above.
+	AdmitServer(id uint32) bool
+	// Forget drops the controller's per-session record once the session
+	// has retired on either side. Idempotent.
+	Forget(id uint32)
 }
 
 // ShedPolicy selects what the Server does with a brand-new session when
@@ -175,6 +216,11 @@ type Config struct {
 	// semantics). nil disables persistence. Implementations must be safe
 	// for concurrent use; internal/journal.Store is the durable one.
 	Store rstp.StateStore
+	// Admission is the optional control-plane hook: pacing/refusal of new
+	// sessions and per-session protocol parameter choice, driven by live
+	// metrics (see internal/control). nil disables it — admissions flow
+	// exactly as before.
+	Admission AdmissionController
 	// EffortLowerBound is the paper's per-message effort lower bound in
 	// ticks for the configured protocol (δ1·c2/log2 ζ_k(δ1) r-passive,
 	// d/log2 ζ_k(δ2) active — Thms 5.3 and 5.6), supplied by the caller
@@ -234,14 +280,22 @@ func sessionKeyPrefix(id uint32) string { return fmt.Sprintf("s%d/", id) }
 func tapeKey(id uint32) string          { return sessionKeyPrefix(id) + "y" }
 
 // buildPair constructs one session's protocol pair, routing through the
-// keyed path when a store is configured and the solution supports it.
+// keyed path when a store is configured and the solution supports it. An
+// AdmissionController may substitute a per-session builder (k-selection);
+// both sides consult it under the same ID, so the pair always matches.
 func buildPair(cfg Config, id uint32, x []wire.Bit) (t, r ioa.Automaton, err error) {
+	sol := cfg.Solution
+	if cfg.Admission != nil {
+		if b := cfg.Admission.BuilderFor(id); b != nil {
+			sol = b
+		}
+	}
 	if cfg.Store != nil {
-		if kb, ok := cfg.Solution.(KeyedPairBuilder); ok {
+		if kb, ok := sol.(KeyedPairBuilder); ok {
 			return kb.NewPairKeyed(sessionKeyPrefix(id), x)
 		}
 	}
-	return cfg.Solution.NewPair(x)
+	return sol.NewPair(x)
 }
 
 // encodeTape and decodeTape serialize an output tape one byte per
@@ -427,6 +481,18 @@ func (e *endpoint) markShed() {
 	e.shed = true
 	e.mu.Unlock()
 	e.cfg.metrics.onShed(e.cfg.Clock.Now(), e.id)
+}
+
+// markWedged flags the endpoint as force-retired for lack of output
+// progress before its loop is halted — the watchdog's verdict, also
+// reachable on demand through the control plane's last escalation rung.
+func (e *endpoint) markWedged() {
+	now := e.cfg.Clock.Now()
+	e.mu.Lock()
+	e.wedged = true
+	silent := now - e.lastProgress
+	e.mu.Unlock()
+	e.cfg.metrics.onWedge(now, e.id, silent)
 }
 
 // halt asks the loop to exit; idempotent.

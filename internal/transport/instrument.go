@@ -51,6 +51,11 @@ func (r *Resilient) Instrument(reg *obs.Registry) {
 	reg.GaugeFunc("rstp_resilient_breaker_state",
 		"circuit breaker state (0 closed, 1 open, 2 half-open)",
 		func() int64 { return int64(r.State()) })
+	reg.GaugeFunc("rstp_resilient_rto_ticks",
+		"live per-Send cumulative retry budget in ticks (clamped to [c1, d])",
+		r.RTOTicks)
+	reg.CounterFunc("rstp_resilient_rto_changes_total",
+		"SetRTO calls that moved the retry budget", r.RTOChanges)
 }
 
 // Instrument registers the fault-injection middleware's stats.

@@ -152,6 +152,15 @@ type Resilient struct {
 	fastFails    atomic.Int64
 	reconnects   atomic.Int64
 
+	// rto is the live cumulative retry budget per Send, in ticks. It
+	// starts at D (the paper's bound — the widest budget that can ever
+	// help) and may be moved at runtime through SetRTO, always clamped
+	// into [C1, D]: an adaptive controller can make the wrapper *less*
+	// persistent under overload, never more persistent than the channel
+	// deadline allows.
+	rto        atomic.Int64
+	rtoChanges atomic.Int64
+
 	del  map[wire.Dir]chan wire.Frame
 	done chan struct{}
 	wg   sync.WaitGroup
@@ -171,6 +180,7 @@ func NewResilient(inner Transport, clock *Clock, opt ResilientOptions) *Resilien
 		done:  make(chan struct{}),
 	}
 	r.rng = rand.New(rand.NewSource(r.opt.Seed))
+	r.rto.Store(r.opt.D)
 	r.del = map[wire.Dir]chan wire.Frame{
 		wire.TtoR: make(chan wire.Frame, r.opt.Buffer),
 		wire.RtoT: make(chan wire.Frame, r.opt.Buffer),
@@ -199,6 +209,33 @@ func (r *Resilient) FastFails() int64 { return r.fastFails.Load() }
 
 // Reconnects counts successful redials of the inner transport.
 func (r *Resilient) Reconnects() int64 { return r.reconnects.Load() }
+
+// SetRTO moves the per-Send cumulative retry budget to ticks, clamped
+// into [c1, d]: the floor is one protocol step (below it no retry fits at
+// all), the ceiling is the channel deadline d — past d the frame is
+// protocol-level loss by the paper's own arithmetic, so no adaptation can
+// ever extend retrying beyond the deadline bound. The retry count budget
+// follows as ⌊rto/c1⌋ (at most δ1). Returns the value actually applied.
+// Safe for concurrent use with in-flight Sends, which read the budget
+// once at their start.
+func (r *Resilient) SetRTO(ticks int64) int64 {
+	if ticks < r.opt.C1 {
+		ticks = r.opt.C1
+	}
+	if ticks > r.opt.D {
+		ticks = r.opt.D
+	}
+	if r.rto.Swap(ticks) != ticks {
+		r.rtoChanges.Add(1)
+	}
+	return ticks
+}
+
+// RTOTicks returns the live per-Send retry budget in ticks.
+func (r *Resilient) RTOTicks() int64 { return r.rto.Load() }
+
+// RTOChanges counts SetRTO calls that actually moved the budget.
+func (r *Resilient) RTOChanges() int64 { return r.rtoChanges.Load() }
 
 // Send sends the frame through the breaker and retry machinery. Errors
 // other than ErrClosed (including ErrBreakerOpen) are transient: the
@@ -275,15 +312,16 @@ func (r *Resilient) State() BreakerState {
 }
 
 // sendWithRetry performs the bounded, deadline-aware retry loop: up to
-// δ1 retries with exponential backoff, cumulative backoff capped at D
-// ticks.
+// ⌊rto/c1⌋ retries with exponential backoff, cumulative backoff capped at
+// the live RTO budget (≤ D ticks always — see SetRTO).
 func (r *Resilient) sendWithRetry(inner Transport, gen int, f wire.Frame) error {
 	err := r.trySend(&inner, &gen, f)
-	budget := int(r.opt.D / r.opt.C1)
+	rto := r.rto.Load()
+	budget := int(rto / r.opt.C1)
 	backoff := int64(1)
 	var slept int64
 	for i := 0; i < budget && err != nil && !errors.Is(err, ErrClosed); i++ {
-		if slept+backoff > r.opt.D {
+		if slept+backoff > rto {
 			break // past the channel bound: this frame is loss now
 		}
 		if !r.sleepTicks(backoff) {

@@ -40,6 +40,7 @@ import (
 	"time"
 
 	"repro/internal/chanmodel"
+	"repro/internal/control"
 	"repro/internal/faults"
 	"repro/internal/frame"
 	"repro/internal/journal"
@@ -495,3 +496,38 @@ func Dial(cfg ServeConfig) (*Dialer, error) { return session.NewDialer(cfg) }
 // NewPipe starts a Server and a Dialer sharing one transport — the
 // in-process serving harness used by cmd/rstpserve.
 func NewPipe(cfg ServeConfig) (*Pipe, error) { return session.NewPipe(cfg) }
+
+// Adaptive control plane (PR 7): a seeded, deterministic control loop
+// that senses the shared metrics registry and drives admission
+// pacing/refusal, per-session k-selection from the paper's bound
+// tables, RTO adaptation and the shed-escalation ladder. Wire a
+// Controller as ServeConfig.Admission on both mux sides, Bind its
+// actuators, then Start. See DESIGN.md ("Closing the loop").
+type (
+	// AdmissionController is the control plane's hook into the session
+	// mux: pacing/refusal of new sessions and per-session builder
+	// substitution.
+	AdmissionController = session.AdmissionController
+	// PairBuilder constructs the automaton pair for one session — what
+	// ServeConfig.Solution and ControlConfig.Builders hold (every
+	// Solution, HardenedSolution and StabilizedSolution is one).
+	PairBuilder = session.PairBuilder
+	// ControlConfig configures the adaptive controller.
+	ControlConfig = control.Config
+	// ControlActuators are the mux- and transport-side hooks the
+	// controller drives (late-bound via Controller.Bind).
+	ControlActuators = control.Actuators
+	// Controller is the adaptive overload controller.
+	Controller = control.Controller
+	// ControlState is the controller's introspection snapshot (the
+	// /control endpoint's payload).
+	ControlState = control.State
+)
+
+// ErrAdmissionRefused is returned by Dialer.Start when the control
+// plane refuses a new session at the ladder's refuse rung or above.
+var ErrAdmissionRefused = session.ErrAdmissionRefused
+
+// NewController builds the adaptive controller against a shared
+// registry and clock. The controller is inert until Start.
+func NewController(cfg ControlConfig) (*Controller, error) { return control.New(cfg) }
