@@ -37,6 +37,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/benchmatrix"
 	"repro/internal/chanmodel"
 	"repro/internal/control"
 	"repro/internal/faults"
@@ -64,31 +65,34 @@ func main() {
 // -bench mode, written to the BENCH_*.json file). See EXPERIMENTS.md for
 // the schema note.
 type summary struct {
-	Schema         string  `json:"schema"`
-	Proto          string  `json:"proto"`
-	Transport      string  `json:"transport"`
-	Sessions       int     `json:"sessions"`
-	Completed      int     `json:"completed"`
-	Violations     int     `json:"violations"`
-	Incomplete     int     `json:"incomplete"`
-	Errors         int     `json:"errors"`
-	BitsPerSession int     `json:"bits_per_session"`
-	TickMicros     float64 `json:"tick_us"`
-	WallMS         float64 `json:"wall_ms"`
-	SessionsPerSec float64 `json:"sessions_per_sec"`
-	GoodputMsgSec  float64 `json:"goodput_msgs_per_sec"`
-	EffortMean     float64 `json:"effort_mean_ticks_per_msg"`
-	EffortMax      float64 `json:"effort_max_ticks_per_msg"`
-	EffortBound    float64 `json:"effort_bound_ticks_per_msg"`
-	Sends          int     `json:"sends"`
-	SendErrors     int     `json:"send_errors"`
-	Deliveries     int     `json:"deliveries"`
-	Writes         int     `json:"writes"`
-	Refused        int     `json:"refused"`
-	Late           int     `json:"late"`
-	Overflow       int     `json:"overflow"`
-	Stray          int     `json:"stray"`
-	Faults         string  `json:"faults,omitempty"`
+	Schema string `json:"schema"`
+	// Meta stamps the artifact with provenance (commit, Go version,
+	// GOMAXPROCS, wall clock) shared with every BENCH_*.json emitter.
+	Meta           benchmatrix.Meta `json:"meta"`
+	Proto          string           `json:"proto"`
+	Transport      string           `json:"transport"`
+	Sessions       int              `json:"sessions"`
+	Completed      int              `json:"completed"`
+	Violations     int              `json:"violations"`
+	Incomplete     int              `json:"incomplete"`
+	Errors         int              `json:"errors"`
+	BitsPerSession int              `json:"bits_per_session"`
+	TickMicros     float64          `json:"tick_us"`
+	WallMS         float64          `json:"wall_ms"`
+	SessionsPerSec float64          `json:"sessions_per_sec"`
+	GoodputMsgSec  float64          `json:"goodput_msgs_per_sec"`
+	EffortMean     float64          `json:"effort_mean_ticks_per_msg"`
+	EffortMax      float64          `json:"effort_max_ticks_per_msg"`
+	EffortBound    float64          `json:"effort_bound_ticks_per_msg"`
+	Sends          int              `json:"sends"`
+	SendErrors     int              `json:"send_errors"`
+	Deliveries     int              `json:"deliveries"`
+	Writes         int              `json:"writes"`
+	Refused        int              `json:"refused"`
+	Late           int              `json:"late"`
+	Overflow       int              `json:"overflow"`
+	Stray          int              `json:"stray"`
+	Faults         string           `json:"faults,omitempty"`
 	// Resilience-layer counters (PR 4; see EXPERIMENTS.md E20).
 	Wedged       int   `json:"wedged"`
 	Shed         int   `json:"shed"`
@@ -120,25 +124,25 @@ type summary struct {
 	// with -adaptive: the controller's final ladder level, intervention
 	// counters, the per-k admission histogram and the per-level dwell
 	// times in ticks.
-	ControlLevel      string           `json:"control_level,omitempty"`
-	ControlPaced      int64            `json:"control_paced,omitempty"`
-	ControlPaceTicks  int64            `json:"control_pace_ticks,omitempty"`
-	ControlGated      int64            `json:"control_gated,omitempty"`
-	ControlRefused    int64            `json:"control_refused,omitempty"`
-	ControlRTOChanges int64            `json:"control_rto_changes,omitempty"`
-	ControlEvictions  int64            `json:"control_evictions,omitempty"`
-	ControlRetires    int64            `json:"control_retires,omitempty"`
-	ControlKHist      map[string]int64 `json:"control_k_histogram,omitempty"`
-	ControlDwell      map[string]int64 `json:"control_level_dwell_ticks,omitempty"`
-	StoreDir           string `json:"store_dir,omitempty"`
-	Resumed            int64  `json:"resumed,omitempty"`
-	JournalSaves       int64  `json:"journal_saves,omitempty"`
-	JournalSaveErrors  int64  `json:"journal_save_errors,omitempty"`
-	JournalReplayed    int64  `json:"journal_replayed,omitempty"`
-	JournalTruncations int64  `json:"journal_truncations,omitempty"`
-	JournalCompactions int64  `json:"journal_compactions,omitempty"`
-	JournalSizeBytes   int64  `json:"journal_size_bytes,omitempty"`
-	JournalKeys        int64  `json:"journal_keys,omitempty"`
+	ControlLevel       string           `json:"control_level,omitempty"`
+	ControlPaced       int64            `json:"control_paced,omitempty"`
+	ControlPaceTicks   int64            `json:"control_pace_ticks,omitempty"`
+	ControlGated       int64            `json:"control_gated,omitempty"`
+	ControlRefused     int64            `json:"control_refused,omitempty"`
+	ControlRTOChanges  int64            `json:"control_rto_changes,omitempty"`
+	ControlEvictions   int64            `json:"control_evictions,omitempty"`
+	ControlRetires     int64            `json:"control_retires,omitempty"`
+	ControlKHist       map[string]int64 `json:"control_k_histogram,omitempty"`
+	ControlDwell       map[string]int64 `json:"control_level_dwell_ticks,omitempty"`
+	StoreDir           string           `json:"store_dir,omitempty"`
+	Resumed            int64            `json:"resumed,omitempty"`
+	JournalSaves       int64            `json:"journal_saves,omitempty"`
+	JournalSaveErrors  int64            `json:"journal_save_errors,omitempty"`
+	JournalReplayed    int64            `json:"journal_replayed,omitempty"`
+	JournalTruncations int64            `json:"journal_truncations,omitempty"`
+	JournalCompactions int64            `json:"journal_compactions,omitempty"`
+	JournalSizeBytes   int64            `json:"journal_size_bytes,omitempty"`
+	JournalKeys        int64            `json:"journal_keys,omitempty"`
 }
 
 func run(args []string, out io.Writer) error {
@@ -168,7 +172,7 @@ func run(args []string, out io.Writer) error {
 		chaos       = fs.Bool("chaos", false, "inject the fault flags through the transport.Chaos middleware (works over any transport, including udp)")
 		resilient   = fs.Bool("resilient", false, "wrap the transport in the transport.Resilient retransmission/breaker layer")
 		shed        = fs.String("shed", "refuse", "overload policy at the -conc cap: refuse or evict-oldest-idle")
-		adaptive    = fs.Bool("adaptive", false, "run the closed-loop control plane: occupancy-gated/paced admission, per-session k-selection from the paper's bound tables (beta/gamma, off with -store-dir), RTO adaptation (needs -resilient) and the shed-escalation ladder")
+		adaptive    = fs.Bool("adaptive", false, "run the closed-loop control plane: occupancy-gated/paced admission, per-session k-selection from the paper's bound tables (beta/gamma; with -store-dir the chosen k is journaled and restarts resume under it), RTO adaptation (needs -resilient) and the shed-escalation ladder")
 		watchdog    = fs.Int("watchdog", 0, "progress watchdog multiplier k: wedge a session after k*delta1*c2 ticks without output growth (0 = off)")
 		bench       = fs.Bool("bench", false, "benchmark mode: also write the summary to -benchout")
 		benchout    = fs.String("benchout", "BENCH_serve.json", "bench output file for -bench")
@@ -292,6 +296,7 @@ func run(args []string, out io.Writer) error {
 		ctrl, err = control.New(control.Config{
 			Registry: reg, Clock: clock, Params: p, Proto: *proto,
 			Builders: builders, DefaultK: *k,
+			Store:          storeOrNil(store),
 			Seed:           *seed,
 			TargetSessions: maxConc,
 		})
@@ -417,6 +422,7 @@ func run(args []string, out io.Writer) error {
 
 	sum := summary{
 		Schema:         "rstp-bench-serve/v1",
+		Meta:           benchmatrix.NewMeta("rstp-bench-serve/v1", time.Now().UTC().Format(time.RFC3339)),
 		Proto:          sol.String(),
 		Transport:      trans.Name(),
 		Sessions:       *sessions,
@@ -664,12 +670,13 @@ func buildSolution(proto string, p rstp.Params, k int, harden, stabilize bool, s
 // slowdown), each wrapped exactly like the base solution. It also
 // reports the lcm of the candidates' block sizes, which the input
 // length must be a multiple of. Selection is off — the map stays
-// single-entry — for alpha (a binary alphabet has no k to select) and
-// for durable runs (a resumed session must reconstruct under the k its
-// persisted state was written with, which the store does not record).
+// single-entry — only for alpha (a binary alphabet has no k to
+// select); durable runs keep the full set because the controller
+// records each session's chosen k in the store ("s<id>/k") and resumes
+// under it after a restart.
 func adaptiveBuilders(proto string, p rstp.Params, baseK int, harden, stabilize bool, store rstp.StateStore, lo rstp.LayerObserver, baseSol session.PairBuilder, baseBlock int) (map[int]session.PairBuilder, int) {
 	builders := map[int]session.PairBuilder{baseK: baseSol}
-	if proto == "alpha" || store != nil {
+	if proto == "alpha" {
 		return builders, baseBlock
 	}
 	block := baseBlock

@@ -2,6 +2,7 @@ package main
 
 import (
 	"encoding/json"
+	"fmt"
 	"io"
 	"net/http"
 	"os"
@@ -11,6 +12,8 @@ import (
 	"syscall"
 	"testing"
 	"time"
+
+	"repro/internal/journal"
 )
 
 // summaryFrom extracts the trailing JSON summary from a run's output,
@@ -519,5 +522,58 @@ func TestServeAdaptiveSmoke(t *testing.T) {
 	}
 	if len(sum.ControlKHist) == 0 {
 		t.Errorf("summary missing control_k_histogram (k-selection never recorded an admission): %+v", sum)
+	}
+}
+
+// TestServeAdaptiveStoreDirRestart is the regression test for the
+// durable k-selection gap: -adaptive no longer collapses its candidate
+// set under -store-dir. The first run journals each session's chosen k
+// ("s<id>/k"); the restart against the same directory admits every
+// resumed session under the recorded k and completes violation-free.
+func TestServeAdaptiveStoreDirRestart(t *testing.T) {
+	dir := t.TempDir()
+	args := []string{
+		"-sessions", "4", "-n", "8", "-tick", "50us",
+		"-adaptive", "-store-dir", dir, "-seed", "11", "-timeout", "2m",
+	}
+	var out strings.Builder
+	if err := run(args, &out); err != nil {
+		t.Fatalf("first adaptive durable run: %v\n%s", err, out.String())
+	}
+	sum := summaryFrom(t, out.String())
+	if sum.Completed != 4 || sum.Violations != 0 {
+		t.Fatalf("first run: %+v", sum)
+	}
+	if sum.ControlKHist["4"] != 4 {
+		t.Fatalf("first run k histogram = %v, want 4 admissions at k=4", sum.ControlKHist)
+	}
+
+	// The chosen k must be durable, under the session's own key family.
+	st, err := journal.Open(dir, journal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id := 1; id <= 4; id++ {
+		if raw, ok := st.Load(fmt.Sprintf("s%d/k", id)); !ok || string(raw) != "4" {
+			t.Errorf("journal records %q (ok=%v) for session %d's k, want \"4\"", raw, ok, id)
+		}
+	}
+	st.Close()
+
+	// Restart: same directory, same seed. Every session resumes under
+	// its recorded k (the histogram proves the store was consulted).
+	out.Reset()
+	if err := run(args, &out); err != nil {
+		t.Fatalf("restarted adaptive durable run: %v\n%s", err, out.String())
+	}
+	sum = summaryFrom(t, out.String())
+	if sum.Completed != 4 || sum.Violations != 0 {
+		t.Fatalf("restart: %+v", sum)
+	}
+	if sum.ControlKHist["4"] != 4 {
+		t.Errorf("restart k histogram = %v, want the 4 recorded k=4 admissions", sum.ControlKHist)
+	}
+	if sum.JournalReplayed == 0 {
+		t.Errorf("restart replayed no journal records: %+v", sum)
 	}
 }

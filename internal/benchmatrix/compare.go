@@ -1,0 +1,200 @@
+package benchmatrix
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// CompareOptions tunes the regression gate.
+type CompareOptions struct {
+	// Threshold is the relative goodput drop that flags a regression
+	// (default 0.10: fail on >10% throughput loss).
+	Threshold float64
+	// MinWrites ignores the throughput of cells below this many writes
+	// in the baseline — too small a sample to gate on (default 8).
+	MinWrites int
+	// AllocThreshold is the relative allocs-per-write growth that flags
+	// an in-memory fault-free cell (default 0.25). Allocation counts are
+	// code-determined — measured runs agree to ±2% — so unlike wall-clock
+	// goodput this gate holds on noisy shared hardware.
+	AllocThreshold float64
+}
+
+// goodputGated reports whether a cell's goodput is stable enough to
+// hold to the threshold. Fault-free cells are tick-paced — the protocol
+// sends on schedule, so wall time is ticks × tick length and a real
+// slowdown shows as a real drop. Chaos cells' wall time is dominated by
+// retransmission-timer tails racing the wall clock: identical code
+// swings 50-80% run to run, so they gate on safety (violations,
+// completion) only.
+func goodputGated(c Cell) bool {
+	return c.Chaos == "none"
+}
+
+// allocGated reports whether a cell's allocs-per-write is held to the
+// alloc threshold: in-memory fault-free cells only — chaos and UDP
+// cells retransmit a variable number of times, so their allocation
+// counts track channel behavior, not code.
+func allocGated(c Cell) bool {
+	return c.Chaos == "none" && c.Transport == "mem"
+}
+
+func (o CompareOptions) withDefaults() CompareOptions {
+	if o.Threshold <= 0 {
+		o.Threshold = 0.10
+	}
+	if o.MinWrites <= 0 {
+		o.MinWrites = 8
+	}
+	if o.AllocThreshold <= 0 {
+		o.AllocThreshold = 0.25
+	}
+	return o
+}
+
+// CellDelta is one cell's old-vs-new comparison.
+type CellDelta struct {
+	Name string `json:"name"`
+	// OldGoodput/NewGoodput are msgs/sec; DropFrac is the relative loss
+	// (positive = new is slower), 0 when the baseline had no goodput.
+	OldGoodput float64 `json:"old_goodput_msgs_per_sec"`
+	NewGoodput float64 `json:"new_goodput_msgs_per_sec"`
+	DropFrac   float64 `json:"drop_frac"`
+	// OldAllocs/NewAllocs are allocs-per-write; GrowthFrac is the
+	// relative allocation growth (positive = new allocates more).
+	OldAllocs  float64 `json:"old_allocs_per_write,omitempty"`
+	NewAllocs  float64 `json:"new_allocs_per_write,omitempty"`
+	GrowthFrac float64 `json:"alloc_growth_frac,omitempty"`
+	// NewViolations counts prefix violations in the new run; any are a
+	// regression regardless of thresholds. NewIncomplete likewise flags
+	// sessions that stopped completing.
+	NewViolations int `json:"new_violations,omitempty"`
+	NewIncomplete int `json:"new_incomplete,omitempty"`
+	// Missing marks a cell present in the baseline but absent from the
+	// new run — lost coverage reads as a regression, not as a pass.
+	Missing bool `json:"missing,omitempty"`
+	// Regressed is the gate verdict; Reason says why.
+	Regressed bool   `json:"regressed"`
+	Reason    string `json:"reason,omitempty"`
+}
+
+// Comparison is the full per-cell diff of two matrix artifacts.
+type Comparison struct {
+	// Deltas holds one entry per baseline cell (worst drop first).
+	Deltas []CellDelta `json:"deltas"`
+	// Regressions is the flagged subset, same order.
+	Regressions []CellDelta `json:"regressions,omitempty"`
+	// Added names cells in the new run with no baseline — informational.
+	Added []string `json:"added,omitempty"`
+}
+
+// Compare diffs a new matrix run against a committed baseline, cell by
+// cell (joined on Cell.Name). It returns the per-cell deltas plus the
+// flagged regressions: a goodput drop beyond the threshold in a
+// fault-free cell (see goodputGated), allocs-per-write growth beyond
+// the alloc threshold in an in-memory fault-free cell (see allocGated),
+// any new prefix violation in any cell, sessions that stopped
+// completing, or a baseline cell the new run no longer covers.
+func Compare(old, new *File, opt CompareOptions) Comparison {
+	opt = opt.withDefaults()
+	newByName := make(map[string]Record, len(new.Cells))
+	for _, r := range new.Cells {
+		newByName[r.Cell.Name()] = r
+	}
+	oldNames := make(map[string]bool, len(old.Cells))
+
+	var cmp Comparison
+	for _, o := range old.Cells {
+		name := o.Cell.Name()
+		oldNames[name] = true
+		n, ok := newByName[name]
+		if !ok {
+			cmp.Deltas = append(cmp.Deltas, CellDelta{
+				Name: name, OldGoodput: o.GoodputMsgSec,
+				Missing: true, Regressed: true,
+				Reason: "cell missing from new run",
+			})
+			continue
+		}
+		d := CellDelta{
+			Name:          name,
+			OldGoodput:    o.GoodputMsgSec,
+			NewGoodput:    n.GoodputMsgSec,
+			OldAllocs:     o.AllocsPerWrite,
+			NewAllocs:     n.AllocsPerWrite,
+			NewViolations: n.Violations,
+			NewIncomplete: n.Incomplete,
+		}
+		if o.GoodputMsgSec > 0 {
+			d.DropFrac = (o.GoodputMsgSec - n.GoodputMsgSec) / o.GoodputMsgSec
+		}
+		if o.AllocsPerWrite > 0 {
+			d.GrowthFrac = (n.AllocsPerWrite - o.AllocsPerWrite) / o.AllocsPerWrite
+		}
+		switch {
+		case n.Violations > 0:
+			d.Regressed = true
+			d.Reason = fmt.Sprintf("%d prefix violation(s)", n.Violations)
+		case n.Completed < o.Completed:
+			d.Regressed = true
+			d.Reason = fmt.Sprintf("completed %d, baseline completed %d", n.Completed, o.Completed)
+		case allocGated(o.Cell) && o.Writes >= opt.MinWrites && d.GrowthFrac > opt.AllocThreshold:
+			d.Regressed = true
+			d.Reason = fmt.Sprintf("allocs/write grew %.1f%% (%.1f -> %.1f, > %.0f%% threshold)",
+				100*d.GrowthFrac, o.AllocsPerWrite, n.AllocsPerWrite, 100*opt.AllocThreshold)
+		case goodputGated(o.Cell) && o.Writes >= opt.MinWrites && d.DropFrac > opt.Threshold:
+			d.Regressed = true
+			d.Reason = fmt.Sprintf("goodput dropped %.1f%% (> %.0f%% threshold)", 100*d.DropFrac, 100*opt.Threshold)
+		}
+		cmp.Deltas = append(cmp.Deltas, d)
+	}
+	for _, r := range new.Cells {
+		if name := r.Cell.Name(); !oldNames[name] {
+			cmp.Added = append(cmp.Added, name)
+		}
+	}
+	sort.SliceStable(cmp.Deltas, func(i, j int) bool {
+		di, dj := cmp.Deltas[i], cmp.Deltas[j]
+		if di.Regressed != dj.Regressed {
+			return di.Regressed
+		}
+		return di.DropFrac > dj.DropFrac
+	})
+	for _, d := range cmp.Deltas {
+		if d.Regressed {
+			cmp.Regressions = append(cmp.Regressions, d)
+		}
+	}
+	return cmp
+}
+
+// Render prints the comparison for humans: the regressions first (all
+// of them), then the top movers, so a failing CI log leads with exactly
+// the cells that broke the gate.
+func (c Comparison) Render(w io.Writer, top int) {
+	if top <= 0 {
+		top = 10
+	}
+	if len(c.Regressions) > 0 {
+		fmt.Fprintf(w, "REGRESSED %d cell(s):\n", len(c.Regressions))
+		for _, d := range c.Regressions {
+			fmt.Fprintf(w, "  %-24s %9.0f -> %9.0f msg/s  %s\n", d.Name, d.OldGoodput, d.NewGoodput, d.Reason)
+		}
+	} else {
+		fmt.Fprintf(w, "no regressions across %d cell(s)\n", len(c.Deltas))
+	}
+	n := top
+	if n > len(c.Deltas) {
+		n = len(c.Deltas)
+	}
+	if n > 0 {
+		fmt.Fprintf(w, "top movers (by goodput drop):\n")
+		for _, d := range c.Deltas[:n] {
+			fmt.Fprintf(w, "  %-24s %9.0f -> %9.0f msg/s  (%+.1f%%)\n", d.Name, d.OldGoodput, d.NewGoodput, -100*d.DropFrac)
+		}
+	}
+	if len(c.Added) > 0 {
+		fmt.Fprintf(w, "new cells (no baseline): %d\n", len(c.Added))
+	}
+}

@@ -1,0 +1,144 @@
+package benchmatrix
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Cell identifies one benchmark matrix cell: a protocol family (and its
+// alphabet size), a transport, a chaos plan and a session count. The
+// cell's Name is its identity across runs — Compare joins old and new
+// records on it — so the naming scheme is part of the schema.
+type Cell struct {
+	// Proto is the protocol family: "alpha", "beta" or "gamma".
+	Proto string `json:"proto"`
+	// K is the transmitter alphabet size for beta/gamma (0 for alpha,
+	// whose alphabet is binary by construction).
+	K int `json:"k,omitempty"`
+	// Transport is "mem" (in-memory scheduler enforcing delay <= d) or
+	// "udp" (real loopback sockets).
+	Transport string `json:"transport"`
+	// Chaos names the fault plan the cell runs under: "none", "loss"
+	// (sustained random loss), "burst" (a dense loss+duplication burst
+	// window) or "crash" (a total blackout window, the channel-level
+	// rendering of a crashed hop). Chaos cells run the hardened layer —
+	// the matrix measures what the serving stack ships under faults,
+	// not what a bare protocol loses.
+	Chaos string `json:"chaos"`
+	// Sessions is the number of concurrent sessions driven through the
+	// cell.
+	Sessions int `json:"sessions"`
+}
+
+// Name renders the cell's stable identity, e.g. "beta4/mem/loss/s64".
+func (c Cell) Name() string {
+	proto := c.Proto
+	if c.K > 0 {
+		proto = fmt.Sprintf("%s%d", c.Proto, c.K)
+	}
+	return fmt.Sprintf("%s/%s/%s/s%d", proto, c.Transport, c.Chaos, c.Sessions)
+}
+
+// Tier selects how much of the matrix to enumerate.
+type Tier int
+
+const (
+	// TierQuick is the per-PR CI tier: every protocol and every chaos
+	// plan over the mem transport at 1 and 64 sessions, plus a UDP
+	// fault-free row — 27 cells, small workloads, minutes not hours.
+	TierQuick Tier = iota
+	// TierFull is the nightly tier: the full cross product over both
+	// transports at 1/64/1000 sessions, plus the 10k-session scale
+	// probes on the fault-free mem path.
+	TierFull
+)
+
+// String names the tier for artifacts and logs.
+func (t Tier) String() string {
+	switch t {
+	case TierQuick:
+		return "quick"
+	case TierFull:
+		return "full"
+	default:
+		return fmt.Sprintf("tier(%d)", int(t))
+	}
+}
+
+// DefaultK is the alphabet size the matrix runs beta and gamma at; one
+// k per family keeps the cell count quadratic, and k=4 is the repo's
+// serving default (cmd/rstpserve).
+const DefaultK = 4
+
+var (
+	protos     = []string{"alpha", "beta", "gamma"}
+	transports = []string{"mem", "udp"}
+	chaosPlans = []string{"none", "loss", "burst", "crash"}
+)
+
+// Enumerate lists the matrix cells of a tier in deterministic order
+// (protocol, then transport, then chaos, then session count).
+func Enumerate(tier Tier) []Cell {
+	var out []Cell
+	add := func(proto, trans, chaos string, sessions int) {
+		k := 0
+		if proto != "alpha" {
+			k = DefaultK
+		}
+		out = append(out, Cell{Proto: proto, K: k, Transport: trans, Chaos: chaos, Sessions: sessions})
+	}
+	switch tier {
+	case TierQuick:
+		for _, proto := range protos {
+			for _, chaos := range chaosPlans {
+				for _, sessions := range []int{1, 64} {
+					add(proto, "mem", chaos, sessions)
+				}
+			}
+			add(proto, "udp", "none", 64)
+		}
+	default: // TierFull
+		for _, proto := range protos {
+			for _, trans := range transports {
+				for _, chaos := range chaosPlans {
+					for _, sessions := range []int{1, 64, 1000} {
+						add(proto, trans, chaos, sessions)
+					}
+				}
+			}
+			add(proto, "mem", "none", 10000)
+		}
+	}
+	return out
+}
+
+// Filter keeps the cells whose Name contains at least one of the
+// comma-separated tokens in expr (empty expr keeps everything) — the
+// -cells flag. It returns an error when the expression matches nothing,
+// since a silently empty matrix would read as "covered everything".
+func Filter(cells []Cell, expr string) ([]Cell, error) {
+	expr = strings.TrimSpace(expr)
+	if expr == "" {
+		return cells, nil
+	}
+	var tokens []string
+	for _, tok := range strings.Split(expr, ",") {
+		if tok = strings.TrimSpace(tok); tok != "" {
+			tokens = append(tokens, tok)
+		}
+	}
+	var out []Cell
+	for _, c := range cells {
+		name := c.Name()
+		for _, tok := range tokens {
+			if strings.Contains(name, tok) {
+				out = append(out, c)
+				break
+			}
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("benchmatrix: -cells filter %q matches none of the %d cells", expr, len(cells))
+	}
+	return out, nil
+}

@@ -1,0 +1,118 @@
+package benchmatrix
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestEnumerateQuick pins the per-PR tier's shape: at least the 24
+// cells the acceptance gate counts, every protocol family and every
+// chaos plan represented, no duplicate names.
+func TestEnumerateQuick(t *testing.T) {
+	cells := Enumerate(TierQuick)
+	if len(cells) < 24 {
+		t.Fatalf("quick tier has %d cells, want >= 24", len(cells))
+	}
+	seen := make(map[string]bool)
+	protos := make(map[string]bool)
+	chaos := make(map[string]bool)
+	for _, c := range cells {
+		name := c.Name()
+		if seen[name] {
+			t.Errorf("duplicate cell %s", name)
+		}
+		seen[name] = true
+		protos[c.Proto] = true
+		chaos[c.Chaos] = true
+	}
+	for _, p := range []string{"alpha", "beta", "gamma"} {
+		if !protos[p] {
+			t.Errorf("quick tier misses protocol %s", p)
+		}
+	}
+	for _, ch := range []string{"none", "loss", "burst", "crash"} {
+		if !chaos[ch] {
+			t.Errorf("quick tier misses chaos plan %s", ch)
+		}
+	}
+}
+
+// TestEnumerateFull: the nightly tier covers both transports, the
+// 1k-session rows and the 10k scale probes, and strictly extends quick.
+func TestEnumerateFull(t *testing.T) {
+	full := Enumerate(TierFull)
+	if len(full) <= len(Enumerate(TierQuick)) {
+		t.Fatalf("full tier (%d cells) not larger than quick", len(full))
+	}
+	var udp, s1k, s10k int
+	for _, c := range full {
+		if c.Transport == "udp" {
+			udp++
+		}
+		if c.Sessions == 1000 {
+			s1k++
+		}
+		if c.Sessions == 10000 {
+			s10k++
+		}
+	}
+	if udp == 0 || s1k == 0 || s10k == 0 {
+		t.Fatalf("full tier: udp=%d, 1k-session=%d, 10k-session=%d cells, want all > 0", udp, s1k, s10k)
+	}
+}
+
+// TestCellNames pins the naming scheme Compare joins on.
+func TestCellNames(t *testing.T) {
+	got := Cell{Proto: "beta", K: 4, Transport: "mem", Chaos: "loss", Sessions: 64}.Name()
+	if got != "beta4/mem/loss/s64" {
+		t.Errorf("Name() = %q, want beta4/mem/loss/s64", got)
+	}
+	if got := (Cell{Proto: "alpha", Transport: "udp", Chaos: "none", Sessions: 1}).Name(); got != "alpha/udp/none/s1" {
+		t.Errorf("alpha Name() = %q", got)
+	}
+}
+
+// TestFilter: substring tokens select cells; an expression matching
+// nothing is an error, never a silently empty matrix.
+func TestFilter(t *testing.T) {
+	cells := Enumerate(TierQuick)
+	got, err := Filter(cells, "beta4/mem, udp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range got {
+		name := c.Name()
+		if !strings.Contains(name, "beta4/mem") && !strings.Contains(name, "udp") {
+			t.Errorf("filter kept %s", name)
+		}
+	}
+	if len(got) == 0 || len(got) == len(cells) {
+		t.Errorf("filter kept %d of %d cells, want a proper subset", len(got), len(cells))
+	}
+	if all, err := Filter(cells, ""); err != nil || len(all) != len(cells) {
+		t.Errorf("empty filter = %d cells, err %v; want all %d", len(all), err, len(cells))
+	}
+	if _, err := Filter(cells, "nosuchcell"); err == nil {
+		t.Error("filter matching nothing did not error")
+	}
+}
+
+// TestCellSeedStability: a cell's seed depends only on the base seed
+// and its own name — filtering or reordering neighbours cannot shift a
+// cell's workload.
+func TestCellSeedStability(t *testing.T) {
+	c := Cell{Proto: "beta", K: 4, Transport: "mem", Chaos: "none", Sessions: 64}
+	if cellSeed(1, c) != cellSeed(1, c) {
+		t.Error("cellSeed not stable")
+	}
+	if cellSeed(1, c) == cellSeed(2, c) {
+		t.Error("cellSeed ignores the base seed")
+	}
+	other := Cell{Proto: "beta", K: 4, Transport: "mem", Chaos: "loss", Sessions: 64}
+	if cellSeed(1, c) == cellSeed(1, other) {
+		t.Error("distinct cells share a seed")
+	}
+	if cellSeed(1, c) < 0 {
+		t.Error("cellSeed negative (rand.NewSource would take abs, colliding seeds)")
+	}
+}

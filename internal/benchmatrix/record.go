@@ -1,0 +1,135 @@
+package benchmatrix
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// Schema is the artifact schema tag. Bump it on any layout change that
+// Compare cannot bridge; Load rejects other tags with instructions to
+// regenerate, so a stale baseline fails loudly instead of producing
+// nonsense deltas.
+const Schema = "rstp-bench-matrix/v1"
+
+// Record is one matrix cell reduced to numbers. The fields split into
+// two groups: the *workload* fields (the cell identity, seed, input
+// size and hash, and the protocol-level outcome counts), which are a
+// pure function of the seed and must reproduce byte-identically across
+// runs — Canonical() isolates them — and the *measured* fields
+// (anything derived from the wall clock, the allocator or OS
+// scheduling), which vary run to run and are what Compare diffs.
+type Record struct {
+	Cell
+	// Seed is the cell's derived input/fault seed.
+	Seed int64 `json:"seed"`
+	// BitsPerSession is the input length |X| of every session.
+	BitsPerSession int `json:"bits_per_session"`
+	// InputHash is an FNV-64 hash over every session's input bits: two
+	// runs of the same cell at the same seed must agree on it, or the
+	// workload itself — not just the measurement — has diverged.
+	InputHash string `json:"input_hash"`
+	// Stack names the assembled protocol stack, e.g. "hardened(beta(k=4))".
+	Stack string `json:"stack"`
+
+	// Outcome counts. Violations is the number of sessions whose output
+	// tape was NOT a prefix of their input — the paper's safety
+	// condition; any nonzero value is a correctness failure, and Compare
+	// flags it regardless of thresholds.
+	Completed  int `json:"completed"`
+	Incomplete int `json:"incomplete"`
+	Violations int `json:"violations"`
+	Errors     int `json:"errors"`
+	Writes     int `json:"writes"`
+
+	// Measured traffic and timing.
+	Sends          int     `json:"sends"`
+	Deliveries     int     `json:"deliveries"`
+	WallMS         float64 `json:"wall_ms"`
+	SessionsPerSec float64 `json:"sessions_per_sec"`
+	// GoodputMsgSec is messages written per wall second — the
+	// throughput number the CI regression gate is keyed on.
+	GoodputMsgSec float64 `json:"goodput_msgs_per_sec"`
+	// AllocsPerWrite is heap allocations per message written across the
+	// whole cell (runtime.MemStats delta), the serving path's allocation
+	// rate at this cell's shape.
+	AllocsPerWrite float64 `json:"allocs_per_write"`
+
+	// Effort against the paper. EffortLowerBound is the Thm 5.3 (alpha/
+	// beta) or Thm 5.6 (gamma) per-message bound in ticks for this
+	// cell's protocol; the gap statistics are the live interwrite gap
+	// minus that bound — the measured distance from optimality.
+	EffortLowerBound   float64 `json:"effort_lower_bound_ticks_per_msg"`
+	EffortMeanTicks    float64 `json:"effort_mean_ticks_per_msg"`
+	EffortGapMeanTicks float64 `json:"effort_gap_mean_ticks"`
+	EffortGapP99Ticks  int64   `json:"effort_gap_p99_ticks"`
+	// Deadline margins: δ1·c2 minus the interwrite gap (negative =
+	// deadline miss), at the median and the tail.
+	DeadlineMarginP50Ticks int64 `json:"deadline_margin_p50_ticks"`
+	DeadlineMarginP99Ticks int64 `json:"deadline_margin_p99_ticks"`
+}
+
+// Canonical returns the record with every measured field zeroed,
+// leaving only the seed-determined workload fields: cell identity,
+// seed, input size and hash, outcome counts and the (analytic, not
+// measured) effort lower bound. Two runs of the same cell at the same
+// seed must produce byte-identical canonical records; the determinism
+// test pins exactly that.
+func (r Record) Canonical() Record {
+	r.Sends = 0
+	r.Deliveries = 0
+	r.WallMS = 0
+	r.SessionsPerSec = 0
+	r.GoodputMsgSec = 0
+	r.AllocsPerWrite = 0
+	r.EffortMeanTicks = 0
+	r.EffortGapMeanTicks = 0
+	r.EffortGapP99Ticks = 0
+	r.DeadlineMarginP50Ticks = 0
+	r.DeadlineMarginP99Ticks = 0
+	r.Errors = 0
+	return r
+}
+
+// File is the committed artifact: provenance plus one record per cell.
+type File struct {
+	Meta Meta `json:"meta"`
+	// Tier names the enumeration tier the cells came from.
+	Tier string `json:"tier"`
+	// TickMicros is the wall-clock length of one model tick, shared by
+	// every cell.
+	TickMicros float64  `json:"tick_us"`
+	Cells      []Record `json:"cells"`
+}
+
+// Write marshals the file to path (indented, trailing newline — the
+// committed-artifact convention of the other BENCH_*.json files).
+func (f *File) Write(path string) error {
+	raw, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(raw, '\n'), 0o644)
+}
+
+// Load reads and validates a matrix artifact. A file that does not
+// parse, carries a different schema tag, or holds no cells is rejected
+// with an error that says how to regenerate it — a baseline from an
+// older schema must never be silently diffed against a newer run.
+func Load(path string) (*File, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f File
+	if err := json.Unmarshal(raw, &f); err != nil {
+		return nil, fmt.Errorf("benchmatrix: %s is not a matrix artifact: %w", path, err)
+	}
+	if f.Meta.Schema != Schema {
+		return nil, fmt.Errorf("benchmatrix: %s has schema %q, want %q — regenerate it with `go run ./cmd/rstpbench -matrix`", path, f.Meta.Schema, Schema)
+	}
+	if len(f.Cells) == 0 {
+		return nil, fmt.Errorf("benchmatrix: %s holds no cells — regenerate it with `go run ./cmd/rstpbench -matrix`", path)
+	}
+	return &f, nil
+}

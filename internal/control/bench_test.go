@@ -6,6 +6,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/benchmatrix"
 	"repro/internal/obs"
 	"repro/internal/rstp"
 	"repro/internal/session"
@@ -106,6 +107,7 @@ func TestControlBenchGuard(t *testing.T) {
 
 	payload := map[string]any{
 		"schema":             "rstp-bench-control/v1",
+		"meta":               benchmatrix.NewMeta("rstp-bench-control/v1", time.Now().UTC().Format(time.RFC3339)),
 		"benchmark":          "BenchmarkControlTick",
 		"iterations":         res.N,
 		"tick_ns_per_op":     res.NsPerOp(),

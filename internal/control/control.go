@@ -31,6 +31,7 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"strconv"
 	"sync"
 	"time"
 
@@ -62,6 +63,13 @@ type Config struct {
 	// DefaultK is the k the mux's default Solution uses — the selection
 	// starting point and the k reported before the first retune.
 	DefaultK int
+	// Store, when non-nil, persists each admitted session's chosen k
+	// under "s<id>/k" — alongside the stabilized layer's own "s<id>/"
+	// checkpoint keys — and consults it first on admission. A durable
+	// restart (same store directory, same session IDs) then resumes every
+	// session under the k its persisted protocol state was written with,
+	// instead of collapsing to DefaultK.
+	Store rstp.StateStore
 
 	// Interval is the control tick period in ticks (default 8·d).
 	Interval int64
@@ -608,17 +616,58 @@ func (c *Controller) Admit(ctx context.Context, id uint32) error {
 
 	c.mu.Lock()
 	var b session.PairBuilder
+	chosen := 0
 	if len(c.table) > 0 {
 		k := c.curK
+		// A session resuming from a durable store must reconstruct under
+		// the k its checkpoints were written with, not whatever the ladder
+		// currently favors; the recorded k wins whenever a builder for it
+		// still exists. (If the operator changed the candidate set between
+		// runs, fall through to the current k — the stabilized layer then
+		// re-transfers rather than resumes.)
+		if c.cfg.Store != nil {
+			if rk, ok := storedK(c.cfg.Store, id); ok {
+				if _, has := c.cfg.Builders[rk]; has {
+					k = rk
+				}
+			}
+		}
 		if bk, ok := c.cfg.Builders[k]; ok {
 			b = bk
+			chosen = k
 			c.kHist[k]++
 		}
 	}
 	c.perSession[id] = b // recorded even when nil: marks the ID as admitted
 	delete(c.tombstones, id)
 	c.mu.Unlock()
+	// The save happens outside c.mu: a durable store fsyncs, and the
+	// control tick must not wait on the disk.
+	if chosen != 0 && c.cfg.Store != nil {
+		c.cfg.Store.Save(kKey(id), []byte(strconv.Itoa(chosen)))
+	}
 	return nil
+}
+
+// kKey is the checkpoint key recording the alphabet size session id was
+// admitted under. It shares the stabilized layer's "s<id>/" prefix so a
+// session's durable state — protocol checkpoints, output tape, chosen k
+// — lives under one key family.
+func kKey(id uint32) string { return fmt.Sprintf("s%d/k", id) }
+
+// storedK reads a previously recorded per-session k back from the
+// store. Anything unparseable (a torn write the journal could not
+// checksum away, an empty value) reads as "no record".
+func storedK(store rstp.StateStore, id uint32) (int, bool) {
+	raw, ok := store.Load(kKey(id))
+	if !ok || len(raw) == 0 {
+		return 0, false
+	}
+	k, err := strconv.Atoi(string(raw))
+	if err != nil || k < 2 {
+		return 0, false
+	}
+	return k, true
 }
 
 // BuilderFor implements session.AdmissionController.

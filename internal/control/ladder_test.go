@@ -21,15 +21,15 @@ func TestLadderSingleStepPerDwell(t *testing.T) {
 		pressure float64
 		want     Level
 	}{
-		{0, 10, LevelNormal},   // startup dwell: even extreme pressure waits
-		{5, 10, LevelNormal},   // still inside the first window
-		{10, 10, LevelPace},    // first climb — one rung despite pressure 10
-		{15, 10, LevelPace},    // dwell freeze
-		{20, 10, LevelRefuse},  // second rung
-		{30, 10, LevelEvict},   // third
-		{40, 10, LevelRetire},  // top
-		{45, 0, LevelRetire},   // pressure gone, but inside the dwell
-		{50, 0, LevelEvict},    // descend one rung per window
+		{0, 10, LevelNormal},  // startup dwell: even extreme pressure waits
+		{5, 10, LevelNormal},  // still inside the first window
+		{10, 10, LevelPace},   // first climb — one rung despite pressure 10
+		{15, 10, LevelPace},   // dwell freeze
+		{20, 10, LevelRefuse}, // second rung
+		{30, 10, LevelEvict},  // third
+		{40, 10, LevelRetire}, // top
+		{45, 0, LevelRetire},  // pressure gone, but inside the dwell
+		{50, 0, LevelEvict},   // descend one rung per window
 		{60, 0, LevelRefuse},
 		{70, 0, LevelPace},
 		{80, 0, LevelNormal},

@@ -5,6 +5,9 @@ import (
 	"fmt"
 	"os"
 	"testing"
+	"time"
+
+	"repro/internal/benchmatrix"
 )
 
 // benchSave drives the Save path over a fixed key set with ~64-byte
@@ -97,6 +100,7 @@ func TestJournalBenchGuard(t *testing.T) {
 	results = append(results, run("BenchmarkJournalSaveSync", BenchmarkJournalSaveSync))
 	payload := map[string]any{
 		"schema":  "rstp-bench-journal/v1",
+		"meta":    benchmatrix.NewMeta("rstp-bench-journal/v1", time.Now().UTC().Format(time.RFC3339)),
 		"results": results,
 	}
 	raw, err := json.MarshalIndent(payload, "", "  ")

@@ -1,9 +1,16 @@
-package obs
+// The obs benchmarks live in an external test package so the guard can
+// stamp its artifact with benchmatrix.Meta — benchmatrix imports obs,
+// so an in-package test importing it back would be an import cycle.
+package obs_test
 
 import (
 	"encoding/json"
 	"os"
 	"testing"
+	"time"
+
+	"repro/internal/benchmatrix"
+	"repro/internal/obs"
 )
 
 // BenchmarkObsHotPath is the CI allocation guard: one iteration is the
@@ -12,10 +19,10 @@ import (
 // Record with tracing disabled. It must run at 0 allocs/op; a regression
 // here taxes every send of every session.
 func BenchmarkObsHotPath(b *testing.B) {
-	r := NewRegistry()
+	r := obs.NewRegistry()
 	c := r.Counter("rstp_bench_sends_total", "")
 	g := r.Gauge("rstp_bench_active", "")
-	h := r.Histogram("rstp_bench_lat_ticks", "", TickBuckets(12))
+	h := r.Histogram("rstp_bench_lat_ticks", "", obs.TickBuckets(12))
 	tr := r.Tracer() // disabled: the default serving configuration
 	b.ReportAllocs()
 	b.ResetTimer()
@@ -23,7 +30,7 @@ func BenchmarkObsHotPath(b *testing.B) {
 		c.Inc()
 		g.Set(int64(i))
 		h.Observe(int64(i & 1023))
-		tr.Record(int64(i), uint32(i), EvSend, int64(i))
+		tr.Record(int64(i), uint32(i), obs.EvSend, int64(i))
 	}
 }
 
@@ -31,17 +38,17 @@ func BenchmarkObsHotPath(b *testing.B) {
 // test suite, so `go test ./internal/obs` fails fast on an allocating
 // regression without anyone reading benchmark output.
 func TestObsHotPathNoAlloc(t *testing.T) {
-	r := NewRegistry()
+	r := obs.NewRegistry()
 	c := r.Counter("rstp_guard_total", "")
 	g := r.Gauge("rstp_guard_active", "")
-	h := r.Histogram("rstp_guard_lat_ticks", "", TickBuckets(12))
+	h := r.Histogram("rstp_guard_lat_ticks", "", obs.TickBuckets(12))
 	tr := r.Tracer()
 	i := int64(0)
 	allocs := testing.AllocsPerRun(1000, func() {
 		c.Inc()
 		g.Set(i)
 		h.Observe(i & 1023)
-		tr.Record(i, uint32(i), EvSend, i)
+		tr.Record(i, uint32(i), obs.EvSend, i)
 		i++
 	})
 	if allocs != 0 {
@@ -69,6 +76,7 @@ func TestObsBenchGuard(t *testing.T) {
 	}
 	payload := map[string]any{
 		"schema":        "rstp-bench-obs/v1",
+		"meta":          benchmatrix.NewMeta("rstp-bench-obs/v1", time.Now().UTC().Format(time.RFC3339)),
 		"benchmark":     "BenchmarkObsHotPath",
 		"iterations":    res.N,
 		"ns_per_op":     res.NsPerOp(),

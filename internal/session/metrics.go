@@ -69,7 +69,10 @@ func newSessionMetrics(reg *obs.Registry, p rstp.Params, bound float64) *session
 
 		interwrite: reg.Histogram("rstp_interwrite_ticks", "gap between consecutive output writes, in ticks", obs.TickBuckets(0)),
 		margin:     reg.Histogram("rstp_deadline_margin_ticks", "per-message deadline δ1·c2 minus the interwrite gap (negative = miss)", obs.MarginBuckets(0)),
-		effortGap:  reg.Histogram("rstp_effort_gap_ticks", "interwrite gap minus the paper's effort lower bound", obs.MarginBuckets(0)),
+		// The gap runs to hundreds of ticks under load (it measures slack
+		// above the bound, not proximity to a deadline), so it needs the
+		// wide ±2048 layout or its p99 drowns in the +Inf bucket.
+		effortGap: reg.Histogram("rstp_effort_gap_ticks", "interwrite gap minus the paper's effort lower bound", obs.MarginBuckets(12)),
 
 		deadline: int64(p.Delta1()) * p.C2,
 		bound:    bound,
