@@ -118,10 +118,14 @@ func TestRunMatrixSlice(t *testing.T) {
 		t.Errorf("tier = %q, want quick", f.Tier)
 	}
 
-	// Gating a run against its own output passes.
+	// Gating a run against its own output passes. Two back-to-back
+	// wall-clock measurements of one tiny cell can swing past the default
+	// 10% on a loaded machine, so this plumbing check uses the same
+	// loosened threshold CI grants hosted runners; the doctored baseline
+	// below is 100x, far past either threshold.
 	sb.Reset()
 	out2 := filepath.Join(dir, "m2.json")
-	if err := run([]string{"-matrix", "-quick", "-cells", "beta4/mem/none/s1", "-out", out2, "-tick", "20us", "-baseline", out}, &sb); err != nil {
+	if err := run([]string{"-matrix", "-quick", "-cells", "beta4/mem/none/s1", "-out", out2, "-tick", "20us", "-threshold", "0.6", "-baseline", out}, &sb); err != nil {
 		t.Fatalf("self-gate: %v\n%s", err, sb.String())
 	}
 	if !strings.Contains(sb.String(), "no regressions") {
@@ -138,7 +142,7 @@ func TestRunMatrixSlice(t *testing.T) {
 		t.Fatal(err)
 	}
 	sb.Reset()
-	err = run([]string{"-matrix", "-quick", "-cells", "beta4/mem/none/s1", "-out", out2, "-tick", "20us", "-baseline", base}, &sb)
+	err = run([]string{"-matrix", "-quick", "-cells", "beta4/mem/none/s1", "-out", out2, "-tick", "20us", "-threshold", "0.6", "-baseline", base}, &sb)
 	if err == nil || !strings.Contains(err.Error(), "regressed") {
 		t.Fatalf("doctored gate err = %v\n%s", err, sb.String())
 	}

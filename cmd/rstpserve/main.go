@@ -43,6 +43,7 @@ import (
 	"repro/internal/faults"
 	"repro/internal/journal"
 	"repro/internal/obs"
+	"repro/internal/rateless"
 	"repro/internal/rstp"
 	"repro/internal/session"
 	"repro/internal/transport"
@@ -134,6 +135,11 @@ type summary struct {
 	ControlRetires     int64            `json:"control_retires,omitempty"`
 	ControlKHist       map[string]int64 `json:"control_k_histogram,omitempty"`
 	ControlDwell       map[string]int64 `json:"control_level_dwell_ticks,omitempty"`
+	// Cross-family selection (this PR): the candidate the controller is
+	// currently admitting under ("" = the native family) and how many
+	// times it crossed a family boundary.
+	ControlSelected    string `json:"control_selected,omitempty"`
+	ControlFamSwitches int64  `json:"control_family_switches,omitempty"`
 	StoreDir           string           `json:"store_dir,omitempty"`
 	Resumed            int64            `json:"resumed,omitempty"`
 	JournalSaves       int64            `json:"journal_saves,omitempty"`
@@ -150,8 +156,9 @@ func run(args []string, out io.Writer) error {
 	var (
 		sessions    = fs.Int("sessions", 32, "number of sessions to transfer")
 		conc        = fs.Int("conc", 0, "max concurrent sessions (default min(sessions, 512))")
-		proto       = fs.String("proto", "beta", "protocol: alpha, beta or gamma")
-		k           = fs.Int("k", 4, "packet alphabet size (beta/gamma)")
+		proto       = fs.String("proto", "beta", "protocol: alpha, beta, gamma or rateless")
+		k           = fs.Int("k", 4, "packet alphabet size (beta/gamma/rateless)")
+		rateless_   = fs.Bool("rateless", false, "serve the fountain-coded rateless burst protocol (shorthand for -proto rateless); natively loss-tolerant, so -harden/-stabilize do not apply")
 		c1          = fs.Int64("c1", 2, "minimum step gap c1")
 		c2          = fs.Int64("c2", 3, "maximum step gap c2")
 		d           = fs.Int64("d", 12, "channel delay bound d")
@@ -185,6 +192,9 @@ func run(args []string, out io.Writer) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if *rateless_ {
+		*proto = "rateless"
+	}
 
 	// The registry always exists — with no -metrics-addr/-trace it costs a
 	// handful of atomics on the hot path and nothing is ever scraped.
@@ -209,7 +219,7 @@ func run(args []string, out io.Writer) error {
 		}
 		defer store.Close()
 	}
-	sol, blockBits, bound, lower, err := buildSolution(*proto, p, *k, *harden, *stabilize, storeOrNil(store), rstp.ObsObserver(reg))
+	sol, blockBits, bound, lower, err := buildSolution(*proto, p, *k, *harden, *stabilize, storeOrNil(store), rstp.ObsObserver(reg), *seed, reg)
 	if err != nil {
 		return err
 	}
@@ -291,11 +301,17 @@ func run(args []string, out io.Writer) error {
 	var ctrl *control.Controller
 	kBlock := blockBits
 	if *adaptive {
-		builders, block := adaptiveBuilders(*proto, p, *k, *harden, *stabilize, storeOrNil(store), rstp.ObsObserver(reg), sol, blockBits)
-		kBlock = block
+		if *proto == "rateless" {
+			trans.Close()
+			return fmt.Errorf("-adaptive needs a retransmission family as the native protocol (alpha, beta, gamma); rateless rides in its candidate set instead")
+		}
+		builders, block := adaptiveBuilders(*proto, p, *k, *harden, *stabilize, storeOrNil(store), rstp.ObsObserver(reg), sol, blockBits, *seed, reg)
+		cands, block2 := adaptiveCandidates(*proto, p, *k, *harden, *stabilize, storeOrNil(store), rstp.ObsObserver(reg), *seed, reg)
+		kBlock = lcmInt(block, block2)
 		ctrl, err = control.New(control.Config{
 			Registry: reg, Clock: clock, Params: p, Proto: *proto,
 			Builders: builders, DefaultK: *k,
+			Candidates:     cands,
 			Store:          storeOrNil(store),
 			Seed:           *seed,
 			TargetSessions: maxConc,
@@ -506,6 +522,8 @@ func run(args []string, out io.Writer) error {
 		sum.ControlRetires = cs.Retires
 		sum.ControlKHist = cs.KHistogram
 		sum.ControlDwell = cs.LevelDwellTicks
+		sum.ControlSelected = cs.Selected
+		sum.ControlFamSwitches = cs.FamilySwitches
 	}
 	sum.EffortLowerBound = lower
 	sum.Interrupted = interrupted
@@ -608,11 +626,30 @@ func storeOrNil(s *journal.Store) rstp.StateStore {
 // buildSolution assembles the protocol stack and reports its block size,
 // the paper's effort upper bound for the bare protocol, and the matching
 // effort lower bound (Theorem 5.3 for the r-passive alpha/beta, Theorem
-// 5.6 for the active gamma) that the live effort-gap metric is measured
-// against. lo is shared by every session endpoint the wrappers build;
-// store, when non-nil, makes the stabilized layer checkpoint into it and
-// recover from it on construction.
-func buildSolution(proto string, p rstp.Params, k int, harden, stabilize bool, store rstp.StateStore, lo rstp.LayerObserver) (session.PairBuilder, int, float64, float64, error) {
+// 5.6 for the active gamma and the rateless pair) that the live
+// effort-gap metric is measured against. lo is shared by every session
+// endpoint the wrappers build; store, when non-nil, makes the stabilized
+// layer checkpoint into it and recover from it on construction. seed and
+// reg only matter to the rateless family: the seed pins its per-block
+// coded streams, the registry receives its rstp_rateless_* instruments.
+func buildSolution(proto string, p rstp.Params, k int, harden, stabilize bool, store rstp.StateStore, lo rstp.LayerObserver, seed int64, reg *obs.Registry) (session.PairBuilder, int, float64, float64, error) {
+	if proto == "rateless" {
+		// The rateless pair is its own loss tolerance: the hardened and
+		// stabilized wrappers speak the retransmission families' burst
+		// framing and have nothing to add to a fountain-coded stream.
+		if harden || stabilize {
+			return nil, 0, 0, 0, fmt.Errorf("-proto rateless does not compose with -harden/-stabilize/-store-dir: loss tolerance is native to the code")
+		}
+		b, err := rateless.NewBuilder(rateless.Options{Params: p, K: k, Seed: seed, Obs: reg})
+		if err != nil {
+			return nil, 0, 0, 0, err
+		}
+		lower := rateless.LowerBound(p, k)
+		if math.IsInf(lower, 1) || math.IsNaN(lower) {
+			lower = 0
+		}
+		return b, b.BlockBits(), rateless.UpperBound(p, k), lower, nil
+	}
 	var (
 		s     rstp.Solution
 		bound float64
@@ -640,7 +677,7 @@ func buildSolution(proto string, p rstp.Params, k int, harden, stabilize bool, s
 			lower = rstp.ActiveLowerBound(p, k)
 		}
 	default:
-		return nil, 0, 0, 0, fmt.Errorf("unknown protocol %q (alpha, beta, gamma)", proto)
+		return nil, 0, 0, 0, fmt.Errorf("unknown protocol %q (alpha, beta, gamma, rateless)", proto)
 	}
 	if err != nil {
 		return nil, 0, 0, 0, err
@@ -674,17 +711,52 @@ func buildSolution(proto string, p rstp.Params, k int, harden, stabilize bool, s
 // select); durable runs keep the full set because the controller
 // records each session's chosen k in the store ("s<id>/k") and resumes
 // under it after a restart.
-func adaptiveBuilders(proto string, p rstp.Params, baseK int, harden, stabilize bool, store rstp.StateStore, lo rstp.LayerObserver, baseSol session.PairBuilder, baseBlock int) (map[int]session.PairBuilder, int) {
+func adaptiveBuilders(proto string, p rstp.Params, baseK int, harden, stabilize bool, store rstp.StateStore, lo rstp.LayerObserver, baseSol session.PairBuilder, baseBlock int, seed int64, reg *obs.Registry) (map[int]session.PairBuilder, int) {
 	builders := map[int]session.PairBuilder{baseK: baseSol}
 	if proto == "alpha" {
 		return builders, baseBlock
 	}
 	block := baseBlock
-	if sol, bb, _, _, err := buildSolution(proto, p, 2*baseK, harden, stabilize, store, lo); err == nil {
+	if sol, bb, _, _, err := buildSolution(proto, p, 2*baseK, harden, stabilize, store, lo, seed, reg); err == nil {
 		builders[2*baseK] = sol
 		block = lcmInt(block, bb)
 	}
 	return builders, block
+}
+
+// adaptiveCandidates assembles the cross-family escape hatches for
+// -adaptive: families whose effort upper bound the native one cannot
+// reach under slowdown. Serving beta, the active gamma (a full round
+// trip per burst but a tighter bound) and the rateless pair (no
+// inter-burst wait at all) both ride along; serving gamma, only
+// rateless is left above it. Each candidate is wrapped exactly like the
+// base solution — except rateless, which is always bare. A candidate
+// whose construction fails is simply absent: the controller then holds
+// the native family, which is the safe default. The second result is
+// the lcm of the candidates' block sizes (1 when there are none).
+func adaptiveCandidates(proto string, p rstp.Params, baseK int, harden, stabilize bool, store rstp.StateStore, lo rstp.LayerObserver, seed int64, reg *obs.Registry) ([]control.Candidate, int) {
+	var cands []control.Candidate
+	block := 1
+	add := func(family string) {
+		h, st := harden, stabilize
+		if family == "rateless" {
+			h, st = false, false // natively loss-tolerant; restarts recover through the cumulative ack
+		}
+		sol, bb, upper, lower, err := buildSolution(family, p, baseK, h, st, store, lo, seed, reg)
+		if err != nil || math.IsInf(upper, 1) || math.IsNaN(upper) {
+			return
+		}
+		cands = append(cands, control.Candidate{Proto: family, K: baseK, Builder: sol, Lower: lower, Upper: upper})
+		block = lcmInt(block, bb)
+	}
+	switch proto {
+	case "beta":
+		add("gamma")
+		add("rateless")
+	case "gamma":
+		add("rateless")
+	}
+	return cands, block
 }
 
 func lcmInt(a, b int) int {

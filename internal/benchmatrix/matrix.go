@@ -10,10 +10,11 @@ import (
 // cell's Name is its identity across runs — Compare joins old and new
 // records on it — so the naming scheme is part of the schema.
 type Cell struct {
-	// Proto is the protocol family: "alpha", "beta" or "gamma".
+	// Proto is the protocol family: "alpha", "beta", "gamma" or
+	// "rateless" (the fountain-coded burst subsystem).
 	Proto string `json:"proto"`
-	// K is the transmitter alphabet size for beta/gamma (0 for alpha,
-	// whose alphabet is binary by construction).
+	// K is the transmitter alphabet size for beta/gamma/rateless (0 for
+	// alpha, whose alphabet is binary by construction).
 	K int `json:"k,omitempty"`
 	// Transport is "mem" (in-memory scheduler enforcing delay <= d) or
 	// "udp" (real loopback sockets).
@@ -23,7 +24,9 @@ type Cell struct {
 	// window) or "crash" (a total blackout window, the channel-level
 	// rendering of a crashed hop). Chaos cells run the hardened layer —
 	// the matrix measures what the serving stack ships under faults,
-	// not what a bare protocol loses.
+	// not what a bare protocol loses. The rateless family is the one
+	// exception: its loss tolerance is native to the code, so it runs
+	// bare everywhere — that head-to-head is the point of its row.
 	Chaos string `json:"chaos"`
 	// Sessions is the number of concurrent sessions driven through the
 	// cell.
@@ -45,7 +48,7 @@ type Tier int
 const (
 	// TierQuick is the per-PR CI tier: every protocol and every chaos
 	// plan over the mem transport at 1 and 64 sessions, plus a UDP
-	// fault-free row — 27 cells, small workloads, minutes not hours.
+	// fault-free row — 36 cells, small workloads, minutes not hours.
 	TierQuick Tier = iota
 	// TierFull is the nightly tier: the full cross product over both
 	// transports at 1/64/1000 sessions, plus the 10k-session scale
@@ -71,7 +74,7 @@ func (t Tier) String() string {
 const DefaultK = 4
 
 var (
-	protos     = []string{"alpha", "beta", "gamma"}
+	protos     = []string{"alpha", "beta", "gamma", "rateless"}
 	transports = []string{"mem", "udp"}
 	chaosPlans = []string{"none", "loss", "burst", "crash"}
 )

@@ -12,6 +12,7 @@ import (
 	"repro/internal/chanmodel"
 	"repro/internal/faults"
 	"repro/internal/obs"
+	"repro/internal/rateless"
 	"repro/internal/rstp"
 	"repro/internal/session"
 	"repro/internal/transport"
@@ -157,11 +158,28 @@ func Run(ctx context.Context, cells []Cell, cfg RunConfig) (*File, error) {
 // ships under faults; a bare protocol under loss simply never
 // completes, and a real socket drops datagrams under 64-session load —
 // the paper's no-loss channel axiom does not survive a kernel buffer).
-// It returns the builder, the family's block size in bits, and the
-// paper's per-message effort lower bound (Thm 5.3 for the r-passive
-// alpha/beta, Thm 5.6 for the active gamma) the cell's effort-gap
-// histogram is anchored to.
-func buildStack(cell Cell, p rstp.Params) (session.PairBuilder, int, float64, error) {
+// The rateless family is never hardened: loss tolerance is the code's
+// own property, and its cells exist to measure exactly that against the
+// hardened retransmission rows. It returns the builder, the family's
+// block size in bits, and the paper's per-message effort lower bound
+// (Thm 5.3 for the r-passive alpha/beta, Thm 5.6 for the active gamma
+// and the ack-bearing rateless pair) the cell's effort-gap histogram is
+// anchored to. seed pins the rateless per-block symbol streams to the
+// cell; reg receives the rateless rstp_rateless_* instruments.
+func buildStack(cell Cell, p rstp.Params, seed int64, reg *obs.Registry) (session.PairBuilder, int, float64, error) {
+	clampLower := func(lower float64) float64 {
+		if math.IsInf(lower, 1) || math.IsNaN(lower) {
+			return 0
+		}
+		return lower
+	}
+	if cell.Proto == "rateless" {
+		b, err := rateless.NewBuilder(rateless.Options{Params: p, K: cell.K, Seed: seed, Obs: reg})
+		if err != nil {
+			return nil, 0, 0, err
+		}
+		return b, b.BlockBits(), clampLower(rateless.LowerBound(p, cell.K)), nil
+	}
 	var (
 		s     rstp.Solution
 		lower float64
@@ -183,14 +201,11 @@ func buildStack(cell Cell, p rstp.Params) (session.PairBuilder, int, float64, er
 	if err != nil {
 		return nil, 0, 0, err
 	}
-	if math.IsInf(lower, 1) || math.IsNaN(lower) {
-		lower = 0
-	}
 	var sol session.PairBuilder = s
 	if cell.Chaos != "none" || cell.Transport == "udp" {
 		sol = rstp.Harden(s, rstp.HardenOptions{})
 	}
-	return sol, s.BlockBits, lower, nil
+	return sol, s.BlockBits, clampLower(lower), nil
 }
 
 // chaosClauses renders a chaos plan name into fault clauses. Windows
@@ -225,7 +240,11 @@ func RunCell(ctx context.Context, cell Cell, cfg RunConfig) (Record, error) {
 	seed := cellSeed(cfg.Seed, cell)
 	rec := Record{Cell: cell, Seed: seed}
 
-	sol, blockBits, lower, err := buildStack(cell, p)
+	// Per-cell registry isolation: every cell gets a fresh registry, so
+	// its histograms and counters cover exactly this cell's traffic.
+	reg := obs.NewRegistry()
+
+	sol, blockBits, lower, err := buildStack(cell, p, seed, reg)
 	if err != nil {
 		return rec, err
 	}
@@ -258,9 +277,6 @@ func RunCell(ctx context.Context, cell Cell, cfg RunConfig) (Record, error) {
 		return rec, fmt.Errorf("unknown transport %q", cell.Transport)
 	}
 
-	// Per-cell registry isolation: every cell gets a fresh registry, so
-	// its histograms and counters cover exactly this cell's traffic.
-	reg := obs.NewRegistry()
 	transport.Instrument(reg, trans)
 
 	maxConc := cfg.MaxConc

@@ -31,7 +31,9 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -63,12 +65,22 @@ type Config struct {
 	// DefaultK is the k the mux's default Solution uses — the selection
 	// starting point and the k reported before the first retune.
 	DefaultK int
+	// Candidates extends the selection table across protocol families:
+	// each entry names a builder from another family (gamma, rateless)
+	// together with its effort bounds, which the Builders map — bound by
+	// Proto's own formulas — cannot express. The controller leaves the
+	// native family only when no native k meets the deadline and a
+	// candidate does, and family switches are dwell-limited (see
+	// retuneK), so a candidate whose bound sits near a native row cannot
+	// flap the selection.
+	Candidates []Candidate
 	// Store, when non-nil, persists each admitted session's chosen k
 	// under "s<id>/k" — alongside the stabilized layer's own "s<id>/"
 	// checkpoint keys — and consults it first on admission. A durable
 	// restart (same store directory, same session IDs) then resumes every
 	// session under the k its persisted protocol state was written with,
-	// instead of collapsing to DefaultK.
+	// instead of collapsing to DefaultK. Cross-family selections persist
+	// as "proto:k" under the same key.
 	Store rstp.StateStore
 
 	// Interval is the control tick period in ticks (default 8·d).
@@ -99,6 +111,35 @@ type Config struct {
 	// pressure units: RefuseScale refused frames per window count as
 	// 1.0 pressure (default 64).
 	RefuseScale float64
+}
+
+// Candidate is one cross-family protocol choice the controller may
+// select instead of a native-family k: a builder plus the effort bounds
+// its own family's formulas predict for it (rstp.GammaUpperBound /
+// rateless.UpperBound and the matching lower bounds).
+type Candidate struct {
+	// Proto names the family, e.g. "gamma" or "rateless". It must differ
+	// from Config.Proto — same-family candidates belong in Builders.
+	Proto string
+	// K is the candidate's packet alphabet size.
+	K int
+	// Builder realises the candidate.
+	Builder session.PairBuilder
+	// Lower and Upper are the candidate's effort bounds in ticks per
+	// message, the same units as the native rstp.EffortTable rows.
+	Lower, Upper float64
+}
+
+// label is the candidate's histogram / persistence identity.
+func (cd Candidate) label() string { return fmt.Sprintf("%s:%d", cd.Proto, cd.K) }
+
+// CandidateRow is a Candidate without its builder — the serializable
+// shape State exposes at /control.
+type CandidateRow struct {
+	Proto string  `json:"proto"`
+	K     int     `json:"k"`
+	Lower float64 `json:"lower"`
+	Upper float64 `json:"upper"`
 }
 
 // Actuators are the mux- and transport-side hooks the controller
@@ -187,10 +228,19 @@ type Controller struct {
 	curK     int
 	rtoNow   int64
 
+	// Cross-family selection: cands is the Config.Candidates list sorted
+	// by Upper descending (most expensive first, mirroring "smallest
+	// fitting k" in the native table); sel points into it while a
+	// foreign family is selected, nil while the native family is.
+	cands      []Candidate
+	sel        *Candidate
+	lastSwitch int64
+	famSwaps   int64
+
 	perSession  map[uint32]session.PairBuilder
 	tombstones  map[uint32]struct{}
 	tombstoneQ  []uint32
-	kHist       map[int]int64
+	kHist       map[string]int64
 	prevMargin  obs.HistogramSnapshot
 	prevWrites  int64
 	prevRefused int64
@@ -263,10 +313,32 @@ func New(cfg Config) (*Controller, error) {
 	}
 	table = kept
 
+	cands := make([]Candidate, 0, len(cfg.Candidates))
+	for i, cd := range cfg.Candidates {
+		if cd.Builder == nil {
+			return nil, fmt.Errorf("control: candidate %d (%s) has no builder", i, cd.label())
+		}
+		if cd.Proto == "" || cd.Proto == cfg.Proto {
+			return nil, fmt.Errorf("control: candidate %d must name a family other than %q (same-family candidates go in Builders)", i, cfg.Proto)
+		}
+		if cd.K < 2 || cd.Upper <= 0 {
+			return nil, fmt.Errorf("control: candidate %d (%s) needs k >= 2 and a positive upper bound", i, cd.label())
+		}
+		cands = append(cands, cd)
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].Upper != cands[j].Upper {
+			return cands[i].Upper > cands[j].Upper
+		}
+		return cands[i].K < cands[j].K
+	})
+
 	c := &Controller{
 		cfg:        cfg,
 		deadline:   int64(cfg.Params.Delta1()) * cfg.Params.C2,
 		table:      table,
+		cands:      cands,
+		lastSwitch: -cfg.Dwell, // the first needed family switch is never dwell-blocked
 		done:       make(chan struct{}),
 		rng:        rand.New(rand.NewSource(cfg.Seed)),
 		curK:       cfg.DefaultK,
@@ -274,7 +346,7 @@ func New(cfg Config) (*Controller, error) {
 		missBase:   -1,
 		perSession: make(map[uint32]session.PairBuilder),
 		tombstones: make(map[uint32]struct{}),
-		kHist:      make(map[int]int64),
+		kHist:      make(map[string]int64),
 	}
 	c.ladder = Ladder{Enter: enter, Exit: exit, Dwell: cfg.Dwell}
 
@@ -487,38 +559,84 @@ func (c *Controller) rtoForLevel(l Level) int64 {
 // retuneK re-selects the admission-time alphabet size, holding c.mu.
 // The paper's upper bound Upper(k) predicts per-message effort under a
 // correct channel; the measured median gap over the current window,
-// divided by Upper(curK), is the live slowdown factor. The controller
-// picks the smallest k whose scaled prediction still fits the deadline
-// — smallest because packet size grows with k (§6) and the cheapest
-// alphabet that meets δ1·c2 is the efficient choice — falling back to
-// the largest candidate (cheapest effort) when nothing fits.
+// divided by the current selection's Upper, is the live slowdown
+// factor. The controller picks the smallest k whose scaled prediction
+// still fits the deadline — smallest because packet size grows with k
+// (§6) and the cheapest alphabet that meets δ1·c2 is the efficient
+// choice — falling back to the largest candidate (cheapest effort) when
+// nothing fits.
+//
+// With Config.Candidates set, a second cross-family step runs on top:
+// the controller leaves the native family only when no native k meets
+// the scaled deadline and a foreign candidate does, and it returns only
+// once the native family fits again. Family switches — in either
+// direction — are limited to one per dwell window, so a candidate whose
+// bound lands near a native row cannot flap the selection on a noisy
+// slowdown estimate (the same hysteresis discipline as the ladder).
 func (c *Controller) retuneK(win obs.HistogramSnapshot) {
-	if len(c.table) == 0 {
+	if len(c.table) == 0 && len(c.cands) == 0 {
 		return
 	}
-	slow := 1.0
-	if win.Count > 0 {
-		var curUpper float64
+	curUpper := 0.0
+	if c.sel != nil {
+		curUpper = c.sel.Upper
+	} else {
 		for _, row := range c.table {
 			if row.K == c.curK {
 				curUpper = row.Upper
 				break
 			}
 		}
-		if curUpper > 0 {
-			if med := float64(c.deadline - obs.BucketQuantile(win, 0.5)); med > curUpper {
-				slow = med / curUpper
+	}
+	slow := 1.0
+	if win.Count > 0 && curUpper > 0 {
+		if med := float64(c.deadline - obs.BucketQuantile(win, 0.5)); med > curUpper {
+			slow = med / curUpper
+		}
+	}
+	deadline := float64(c.deadline)
+	nativeFits := false
+	if len(c.table) > 0 {
+		pick := c.table[len(c.table)-1].K
+		for _, row := range c.table {
+			if slow*row.Upper <= deadline {
+				pick = row.K
+				nativeFits = true
+				break
 			}
 		}
+		c.curK = pick
 	}
-	pick := c.table[len(c.table)-1].K
-	for _, row := range c.table {
-		if slow*row.Upper <= float64(c.deadline) {
-			pick = row.K
-			break
+	if len(c.cands) == 0 {
+		return
+	}
+	var want *Candidate
+	if !nativeFits {
+		for i := range c.cands {
+			if slow*c.cands[i].Upper <= deadline {
+				want = &c.cands[i]
+				break
+			}
+		}
+		if want == nil {
+			want = c.sel // nothing fits anywhere: hold the current family
 		}
 	}
-	c.curK = pick
+	now := c.cfg.Clock.Now()
+	switch {
+	case want == nil && c.sel != nil && now-c.lastSwitch >= c.cfg.Dwell:
+		c.sel = nil
+		c.lastSwitch = now
+		c.famSwaps++
+	case want != nil && c.sel == nil && now-c.lastSwitch >= c.cfg.Dwell:
+		c.sel = want
+		c.lastSwitch = now
+		c.famSwaps++
+	case want != nil && c.sel != nil && want != c.sel:
+		// Both foreign: moves inside the candidate list stay immediate,
+		// exactly like within-family k moves in the native table.
+		c.sel = want
+	}
 }
 
 // sleepTicks blocks for the given tick count. It reports stopped=true
@@ -616,35 +734,56 @@ func (c *Controller) Admit(ctx context.Context, id uint32) error {
 
 	c.mu.Lock()
 	var b session.PairBuilder
-	chosen := 0
-	if len(c.table) > 0 {
-		k := c.curK
+	var label string
+	if len(c.table) > 0 || len(c.cands) > 0 {
 		// A session resuming from a durable store must reconstruct under
-		// the k its checkpoints were written with, not whatever the ladder
-		// currently favors; the recorded k wins whenever a builder for it
-		// still exists. (If the operator changed the candidate set between
-		// runs, fall through to the current k — the stabilized layer then
-		// re-transfers rather than resumes.)
+		// the selection its checkpoints were written with, not whatever
+		// the ladder currently favors; the record wins whenever a builder
+		// for it still exists. (If the operator changed the candidate set
+		// between runs, fall through to the current selection — the
+		// stabilized layer then re-transfers rather than resumes.)
 		if c.cfg.Store != nil {
-			if rk, ok := storedK(c.cfg.Store, id); ok {
-				if _, has := c.cfg.Builders[rk]; has {
-					k = rk
+			if proto, rk, ok := storedSel(c.cfg.Store, id); ok {
+				if proto == "" {
+					if bk, has := c.cfg.Builders[rk]; has {
+						b, label = bk, strconv.Itoa(rk)
+					}
+				} else if cd := c.candidate(proto, rk); cd != nil {
+					b, label = cd.Builder, cd.label()
 				}
 			}
 		}
-		if bk, ok := c.cfg.Builders[k]; ok {
-			b = bk
-			chosen = k
-			c.kHist[k]++
+		if b == nil {
+			if c.sel != nil {
+				b, label = c.sel.Builder, c.sel.label()
+			} else if bk, ok := c.cfg.Builders[c.curK]; ok {
+				b, label = bk, strconv.Itoa(c.curK)
+			}
+		}
+		if b != nil {
+			c.kHist[label]++
 		}
 	}
 	c.perSession[id] = b // recorded even when nil: marks the ID as admitted
 	delete(c.tombstones, id)
 	c.mu.Unlock()
 	// The save happens outside c.mu: a durable store fsyncs, and the
-	// control tick must not wait on the disk.
-	if chosen != 0 && c.cfg.Store != nil {
-		c.cfg.Store.Save(kKey(id), []byte(strconv.Itoa(chosen)))
+	// control tick must not wait on the disk. Native selections persist
+	// as the bare k (the pre-candidate format), foreign ones as
+	// "proto:k" — storedSel reads both.
+	if label != "" && c.cfg.Store != nil {
+		c.cfg.Store.Save(kKey(id), []byte(label))
+	}
+	return nil
+}
+
+// candidate returns the configured candidate for (proto, k), nil if
+// none.
+func (c *Controller) candidate(proto string, k int) *Candidate {
+	for i := range c.cands {
+		if c.cands[i].Proto == proto && c.cands[i].K == k {
+			return &c.cands[i]
+		}
 	}
 	return nil
 }
@@ -668,6 +807,26 @@ func storedK(store rstp.StateStore, id uint32) (int, bool) {
 		return 0, false
 	}
 	return k, true
+}
+
+// storedSel reads a persisted selection, which is either the legacy
+// bare-k format (proto returned as "", meaning the native family) or
+// the cross-family "proto:k" form. Garbage reads as "no record".
+func storedSel(store rstp.StateStore, id uint32) (proto string, k int, ok bool) {
+	raw, lok := store.Load(kKey(id))
+	if !lok || len(raw) == 0 {
+		return "", 0, false
+	}
+	s := string(raw)
+	if i := strings.IndexByte(s, ':'); i > 0 {
+		k, err := strconv.Atoi(s[i+1:])
+		if err != nil || k < 2 {
+			return "", 0, false
+		}
+		return s[:i], k, true
+	}
+	k, ok = storedK(store, id)
+	return "", k, ok
 }
 
 // BuilderFor implements session.AdmissionController.
@@ -738,6 +897,11 @@ type State struct {
 	KHistogram      map[string]int64 `json:"k_histogram,omitempty"`
 	LevelDwellTicks map[string]int64 `json:"level_dwell_ticks"`
 	BoundTable      []rstp.EffortRow `json:"bound_table,omitempty"`
+	// Selected names the cross-family candidate currently selected
+	// ("gamma:4", "rateless:4"), empty while the native family is.
+	Selected       string         `json:"selected,omitempty"`
+	FamilySwitches int64          `json:"family_switches,omitempty"`
+	Candidates     []CandidateRow `json:"candidates,omitempty"`
 }
 
 // State snapshots the controller.
@@ -764,9 +928,17 @@ func (c *Controller) State() State {
 	}
 	if len(c.kHist) > 0 {
 		s.KHistogram = make(map[string]int64, len(c.kHist))
-		for k, n := range c.kHist {
-			s.KHistogram[fmt.Sprintf("%d", k)] = n
+		for label, n := range c.kHist {
+			s.KHistogram[label] = n
 		}
+	}
+	if c.sel != nil {
+		s.Selected = c.sel.label()
+		s.K = c.sel.K
+	}
+	s.FamilySwitches = c.famSwaps
+	for _, cd := range c.cands {
+		s.Candidates = append(s.Candidates, CandidateRow{Proto: cd.Proto, K: cd.K, Lower: cd.Lower, Upper: cd.Upper})
 	}
 	for i, ticks := range c.levelTicks {
 		s.LevelDwellTicks[Level(i).String()] = ticks
@@ -796,7 +968,15 @@ func (c *Controller) instrument(reg *obs.Registry) {
 		})
 	reg.GaugeFunc("rstp_control_k",
 		"alphabet size the next admission will select",
-		locked(func() int64 { return int64(c.curK) }))
+		locked(func() int64 {
+			if c.sel != nil {
+				return int64(c.sel.K)
+			}
+			return int64(c.curK)
+		}))
+	reg.CounterFunc("rstp_control_family_switches_total",
+		"cross-family selection switches (native <-> candidate)",
+		locked(func() int64 { return c.famSwaps }))
 	reg.GaugeFunc("rstp_control_rto_ticks",
 		"retry-budget target most recently applied to the transport",
 		locked(func() int64 { return c.rtoNow }))

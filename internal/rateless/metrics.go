@@ -1,0 +1,80 @@
+package rateless
+
+import "repro/internal/obs"
+
+// metrics is the subsystem's bridge into the shared obs registry, built
+// once per Builder and shared by every pair it spawns. Every hook is
+// safe on a nil receiver — an uninstrumented stack pays one nil check.
+type metrics struct {
+	symbolsSent     *obs.Counter
+	symbolsReceived *obs.Counter
+	symbolsStale    *obs.Counter
+	symbolsCorrupt  *obs.Counter
+	blocksDecoded   *obs.Counter
+	acksSent        *obs.Counter
+
+	// symbolsPerBlock is the number of distinct coded symbols the
+	// receiver absorbed before a block decoded — n exactly on a clean
+	// channel (the systematic prefix), n plus the coding overhead under
+	// loss. Its distance from n is the rateless analogue of the
+	// retransmission round trips it replaces.
+	symbolsPerBlock *obs.Histogram
+}
+
+func newMetrics(reg *obs.Registry) *metrics {
+	if reg == nil {
+		return nil
+	}
+	return &metrics{
+		symbolsSent:     reg.Counter("rstp_rateless_symbols_sent_total", "coded symbols sent by rateless transmitters"),
+		symbolsReceived: reg.Counter("rstp_rateless_symbols_received_total", "distinct coded symbols absorbed by rateless decoders"),
+		symbolsStale:    reg.Counter("rstp_rateless_symbols_stale_total", "coded symbols for already-decoded blocks (triggers a re-ack)"),
+		symbolsCorrupt:  reg.Counter("rstp_rateless_symbols_corrupt_total", "coded symbols whose header contradicted the checksummed payload"),
+		blocksDecoded:   reg.Counter("rstp_rateless_blocks_decoded_total", "blocks fully decoded by rateless receivers"),
+		acksSent:        reg.Counter("rstp_rateless_acks_sent_total", "decode acknowledgements sent by rateless receivers"),
+		symbolsPerBlock: reg.Histogram("rstp_rateless_symbols_per_block", "distinct coded symbols absorbed per decoded block", obs.TickBuckets(0)),
+	}
+}
+
+func (m *metrics) onSymbolSent() {
+	if m == nil {
+		return
+	}
+	m.symbolsSent.Inc()
+}
+
+func (m *metrics) onSymbolReceived() {
+	if m == nil {
+		return
+	}
+	m.symbolsReceived.Inc()
+}
+
+func (m *metrics) onStale() {
+	if m == nil {
+		return
+	}
+	m.symbolsStale.Inc()
+}
+
+func (m *metrics) onCorrupt() {
+	if m == nil {
+		return
+	}
+	m.symbolsCorrupt.Inc()
+}
+
+func (m *metrics) onBlockDecoded(symbols int) {
+	if m == nil {
+		return
+	}
+	m.blocksDecoded.Inc()
+	m.symbolsPerBlock.Observe(int64(symbols))
+}
+
+func (m *metrics) onAckSent() {
+	if m == nil {
+		return
+	}
+	m.acksSent.Inc()
+}

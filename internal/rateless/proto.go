@@ -1,0 +1,556 @@
+package rateless
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/ioa"
+	"repro/internal/multiset"
+	"repro/internal/obs"
+	"repro/internal/rstp"
+	"repro/internal/wire"
+)
+
+// decodeWindow bounds how far ahead of the first undecoded block the
+// receiver will open decoders. The transmitter's systematic pass streams
+// blocks in order and its repair cursor never runs ahead of the highest
+// unacked block, so legitimate traffic stays far inside this; a block
+// number past the window is a corrupted record that slipped the
+// checksum, and is dropped like any other corruption.
+const decodeWindow = 1 << 16
+
+// Options configures a rateless protocol pair or Builder.
+type Options struct {
+	// Params are the RSTP timing constants (c1 <= c2 < d).
+	Params rstp.Params
+	// K is the packet alphabet size, >= 2; the multiset block geometry
+	// is the same ⌊log₂ μ_k(δ1)⌋ bits per δ1 symbols as A^β(k).
+	K int
+	// Seed is the session's base seed; block b's symbol stream is a pure
+	// function of BlockSeed(Seed, b) on both ends, so replays under the
+	// same seed reproduce byte-identical coded streams.
+	Seed int64
+	// Obs, when non-nil, receives the rstp_rateless_* counters and the
+	// symbols-per-block histogram.
+	Obs *obs.Registry
+}
+
+// Builder constructs rateless transmitter/receiver pairs and satisfies
+// session.PairBuilder, making the subsystem selectable wherever the
+// hardened β/γ builders are.
+type Builder struct {
+	p    rstp.Params
+	k    int
+	seed int64
+
+	codec *multiset.Codec
+	met   *metrics
+}
+
+// NewBuilder validates the options and returns a pair builder. All pairs
+// it spawns share one metrics bridge, so per-session counters aggregate
+// on the registry exactly like the serving layer's own.
+func NewBuilder(o Options) (*Builder, error) {
+	if err := o.Params.Validate(); err != nil {
+		return nil, err
+	}
+	if o.K < 2 {
+		return nil, fmt.Errorf("rateless: need a packet alphabet of size k >= 2, got %d", o.K)
+	}
+	codec, err := multiset.NewCodec(o.K, o.Params.Delta1())
+	if err != nil {
+		return nil, fmt.Errorf("rateless: %w", err)
+	}
+	if codec.BlockBits() < 1 {
+		return nil, fmt.Errorf("rateless: k=%d δ1=%d encodes zero bits per block", o.K, o.Params.Delta1())
+	}
+	return &Builder{
+		p:     o.Params,
+		k:     o.K,
+		seed:  o.Seed,
+		codec: codec,
+		met:   newMetrics(o.Obs),
+	}, nil
+}
+
+// String names the protocol stack, e.g. "rateless(k=4)".
+func (b *Builder) String() string { return fmt.Sprintf("rateless(k=%d)", b.k) }
+
+// BlockBits returns ⌊log₂ μ_k(δ1)⌋, the input bits per coded block.
+func (b *Builder) BlockBits() int { return b.codec.BlockBits() }
+
+// NewPair builds a transmitter/receiver pair for input x, which must be
+// a multiple of BlockBits bits long (PadToBlock and frame above, as with
+// A^β(k)).
+func (b *Builder) NewPair(x []wire.Bit) (t, r ioa.Automaton, err error) {
+	tx, err := newTransmitter(b, x)
+	if err != nil {
+		return nil, nil, err
+	}
+	rx, err := newReceiver(b)
+	if err != nil {
+		return nil, nil, err
+	}
+	return tx, rx, nil
+}
+
+// NewTransmitter builds a standalone rateless transmitter for input x.
+func NewTransmitter(o Options, x []wire.Bit) (*Transmitter, error) {
+	b, err := NewBuilder(o)
+	if err != nil {
+		return nil, err
+	}
+	return newTransmitter(b, x)
+}
+
+// NewReceiver builds a standalone rateless receiver.
+func NewReceiver(o Options) (*Receiver, error) {
+	b, err := NewBuilder(o)
+	if err != nil {
+		return nil, err
+	}
+	return newReceiver(b)
+}
+
+// UpperBound returns the subsystem's loss-free effort: δ1·c2 ticks of
+// sending per ⌊log₂ μ_k(δ1)⌋-bit block. The systematic prefix decodes a
+// clean channel's block from exactly its n = δ1 source symbols and the
+// transmitter never waits between bursts (block identity rides in each
+// record), so — unlike A^β(k)'s (δ1 + ⌈d/c1⌉)·c2 round — there is no
+// inter-burst idle term. Under loss the realized effort exceeds this by
+// the coding overhead (a few symbols per block, not a round trip), which
+// is the trade the subsystem makes and E25 measures.
+func UpperBound(p rstp.Params, k int) float64 {
+	bits := multiset.BlockBits(k, p.Delta1())
+	if bits <= 0 {
+		return math.Inf(1)
+	}
+	return float64(int64(p.Delta1())*p.C2) / float64(bits)
+}
+
+// LowerBound returns the matching lower bound. The receiver talks back
+// (decode acks), so the protocol is active in the paper's taxonomy and
+// Theorem 5.6 applies.
+func LowerBound(p rstp.Params, k int) float64 {
+	return rstp.ActiveLowerBound(p, k)
+}
+
+// Transmitter streams fountain-coded symbols: one systematic pass over
+// every block in order (indexes 0..n-1 verbatim, so a loss-free channel
+// decodes with zero overhead), then a round-robin repair phase cycling
+// fresh coded indexes over the unacked suffix until the receiver's
+// cumulative decode ack cuts the stream. It never waits between blocks —
+// the (block, index) identity in each record replaces A^β's
+// burst-delimiting idle steps.
+type Transmitter struct {
+	m   *ioa.Machine
+	met *metrics
+
+	k, n   int
+	blocks [][]wire.Symbol // per-block source symbol sequences, each length n
+	codes  []*Code         // per-block seeded codes
+
+	acked    uint32   // blocks [0, acked) are decode-acknowledged; only advances
+	sysBlock uint32   // systematic pass: current block (== nb when the pass is over)
+	sysIdx   uint32   // systematic pass: next index within sysBlock
+	cursor   uint32   // repair phase: round-robin position in [acked, nb)
+	nextIdx  []uint32 // repair phase: next fresh coded index per block
+}
+
+var _ ioa.Deterministic = (*Transmitter)(nil)
+
+func newTransmitter(b *Builder, x []wire.Bit) (*Transmitter, error) {
+	bits := b.codec.BlockBits()
+	if len(x)%bits != 0 {
+		return nil, fmt.Errorf("rateless: |X| = %d is not a multiple of the block size %d", len(x), bits)
+	}
+	n := b.p.Delta1()
+	nb := len(x) / bits
+	blocks := make([][]wire.Symbol, 0, nb)
+	codes := make([]*Code, 0, nb)
+	nextIdx := make([]uint32, nb)
+	for bi := 0; bi < nb; bi++ {
+		seq, err := b.codec.EncodeSeq(x[bi*bits : (bi+1)*bits])
+		if err != nil {
+			return nil, fmt.Errorf("rateless: block %d: %w", bi, err)
+		}
+		code, err := NewCode(b.k, n, BlockSeed(b.seed, uint32(bi)))
+		if err != nil {
+			return nil, err
+		}
+		blocks = append(blocks, seq)
+		codes = append(codes, code)
+		nextIdx[bi] = uint32(n) // repair indexes start past the systematic prefix
+	}
+	t := &Transmitter{
+		met:     b.met,
+		k:       b.k,
+		n:       n,
+		blocks:  blocks,
+		codes:   codes,
+		nextIdx: nextIdx,
+	}
+	if err := t.initMachine(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+func (t *Transmitter) nb() uint32 { return uint32(len(t.blocks)) }
+
+// pick returns the coded symbol the send command emits in the current
+// state — a pure function of the state, as Act requires.
+func (t *Transmitter) pick() wire.CodedSymbol {
+	b, idx := t.cursor, t.nextIdx[t.cursor]
+	if t.sysBlock < t.nb() {
+		b, idx = t.sysBlock, t.sysIdx
+	}
+	return wire.CodedSymbol{Block: b, Index: idx, Value: t.codes[b].encode(t.blocks[b], idx)}
+}
+
+// advance moves past the just-sent symbol.
+func (t *Transmitter) advance() {
+	if t.sysBlock < t.nb() {
+		t.sysIdx++
+		if t.sysIdx == uint32(t.n) {
+			t.sysBlock++
+			t.sysIdx = 0
+		}
+		t.normalize()
+		return
+	}
+	t.nextIdx[t.cursor]++
+	t.cursor++
+	t.normalize()
+}
+
+// normalize restores the cursor invariants after an ack or an advance:
+// the systematic pass never revisits an acked block, and the repair
+// cursor stays inside the unacked suffix [acked, nb).
+func (t *Transmitter) normalize() {
+	if t.sysBlock < t.nb() && t.sysBlock < t.acked {
+		t.sysBlock = t.acked
+		t.sysIdx = 0
+	}
+	if t.sysBlock >= t.nb() && (t.cursor < t.acked || t.cursor >= t.nb()) {
+		t.cursor = t.acked
+	}
+}
+
+func (t *Transmitter) initMachine() error {
+	m, err := ioa.NewMachine(rstp.TransmitterName, t.classify, t.onInput, []ioa.Command{
+		{
+			Name:  "send_coded",
+			Class: ioa.ClassOutput,
+			Pre:   func() bool { return t.acked < t.nb() },
+			Act: func() ioa.Action {
+				cs := t.pick()
+				return wire.Send{
+					Dir:     wire.TtoR,
+					P:       wire.CodedPacket(cs),
+					Payload: string(wire.AppendCodedSymbol(nil, cs)),
+				}
+			},
+			Eff: func() {
+				t.advance()
+				t.met.onSymbolSent()
+			},
+		},
+	})
+	if err != nil {
+		return err
+	}
+	t.m = m
+	return nil
+}
+
+func (t *Transmitter) classify(a ioa.Action) ioa.Class {
+	switch act := a.(type) {
+	case wire.Send:
+		if act.Dir == wire.TtoR && act.P.Kind == wire.Coded {
+			return ioa.ClassOutput
+		}
+	case wire.Recv:
+		if act.Dir == wire.RtoT && act.P.Kind == wire.DecodeAck {
+			return ioa.ClassInput
+		}
+	}
+	return ioa.ClassNone
+}
+
+func (t *Transmitter) onInput(act ioa.Action) error {
+	recv, ok := act.(wire.Recv)
+	if !ok {
+		return fmt.Errorf("rateless: transmitter: unexpected input %v: %w", act, ioa.ErrNotInSignature)
+	}
+	ack, err := wire.ParseDecodeAck([]byte(recv.Payload))
+	if err != nil || wire.Symbol(ack.Next) != recv.P.Symbol {
+		// A corrupted record that still parsed as a frame: dropping it is
+		// safe — acks are cumulative and the stale-symbol re-ack resends.
+		t.met.onCorrupt()
+		return nil
+	}
+	next := ack.Next
+	if next > t.nb() {
+		next = t.nb()
+	}
+	if next > t.acked {
+		t.acked = next
+		t.normalize()
+	}
+	return nil
+}
+
+// Name returns "t".
+func (t *Transmitter) Name() string { return t.m.Name() }
+
+// Classify places an action in the signature.
+func (t *Transmitter) Classify(a ioa.Action) ioa.Class { return t.m.Classify(a) }
+
+// NextLocal returns the unique enabled local action; none once every
+// block is acked (the quiesced transmitter keeps serving inputs).
+func (t *Transmitter) NextLocal() (ioa.Action, bool) { return t.m.NextLocal() }
+
+// Apply performs a transition.
+func (t *Transmitter) Apply(a ioa.Action) error { return t.m.Apply(a) }
+
+// DeterministicIOA marks the automaton deterministic.
+func (t *Transmitter) DeterministicIOA() bool { return true }
+
+// Done reports whether every block has been decode-acknowledged.
+func (t *Transmitter) Done() bool { return t.acked >= t.nb() }
+
+// Acked returns the number of decode-acknowledged blocks.
+func (t *Transmitter) Acked() uint32 { return t.acked }
+
+// Receiver peels the coded stream back into blocks, writes each decoded
+// block's bits in order, and cuts the transmitter's stream with a
+// cumulative decode ack. Symbols for already-decoded blocks trigger a
+// re-ack, which heals lost acks without timers.
+type Receiver struct {
+	m     *ioa.Machine
+	met   *metrics
+	codec *multiset.Codec
+
+	k, n int
+	seed int64
+
+	next       uint32              // first undecoded block
+	decs       map[uint32]*Decoder // open decoders for blocks >= next
+	queue      []wire.Bit          // decoded bits awaiting write
+	wnext      int                 // next bit to write
+	skip       int64               // resume: bits of block `next` already on the durable tape
+	pendingAck bool
+}
+
+var _ ioa.Deterministic = (*Receiver)(nil)
+
+func newReceiver(b *Builder) (*Receiver, error) {
+	r := &Receiver{
+		met:   b.met,
+		codec: b.codec,
+		k:     b.k,
+		n:     b.p.Delta1(),
+		seed:  b.seed,
+		decs:  make(map[uint32]*Decoder),
+	}
+	if err := r.initMachine(); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+func (r *Receiver) initMachine() error {
+	// Priority: pending writes beat the ack (the real-time obligation is
+	// delivery; an ack delayed a few steps only costs the transmitter a
+	// handful of stale repair symbols), and both beat the idle step.
+	m, err := ioa.NewMachine(rstp.ReceiverName, r.classify, r.onInput, []ioa.Command{
+		{
+			Name:  "write",
+			Class: ioa.ClassOutput,
+			Pre:   func() bool { return r.wnext < len(r.queue) },
+			Act:   func() ioa.Action { return wire.Write{M: r.queue[r.wnext]} },
+			Eff:   func() { r.wnext++ },
+		},
+		{
+			Name:  "send_ack",
+			Class: ioa.ClassOutput,
+			Pre:   func() bool { return r.pendingAck },
+			Act: func() ioa.Action {
+				ack := wire.DecodeAckMsg{Next: r.next}
+				return wire.Send{
+					Dir:     wire.RtoT,
+					P:       wire.DecodeAckPacket(ack),
+					Payload: string(wire.AppendDecodeAck(nil, ack)),
+				}
+			},
+			Eff: func() {
+				r.pendingAck = false
+				r.met.onAckSent()
+			},
+		},
+		{
+			Name:  "idle_r",
+			Class: ioa.ClassInternal,
+			Pre:   func() bool { return true },
+			Act:   func() ioa.Action { return wire.Internal{Name: "idle_r"} },
+			Eff:   func() {},
+		},
+	})
+	if err != nil {
+		return err
+	}
+	r.m = m
+	return nil
+}
+
+func (r *Receiver) classify(a ioa.Action) ioa.Class {
+	switch act := a.(type) {
+	case wire.Recv:
+		if act.Dir == wire.TtoR && act.P.Kind == wire.Coded {
+			return ioa.ClassInput
+		}
+	case wire.Write:
+		return ioa.ClassOutput
+	case wire.Send:
+		if act.Dir == wire.RtoT && act.P.Kind == wire.DecodeAck {
+			return ioa.ClassOutput
+		}
+	case wire.Internal:
+		if act.Name == "idle_r" {
+			return ioa.ClassInternal
+		}
+	}
+	return ioa.ClassNone
+}
+
+func (r *Receiver) onInput(act ioa.Action) error {
+	recv, ok := act.(wire.Recv)
+	if !ok {
+		return fmt.Errorf("rateless: receiver: unexpected input %v: %w", act, ioa.ErrNotInSignature)
+	}
+	cs, err := wire.ParseCodedSymbol([]byte(recv.Payload))
+	if err != nil {
+		r.met.onCorrupt()
+		return nil
+	}
+	// The frame header duplicates the record's value and block; a
+	// mismatch means the header was corrupted after encoding (the chaos
+	// middleware flips header symbols) even though the checksummed
+	// payload survived. Either copy being untrustworthy, drop the symbol
+	// — the code is rateless, another one is always coming.
+	if cs.Value != recv.P.Symbol || int(cs.Block) != recv.P.Tag {
+		r.met.onCorrupt()
+		return nil
+	}
+	if cs.Block < r.next {
+		// The transmitter is still repairing a block we finished: its ack
+		// was lost or is in flight. Re-ack instead of decoding.
+		r.met.onStale()
+		r.pendingAck = true
+		return nil
+	}
+	if cs.Block >= r.next+decodeWindow {
+		r.met.onCorrupt()
+		return nil
+	}
+	dec := r.decs[cs.Block]
+	if dec == nil {
+		code, err := NewCode(r.k, r.n, BlockSeed(r.seed, cs.Block))
+		if err != nil {
+			return fmt.Errorf("rateless: receiver: block %d: %w", cs.Block, err)
+		}
+		dec = NewDecoder(code)
+		r.decs[cs.Block] = dec
+	}
+	before := dec.Received()
+	done, err := dec.Add(cs.Index, cs.Value)
+	if err != nil {
+		r.met.onCorrupt()
+		return nil
+	}
+	if dec.Received() > before {
+		r.met.onSymbolReceived()
+	}
+	if done {
+		r.met.onBlockDecoded(dec.Received())
+	}
+	return r.drain()
+}
+
+// drain consumes consecutively decoded blocks starting at next, queueing
+// their bits for the write command, and schedules a cumulative ack when
+// the frontier moved.
+func (r *Receiver) drain() error {
+	advanced := false
+	for {
+		dec := r.decs[r.next]
+		if dec == nil || !dec.Done() {
+			break
+		}
+		bits, err := r.codec.DecodeSeq(dec.Source())
+		if err != nil {
+			// Unreachable with checksummed symbols: the decoder's output
+			// is the transmitter's EncodeSeq, always a codeword.
+			return fmt.Errorf("rateless: receiver: block %d: %w", r.next, err)
+		}
+		if r.skip > 0 {
+			// Resume: the head of this block is already on the durable
+			// tape from a previous incarnation; only the tail is new.
+			drop := r.skip
+			if drop > int64(len(bits)) {
+				drop = int64(len(bits))
+			}
+			bits = bits[drop:]
+			r.skip = 0
+		}
+		r.queue = append(r.queue, bits...)
+		delete(r.decs, r.next)
+		r.next++
+		advanced = true
+	}
+	if advanced {
+		r.pendingAck = true
+	}
+	return nil
+}
+
+// ResumeTape implements session.TapeResumer: a restarted receiver whose
+// previous incarnation durably wrote n bits starts at the block holding
+// bit n, skips the bits of it already on the tape, and immediately acks
+// so the restarted transmitter fast-forwards past the decoded prefix.
+func (r *Receiver) ResumeTape(n int64) {
+	bits := int64(r.codec.BlockBits())
+	r.next = uint32(n / bits)
+	r.skip = n % bits
+	if n > 0 {
+		r.pendingAck = true
+	}
+}
+
+// Name returns "r".
+func (r *Receiver) Name() string { return r.m.Name() }
+
+// Classify places an action in the signature.
+func (r *Receiver) Classify(a ioa.Action) ioa.Class { return r.m.Classify(a) }
+
+// NextLocal returns the unique enabled local action.
+func (r *Receiver) NextLocal() (ioa.Action, bool) { return r.m.NextLocal() }
+
+// Apply performs a transition.
+func (r *Receiver) Apply(a ioa.Action) error { return r.m.Apply(a) }
+
+// DeterministicIOA marks the automaton deterministic.
+func (r *Receiver) DeterministicIOA() bool { return true }
+
+// Written returns the number of bits written.
+func (r *Receiver) Written() int { return r.wnext }
+
+// NextBlock returns the first undecoded block — the value the next ack
+// carries.
+func (r *Receiver) NextBlock() uint32 { return r.next }
+
+// WrittenBits returns Y: the bits written so far, in order.
+func (r *Receiver) WrittenBits() []wire.Bit {
+	return append([]wire.Bit(nil), r.queue[:r.wnext]...)
+}

@@ -1,0 +1,123 @@
+package rateless
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/chanmodel"
+	"repro/internal/faults"
+	"repro/internal/obs"
+	"repro/internal/rstp"
+	"repro/internal/session"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// TestSoakRatelessUnderLoss is the subsystem's serving soak: bare
+// rateless sessions — no hardened wrapper anywhere — through sustained
+// 15% loss on the axiom-enforcing in-memory transport. Every session
+// must complete with zero prefix violations, and the registry must show
+// every block of every session decoded: under loss the code pays in
+// extra symbols per block, never in correctness. Short mode (PR CI)
+// runs a smaller fleet; the nightly race job runs the full 128.
+func TestSoakRatelessUnderLoss(t *testing.T) {
+	sessions := 128
+	if testing.Short() {
+		sessions = 32
+	}
+	const blocksPerSession = 3
+
+	p := rstp.Params{C1: 2, C2: 3, D: 12}
+	reg := obs.NewRegistry()
+	b, err := NewBuilder(Options{Params: p, K: 4, Seed: 23, Obs: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	clock := transport.NewClock(50 * time.Microsecond)
+	// Sustained 15% loss for the entire run, both directions: coded
+	// symbols and decode acks drop alike. The transmitter's repair stream
+	// and the stale-symbol re-ack must heal everything without timers.
+	const forever = int64(1) << 40
+	delay := faults.NewPlan(23,
+		&chanmodel.UniformRandom{D: p.D, Rand: rand.New(rand.NewSource(23))},
+		faults.Fault{From: 0, To: forever, Drop: 0.15})
+	trans := transport.NewMem(clock, transport.MemOptions{D: p.D, Delay: delay, Buffer: 1 << 15})
+
+	pipe, err := session.NewPipe(session.Config{
+		Solution:         b,
+		Params:           p,
+		Transport:        trans,
+		Clock:            clock,
+		MaxSessions:      sessions,
+		IdleTicks:        -1,
+		Obs:              reg,
+		EffortLowerBound: LowerBound(p, 4),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pipe.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
+	bits := blocksPerSession * b.BlockBits()
+	type outcome struct {
+		res session.TransferResult
+		err error
+	}
+	results := make(chan outcome, sessions)
+	rng := rand.New(rand.NewSource(99))
+	inputs := make([][]wire.Bit, sessions)
+	for i := range inputs {
+		inputs[i] = wire.RandomBits(bits, rng.Uint64)
+	}
+	for i := 0; i < sessions; i++ {
+		go func(i int) {
+			res, err := pipe.Transfer(ctx, inputs[i])
+			results <- outcome{res: res, err: err}
+		}(i)
+	}
+	violations, incomplete := 0, 0
+	for i := 0; i < sessions; i++ {
+		o := <-results
+		if o.err != nil {
+			t.Fatalf("transfer: %v", o.err)
+		}
+		if o.res.Violation != "" {
+			violations++
+			t.Errorf("session %d prefix violation: %s", o.res.ID, o.res.Violation)
+		}
+		if !o.res.Completed {
+			incomplete++
+		}
+	}
+	if violations != 0 {
+		t.Fatalf("%d prefix violations under loss", violations)
+	}
+	if incomplete != 0 {
+		t.Fatalf("%d of %d rateless sessions did not complete", incomplete, sessions)
+	}
+
+	affected, dropped, _, _, _ := delay.Stats()
+	if affected == 0 || dropped == 0 {
+		t.Fatalf("fault plan injected nothing: affected=%d dropped=%d", affected, dropped)
+	}
+	snap := reg.Snapshot()
+	decoded := snap.Counters["rstp_rateless_blocks_decoded_total"]
+	if want := int64(sessions * blocksPerSession); decoded != want {
+		t.Fatalf("decoded %d blocks, want every one of %d", decoded, want)
+	}
+	received := snap.Counters["rstp_rateless_symbols_received_total"]
+	source := int64(sessions*blocksPerSession) * int64(p.Delta1())
+	if received < source {
+		t.Fatalf("decoded %d blocks from %d distinct symbols, fewer than the %d source symbols", decoded, received, source)
+	}
+	t.Logf("%d sessions complete under 15%% loss: dropped=%d of %d affected; %d blocks decoded from %d distinct symbols (overhead %.2fx), stale=%d acks=%d",
+		sessions, dropped, affected, decoded, received,
+		float64(received)/float64(source),
+		snap.Counters["rstp_rateless_symbols_stale_total"],
+		snap.Counters["rstp_rateless_acks_sent_total"])
+}

@@ -601,7 +601,7 @@ func (e *endpoint) watchdog() bool {
 // signature accepts it.
 func (e *endpoint) onFrame(f wire.Frame) {
 	now := e.cfg.Clock.Now()
-	act := wire.Recv{Dir: f.Dir, P: f.P}
+	act := wire.Recv{Dir: f.Dir, P: f.P, Payload: string(f.Payload)}
 	e.mu.Lock()
 	e.lastActivity = now
 	if e.auto.Classify(act) != ioa.ClassInput {
@@ -646,7 +646,7 @@ func (e *endpoint) step() bool {
 	switch a := act.(type) {
 	case wire.Send:
 		pktSeq := e.seq.Add(1)*2 + e.side // disjoint seq ranges per side
-		err := e.cfg.Transport.Send(wire.Frame{Session: e.id, Dir: a.Dir, Seq: pktSeq, P: a.P})
+		err := e.cfg.Transport.Send(wire.Frame{Session: e.id, Dir: a.Dir, Seq: pktSeq, P: a.P, Payload: []byte(a.Payload)})
 		e.mu.Lock()
 		e.sends++
 		e.lastSend = now

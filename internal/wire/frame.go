@@ -116,7 +116,7 @@ func ParseFrame(buf []byte) (Frame, error) {
 		return Frame{}, frameErrf("direction %d out of range", buf[6])
 	}
 	kind := PacketKind(buf[7])
-	if kind != Data && kind != Ack {
+	if kind != Data && kind != Ack && kind != Coded && kind != DecodeAck {
 		return Frame{}, frameErrf("packet kind %d out of range", buf[7])
 	}
 	declared := int(binary.BigEndian.Uint16(buf[32:34]))

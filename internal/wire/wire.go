@@ -65,6 +65,15 @@ const (
 	// Ack packets are the receiver's single acknowledgement packet used by
 	// the active protocol A^γ(k); they carry no symbol.
 	Ack
+	// Coded packets carry one fountain-coded symbol of the rateless burst
+	// subsystem (internal/rateless): Symbol holds the coded value and the
+	// frame payload the full coded-symbol record (block, index, value,
+	// checksum — see AppendCodedSymbol).
+	Coded
+	// DecodeAck packets are the rateless receiver's decode acknowledgement:
+	// Symbol holds the next block it needs and the frame payload the
+	// checksummed record (see AppendDecodeAck).
+	DecodeAck
 )
 
 // String renders the packet kind.
@@ -74,6 +83,10 @@ func (k PacketKind) String() string {
 		return "data"
 	case Ack:
 		return "ack"
+	case Coded:
+		return "coded"
+	case DecodeAck:
+		return "decode-ack"
 	default:
 		return fmt.Sprintf("kind(%d)", int(k))
 	}
@@ -125,9 +138,16 @@ const (
 
 // Send is the action send(p): an output of the sending process and an input
 // of the channel.
+//
+// Payload is opaque extension data the serving layer copies into the
+// outgoing Frame.Payload (and back out on Recv) — the rateless subsystem
+// rides its coded-symbol records on it. It is a string rather than a
+// []byte so actions stay comparable (the channel model pairs sends with
+// recvs by value); the RSTP protocols leave it empty.
 type Send struct {
-	Dir Dir
-	P   Packet
+	Dir     Dir
+	P       Packet
+	Payload string
 }
 
 // Kind returns "send".
@@ -137,10 +157,11 @@ func (Send) Kind() string { return KindSend }
 func (s Send) String() string { return fmt.Sprintf("send[%v](%v)", s.Dir, s.P) }
 
 // Recv is the action recv(p): an output of the channel and an input of the
-// destination process.
+// destination process. Payload mirrors Send.Payload (see there).
 type Recv struct {
-	Dir Dir
-	P   Packet
+	Dir     Dir
+	P       Packet
+	Payload string
 }
 
 // Kind returns "recv".

@@ -45,6 +45,7 @@ import (
 	"repro/internal/frame"
 	"repro/internal/journal"
 	"repro/internal/obs"
+	"repro/internal/rateless"
 	"repro/internal/rstp"
 	"repro/internal/rstpx"
 	"repro/internal/session"
@@ -531,3 +532,57 @@ var ErrAdmissionRefused = session.ErrAdmissionRefused
 // NewController builds the adaptive controller against a shared
 // registry and clock. The controller is inert until Start.
 func NewController(cfg ControlConfig) (*Controller, error) { return control.New(cfg) }
+
+// Rateless coded burst subsystem (PR 9): an LT-style fountain code over
+// each block's packet multiset replaces exact-packet retransmission.
+// The transmitter streams deterministic, per-block-seeded coded symbols
+// until the receiver's cumulative decode ack cuts the stream; loss
+// costs a few extra symbols per block instead of a round trip. The
+// builder satisfies PairBuilder, so the subsystem is selectable
+// anywhere the hardened β/γ stacks are — ServeConfig.Solution,
+// ControlConfig.Candidates, the benchmark matrix. See DESIGN.md
+// ("Coding vs. retransmission").
+type (
+	// RatelessOptions configures a rateless pair or builder: the timing
+	// Params, the packet alphabet size K, the session's base Seed (block
+	// b's symbol stream is a pure function of it on both ends, so
+	// replays are byte-identical) and an optional metrics registry.
+	RatelessOptions = rateless.Options
+	// RatelessBuilder constructs rateless transmitter/receiver pairs; it
+	// is a PairBuilder.
+	RatelessBuilder = rateless.Builder
+	// RatelessTransmitter is the coded-symbol streaming automaton.
+	RatelessTransmitter = rateless.Transmitter
+	// RatelessReceiver is the peeling-decoder automaton; it implements
+	// the session layer's tape-resume hook, so a durable restart skips
+	// the bits already written.
+	RatelessReceiver = rateless.Receiver
+	// ControlCandidate is one cross-family escape hatch in
+	// ControlConfig.Candidates — e.g. the rateless pair behind a native
+	// β table (see cmd/rstpserve's -adaptive wiring).
+	ControlCandidate = control.Candidate
+)
+
+// NewRatelessBuilder validates the options and returns the pair builder.
+func NewRatelessBuilder(o RatelessOptions) (*RatelessBuilder, error) { return rateless.NewBuilder(o) }
+
+// NewRatelessTransmitter builds a standalone rateless transmitter for
+// input x, whose length must be a multiple of the builder's BlockBits.
+func NewRatelessTransmitter(o RatelessOptions, x []Bit) (*RatelessTransmitter, error) {
+	return rateless.NewTransmitter(o, x)
+}
+
+// NewRatelessReceiver builds a standalone rateless receiver.
+func NewRatelessReceiver(o RatelessOptions) (*RatelessReceiver, error) {
+	return rateless.NewReceiver(o)
+}
+
+// RatelessUpperBound returns the subsystem's loss-free effort ceiling:
+// δ1·c2/⌊log₂ μ_k(δ1)⌋ ticks per message — below BetaUpperBound, whose
+// extra ⌈d/c1⌉·c2 term pays for burst-delimiting idle steps the coded
+// stream does not need.
+func RatelessUpperBound(p Params, k int) float64 { return rateless.UpperBound(p, k) }
+
+// RatelessLowerBound returns the matching Theorem 5.6 floor (the decode
+// ack makes the protocol active in the paper's taxonomy).
+func RatelessLowerBound(p Params, k int) float64 { return rateless.LowerBound(p, k) }
